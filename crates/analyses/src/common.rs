@@ -1,0 +1,60 @@
+//! Shared helpers for mapping values across call boundaries.
+
+use spllift_ir::{Callee, LocalId, MethodId, Operand, Program, StmtKind, StmtRef};
+
+/// Pairs of (actual local in caller, formal local in callee) for the call
+/// at `call` targeting `callee` — including the receiver for virtual calls.
+pub(crate) fn arg_bindings(
+    program: &Program,
+    call: StmtRef,
+    callee: MethodId,
+) -> Vec<(LocalId, LocalId)> {
+    let StmtKind::Invoke { callee: target, args, .. } = &program.stmt(call).kind else {
+        return Vec::new();
+    };
+    let callee_body = program.body(callee);
+    let mut out = Vec::new();
+    if let Callee::Virtual { base, .. } = target {
+        if let Some(this) = callee_body.this_local {
+            out.push((*base, this));
+        }
+    }
+    for (i, arg) in args.iter().enumerate() {
+        if let Operand::Local(l) = arg {
+            if let Some(&formal) = callee_body.param_locals.get(i) {
+                out.push((*l, formal));
+            }
+        }
+    }
+    out
+}
+
+/// The local receiving the call's return value, if any.
+pub(crate) fn result_local(program: &Program, call: StmtRef) -> Option<LocalId> {
+    match &program.stmt(call).kind {
+        StmtKind::Invoke { result, .. } => *result,
+        _ => None,
+    }
+}
+
+/// The local returned at exit statement `exit`, if it returns a local.
+pub(crate) fn returned_local(program: &Program, exit: StmtRef) -> Option<LocalId> {
+    match &program.stmt(exit).kind {
+        StmtKind::Return { value: Some(Operand::Local(l)) } => Some(*l),
+        _ => None,
+    }
+}
+
+/// The (unqualified) name of the method called at `call`, for source/sink
+/// matching, resolved through the static target or the virtual signature.
+pub(crate) fn called_name(program: &Program, call: StmtRef) -> Option<String> {
+    match &program.stmt(call).kind {
+        StmtKind::Invoke { callee: Callee::Static(m), .. } => {
+            Some(program.method(*m).name.clone())
+        }
+        StmtKind::Invoke { callee: Callee::Virtual { name, .. }, .. } => {
+            Some(name.clone())
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,183 @@
+//! Possible-types analysis: which classes a reference may point to.
+//!
+//! The paper's first client (§6.2): "computes the possible types for a
+//! value reference in the program. Such information can, for instance, be
+//! used for virtual-method-call resolution. We track typing information
+//! through method boundaries. Field and array assignments are treated with
+//! weak updates in a field-sensitive manner, abstracting from receiver
+//! objects."
+
+use crate::common::*;
+use spllift_ifds::IfdsProblem;
+use spllift_ir::{
+    ClassId, FieldId, LocalId, MethodId, Operand, ProgramIcfg, Rvalue, StmtKind, StmtRef,
+};
+
+/// A possible-type fact: "this location may point to an instance of
+/// exactly this (runtime) class".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TypeFact {
+    /// The tautology fact.
+    Zero,
+    /// Local `l` may point to an instance of class `c`.
+    Local(LocalId, ClassId),
+    /// Field `f` (any receiver) may point to an instance of class `c`.
+    Field(FieldId, ClassId),
+    /// Some array element (any array) may point to an instance of `c` —
+    /// one summary cell, weak index-insensitive updates (paper §6.2).
+    ArrayElem(ClassId),
+}
+
+/// The inter-procedural possible-types IFDS problem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PossibleTypes;
+
+impl PossibleTypes {
+    /// Creates the analysis.
+    pub fn new() -> Self {
+        PossibleTypes
+    }
+}
+
+impl<'p> IfdsProblem<ProgramIcfg<'p>> for PossibleTypes {
+    type Fact = TypeFact;
+
+    fn zero(&self) -> TypeFact {
+        TypeFact::Zero
+    }
+
+    fn flow_normal(
+        &self,
+        icfg: &ProgramIcfg<'p>,
+        curr: StmtRef,
+        _succ: StmtRef,
+        d: &TypeFact,
+    ) -> Vec<TypeFact> {
+        let program = icfg.program();
+        match &program.stmt(curr).kind {
+            StmtKind::Assign { target, rvalue } => {
+                let kills_target =
+                    matches!(d, TypeFact::Local(l, _) if l == target);
+                match rvalue {
+                    Rvalue::New(c) => {
+                        if *d == TypeFact::Zero {
+                            vec![TypeFact::Zero, TypeFact::Local(*target, *c)]
+                        } else if kills_target {
+                            Vec::new()
+                        } else {
+                            vec![*d]
+                        }
+                    }
+                    Rvalue::Use(Operand::Local(src)) => match d {
+                        TypeFact::Local(l, c) if l == src => {
+                            vec![*d, TypeFact::Local(*target, *c)]
+                        }
+                        _ if kills_target => Vec::new(),
+                        _ => vec![*d],
+                    },
+                    Rvalue::FieldLoad { field, .. } => match d {
+                        TypeFact::Field(f, c) if f == field => {
+                            vec![*d, TypeFact::Local(*target, *c)]
+                        }
+                        _ if kills_target => Vec::new(),
+                        _ => vec![*d],
+                    },
+                    Rvalue::ArrayLoad { .. } => match d {
+                        TypeFact::ArrayElem(c) => {
+                            vec![*d, TypeFact::Local(*target, *c)]
+                        }
+                        _ if kills_target => Vec::new(),
+                        _ => vec![*d],
+                    },
+                    // Arithmetic / constants produce no reference types.
+                    _ => {
+                        if kills_target {
+                            Vec::new()
+                        } else {
+                            vec![*d]
+                        }
+                    }
+                }
+            }
+            StmtKind::FieldStore { field, value, .. } => match d {
+                TypeFact::Local(l, c)
+                    if value.as_local().is_some_and(|v| v == *l) =>
+                {
+                    // Weak update: gen, never kill.
+                    vec![*d, TypeFact::Field(*field, *c)]
+                }
+                _ => vec![*d],
+            },
+            StmtKind::ArrayStore { value, .. } => match d {
+                TypeFact::Local(l, c)
+                    if value.as_local().is_some_and(|v| v == *l) =>
+                {
+                    vec![*d, TypeFact::ArrayElem(*c)]
+                }
+                _ => vec![*d],
+            },
+            StmtKind::Invoke { .. } => self.flow_call_to_return(icfg, curr, curr, d),
+            _ => vec![*d],
+        }
+    }
+
+    fn flow_call(
+        &self,
+        icfg: &ProgramIcfg<'p>,
+        call: StmtRef,
+        callee: MethodId,
+        d: &TypeFact,
+    ) -> Vec<TypeFact> {
+        match d {
+            TypeFact::Zero => vec![TypeFact::Zero],
+            TypeFact::Field(f, c) => vec![TypeFact::Field(*f, *c)],
+            TypeFact::ArrayElem(c) => vec![TypeFact::ArrayElem(*c)],
+            TypeFact::Local(l, c) => arg_bindings(icfg.program(), call, callee)
+                .into_iter()
+                .filter(|(actual, _)| actual == l)
+                .map(|(_, formal)| TypeFact::Local(formal, *c))
+                .collect(),
+        }
+    }
+
+    fn flow_return(
+        &self,
+        icfg: &ProgramIcfg<'p>,
+        call: StmtRef,
+        _callee: MethodId,
+        exit: StmtRef,
+        _return_site: StmtRef,
+        d: &TypeFact,
+    ) -> Vec<TypeFact> {
+        let program = icfg.program();
+        match d {
+            TypeFact::Zero => vec![TypeFact::Zero],
+            TypeFact::Field(f, c) => vec![TypeFact::Field(*f, *c)],
+            TypeFact::ArrayElem(c) => vec![TypeFact::ArrayElem(*c)],
+            TypeFact::Local(l, c) => {
+                if returned_local(program, exit) == Some(*l) {
+                    result_local(program, call)
+                        .map(|r| TypeFact::Local(r, *c))
+                        .into_iter()
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn flow_call_to_return(
+        &self,
+        icfg: &ProgramIcfg<'p>,
+        call: StmtRef,
+        _return_site: StmtRef,
+        d: &TypeFact,
+    ) -> Vec<TypeFact> {
+        let res = result_local(icfg.program(), call);
+        match d {
+            TypeFact::Local(l, _) if Some(*l) == res => Vec::new(),
+            other => vec![*other],
+        }
+    }
+}

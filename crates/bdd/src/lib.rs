@@ -1,0 +1,31 @@
+//! A reduced ordered binary decision diagram (ROBDD) engine.
+//!
+//! This crate is the SPLLIFT reproduction's stand-in for JavaBDD/BuDDy: a
+//! from-scratch BDD package with hash-consed nodes and memoized operations.
+//! The paper relies on exactly four Boolean operations being fast —
+//! conjunction, disjunction, negation, and the constant-time `is_false`
+//! check on reduced diagrams — all of which this crate provides.
+//!
+//! # Example
+//!
+//! ```
+//! use spllift_bdd::BddManager;
+//!
+//! let mgr = BddManager::new();
+//! let f = mgr.var("F");
+//! let g = mgr.var("G");
+//! // ¬F ∧ G
+//! let c = f.not().and(&g);
+//! assert!(!c.is_false());
+//! // (¬F ∧ G) ∧ F ≡ false — contradiction detection is constant time.
+//! assert!(c.and(&f).is_false());
+//! ```
+
+
+#![warn(missing_docs)]
+mod manager;
+
+pub use manager::{Bdd, BddManager, BddStats, VarId};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,694 @@
+//! The BDD node store, hash-consing unique table, and operation caches.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Index of a Boolean variable inside a [`BddManager`].
+///
+/// Variables are ordered by creation order; that order is the (fixed) BDD
+/// variable order. The paper (§5) explicitly picks one ordering and leaves
+/// optimization of the ordering to future work; we do the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Internal node index. `0` is the `false` terminal, `1` is `true`.
+type NodeId = u32;
+
+const FALSE_ID: NodeId = 0;
+const TRUE_ID: NodeId = 1;
+/// Pseudo-level of the terminals: below every real variable.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    low: NodeId,
+    high: NodeId,
+}
+
+/// Counters describing the size of a manager, for diagnostics and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddStats {
+    /// Number of allocated nodes (including the two terminals).
+    pub nodes: usize,
+    /// Number of declared variables.
+    pub vars: usize,
+    /// Number of entries in the ternary `ite` cache.
+    pub cache_entries: usize,
+}
+
+struct Store {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    not_cache: HashMap<NodeId, NodeId>,
+    var_names: Vec<String>,
+}
+
+impl Store {
+    fn new() -> Self {
+        let terminals = vec![
+            Node { var: TERMINAL_VAR, low: FALSE_ID, high: FALSE_ID },
+            Node { var: TERMINAL_VAR, low: TRUE_ID, high: TRUE_ID },
+        ];
+        Store {
+            nodes: terminals,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            var_names: Vec::new(),
+        }
+    }
+
+    fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn node(&self, id: NodeId) -> Node {
+        self.nodes[id as usize]
+    }
+
+    /// Cofactor of `f` w.r.t. the decision variable `var`.
+    fn cofactor(&self, f: NodeId, var: u32, value: bool) -> NodeId {
+        let n = self.node(f);
+        if n.var == var {
+            if value {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            f
+        }
+    }
+
+    fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal cases.
+        if f == TRUE_ID {
+            return g;
+        }
+        if f == FALSE_ID {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE_ID && h == FALSE_ID {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let v = self
+            .node(f)
+            .var
+            .min(self.node(g).var)
+            .min(self.node(h).var);
+        debug_assert_ne!(v, TERMINAL_VAR);
+        let (f0, f1) = (self.cofactor(f, v, false), self.cofactor(f, v, true));
+        let (g0, g1) = (self.cofactor(g, v, false), self.cofactor(g, v, true));
+        let (h0, h1) = (self.cofactor(h, v, false), self.cofactor(h, v, true));
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(v, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn not(&mut self, f: NodeId) -> NodeId {
+        if f == TRUE_ID {
+            return FALSE_ID;
+        }
+        if f == FALSE_ID {
+            return TRUE_ID;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let low = self.not(n.low);
+        let high = self.not(n.high);
+        let r = self.mk(n.var, low, high);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    fn restrict(&mut self, f: NodeId, var: u32, value: bool) -> NodeId {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR || n.var > var {
+            return f;
+        }
+        if n.var == var {
+            return if value { n.high } else { n.low };
+        }
+        let low = self.restrict(n.low, var, value);
+        let high = self.restrict(n.high, var, value);
+        self.mk(n.var, low, high)
+    }
+
+    /// Number of satisfying assignments over the first `nvars` variables.
+    fn sat_count(&self, f: NodeId, nvars: u32) -> u128 {
+        fn go(
+            store: &Store,
+            f: NodeId,
+            nvars: u32,
+            memo: &mut HashMap<NodeId, u128>,
+        ) -> u128 {
+            if f == FALSE_ID {
+                return 0;
+            }
+            if f == TRUE_ID {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let n = store.node(f);
+            let skip = |child: NodeId| -> u32 {
+                let cvar = store.node(child).var;
+                let next = if cvar == TERMINAL_VAR { nvars } else { cvar };
+                next - n.var - 1
+            };
+            let lo = go(store, n.low, nvars, memo) << skip(n.low);
+            let hi = go(store, n.high, nvars, memo) << skip(n.high);
+            let c = lo + hi;
+            memo.insert(f, c);
+            c
+        }
+        if f == FALSE_ID {
+            return 0;
+        }
+        let mut memo = HashMap::new();
+        let top = self.node(f).var;
+        let leading = if top == TERMINAL_VAR { nvars } else { top };
+        go(self, f, nvars, &mut memo) << leading
+    }
+
+    fn one_sat(&self, f: NodeId) -> Option<Vec<(u32, bool)>> {
+        if f == FALSE_ID {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while cur != TRUE_ID {
+            let n = self.node(cur);
+            if n.low != FALSE_ID {
+                path.push((n.var, false));
+                cur = n.low;
+            } else {
+                path.push((n.var, true));
+                cur = n.high;
+            }
+        }
+        Some(path)
+    }
+
+    fn eval(&self, f: NodeId, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut cur = f;
+        loop {
+            match cur {
+                FALSE_ID => return false,
+                TRUE_ID => return true,
+                _ => {
+                    let n = self.node(cur);
+                    cur = if assignment(n.var) { n.high } else { n.low };
+                }
+            }
+        }
+    }
+
+    fn support(&self, f: NodeId) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if id == FALSE_ID || id == TRUE_ID || !seen.insert(id) {
+                continue;
+            }
+            let n = self.node(id);
+            vars.insert(n.var);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        vars.into_iter().collect()
+    }
+}
+
+/// A shared, single-threaded BDD node store.
+///
+/// Cloning a manager is cheap (it is reference-counted); all [`Bdd`] handles
+/// created from clones of the same manager are interoperable. Handles from
+/// *different* managers must not be mixed.
+///
+/// # Example
+///
+/// ```
+/// use spllift_bdd::BddManager;
+/// let mgr = BddManager::new();
+/// let a = mgr.var("A");
+/// let b = mgr.var("B");
+/// assert_eq!(a.or(&b), b.or(&a));
+/// ```
+#[derive(Clone)]
+pub struct BddManager {
+    store: Rc<RefCell<Store>>,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BddManager")
+            .field("vars", &stats.vars)
+            .field("nodes", &stats.nodes)
+            .finish()
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> Self {
+        BddManager { store: Rc::new(RefCell::new(Store::new())) }
+    }
+
+    /// Declares a fresh variable named `name` and returns it as a formula.
+    ///
+    /// The variable is appended at the bottom of the current variable order.
+    pub fn var(&self, name: impl Into<String>) -> Bdd {
+        let id = self.new_var(name);
+        self.var_bdd(id)
+    }
+
+    /// Declares a fresh variable and returns its [`VarId`].
+    pub fn new_var(&self, name: impl Into<String>) -> VarId {
+        let mut s = self.store.borrow_mut();
+        let idx = s.var_names.len() as u32;
+        s.var_names.push(name.into());
+        VarId(idx)
+    }
+
+    /// Returns the formula for an already-declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not declared by this manager.
+    pub fn var_bdd(&self, var: VarId) -> Bdd {
+        let id = {
+            let mut s = self.store.borrow_mut();
+            assert!(
+                (var.0 as usize) < s.var_names.len(),
+                "variable {var} not declared in this manager"
+            );
+            s.mk(var.0, FALSE_ID, TRUE_ID)
+        };
+        self.wrap(id)
+    }
+
+    /// The number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.store.borrow().var_names.len()
+    }
+
+    /// The name a variable was declared with.
+    pub fn var_name(&self, var: VarId) -> String {
+        self.store.borrow().var_names[var.0 as usize].clone()
+    }
+
+    /// The constant `true` formula.
+    pub fn top(&self) -> Bdd {
+        self.wrap(TRUE_ID)
+    }
+
+    /// The constant `false` formula.
+    pub fn bottom(&self) -> Bdd {
+        self.wrap(FALSE_ID)
+    }
+
+    /// Current size counters.
+    pub fn stats(&self) -> BddStats {
+        let s = self.store.borrow();
+        BddStats {
+            nodes: s.nodes.len(),
+            vars: s.var_names.len(),
+            cache_entries: s.ite_cache.len(),
+        }
+    }
+
+    fn wrap(&self, id: NodeId) -> Bdd {
+        Bdd { mgr: self.clone(), id }
+    }
+
+    fn same_store(&self, other: &BddManager) -> bool {
+        Rc::ptr_eq(&self.store, &other.store)
+    }
+}
+
+/// A Boolean formula, represented as a handle into a [`BddManager`].
+///
+/// Because diagrams are reduced and hash-consed, semantic equality of
+/// formulas coincides with handle equality ([`PartialEq`] is O(1)), and
+/// [`Bdd::is_false`] / [`Bdd::is_true`] are constant-time — the property the
+/// paper exploits for early termination (§4.2).
+#[derive(Clone)]
+pub struct Bdd {
+    mgr: BddManager,
+    id: NodeId,
+}
+
+impl PartialEq for Bdd {
+    fn eq(&self, other: &Self) -> bool {
+        debug_assert!(
+            self.mgr.same_store(&other.mgr),
+            "comparing BDDs from different managers"
+        );
+        self.id == other.id
+    }
+}
+
+impl Eq for Bdd {}
+
+impl std::hash::Hash for Bdd {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd({})", self.to_cube_string())
+    }
+}
+
+impl fmt::Display for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_cube_string())
+    }
+}
+
+macro_rules! binary_op {
+    ($(#[$doc:meta])* $name:ident, |$s:ident, $f:ident, $g:ident| $body:expr) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(&self, other: &Bdd) -> Bdd {
+            debug_assert!(
+                self.mgr.same_store(&other.mgr),
+                "combining BDDs from different managers"
+            );
+            let id = {
+                let mut $s = self.mgr.store.borrow_mut();
+                let $f = self.id;
+                let $g = other.id;
+                $body
+            };
+            self.mgr.wrap(id)
+        }
+    };
+}
+
+impl Bdd {
+    /// The manager this formula belongs to.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// `true` iff this formula is the constant `false`. Constant time.
+    pub fn is_false(&self) -> bool {
+        self.id == FALSE_ID
+    }
+
+    /// `true` iff this formula is the constant `true`. Constant time.
+    pub fn is_true(&self) -> bool {
+        self.id == TRUE_ID
+    }
+
+    binary_op!(
+        /// Conjunction `self ∧ other`.
+        and, |s, f, g| s.ite(f, g, FALSE_ID)
+    );
+    binary_op!(
+        /// Disjunction `self ∨ other`.
+        or, |s, f, g| s.ite(f, TRUE_ID, g)
+    );
+    binary_op!(
+        /// Exclusive or `self ⊕ other`.
+        xor, |s, f, g| {
+            let ng = s.not(g);
+            s.ite(f, ng, g)
+        }
+    );
+    binary_op!(
+        /// Implication `self → other`.
+        implies, |s, f, g| s.ite(f, g, TRUE_ID)
+    );
+    binary_op!(
+        /// Biconditional `self ↔ other`.
+        iff, |s, f, g| {
+            let ng = s.not(g);
+            s.ite(f, g, ng)
+        }
+    );
+
+    /// Negation `¬self`.
+    #[must_use]
+    pub fn not(&self) -> Bdd {
+        let id = {
+            let mut s = self.mgr.store.borrow_mut();
+            s.not(self.id)
+        };
+        self.mgr.wrap(id)
+    }
+
+    /// If-then-else `if self then t else e`.
+    #[must_use]
+    pub fn ite(&self, t: &Bdd, e: &Bdd) -> Bdd {
+        debug_assert!(self.mgr.same_store(&t.mgr) && self.mgr.same_store(&e.mgr));
+        let id = {
+            let mut s = self.mgr.store.borrow_mut();
+            s.ite(self.id, t.id, e.id)
+        };
+        self.mgr.wrap(id)
+    }
+
+    /// The cofactor of this formula with `var` fixed to `value`.
+    #[must_use]
+    pub fn restrict(&self, var: VarId, value: bool) -> Bdd {
+        let id = {
+            let mut s = self.mgr.store.borrow_mut();
+            s.restrict(self.id, var.0, value)
+        };
+        self.mgr.wrap(id)
+    }
+
+    /// Existential quantification `∃var. self`.
+    #[must_use]
+    pub fn exists(&self, var: VarId) -> Bdd {
+        let lo = self.restrict(var, false);
+        let hi = self.restrict(var, true);
+        lo.or(&hi)
+    }
+
+    /// Universal quantification `∀var. self`.
+    #[must_use]
+    pub fn forall(&self, var: VarId) -> Bdd {
+        let lo = self.restrict(var, false);
+        let hi = self.restrict(var, true);
+        lo.and(&hi)
+    }
+
+    /// Existentially quantifies every variable in `vars` (projection onto
+    /// the remaining variables) — e.g. projecting a feature-model
+    /// constraint onto the reachable features.
+    #[must_use]
+    pub fn exists_many(&self, vars: &[VarId]) -> Bdd {
+        vars.iter().fold(self.clone(), |acc, &v| acc.exists(v))
+    }
+
+    /// `true` iff `self → other` is a tautology (semantic entailment).
+    pub fn entails(&self, other: &Bdd) -> bool {
+        self.implies(other).is_true()
+    }
+
+    /// Number of satisfying assignments over the manager's full variable set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 127 variables are declared (the count is held in
+    /// a `u128`).
+    pub fn sat_count(&self) -> u128 {
+        let nvars = self.mgr.num_vars() as u32;
+        assert!(nvars <= 127, "sat_count supports at most 127 variables");
+        self.mgr.store.borrow().sat_count(self.id, nvars)
+    }
+
+    /// Number of satisfying assignments counting only the first
+    /// `nvars` variables of the order (the rest must not occur in `self`).
+    pub fn sat_count_over(&self, nvars: u32) -> u128 {
+        debug_assert!(self
+            .support()
+            .iter()
+            .all(|v| v.0 < nvars));
+        self.mgr.store.borrow().sat_count(self.id, nvars)
+    }
+
+    /// One satisfying partial assignment, or `None` if unsatisfiable.
+    ///
+    /// Variables not mentioned may take either value.
+    pub fn one_sat(&self) -> Option<Vec<(VarId, bool)>> {
+        self.mgr
+            .store
+            .borrow()
+            .one_sat(self.id)
+            .map(|v| v.into_iter().map(|(i, b)| (VarId(i), b)).collect())
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn eval(&self, assignment: impl Fn(VarId) -> bool) -> bool {
+        self.mgr
+            .store
+            .borrow()
+            .eval(self.id, &|v| assignment(VarId(v)))
+    }
+
+    /// The set of variables this formula depends on, in order.
+    pub fn support(&self) -> Vec<VarId> {
+        self.mgr
+            .store
+            .borrow()
+            .support(self.id)
+            .into_iter()
+            .map(VarId)
+            .collect()
+    }
+
+    /// Number of internal nodes of this diagram (terminals excluded).
+    pub fn node_count(&self) -> usize {
+        let s = self.mgr.store.borrow();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.id];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if id == FALSE_ID || id == TRUE_ID || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let n = s.node(id);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    /// Renders the formula as a sum of cubes (disjunction of conjunctions of
+    /// literals), e.g. `(!F & G & !H)`. `true`/`false` for the constants.
+    ///
+    /// Intended for small constraint formulas (feature constraints); the
+    /// output size can be exponential in the diagram size.
+    pub fn to_cube_string(&self) -> String {
+        if self.is_true() {
+            return "true".into();
+        }
+        if self.is_false() {
+            return "false".into();
+        }
+        let s = self.mgr.store.borrow();
+        let mut cubes: Vec<String> = Vec::new();
+        let mut path: Vec<(u32, bool)> = Vec::new();
+        fn go(
+            s: &Store,
+            id: NodeId,
+            path: &mut Vec<(u32, bool)>,
+            cubes: &mut Vec<String>,
+        ) {
+            if id == FALSE_ID {
+                return;
+            }
+            if id == TRUE_ID {
+                let lits: Vec<String> = path
+                    .iter()
+                    .map(|&(v, b)| {
+                        let name = &s.var_names[v as usize];
+                        if b {
+                            name.clone()
+                        } else {
+                            format!("!{name}")
+                        }
+                    })
+                    .collect();
+                if lits.is_empty() {
+                    cubes.push("true".into());
+                } else {
+                    cubes.push(format!("({})", lits.join(" & ")));
+                }
+                return;
+            }
+            let n = s.node(id);
+            path.push((n.var, false));
+            go(s, n.low, path, cubes);
+            path.pop();
+            path.push((n.var, true));
+            go(s, n.high, path, cubes);
+            path.pop();
+        }
+        go(&s, self.id, &mut path, &mut cubes);
+        cubes.join(" | ")
+    }
+
+    /// Renders this diagram in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        let s = self.mgr.store.borrow();
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  f [shape=box,label=\"0\"];\n  t [shape=box,label=\"1\"];\n");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.id];
+        let node_name = |id: NodeId| -> String {
+            match id {
+                FALSE_ID => "f".into(),
+                TRUE_ID => "t".into(),
+                _ => format!("n{id}"),
+            }
+        };
+        while let Some(id) = stack.pop() {
+            if id == FALSE_ID || id == TRUE_ID || !seen.insert(id) {
+                continue;
+            }
+            let n = s.node(id);
+            out.push_str(&format!(
+                "  n{id} [label=\"{}\"];\n",
+                s.var_names[n.var as usize]
+            ));
+            out.push_str(&format!(
+                "  n{id} -> {} [style=dashed];\n",
+                node_name(n.low)
+            ));
+            out.push_str(&format!("  n{id} -> {};\n", node_name(n.high)));
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        out.push_str("}\n");
+        out
+    }
+}

@@ -1,0 +1,348 @@
+use crate::{Bdd, BddManager, VarId};
+
+fn three_vars() -> (BddManager, Bdd, Bdd, Bdd) {
+    let mgr = BddManager::new();
+    let a = mgr.var("A");
+    let b = mgr.var("B");
+    let c = mgr.var("C");
+    (mgr, a, b, c)
+}
+
+#[test]
+fn constants() {
+    let mgr = BddManager::new();
+    assert!(mgr.top().is_true());
+    assert!(mgr.bottom().is_false());
+    assert_ne!(mgr.top(), mgr.bottom());
+    assert_eq!(mgr.top().not(), mgr.bottom());
+}
+
+#[test]
+fn variable_identities() {
+    let (mgr, a, _, _) = three_vars();
+    assert_eq!(a.and(&a), a);
+    assert_eq!(a.or(&a), a);
+    assert_eq!(a.and(&a.not()), mgr.bottom());
+    assert_eq!(a.or(&a.not()), mgr.top());
+    assert_eq!(a.not().not(), a);
+    assert_eq!(a.xor(&a), mgr.bottom());
+}
+
+#[test]
+fn commutativity_and_associativity() {
+    let (_, a, b, c) = three_vars();
+    assert_eq!(a.and(&b), b.and(&a));
+    assert_eq!(a.or(&b), b.or(&a));
+    assert_eq!(a.and(&b).and(&c), a.and(&b.and(&c)));
+    assert_eq!(a.or(&b).or(&c), a.or(&b.or(&c)));
+}
+
+#[test]
+fn de_morgan() {
+    let (_, a, b, _) = three_vars();
+    assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+    assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+}
+
+#[test]
+fn distributivity() {
+    let (_, a, b, c) = three_vars();
+    assert_eq!(a.and(&b.or(&c)), a.and(&b).or(&a.and(&c)));
+    assert_eq!(a.or(&b.and(&c)), a.or(&b).and(&a.or(&c)));
+}
+
+#[test]
+fn implication_and_iff() {
+    let (mgr, a, b, _) = three_vars();
+    assert_eq!(a.implies(&b), a.not().or(&b));
+    assert_eq!(a.iff(&b), a.xor(&b).not());
+    assert_eq!(a.implies(&a), mgr.top());
+}
+
+#[test]
+fn ite_matches_definition() {
+    let (_, a, b, c) = three_vars();
+    let ite = a.ite(&b, &c);
+    let manual = a.and(&b).or(&a.not().and(&c));
+    assert_eq!(ite, manual);
+}
+
+#[test]
+fn restrict_cofactors() {
+    let mgr = BddManager::new();
+    let av = mgr.new_var("A");
+    let bv = mgr.new_var("B");
+    let a = mgr.var_bdd(av);
+    let b = mgr.var_bdd(bv);
+    let f = a.and(&b);
+    assert_eq!(f.restrict(av, true), b);
+    assert!(f.restrict(av, false).is_false());
+    assert_eq!(f.restrict(bv, true), a);
+}
+
+#[test]
+fn sat_count_basic() {
+    let (mgr, a, b, c) = three_vars();
+    assert_eq!(mgr.top().sat_count(), 8);
+    assert_eq!(mgr.bottom().sat_count(), 0);
+    assert_eq!(a.sat_count(), 4);
+    assert_eq!(a.and(&b).sat_count(), 2);
+    assert_eq!(a.and(&b).and(&c).sat_count(), 1);
+    assert_eq!(a.or(&b).sat_count(), 6);
+}
+
+#[test]
+fn sat_count_skipped_levels() {
+    let mgr = BddManager::new();
+    let _a = mgr.var("A");
+    let b = mgr.var("B");
+    let _c = mgr.var("C");
+    let d = mgr.var("D");
+    // B ∧ D over 4 vars: 4 assignments.
+    assert_eq!(b.and(&d).sat_count(), 4);
+}
+
+#[test]
+fn one_sat_satisfies() {
+    let (_, a, b, c) = three_vars();
+    let f = a.not().and(&b).and(&c.not());
+    let sat = f.one_sat().expect("satisfiable");
+    let assignment: std::collections::HashMap<VarId, bool> = sat.into_iter().collect();
+    assert!(f.eval(|v| *assignment.get(&v).unwrap_or(&false)));
+    assert!(a.and(&a.not()).one_sat().is_none());
+}
+
+#[test]
+fn eval_agrees_with_truth_table() {
+    let (_, a, b, c) = three_vars();
+    let f = a.xor(&b).or(&c.and(&a));
+    for bits in 0u8..8 {
+        let asg = move |v: VarId| bits & (1 << v.0) != 0;
+        let (va, vb, vc) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+        let expected = (va ^ vb) || (vc && va);
+        assert_eq!(f.eval(asg), expected, "bits {bits:03b}");
+    }
+}
+
+#[test]
+fn support_reports_dependencies() {
+    let mgr = BddManager::new();
+    let av = mgr.new_var("A");
+    let bv = mgr.new_var("B");
+    let cv = mgr.new_var("C");
+    let a = mgr.var_bdd(av);
+    let c = mgr.var_bdd(cv);
+    let f = a.and(&c);
+    assert_eq!(f.support(), vec![av, cv]);
+    assert!(!f.support().contains(&bv));
+    assert!(mgr.top().support().is_empty());
+}
+
+#[test]
+fn hash_consing_dedupes() {
+    let (_, a, b, _) = three_vars();
+    let f1 = a.and(&b).or(&a.not().and(&b));
+    // f1 ≡ b; reduction must collapse to the literal node.
+    assert_eq!(f1, b);
+    assert_eq!(f1.node_count(), 1);
+}
+
+#[test]
+fn cube_string_rendering() {
+    let mgr = BddManager::new();
+    let f = mgr.var("F");
+    let g = mgr.var("G");
+    let h = mgr.var("H");
+    let c = f.not().and(&g).and(&h.not());
+    assert_eq!(c.to_cube_string(), "(!F & G & !H)");
+    assert_eq!(mgr.top().to_cube_string(), "true");
+    assert_eq!(mgr.bottom().to_cube_string(), "false");
+}
+
+#[test]
+fn dot_output_mentions_vars() {
+    let (_, a, b, _) = three_vars();
+    let dot = a.and(&b).to_dot();
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("\"A\""));
+    assert!(dot.contains("\"B\""));
+}
+
+#[test]
+fn node_count_of_parity_is_linear() {
+    let mgr = BddManager::new();
+    let vars: Vec<_> = (0..10).map(|i| mgr.var(format!("x{i}"))).collect();
+    let parity = vars
+        .iter()
+        .fold(mgr.bottom(), |acc, v| acc.xor(v));
+    // Parity has exactly 2n-1 nodes in a reduced OBDD... with shared
+    // complement structure it is 2n-1 for this representation.
+    assert_eq!(parity.node_count(), 2 * 10 - 1);
+    assert_eq!(parity.sat_count(), 512);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tiny recursive formula AST evaluated both directly and via BDDs.
+    #[derive(Debug, Clone)]
+    enum Formula {
+        Var(u8),
+        Not(Box<Formula>),
+        And(Box<Formula>, Box<Formula>),
+        Or(Box<Formula>, Box<Formula>),
+        Xor(Box<Formula>, Box<Formula>),
+    }
+
+    fn formula() -> impl Strategy<Value = Formula> {
+        let leaf = (0u8..5).prop_map(Formula::Var);
+        leaf.prop_recursive(5, 64, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    fn to_bdd(f: &Formula, vars: &[Bdd]) -> Bdd {
+        match f {
+            Formula::Var(i) => vars[*i as usize].clone(),
+            Formula::Not(a) => to_bdd(a, vars).not(),
+            Formula::And(a, b) => to_bdd(a, vars).and(&to_bdd(b, vars)),
+            Formula::Or(a, b) => to_bdd(a, vars).or(&to_bdd(b, vars)),
+            Formula::Xor(a, b) => to_bdd(a, vars).xor(&to_bdd(b, vars)),
+        }
+    }
+
+    fn eval(f: &Formula, bits: u8) -> bool {
+        match f {
+            Formula::Var(i) => bits & (1 << i) != 0,
+            Formula::Not(a) => !eval(a, bits),
+            Formula::And(a, b) => eval(a, bits) && eval(b, bits),
+            Formula::Or(a, b) => eval(a, bits) || eval(b, bits),
+            Formula::Xor(a, b) => eval(a, bits) ^ eval(b, bits),
+        }
+    }
+
+    proptest! {
+        /// BDD construction is semantics-preserving w.r.t. a truth table.
+        #[test]
+        fn bdd_matches_truth_table(f in formula()) {
+            let mgr = BddManager::new();
+            let vars: Vec<_> = (0..5).map(|i| mgr.var(format!("x{i}"))).collect();
+            let bdd = to_bdd(&f, &vars);
+            let mut count = 0u128;
+            for bits in 0u8..32 {
+                let expected = eval(&f, bits);
+                prop_assert_eq!(bdd.eval(|v| bits & (1 << v.0) != 0), expected);
+                if expected { count += 1; }
+            }
+            prop_assert_eq!(bdd.sat_count(), count);
+        }
+
+        /// Canonicity: semantically equal formulas get the same node.
+        #[test]
+        fn canonical_forms(f in formula()) {
+            let mgr = BddManager::new();
+            let vars: Vec<_> = (0..5).map(|i| mgr.var(format!("x{i}"))).collect();
+            let bdd = to_bdd(&f, &vars);
+            // Double negation and or-with-self must be handle-identical.
+            prop_assert_eq!(bdd.not().not(), bdd.clone());
+            prop_assert_eq!(bdd.or(&bdd), bdd.clone());
+            prop_assert_eq!(bdd.and(&mgr.top()), bdd.clone());
+            prop_assert_eq!(bdd.or(&mgr.bottom()), bdd.clone());
+            // Shannon expansion on variable 0 reconstructs the function.
+            let v0 = crate::VarId(0);
+            let x0 = vars[0].clone();
+            let expanded = x0.and(&bdd.restrict(v0, true))
+                .or(&x0.not().and(&bdd.restrict(v0, false)));
+            prop_assert_eq!(expanded, bdd);
+        }
+
+        /// `one_sat` returns a genuine model whenever one exists.
+        #[test]
+        fn one_sat_is_model(f in formula()) {
+            let mgr = BddManager::new();
+            let vars: Vec<_> = (0..5).map(|i| mgr.var(format!("x{i}"))).collect();
+            let bdd = to_bdd(&f, &vars);
+            match bdd.one_sat() {
+                None => prop_assert!(bdd.is_false()),
+                Some(model) => {
+                    let m: std::collections::HashMap<VarId, bool> =
+                        model.into_iter().collect();
+                    prop_assert!(bdd.eval(|v| *m.get(&v).unwrap_or(&false)));
+                }
+            }
+        }
+    }
+}
+
+mod quantification {
+    use super::*;
+
+    #[test]
+    fn exists_projects_away_variable() {
+        let mgr = BddManager::new();
+        let av = mgr.new_var("A");
+        let bv = mgr.new_var("B");
+        let a = mgr.var_bdd(av);
+        let b = mgr.var_bdd(bv);
+        // ∃A. (A ∧ B) = B ; ∃A. (A ∨ B) = true.
+        assert_eq!(a.and(&b).exists(av), b);
+        assert!(a.or(&b).exists(av).is_true());
+        // Quantifying a variable not in the support is the identity.
+        assert_eq!(b.exists(av), b);
+        let _ = bv;
+    }
+
+    #[test]
+    fn forall_is_dual_of_exists() {
+        let mgr = BddManager::new();
+        let av = mgr.new_var("A");
+        let bv = mgr.new_var("B");
+        let a = mgr.var_bdd(av);
+        let b = mgr.var_bdd(bv);
+        // ∀A. (A ∨ B) = B ; ∀A. (A ∧ B) = false.
+        assert_eq!(a.or(&b).forall(av), b);
+        assert!(a.and(&b).forall(av).is_false());
+        // ¬∃A.¬f == ∀A.f
+        let f = a.xor(&b);
+        assert_eq!(f.not().exists(av).not(), f.forall(av));
+        let _ = bv;
+    }
+
+    #[test]
+    fn exists_many_projects_model_onto_subset() {
+        // Model over {R, F, U}: R ∧ (F → R) ∧ (U → R). Projecting U away
+        // and restricting R=true leaves "true" over F (any F valid).
+        let mgr = BddManager::new();
+        let rv = mgr.new_var("R");
+        let fv = mgr.new_var("F");
+        let uv = mgr.new_var("U");
+        let r = mgr.var_bdd(rv);
+        let f = mgr.var_bdd(fv);
+        let u = mgr.var_bdd(uv);
+        let model = r.and(&f.implies(&r)).and(&u.implies(&r));
+        let projected = model.exists_many(&[uv]).restrict(rv, true);
+        assert!(projected.is_true());
+        assert!(projected.support().is_empty());
+        let _ = fv;
+    }
+
+    #[test]
+    fn entailment() {
+        let mgr = BddManager::new();
+        let a = mgr.var("A");
+        let b = mgr.var("B");
+        assert!(a.and(&b).entails(&a));
+        assert!(!a.entails(&a.and(&b)));
+        assert!(mgr.bottom().entails(&a));
+        assert!(a.entails(&mgr.top()));
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablations B and C: *where* the feature model enters the computation.
+//!
+//! * `on-edges` — the paper's final design (§4.2): `m` conjoined on every
+//!   edge, early termination during supergraph construction;
+//! * `start-value` — the earlier PLAS 2012 design: seed the start value
+//!   with `m`, edges unchanged — same results, later termination (the
+//!   paper: "it wastes performance ... exchanging the start value only
+//!   leads to early termination in the propagation phase");
+//! * `ignore` — no model at all (baseline for both).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spllift_analyses::{ReachingDefs, UninitVars};
+use spllift_benchgen::{subject_by_name, GeneratedSpl};
+use spllift_core::{LiftedSolution, ModelMode};
+use spllift_features::BddConstraintContext;
+use spllift_ifds::IfdsProblem;
+use spllift_ir::ProgramIcfg;
+use std::hash::Hash;
+
+fn run<P, D>(
+    problem: &P,
+    icfg: &ProgramIcfg<'_>,
+    ctx: &BddConstraintContext,
+    model: Option<&spllift_features::FeatureExpr>,
+    mode: ModelMode,
+) where
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
+    D: Clone + Eq + Hash + std::fmt::Debug,
+{
+    let _ = LiftedSolution::solve(problem, icfg, ctx, model, mode);
+}
+
+fn bench_subject(c: &mut Criterion, name: &str) {
+    let spl = GeneratedSpl::generate(subject_by_name(name).unwrap());
+    let icfg = ProgramIcfg::new(&spl.program);
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let mut group = c.benchmark_group(format!("ablation_model/{name}"));
+    group.sample_size(10);
+
+    macro_rules! modes {
+        ($label:expr, $p:expr) => {{
+            let p = $p;
+            group.bench_function(format!("on-edges/{}", $label), |b| {
+                b.iter(|| run(&p, &icfg, &ctx, Some(&model), ModelMode::OnEdges))
+            });
+            group.bench_function(format!("start-value/{}", $label), |b| {
+                b.iter(|| run(&p, &icfg, &ctx, Some(&model), ModelMode::AtStartValue))
+            });
+            group.bench_function(format!("ignore/{}", $label), |b| {
+                b.iter(|| run(&p, &icfg, &ctx, None, ModelMode::Ignore))
+            });
+        }};
+    }
+    modes!("R. Def.", ReachingDefs::new());
+    modes!("U. Var.", UninitVars::new());
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for name in ["MM08", "GPL"] {
+        bench_subject(c, name);
+    }
+}
+
+criterion_group!(ablation_model, benches);
+criterion_main!(ablation_model);

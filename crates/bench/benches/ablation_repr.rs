@@ -1,0 +1,72 @@
+//! Ablation A: BDD vs. DNF constraint representation.
+//!
+//! The paper reports that it first used a hand-written DNF data structure
+//! and switched to BDDs because "others do not scale nearly as well for
+//! the Boolean operations we require" (§5, §7). This bench reproduces
+//! that comparison by instantiating the *same* lifting with either
+//! constraint context.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spllift_analyses::{ReachingDefs, TaintAnalysis, UninitVars};
+use spllift_benchgen::{subject_by_name, GeneratedSpl};
+use spllift_core::{LiftedSolution, ModelMode};
+use spllift_features::{BddConstraintContext, DnfConstraintContext};
+use spllift_ir::samples::fig1;
+use spllift_ir::ProgramIcfg;
+
+fn bench_fig1(c: &mut Criterion) {
+    let ex = fig1();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let bctx = BddConstraintContext::new(&ex.table);
+    let dctx = DnfConstraintContext::new(&ex.table);
+    let analysis = TaintAnalysis::secret_to_print();
+    let mut group = c.benchmark_group("ablation_repr/fig1-taint");
+    group.bench_function("bdd", |b| {
+        b.iter(|| {
+            let _ =
+                LiftedSolution::solve(&analysis, &icfg, &bctx, None, ModelMode::Ignore);
+        })
+    });
+    group.bench_function("dnf", |b| {
+        b.iter(|| {
+            let _ =
+                LiftedSolution::solve(&analysis, &icfg, &dctx, None, ModelMode::Ignore);
+        })
+    });
+    group.finish();
+}
+
+fn bench_mm08(c: &mut Criterion) {
+    let spl = GeneratedSpl::generate(subject_by_name("MM08").unwrap());
+    let icfg = ProgramIcfg::new(&spl.program);
+    let bctx = BddConstraintContext::new(&spl.table);
+    let dctx = DnfConstraintContext::new(&spl.table);
+    let mut group = c.benchmark_group("ablation_repr/MM08");
+    group.sample_size(10);
+    let rd = ReachingDefs::new();
+    let uv = UninitVars::new();
+    group.bench_function("bdd/R. Def.", |b| {
+        b.iter(|| {
+            let _ = LiftedSolution::solve(&rd, &icfg, &bctx, None, ModelMode::Ignore);
+        })
+    });
+    group.bench_function("dnf/R. Def.", |b| {
+        b.iter(|| {
+            let _ = LiftedSolution::solve(&rd, &icfg, &dctx, None, ModelMode::Ignore);
+        })
+    });
+    group.bench_function("bdd/U. Var.", |b| {
+        b.iter(|| {
+            let _ = LiftedSolution::solve(&uv, &icfg, &bctx, None, ModelMode::Ignore);
+        })
+    });
+    group.bench_function("dnf/U. Var.", |b| {
+        b.iter(|| {
+            let _ = LiftedSolution::solve(&uv, &icfg, &dctx, None, ModelMode::Ignore);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(ablation_repr, bench_fig1, bench_mm08);
+criterion_main!(ablation_repr);

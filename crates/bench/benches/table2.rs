@@ -1,0 +1,75 @@
+//! Criterion benches behind Table 2: one SPLLIFT pass over the product
+//! line vs. a single-configuration A2 run (multiply by the valid-config
+//! count of Table 1 to recover the full campaign — the `report` binary
+//! does the complete, cutoff-and-extrapolate version).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spllift_analyses::{PossibleTypes, ReachingDefs, UninitVars};
+use spllift_bench::ClientAnalysis;
+use spllift_benchgen::{subject_by_name, GeneratedSpl};
+use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};
+use spllift_features::BddConstraintContext;
+use spllift_ifds::IfdsProblem;
+use spllift_ir::ProgramIcfg;
+use spllift_spl::solve_a2;
+use std::hash::Hash;
+
+fn bench_subject(c: &mut Criterion, name: &str) {
+    let spl = GeneratedSpl::generate(subject_by_name(name).unwrap());
+    let icfg = ProgramIcfg::new(&spl.program);
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let [full, _] = spl.extrapolation_configs();
+    let lifted_icfg = LiftedIcfg::new(&icfg);
+
+    let mut group = c.benchmark_group(format!("table2/{name}"));
+    group.sample_size(10);
+
+    macro_rules! cells {
+        ($label:expr, $problem:expr) => {{
+            let p = $problem;
+            group.bench_function(format!("spllift/{}", $label), |b| {
+                b.iter(|| {
+                    run_spllift(&p, &icfg, &ctx, &model);
+                })
+            });
+            group.bench_function(format!("a2-one-config/{}", $label), |b| {
+                b.iter(|| {
+                    let _ = solve_a2(&p, &lifted_icfg, &full);
+                })
+            });
+        }};
+    }
+    for analysis in ClientAnalysis::PAPER_THREE {
+        match analysis {
+            ClientAnalysis::PossibleTypes => {
+                cells!(analysis.label(), PossibleTypes::new())
+            }
+            ClientAnalysis::ReachingDefs => cells!(analysis.label(), ReachingDefs::new()),
+            ClientAnalysis::UninitVars => cells!(analysis.label(), UninitVars::new()),
+            ClientAnalysis::Taint => unreachable!(),
+        }
+    }
+    group.finish();
+}
+
+fn run_spllift<P, D>(
+    problem: &P,
+    icfg: &ProgramIcfg<'_>,
+    ctx: &BddConstraintContext,
+    model: &spllift_features::FeatureExpr,
+) where
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
+    D: Clone + Eq + Hash + std::fmt::Debug,
+{
+    let _ = LiftedSolution::solve(problem, icfg, ctx, Some(model), ModelMode::OnEdges);
+}
+
+fn benches(c: &mut Criterion) {
+    for name in ["MM08", "GPL", "Lampiro"] {
+        bench_subject(c, name);
+    }
+}
+
+criterion_group!(table2, benches);
+criterion_main!(table2);

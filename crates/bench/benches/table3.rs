@@ -1,0 +1,72 @@
+//! Criterion benches behind Table 3: the cost of regarding the feature
+//! model (edge conjunction) vs. ignoring it, per subject × analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spllift_analyses::{PossibleTypes, ReachingDefs, UninitVars};
+use spllift_bench::ClientAnalysis;
+use spllift_benchgen::{subject_by_name, GeneratedSpl};
+use spllift_core::{LiftedSolution, ModelMode};
+use spllift_features::BddConstraintContext;
+use spllift_ifds::IfdsProblem;
+use spllift_ir::ProgramIcfg;
+use std::hash::Hash;
+
+fn bench_subject(c: &mut Criterion, name: &str) {
+    let spl = GeneratedSpl::generate(subject_by_name(name).unwrap());
+    let icfg = ProgramIcfg::new(&spl.program);
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+
+    let mut group = c.benchmark_group(format!("table3/{name}"));
+    group.sample_size(10);
+
+    macro_rules! modes {
+        ($label:expr, $problem:expr) => {{
+            let p = $problem;
+            group.bench_function(format!("regarded/{}", $label), |b| {
+                b.iter(|| {
+                    let _ = LiftedSolution::solve(
+                        &p,
+                        &icfg,
+                        &ctx,
+                        Some(&model),
+                        ModelMode::OnEdges,
+                    );
+                })
+            });
+            group.bench_function(format!("ignored/{}", $label), |b| {
+                b.iter(|| {
+                    let _ = run_ignored(&p, &icfg, &ctx);
+                })
+            });
+        }};
+    }
+    for analysis in ClientAnalysis::PAPER_THREE {
+        match analysis {
+            ClientAnalysis::PossibleTypes => {
+                modes!(analysis.label(), PossibleTypes::new())
+            }
+            ClientAnalysis::ReachingDefs => modes!(analysis.label(), ReachingDefs::new()),
+            ClientAnalysis::UninitVars => modes!(analysis.label(), UninitVars::new()),
+            ClientAnalysis::Taint => unreachable!(),
+        }
+    }
+    group.finish();
+}
+
+fn run_ignored<P, D>(problem: &P, icfg: &ProgramIcfg<'_>, ctx: &BddConstraintContext)
+where
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
+    D: Clone + Eq + Hash + std::fmt::Debug,
+{
+    let _ = LiftedSolution::solve(problem, icfg, ctx, None, ModelMode::Ignore);
+}
+
+fn benches(c: &mut Criterion) {
+    for name in ["MM08", "GPL"] {
+        bench_subject(c, name);
+    }
+}
+
+criterion_group!(table3, benches);
+criterion_main!(table3);

@@ -1,0 +1,250 @@
+//! Seeded mini-Java source generation.
+
+use crate::SubjectSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spllift_features::{FeatureId, FeatureTable};
+use std::fmt::Write as _;
+
+/// Tunables of the code generator (fixed defaults match the subjects).
+#[derive(Debug, Clone, Copy)]
+pub struct CodegenParams {
+    /// Helpers generated per module class.
+    pub helpers_per_class: usize,
+    /// Statements per helper body.
+    pub stmts_per_helper: usize,
+    /// Probability (percent) that a statement group is `#ifdef`-wrapped.
+    pub ifdef_percent: u32,
+}
+
+impl Default for CodegenParams {
+    fn default() -> Self {
+        CodegenParams { helpers_per_class: 6, stmts_per_helper: 9, ifdef_percent: 30 }
+    }
+}
+
+/// Emits the whole product-line source for a subject.
+pub(crate) fn generate_source(
+    spec: &SubjectSpec,
+    table: &FeatureTable,
+    reachable: &[FeatureId],
+    unreachable: &[FeatureId],
+    params: CodegenParams,
+) -> String {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(spec.seed),
+        table,
+        reachable,
+        next_feature: 0,
+        out: String::new(),
+        params,
+    };
+    let _ = writeln!(g.out, "// Generated benchmark subject: {} (seed {:#x})", spec.name, spec.seed);
+    g.emit_runtime();
+
+    // Module classes until the LOC target is reached (Main + dead code
+    // add a known tail, so stop a bit early).
+    let tail_estimate = 10 + 4 * unreachable.len();
+    let mut classes = Vec::new();
+    let mut k = 0;
+    while count_lines(&g.out) + tail_estimate < spec.loc_target {
+        g.emit_module_class(k, classes.len());
+        classes.push(k);
+        k += 1;
+    }
+    // Ensure at least one module class and full feature coverage: emit
+    // extra classes until every reachable feature has been used.
+    while classes.is_empty() || g.next_feature < g.reachable.len() {
+        g.emit_module_class(k, classes.len());
+        classes.push(k);
+        k += 1;
+    }
+
+    // Driver (the paper wrote driver classes for its subjects, §6.2).
+    g.out.push_str("class Main {\n    static void main() {\n");
+    g.out.push_str("        int acc = Util.source();\n");
+    for &k in &classes {
+        let _ = writeln!(g.out, "        acc = M{k}.run(acc);");
+    }
+    g.out.push_str("        Util.sink(acc);\n    }\n}\n");
+
+    // Dead code carrying the unreachable features (Table 1's gap between
+    // total and reachable features; cf. the paper's remark that Lampiro
+    // "contains many dead features").
+    for (i, &u) in unreachable.iter().enumerate() {
+        let name = g.table.name(u).to_owned();
+        let _ = writeln!(
+            g.out,
+            "class Dead{i} {{\n    static int unused(int a) {{\n        #ifdef {name}\n        a = a + {i};\n        #endif\n        return a;\n    }}\n}}"
+        );
+    }
+    g.out
+}
+
+fn count_lines(s: &str) -> usize {
+    s.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+struct Gen<'a> {
+    rng: StdRng,
+    table: &'a FeatureTable,
+    reachable: &'a [FeatureId],
+    /// Round-robin cursor guaranteeing full reachable-feature coverage.
+    next_feature: usize,
+    out: String,
+    params: CodegenParams,
+}
+
+impl Gen<'_> {
+    fn emit_runtime(&mut self) {
+        // Taint endpoints + a small hierarchy for virtual dispatch.
+        self.out.push_str(
+            "class Util {\n    static int source() { return 1; }\n    static int secret() { return 77; }\n    static void sink(int v) { }\n    static void print(int v) { }\n}\nclass Node {\n    int weight;\n    int visit(int a) { return a; }\n}\nclass NodeA extends Node {\n    int visit(int a) { return a + 1; }\n}\nclass NodeB extends Node {\n    int visit(int a) { return a * 2; }\n}\n",
+        );
+    }
+
+    /// Picks a feature: round-robin until all are covered, then random.
+    fn pick_feature(&mut self) -> FeatureId {
+        if self.next_feature < self.reachable.len() {
+            let f = self.reachable[self.next_feature];
+            self.next_feature += 1;
+            f
+        } else {
+            self.reachable[self.rng.gen_range(0..self.reachable.len())]
+        }
+    }
+
+    fn feature_cond(&mut self) -> String {
+        let f = self.pick_feature();
+        let name = self.table.name(f).to_owned();
+        match self.rng.gen_range(0..6) {
+            0 => format!("!{name}"),
+            1 => {
+                let g = self.reachable[self.rng.gen_range(0..self.reachable.len())];
+                format!("{name} && {}", self.table.name(g))
+            }
+            2 => {
+                let g = self.reachable[self.rng.gen_range(0..self.reachable.len())];
+                format!("{name} || {}", self.table.name(g))
+            }
+            _ => name,
+        }
+    }
+
+    fn emit_module_class(&mut self, k: usize, prev_classes: usize) {
+        let helpers = self.params.helpers_per_class;
+        let _ = writeln!(self.out, "class M{k} {{");
+        let _ = writeln!(self.out, "    int state;");
+        for h in 0..helpers {
+            self.emit_helper(k, h, helpers, prev_classes);
+        }
+        // run(): chains all helpers, with occasional taint and dispatch.
+        let _ = writeln!(self.out, "    static int run(int a) {{");
+        let _ = writeln!(self.out, "        int r = a;");
+        for h in 0..helpers {
+            if self.rng.gen_range(0..100) < self.params.ifdef_percent {
+                let cond = self.feature_cond();
+                let _ = writeln!(self.out, "        #ifdef {cond}");
+                let _ = writeln!(self.out, "        r = M{k}.h{h}(r, {h});");
+                let _ = writeln!(self.out, "        #endif");
+            } else {
+                let _ = writeln!(self.out, "        r = M{k}.h{h}(r, {h});");
+            }
+        }
+        if self.rng.gen_bool(0.5) {
+            // The §5 pattern: feature-dependent allocation, shared call.
+            let cond = self.feature_cond();
+            let _ = writeln!(self.out, "        Node n = new NodeA();");
+            let _ = writeln!(self.out, "        #ifdef {cond}");
+            let _ = writeln!(self.out, "        n = new NodeB();");
+            let _ = writeln!(self.out, "        #endif");
+            let _ = writeln!(self.out, "        r = n.visit(r);");
+        }
+        if self.rng.gen_bool(0.4) {
+            let cond = self.feature_cond();
+            let _ = writeln!(self.out, "        int s = Util.secret();");
+            let _ = writeln!(self.out, "        #ifdef {cond}");
+            let _ = writeln!(self.out, "        r = r + s;");
+            let _ = writeln!(self.out, "        #endif");
+            let _ = writeln!(self.out, "        Util.print(r);");
+        }
+        let _ = writeln!(self.out, "        return r;");
+        let _ = writeln!(self.out, "    }}");
+        let _ = writeln!(self.out, "}}");
+    }
+
+    fn emit_helper(&mut self, k: usize, h: usize, helpers: usize, prev_classes: usize) {
+        let _ = writeln!(self.out, "    static int h{h}(int a, int b) {{");
+        let _ = writeln!(self.out, "        int v0 = a + b;");
+        let _ = writeln!(self.out, "        int v1 = a * 2;");
+        // Occasionally exercise the array subset (weak-update cells).
+        if self.rng.gen_bool(0.2) {
+            let _ = writeln!(self.out, "        int[] buf = new int[4];");
+            let _ = writeln!(self.out, "        buf[0] = v0;");
+            let _ = writeln!(self.out, "        v1 = buf[1] + v1;");
+        }
+        // One deliberate maybe-uninitialized pattern now and then — the
+        // paper's §1 motivating SPL bug class.
+        let uninit = self.rng.gen_bool(0.25);
+        if uninit {
+            let cond = self.feature_cond();
+            let _ = writeln!(self.out, "        int u;");
+            let _ = writeln!(self.out, "        #ifdef {cond}");
+            let _ = writeln!(self.out, "        u = b;");
+            let _ = writeln!(self.out, "        #endif");
+            let _ = writeln!(self.out, "        v1 = v1 + u;");
+        }
+        for i in 0..self.params.stmts_per_helper {
+            let wrapped = self.rng.gen_range(0..100) < self.params.ifdef_percent;
+            if wrapped {
+                let cond = self.feature_cond();
+                let _ = writeln!(self.out, "        #ifdef {cond}");
+            }
+            match self.rng.gen_range(0..6) {
+                0 => {
+                    let _ = writeln!(self.out, "        v0 = v0 + v1 + {i};");
+                }
+                1 => {
+                    let _ = writeln!(
+                        self.out,
+                        "        if (v0 > v1) {{ v0 = v0 - 1; }} else {{ v1 = v1 + 1; }}"
+                    );
+                }
+                2 => {
+                    if self.rng.gen_bool(0.5) {
+                        let _ = writeln!(
+                            self.out,
+                            "        while (v0 > 50) {{ v0 = v0 - 13; }}"
+                        );
+                    } else {
+                        let _ = writeln!(
+                            self.out,
+                            "        for (int k = 0; k < 3; k = k + 1) {{ v0 = v0 + k; }}"
+                        );
+                    }
+                }
+                3 if h > 0 => {
+                    let callee = self.rng.gen_range(0..h);
+                    let _ =
+                        writeln!(self.out, "        v1 = M{k}.h{callee}(v1, {i});");
+                }
+                4 if prev_classes > 0 => {
+                    let other = self.rng.gen_range(0..prev_classes);
+                    let callee = self.rng.gen_range(0..helpers);
+                    let _ = writeln!(
+                        self.out,
+                        "        v1 = M{other}.h{callee}(v0, v1);"
+                    );
+                }
+                _ => {
+                    let _ = writeln!(self.out, "        v1 = v1 % 97 + {i};");
+                }
+            }
+            if wrapped {
+                let _ = writeln!(self.out, "        #endif");
+            }
+        }
+        let _ = writeln!(self.out, "        return v0 + v1;");
+        let _ = writeln!(self.out, "    }}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Deterministic generators for the four benchmark product lines of the
+//! paper's evaluation (Table 1): BerkeleyDB, GPL, Lampiro, and MM08.
+//!
+//! The original CIDE projects are unavailable (see `DESIGN.md` §4), so
+//! each subject is *simulated* by a seeded generator that reproduces the
+//! characteristics Table 1 reports and that drive the experiments:
+//!
+//! * the **feature counts** — total and reachable-from-`main` — are
+//!   matched exactly (they determine the number of configurations and
+//!   hence the A2 baseline's exponential cost),
+//! * the **valid-configuration counts** are matched exactly where the
+//!   paper states them (GPL: 1 872 of 2^19; MM08: 26 of 2^9; Lampiro:
+//!   4 of 4) by constructing feature models with those solution counts,
+//! * **code size** is scaled to roughly a tenth of the original KLOC so
+//!   the baselines finish in CI time (the paper itself had to cut A2 off
+//!   at ten hours and extrapolate; we apply the same rule at a smaller
+//!   cutoff),
+//! * the code mixes straight-line arithmetic, branches, loops, calls
+//!   (static and virtual through a small class hierarchy), fields, and
+//!   CIDE-disciplined `#ifdef` blocks over the reachable features, plus
+//!   *dead* classes annotated with the unreachable features.
+//!
+//! Everything is generated as mini-Java **source text** and pushed through
+//! the real frontend, so the pipeline (and the KLOC metric) is honest.
+
+
+#![warn(missing_docs)]
+mod codegen;
+mod models;
+pub mod random_ir;
+
+pub use codegen::CodegenParams;
+pub use random_ir::{random_spl, RandomSpl};
+
+use spllift_features::{
+    Configuration, FeatureExpr, FeatureId, FeatureModel, FeatureTable,
+};
+use spllift_ir::{Program, ProgramIcfg};
+
+/// Static description of one benchmark subject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubjectSpec {
+    /// Subject name as in Table 1.
+    pub name: &'static str,
+    /// Target generated size, in (scaled) lines of code.
+    pub loc_target: usize,
+    /// Total number of features (Table 1, "Features total").
+    pub total_features: usize,
+    /// Features reachable from `main` (Table 1, "Features reachable").
+    pub reachable_features: usize,
+    /// Valid configurations per Table 1 (`None` = the paper reports
+    /// "unknown"; we can still compute it with a BDD).
+    pub paper_valid_configs: Option<u128>,
+    /// RNG seed (fixed → bit-identical subjects on every run).
+    pub seed: u64,
+}
+
+/// The four subjects of Table 1, scaled as documented in the crate docs.
+pub fn subjects() -> [SubjectSpec; 4] {
+    [
+        SubjectSpec {
+            name: "BerkeleyDB",
+            loc_target: 8400,
+            total_features: 56,
+            reachable_features: 39,
+            paper_valid_configs: None,
+            seed: 0xBE11,
+        },
+        SubjectSpec {
+            name: "GPL",
+            loc_target: 1400,
+            total_features: 29,
+            reachable_features: 19,
+            paper_valid_configs: Some(1872),
+            seed: 0x09B1,
+        },
+        SubjectSpec {
+            name: "Lampiro",
+            loc_target: 4500,
+            total_features: 20,
+            reachable_features: 2,
+            paper_valid_configs: Some(4),
+            seed: 0x1A3B,
+        },
+        SubjectSpec {
+            name: "MM08",
+            loc_target: 570,
+            total_features: 34,
+            reachable_features: 9,
+            paper_valid_configs: Some(26),
+            seed: 0x3308,
+        },
+    ]
+}
+
+/// Looks up a subject by (case-insensitive) name.
+pub fn subject_by_name(name: &str) -> Option<SubjectSpec> {
+    subjects()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// A synthetic scaling subject: `features` unconstrained optional
+/// features over ~`loc` lines of code. Every one of the `2^features`
+/// configurations is valid — the worst case for the product-based
+/// baselines, used by the `report -- scaling` experiment to plot the
+/// exponential blowup SPLLIFT avoids (paper §8).
+pub fn synthetic_spec(features: usize, loc: usize, seed: u64) -> SubjectSpec {
+    SubjectSpec {
+        name: "Synthetic",
+        loc_target: loc,
+        total_features: features,
+        reachable_features: features,
+        paper_valid_configs: Some(1u128 << features),
+        seed,
+    }
+}
+
+/// A fully generated benchmark product line.
+#[derive(Debug)]
+pub struct GeneratedSpl {
+    /// The spec this was generated from.
+    pub spec: SubjectSpec,
+    /// The generated mini-Java source.
+    pub source: String,
+    /// The lowered IR program.
+    pub program: Program,
+    /// Feature table: reachable features first, then unreachable, then
+    /// the model root (named `Root`).
+    pub table: FeatureTable,
+    /// The feature model.
+    pub model: FeatureModel,
+    /// The reachable features, in order.
+    pub reachable: Vec<FeatureId>,
+    /// The model root feature (always enabled in valid configurations).
+    pub root: FeatureId,
+    /// Generated lines of code (non-blank, non-comment).
+    pub loc: usize,
+}
+
+impl GeneratedSpl {
+    /// Generates the subject with default codegen parameters.
+    /// Deterministic: equal specs yield equal output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator produces source the frontend rejects —
+    /// that would be a bug, and the generator tests would catch it.
+    pub fn generate(spec: SubjectSpec) -> Self {
+        Self::generate_with_params(spec, CodegenParams::default())
+    }
+
+    /// Generates the subject with explicit [`CodegenParams`] — used by the
+    /// annotation-density sweep (`report -- density`).
+    pub fn generate_with_params(spec: SubjectSpec, params: CodegenParams) -> Self {
+        let mut table = FeatureTable::new();
+        let reachable: Vec<FeatureId> = (0..spec.reachable_features)
+            .map(|i| table.intern(&format!("F{i}")))
+            .collect();
+        let unreachable: Vec<FeatureId> = (0..spec.total_features - spec.reachable_features)
+            .map(|i| table.intern(&format!("U{i}")))
+            .collect();
+        let root = table.intern("Root");
+        let model = models::model_for(spec.name, root, &reachable, &unreachable);
+        let source =
+            codegen::generate_source(&spec, &table, &reachable, &unreachable, params);
+        let loc = spllift_frontend::count_loc(&source);
+        let mut parse_table = table.clone();
+        let program = spllift_frontend::parse_spl(&source, &mut parse_table)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}"));
+        assert_eq!(
+            parse_table.len(),
+            table.len(),
+            "generator used a feature the table does not know"
+        );
+        GeneratedSpl { spec, source, program, table, model, reachable, root, loc }
+    }
+
+    /// The model as a propositional constraint.
+    pub fn model_expr(&self) -> FeatureExpr {
+        self.model.to_expr()
+    }
+
+    /// Counts the valid configurations over the *reachable* features
+    /// (root and unreachable model features projected away by fixing the
+    /// root to `true` and existentially ignoring unreachables — our
+    /// models constrain only root + reachable features, so a plain
+    /// restricted sat-count suffices). This is the Table 1 "valid"
+    /// column, computable even where the paper says *unknown*.
+    pub fn count_valid_configs(&self) -> u128 {
+        use spllift_features::ConstraintContext as _;
+        let ctx = spllift_features::BddConstraintContext::new(&self.table);
+        let c = ctx.of_expr(&self.model_expr());
+        let root_var = ctx.var_of(self.root).expect("root interned");
+        let fixed = c.restrict(root_var, true);
+        // Project away any non-reachable variables that might linger in
+        // the model (ours constrain only root + reachable features, so
+        // this is a no-op in practice, but it keeps the count correct for
+        // arbitrary models) and count over the reachable prefix.
+        let beyond: Vec<_> = fixed
+            .support()
+            .into_iter()
+            .filter(|v| (v.0 as usize) >= self.reachable.len())
+            .collect();
+        let projected = fixed.exists_many(&beyond);
+        projected.sat_count_over(self.reachable.len() as u32)
+    }
+
+    /// Enumerates the valid configurations over the reachable features
+    /// (with the root enabled). Only for subjects with small counts —
+    /// BerkeleyDB-shaped subjects will refuse (2^39).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 30 reachable features.
+    pub fn valid_configurations(&self) -> Vec<Configuration> {
+        assert!(
+            self.reachable.len() <= 30,
+            "refusing to enumerate 2^{} configurations",
+            self.reachable.len()
+        );
+        let expr = self.model_expr();
+        let mut out = Vec::new();
+        for bits in 0u64..(1u64 << self.reachable.len()) {
+            let mut cfg = Configuration::from_bits(bits, self.reachable.len());
+            cfg.enable(self.root);
+            if cfg.satisfies(&expr) {
+                out.push(cfg);
+            }
+        }
+        out
+    }
+
+    /// The full-configuration (all reachable features on) and
+    /// empty-configuration products — the two runs the paper averages to
+    /// extrapolate A2 past the cutoff (§6.2).
+    pub fn extrapolation_configs(&self) -> [Configuration; 2] {
+        let mut full = Configuration::from_enabled(self.reachable.iter().copied());
+        full.enable(self.root);
+        let mut empty = Configuration::empty();
+        empty.enable(self.root);
+        [full, empty]
+    }
+
+    /// Builds the ICFG (call graph etc.) — the "Soot/CG" step of Table 2.
+    pub fn icfg(&self) -> ProgramIcfg<'_> {
+        ProgramIcfg::new(&self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,124 @@
+use crate::{subject_by_name, subjects, GeneratedSpl};
+use spllift_ifds::Icfg as _;
+
+#[test]
+fn all_subjects_generate_and_parse() {
+    for spec in subjects() {
+        let spl = GeneratedSpl::generate(spec);
+        assert!(spl.program.check().is_ok(), "{}", spec.name);
+        assert!(!spl.source.is_empty());
+        assert!(spl.loc > 0);
+    }
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let spec = subject_by_name("mm08").unwrap();
+    let a = GeneratedSpl::generate(spec);
+    let b = GeneratedSpl::generate(spec);
+    assert_eq!(a.source, b.source);
+    assert_eq!(a.program, b.program);
+}
+
+#[test]
+fn loc_is_near_target() {
+    for spec in subjects() {
+        let spl = GeneratedSpl::generate(spec);
+        let ratio = spl.loc as f64 / spec.loc_target as f64;
+        assert!(
+            (0.7..1.6).contains(&ratio),
+            "{}: loc {} vs target {}",
+            spec.name,
+            spl.loc,
+            spec.loc_target
+        );
+    }
+}
+
+#[test]
+fn reachable_feature_counts_match_table1() {
+    for spec in subjects() {
+        let spl = GeneratedSpl::generate(spec);
+        let icfg = spl.icfg();
+        let reachable = spl.program.reachable_features(icfg.call_graph());
+        assert_eq!(
+            reachable.len(),
+            spec.reachable_features,
+            "{}: reachable features",
+            spec.name
+        );
+        // Reachable annotations use exactly the F* features.
+        for f in &reachable {
+            assert!(spl.reachable.contains(f), "{}: {f:?}", spec.name);
+        }
+        // Total features (excluding the synthetic root).
+        let total = spl.table.len() - 1;
+        assert_eq!(total, spec.total_features, "{}: total features", spec.name);
+    }
+}
+
+#[test]
+fn valid_config_counts_match_table1() {
+    for spec in subjects() {
+        let spl = GeneratedSpl::generate(spec);
+        let counted = spl.count_valid_configs();
+        if let Some(expected) = spec.paper_valid_configs {
+            assert_eq!(counted, expected, "{}", spec.name);
+        } else {
+            // BerkeleyDB: the paper says "unknown"; our BDD counts it.
+            assert_eq!(counted, 650_280_960, "{}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn enumerated_configs_match_bdd_count() {
+    for name in ["GPL", "MM08", "Lampiro"] {
+        let spl = GeneratedSpl::generate(subject_by_name(name).unwrap());
+        let configs = spl.valid_configurations();
+        assert_eq!(configs.len() as u128, spl.count_valid_configs(), "{name}");
+        // Every enumerated configuration really satisfies the model.
+        let expr = spl.model_expr();
+        assert!(configs.iter().all(|c| c.satisfies(&expr)));
+    }
+}
+
+#[test]
+fn dead_features_are_unreachable() {
+    let spl = GeneratedSpl::generate(subject_by_name("Lampiro").unwrap());
+    let icfg = spl.icfg();
+    // Dead classes exist but their methods are not in the call graph.
+    let dead = spl.program.find_method("Dead0.unused");
+    assert!(dead.is_some());
+    assert!(!icfg.call_graph().is_reachable(dead.unwrap()));
+    // All 20 features appear somewhere; only 2 reachable.
+    assert_eq!(spl.program.annotated_features().len(), 20);
+}
+
+#[test]
+fn subjects_have_interprocedural_structure() {
+    let spl = GeneratedSpl::generate(subject_by_name("GPL").unwrap());
+    let icfg = spl.icfg();
+    let methods = icfg.methods();
+    assert!(methods.len() > 10, "enough reachable methods");
+    let call_sites: usize = methods
+        .iter()
+        .map(|&m| icfg.calls_in(m).len())
+        .sum();
+    assert!(call_sites > 20, "enough call sites, got {call_sites}");
+}
+
+#[test]
+fn extrapolation_configs_are_full_and_empty() {
+    let spl = GeneratedSpl::generate(subject_by_name("MM08").unwrap());
+    let [full, empty] = spl.extrapolation_configs();
+    assert!(spl.reachable.iter().all(|&f| full.is_enabled(f)));
+    assert!(spl.reachable.iter().all(|&f| !empty.is_enabled(f)));
+    assert!(full.is_enabled(spl.root) && empty.is_enabled(spl.root));
+}
+
+#[test]
+fn subject_lookup() {
+    assert!(subject_by_name("berkeleydb").is_some());
+    assert!(subject_by_name("nope").is_none());
+}

@@ -1,0 +1,41 @@
+//! Constraint-labeled edge functions.
+
+use spllift_features::Constraint;
+use spllift_ide::EdgeFn;
+
+/// The SPLLIFT edge function `λc. c ∧ k` for a feature constraint `k`.
+///
+/// The whole function is represented by the single constraint `k`
+/// (paper §3.1: "a label F effectively denotes the function
+/// `λc. c ∧ F`"). Under this representation:
+///
+/// * composition is conjunction (`(λc. c∧k1) ∘ (λc. c∧k2) = λc. c∧k1∧k2`),
+/// * join is disjunction,
+/// * the identity function is `k = true`,
+/// * the kill-all function is `k = false` — and [`EdgeFn::is_kill`] is the
+///   constant-time `is_false` test on reduced BDDs that §4.2/§8 credit
+///   for early termination.
+///
+/// These operations are distributive, which is what lets SPLLIFT
+/// "piggyback" the constraints onto the user's IFDS abstraction inside the
+/// IDE framework (§8).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConstraintEdge<C>(pub C);
+
+impl<C: Constraint> EdgeFn<C> for ConstraintEdge<C> {
+    fn apply(&self, v: &C) -> C {
+        v.and(&self.0)
+    }
+
+    fn compose_with(&self, after: &Self) -> Self {
+        ConstraintEdge(self.0.and(&after.0))
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        ConstraintEdge(self.0.or(&other.0))
+    }
+
+    fn is_kill(&self) -> bool {
+        self.0.is_false()
+    }
+}

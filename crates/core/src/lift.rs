@@ -1,0 +1,397 @@
+//! The automatic IFDS → IDE lifting (paper §3–§4).
+
+use crate::{AnnotatedIcfg, ConstraintEdge, LiftedIcfg};
+use spllift_features::{Configuration, Constraint, ConstraintContext, FeatureExpr};
+use spllift_ifds::IfdsProblem;
+use spllift_ide::{IdeProblem, IdeSolver, IdeStats};
+use std::collections::HashMap;
+
+/// How the product line's feature model is taken into account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelMode {
+    /// Conjoin the model constraint `m` onto every edge (paper §4.2's
+    /// final design): contradictions reduce to `false` *during* exploded
+    /// supergraph construction, so the solver terminates those paths
+    /// early.
+    #[default]
+    OnEdges,
+    /// Replace the start value `true` by `m` (the paper's first attempt,
+    /// from the PLAS 2012 workshop paper): same results, but early
+    /// termination only in the value-propagation phase. Kept for the
+    /// ablation benchmark.
+    AtStartValue,
+    /// Ignore the feature model entirely (the "ignored" rows of Table 3).
+    Ignore,
+}
+
+/// An [`IdeProblem`] obtained by lifting an unchanged [`IfdsProblem`]
+/// over feature constraints.
+///
+/// `G` is the *annotated* ICFG the original problem runs on; the lifted
+/// problem runs on [`LiftedIcfg<G>`]. Constraints for each statement's
+/// enabled/disabled cases are precomputed (including the feature-model
+/// conjunction, depending on [`ModelMode`]).
+#[derive(Debug)]
+pub struct LiftedProblem<'a, G: AnnotatedIcfg, P, Ctx: ConstraintContext> {
+    problem: &'a P,
+    ctx: &'a Ctx,
+    model: Ctx::C,
+    /// stmt → (enabled-case constraint, disabled-case constraint).
+    ann: HashMap<G::Stmt, (Ctx::C, Ctx::C)>,
+}
+
+impl<'a, G, P, Ctx> LiftedProblem<'a, G, P, Ctx>
+where
+    G: AnnotatedIcfg,
+    P: IfdsProblem<G>,
+    Ctx: ConstraintContext,
+{
+    /// Lifts `problem` over the annotations of `icfg`.
+    ///
+    /// `model` is the feature model's propositional constraint (from
+    /// [`spllift_features::FeatureModel::to_expr`]); pass `None` to
+    /// analyze without a model. `mode` selects how the model is applied
+    /// (irrelevant when `model` is `None`).
+    pub fn new(
+        problem: &'a P,
+        icfg: &G,
+        ctx: &'a Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+    ) -> Self {
+        let model_c = match (model, mode) {
+            (Some(expr), ModelMode::OnEdges | ModelMode::AtStartValue) => {
+                ctx.of_expr(expr)
+            }
+            _ => ctx.tt(),
+        };
+        let on_edges = mode == ModelMode::OnEdges;
+        let mut ann = HashMap::new();
+        for m in icfg.methods() {
+            for s in icfg.stmts_of(m) {
+                let a = icfg.annotation(s);
+                let (en, dis) = if a == FeatureExpr::True {
+                    (ctx.tt(), ctx.ff())
+                } else {
+                    (ctx.of_expr(&a), ctx.of_expr(&a.clone().not()))
+                };
+                let (en, dis) = if on_edges {
+                    (en.and(&model_c), dis.and(&model_c))
+                } else {
+                    (en, dis)
+                };
+                ann.insert(s, (en, dis));
+            }
+        }
+        LiftedProblem { problem, ctx, model: model_c, ann }
+    }
+
+    /// The constraint context in use.
+    pub fn context(&self) -> &'a Ctx {
+        self.ctx
+    }
+
+    fn constraints_of(&self, s: G::Stmt) -> (Ctx::C, Ctx::C) {
+        self.ann
+            .get(&s)
+            .cloned()
+            .unwrap_or_else(|| (self.ctx.tt(), self.ctx.ff()))
+    }
+
+    /// Disjoins `(fact, constraint)` into `out`, merging duplicates
+    /// (an edge annotated `F` in one case and `¬F` in the other becomes
+    /// unconditional — the solid edges of Fig. 4).
+    fn push(
+        out: &mut Vec<(P::Fact, ConstraintEdge<Ctx::C>)>,
+        fact: P::Fact,
+        c: Ctx::C,
+    ) {
+        if c.is_false() {
+            return;
+        }
+        if let Some(entry) = out.iter_mut().find(|(f, _)| *f == fact) {
+            entry.1 = ConstraintEdge(entry.1 .0.or(&c));
+        } else {
+            out.push((fact, ConstraintEdge(c)));
+        }
+    }
+
+    /// Original flow labeled `enabled`, plus the identity flow labeled
+    /// `disabled` — the generic disjunction of Fig. 4a.
+    fn lift_with_identity(
+        &self,
+        orig: Vec<P::Fact>,
+        fact: &P::Fact,
+        enabled: &Ctx::C,
+        disabled: &Ctx::C,
+    ) -> Vec<(P::Fact, ConstraintEdge<Ctx::C>)> {
+        let mut out = Vec::with_capacity(orig.len() + 1);
+        for d in orig {
+            Self::push(&mut out, d, enabled.clone());
+        }
+        Self::push(&mut out, fact.clone(), disabled.clone());
+        out
+    }
+
+    fn lift_plain(
+        &self,
+        orig: Vec<P::Fact>,
+        enabled: &Ctx::C,
+    ) -> Vec<(P::Fact, ConstraintEdge<Ctx::C>)> {
+        let mut out = Vec::with_capacity(orig.len());
+        for d in orig {
+            Self::push(&mut out, d, enabled.clone());
+        }
+        out
+    }
+}
+
+impl<'a, 'g, G, P, Ctx> IdeProblem<LiftedIcfg<'g, G>> for LiftedProblem<'a, G, P, Ctx>
+where
+    G: AnnotatedIcfg,
+    P: IfdsProblem<G>,
+    Ctx: ConstraintContext,
+{
+    type Fact = P::Fact;
+    type Value = Ctx::C;
+    type EF = ConstraintEdge<Ctx::C>;
+
+    fn zero(&self) -> P::Fact {
+        self.problem.zero()
+    }
+
+    fn top(&self) -> Ctx::C {
+        self.ctx.ff()
+    }
+
+    fn seed_value(&self) -> Ctx::C {
+        // §3.4 seeds `true` at the program start node. With a feature
+        // model we seed `m` instead: in AtStartValue mode that is the
+        // whole mechanism; in OnEdges mode it only states that the entry
+        // point itself is reachable in valid configurations only (every
+        // edge re-conjoins `m` anyway, so this adds nothing downstream
+        // and makes both modes produce identical constraints).
+        self.model.clone()
+    }
+
+    fn join_values(&self, a: &Ctx::C, b: &Ctx::C) -> Ctx::C {
+        a.or(b)
+    }
+
+    fn id_edge(&self) -> ConstraintEdge<Ctx::C> {
+        ConstraintEdge(self.ctx.tt())
+    }
+
+    fn flow_normal(
+        &self,
+        icfg: &LiftedIcfg<'g, G>,
+        curr: G::Stmt,
+        succ: G::Stmt,
+        fact: &P::Fact,
+    ) -> Vec<(P::Fact, ConstraintEdge<Ctx::C>)> {
+        let inner = icfg.inner();
+        let (en, dis) = self.constraints_of(curr);
+        let fall_through = inner.fall_through_of(curr);
+        let target = inner.branch_target_of(curr);
+
+        if inner.is_exit(curr) {
+            // Only reached for the synthetic disabled-exit fall-through
+            // edge: the return does not execute, identity under ¬F.
+            debug_assert_eq!(Some(succ), fall_through);
+            return self.lift_with_identity(Vec::new(), fact, &en, &dis);
+        }
+        if inner.is_unconditional_branch(curr) {
+            // Fig. 4b: to the target under F; fall through under ¬F.
+            let mut out = Vec::new();
+            if Some(succ) == target {
+                for d in self.problem.flow_normal(inner, curr, succ, fact) {
+                    Self::push(&mut out, d, en.clone());
+                }
+            }
+            if Some(succ) == fall_through {
+                Self::push(&mut out, fact.clone(), dis.clone());
+            }
+            return out;
+        }
+        if inner.is_conditional_branch(curr) {
+            // Fig. 4c: normal flow to both outcomes under F; identity to
+            // the fall-through under ¬F.
+            let mut out = Vec::new();
+            if Some(succ) == target || Some(succ) == fall_through {
+                for d in self.problem.flow_normal(inner, curr, succ, fact) {
+                    Self::push(&mut out, d, en.clone());
+                }
+            }
+            if Some(succ) == fall_through {
+                Self::push(&mut out, fact.clone(), dis.clone());
+            }
+            return out;
+        }
+        // Fig. 4a: plain statements.
+        self.lift_with_identity(
+            self.problem.flow_normal(inner, curr, succ, fact),
+            fact,
+            &en,
+            &dis,
+        )
+    }
+
+    fn flow_call(
+        &self,
+        icfg: &LiftedIcfg<'g, G>,
+        call: G::Stmt,
+        callee: G::Method,
+        fact: &P::Fact,
+    ) -> Vec<(P::Fact, ConstraintEdge<Ctx::C>)> {
+        // Fig. 4d: call flow under F; kill-all under ¬F.
+        let (en, _) = self.constraints_of(call);
+        self.lift_plain(
+            self.problem.flow_call(icfg.inner(), call, callee, fact),
+            &en,
+        )
+    }
+
+    fn flow_return(
+        &self,
+        icfg: &LiftedIcfg<'g, G>,
+        call: G::Stmt,
+        callee: G::Method,
+        exit: G::Stmt,
+        return_site: G::Stmt,
+        fact: &P::Fact,
+    ) -> Vec<(P::Fact, ConstraintEdge<Ctx::C>)> {
+        // Return flow exists only when both the call and the return
+        // statement are enabled.
+        let (en_call, _) = self.constraints_of(call);
+        let (en_exit, _) = self.constraints_of(exit);
+        self.lift_plain(
+            self.problem
+                .flow_return(icfg.inner(), call, callee, exit, return_site, fact),
+            &en_call.and(&en_exit),
+        )
+    }
+
+    fn flow_call_to_return(
+        &self,
+        icfg: &LiftedIcfg<'g, G>,
+        call: G::Stmt,
+        return_site: G::Stmt,
+        fact: &P::Fact,
+    ) -> Vec<(P::Fact, ConstraintEdge<Ctx::C>)> {
+        // Fig. 4a applied at the call site: the call's intra-procedural
+        // effect under F, identity under ¬F.
+        let (en, dis) = self.constraints_of(call);
+        self.lift_with_identity(
+            self.problem
+                .flow_call_to_return(icfg.inner(), call, return_site, fact),
+            fact,
+            &en,
+            &dis,
+        )
+    }
+
+    fn initial_seeds(&self, icfg: &LiftedIcfg<'g, G>) -> Vec<(G::Stmt, P::Fact)> {
+        self.problem.initial_seeds(icfg.inner())
+    }
+}
+
+/// The result of running SPLLIFT: for every (statement, fact) pair, the
+/// feature constraint under which the fact may hold.
+#[derive(Debug)]
+pub struct LiftedSolution<'g, G: AnnotatedIcfg, D, C>
+where
+    D: Clone + Eq + std::hash::Hash,
+{
+    solver: IdeSolver<LiftedIcfg<'g, G>, D, C>,
+}
+
+impl<'g, G, D, C> LiftedSolution<'g, G, D, C>
+where
+    G: AnnotatedIcfg,
+    D: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    C: Constraint,
+{
+    /// Runs SPLLIFT: lifts `problem` over `icfg`'s annotations and solves
+    /// it in one pass over the entire product line.
+    ///
+    /// # Example
+    ///
+    /// The paper's running example — the lifted taint analysis reports
+    /// the leak constraint `¬F ∧ G ∧ ¬H`:
+    ///
+    /// ```
+    /// use spllift_analyses::{TaintAnalysis, TaintFact};
+    /// use spllift_core::{LiftedSolution, ModelMode};
+    /// use spllift_features::BddConstraintContext;
+    /// use spllift_ir::{samples::fig1, LocalId, ProgramIcfg};
+    ///
+    /// let ex = fig1();
+    /// let icfg = ProgramIcfg::new(&ex.program);
+    /// let ctx = BddConstraintContext::new(&ex.table);
+    /// let analysis = TaintAnalysis::secret_to_print();
+    /// let solution =
+    ///     LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    /// let leak = solution
+    ///     .constraint_of(ex.print_call, &TaintFact::Local(LocalId(1)));
+    /// assert_eq!(leak.to_cube_string(), "(!F & G & !H)");
+    /// ```
+    pub fn solve<P, Ctx>(
+        problem: &P,
+        icfg: &'g G,
+        ctx: &Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+    ) -> Self
+    where
+        P: IfdsProblem<G, Fact = D>,
+        Ctx: ConstraintContext<C = C>,
+    {
+        let lifted_icfg = LiftedIcfg::new(icfg);
+        let lifted = LiftedProblem::new(problem, icfg, ctx, model, mode);
+        let solver = IdeSolver::solve(&lifted, &lifted_icfg);
+        LiftedSolution { solver }
+    }
+
+    /// The constraint under which `fact` may hold at `stmt`
+    /// (`false` if it never holds).
+    pub fn constraint_of(&self, stmt: G::Stmt, fact: &D) -> C {
+        self.solver.value_at(stmt, fact)
+    }
+
+    /// The reachability constraint of `stmt` (the zero fact's value,
+    /// paper §3.3).
+    pub fn reachability_of(&self, stmt: G::Stmt) -> C {
+        self.solver.reachability_of(stmt)
+    }
+
+    /// All facts with a satisfiable constraint at `stmt`.
+    pub fn results_at(&self, stmt: G::Stmt) -> HashMap<D, C> {
+        self.solver.results_at(stmt)
+    }
+
+    /// Whether `fact` holds at `stmt` in the product selected by `config`
+    /// — the RQ1 cross-check query.
+    pub fn holds_in<Ctx>(
+        &self,
+        ctx: &Ctx,
+        stmt: G::Stmt,
+        fact: &D,
+        config: &Configuration,
+    ) -> bool
+    where
+        Ctx: ConstraintContext<C = C>,
+    {
+        ctx.satisfied_by(&self.constraint_of(stmt, fact), config)
+    }
+
+    /// Solver statistics (jump-function constructions etc.).
+    pub fn stats(&self) -> IdeStats {
+        self.solver.stats()
+    }
+
+    /// Every (stmt, fact, constraint) triple with a satisfiable
+    /// constraint.
+    pub fn all_results(&self) -> impl Iterator<Item = (G::Stmt, &D, &C)> + use<'_, 'g, G, D, C> {
+        self.solver.all_results()
+    }
+}

@@ -1,0 +1,168 @@
+//! A small line-based text format for feature models, so models can live
+//! next to the product-line sources (CIDE kept them in the IDE; we keep
+//! them in a file).
+//!
+//! ```text
+//! # comment
+//! root Root
+//! mandatory Root Core
+//! optional Root Logging
+//! or Root Json Xml
+//! xor Root Mysql Sqlite Postgres
+//! constraint Logging implies Core
+//! constraint !(Json && Xml)
+//! ```
+//!
+//! Directives:
+//!
+//! * `root NAME` — exactly once, first non-comment line,
+//! * `mandatory PARENT CHILD` / `optional PARENT CHILD`,
+//! * `or PARENT M1 M2 …` / `xor PARENT M1 M2 …` (≥ 2 members),
+//! * `constraint EXPR` — a cross-tree constraint in `#ifdef` expression
+//!   syntax, plus the sugar `A implies B` and `A iff B`.
+
+use crate::{FeatureExpr, FeatureModel, FeatureTable, GroupKind};
+use std::fmt;
+
+/// Error from [`parse_feature_model`], with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelTextError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ModelTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ModelTextError {}
+
+/// Parses the text format described in the module docs, interning feature
+/// names into `table`.
+///
+/// # Errors
+///
+/// Returns the first malformed directive with its line number.
+///
+/// # Example
+///
+/// ```
+/// use spllift_features::{parse_feature_model, Configuration, FeatureTable};
+/// let mut t = FeatureTable::new();
+/// let m = parse_feature_model(
+///     "root R\noptional R F\nconstraint F implies G\n",
+///     &mut t,
+/// )?;
+/// let r = t.get("R").unwrap();
+/// let f = t.get("F").unwrap();
+/// let g = t.get("G").unwrap();
+/// assert!(Configuration::from_enabled([r, f, g]).satisfies(&m.to_expr()));
+/// assert!(!Configuration::from_enabled([r, f]).satisfies(&m.to_expr()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_feature_model(
+    text: &str,
+    table: &mut FeatureTable,
+) -> Result<FeatureModel, ModelTextError> {
+    let mut model: Option<FeatureModel> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |message: String| ModelTextError { message, line: lineno };
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line");
+        if directive == "root" {
+            if model.is_some() {
+                return Err(err("duplicate `root` directive".into()));
+            }
+            let name = words
+                .next()
+                .ok_or_else(|| err("`root` needs a feature name".into()))?;
+            if words.next().is_some() {
+                return Err(err("`root` takes exactly one name".into()));
+            }
+            model = Some(FeatureModel::new(table.intern(name)));
+            continue;
+        }
+        let model_ref = model
+            .as_mut()
+            .ok_or_else(|| err("the first directive must be `root NAME`".into()))?;
+        match directive {
+            "mandatory" | "optional" => {
+                let parent = words
+                    .next()
+                    .ok_or_else(|| err(format!("`{directive}` needs PARENT CHILD")))?;
+                let child = words
+                    .next()
+                    .ok_or_else(|| err(format!("`{directive}` needs PARENT CHILD")))?;
+                if words.next().is_some() {
+                    return Err(err(format!("`{directive}` takes exactly two names")));
+                }
+                let (p, c) = (table.intern(parent), table.intern(child));
+                let result = if directive == "mandatory" {
+                    model_ref.add_mandatory(p, c)
+                } else {
+                    model_ref.add_optional(p, c)
+                };
+                result.map_err(|e| err(e.to_string()))?;
+            }
+            "or" | "xor" => {
+                let parent = words
+                    .next()
+                    .ok_or_else(|| err(format!("`{directive}` needs a parent")))?;
+                let p = table.intern(parent);
+                let members: Vec<_> = words.map(|w| table.intern(w)).collect();
+                let kind = if directive == "or" { GroupKind::Or } else { GroupKind::Xor };
+                model_ref
+                    .add_group(p, kind, &members)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "constraint" => {
+                let rest = line["constraint".len()..].trim();
+                let expr = parse_constraint(rest, table)
+                    .map_err(|e| err(format!("bad constraint: {e}")))?;
+                model_ref.add_constraint(expr);
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown directive `{other}` (expected root/mandatory/optional/or/xor/constraint)"
+                )));
+            }
+        }
+    }
+    model.ok_or(ModelTextError {
+        message: "empty model: missing `root NAME`".into(),
+        line: 1,
+    })
+}
+
+/// Constraint syntax: full `#ifdef` expressions plus the infix sugar
+/// `A implies B` and `A iff B` (operands are themselves expressions).
+fn parse_constraint(
+    s: &str,
+    table: &mut FeatureTable,
+) -> Result<FeatureExpr, crate::ParseExprError> {
+    if let Some((lhs, rhs)) = split_infix(s, " implies ") {
+        let l = FeatureExpr::parse(lhs, table)?;
+        let r = FeatureExpr::parse(rhs, table)?;
+        return Ok(l.implies(r));
+    }
+    if let Some((lhs, rhs)) = split_infix(s, " iff ") {
+        let l = FeatureExpr::parse(lhs, table)?;
+        let r = FeatureExpr::parse(rhs, table)?;
+        return Ok(l.iff(r));
+    }
+    FeatureExpr::parse(s, table)
+}
+
+fn split_infix<'a>(s: &'a str, op: &str) -> Option<(&'a str, &'a str)> {
+    let pos = s.find(op)?;
+    Some((&s[..pos], &s[pos + op.len()..]))
+}

@@ -1,0 +1,662 @@
+use crate::*;
+use crate::config::all_configurations;
+
+fn table_abc() -> (FeatureTable, FeatureId, FeatureId, FeatureId) {
+    let mut t = FeatureTable::new();
+    let a = t.intern("A");
+    let b = t.intern("B");
+    let c = t.intern("C");
+    (t, a, b, c)
+}
+
+mod expr {
+    use super::*;
+
+    #[test]
+    fn parse_precedence() {
+        let (mut t, a, b, c) = table_abc();
+        let e = FeatureExpr::parse("A || B && C", &mut t).unwrap();
+        // && binds tighter: A || (B && C)
+        assert!(e.eval(|f| f == a));
+        assert!(!e.eval(|f| f == b));
+        assert!(e.eval(|f| f == b || f == c));
+    }
+
+    #[test]
+    fn parse_single_char_synonyms() {
+        let (mut t, a, b, _) = table_abc();
+        let e = FeatureExpr::parse("A & !B | B & !A", &mut t).unwrap();
+        assert!(e.eval(|f| f == a));
+        assert!(e.eval(|f| f == b));
+        assert!(!e.eval(|_| false));
+        assert!(!e.eval(|_| true));
+    }
+
+    #[test]
+    fn parse_constants_and_parens() {
+        let mut t = FeatureTable::new();
+        let e = FeatureExpr::parse("true && (false || true)", &mut t).unwrap();
+        assert!(e.eval(|_| false));
+        assert_eq!(e, FeatureExpr::True);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut t = FeatureTable::new();
+        assert!(FeatureExpr::parse("", &mut t).is_err());
+        assert!(FeatureExpr::parse("A &&", &mut t).is_err());
+        assert!(FeatureExpr::parse("(A", &mut t).is_err());
+        assert!(FeatureExpr::parse("A B", &mut t).is_err());
+        assert!(FeatureExpr::parse("1A", &mut t).is_err());
+        let err = FeatureExpr::parse("A && ?", &mut t).unwrap_err();
+        assert!(err.to_string().contains("byte 5"));
+    }
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        let (_, a, _, _) = table_abc();
+        let v = FeatureExpr::var(a);
+        assert_eq!(v.clone().and(FeatureExpr::True), v);
+        assert_eq!(v.clone().and(FeatureExpr::False), FeatureExpr::False);
+        assert_eq!(v.clone().or(FeatureExpr::False), v);
+        assert_eq!(v.clone().or(FeatureExpr::True), FeatureExpr::True);
+        assert_eq!(v.clone().not().not(), v);
+    }
+
+    #[test]
+    fn display_round_trips_semantics() {
+        let (mut t, ..) = table_abc();
+        let e = FeatureExpr::parse("A && (B || !C)", &mut t).unwrap();
+        let shown = e.display(&t).to_string();
+        let e2 = FeatureExpr::parse(&shown, &mut t).unwrap();
+        for bits in 0u64..8 {
+            let cfg = Configuration::from_bits(bits, 3);
+            assert_eq!(cfg.satisfies(&e), cfg.satisfies(&e2), "{shown} at {bits:b}");
+        }
+    }
+
+    #[test]
+    fn collect_features() {
+        let (mut t, a, _, c) = table_abc();
+        let e = FeatureExpr::parse("A && !C", &mut t).unwrap();
+        let mut out = std::collections::BTreeSet::new();
+        e.collect_features(&mut out);
+        assert_eq!(out.into_iter().collect::<Vec<_>>(), vec![a, c]);
+    }
+}
+
+mod config {
+    use super::*;
+
+    #[test]
+    fn enable_disable() {
+        let mut c = Configuration::empty();
+        let f = FeatureId(70); // beyond one word
+        assert!(!c.is_enabled(f));
+        c.enable(f);
+        assert!(c.is_enabled(f));
+        assert_eq!(c.count_enabled(), 1);
+        c.disable(f);
+        assert!(!c.is_enabled(f));
+        assert_eq!(c, Configuration::empty());
+    }
+
+    #[test]
+    fn from_bits_matches_enabled_iter() {
+        let c = Configuration::from_bits(0b1011, 4);
+        let got: Vec<u32> = c.enabled().map(|f| f.0).collect();
+        assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn all_configurations_counts() {
+        let universe = [FeatureId(0), FeatureId(1), FeatureId(2)];
+        let configs: Vec<_> = all_configurations(&universe).collect();
+        assert_eq!(configs.len(), 8);
+        let unique: std::collections::HashSet<_> = configs.into_iter().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn display_config() {
+        let (t, a, _, c) = table_abc();
+        let cfg = Configuration::from_enabled([a, c]);
+        assert_eq!(cfg.display(&t).to_string(), "{A, C}");
+    }
+}
+
+mod model {
+    use super::*;
+
+    /// Builds the model used throughout: root with optional F, G, H.
+    fn fig1_model() -> (FeatureTable, FeatureModel, [FeatureId; 4]) {
+        let mut t = FeatureTable::new();
+        let root = t.intern("Root");
+        let f = t.intern("F");
+        let g = t.intern("G");
+        let h = t.intern("H");
+        let mut m = FeatureModel::new(root);
+        m.add_optional(root, f).unwrap();
+        m.add_optional(root, g).unwrap();
+        m.add_optional(root, h).unwrap();
+        (t, m, [root, f, g, h])
+    }
+
+    #[test]
+    fn optional_features_unconstrained() {
+        let (_, m, [root, f, g, h]) = fig1_model();
+        let expr = m.to_expr();
+        // All 8 combinations with root enabled are valid.
+        let mut valid = 0;
+        for bits in 0u64..16 {
+            let cfg = Configuration::from_bits(bits, 4);
+            if cfg.satisfies(&expr) {
+                valid += 1;
+                assert!(cfg.is_enabled(root));
+            }
+        }
+        assert_eq!(valid, 8);
+        let _ = (f, g, h);
+    }
+
+    #[test]
+    fn paper_intro_feature_model() {
+        // §1: under the model F ≡ G, the leak constraint ¬F∧G∧¬H is vacuous.
+        let (mut t, mut m, [_, f, g, h]) = fig1_model();
+        m.add_constraint_str("(F && G) || (!F && !G)", &mut t).unwrap();
+        let expr = m.to_expr();
+        let leak = FeatureExpr::var(f)
+            .not()
+            .and(FeatureExpr::var(g))
+            .and(FeatureExpr::var(h).not());
+        for bits in 0u64..16 {
+            let cfg = Configuration::from_bits(bits, 4);
+            assert!(!(cfg.satisfies(&expr) && cfg.satisfies(&leak)));
+        }
+    }
+
+    #[test]
+    fn mandatory_biimplication() {
+        let mut t = FeatureTable::new();
+        let root = t.intern("Root");
+        let core = t.intern("Core");
+        let mut m = FeatureModel::new(root);
+        m.add_mandatory(root, core).unwrap();
+        let expr = m.to_expr();
+        assert!(Configuration::from_enabled([root, core]).satisfies(&expr));
+        assert!(!Configuration::from_enabled([root]).satisfies(&expr));
+        assert!(!Configuration::from_enabled([core]).satisfies(&expr));
+    }
+
+    #[test]
+    fn or_group_semantics() {
+        let mut t = FeatureTable::new();
+        let root = t.intern("Root");
+        let x = t.intern("X");
+        let y = t.intern("Y");
+        let mut m = FeatureModel::new(root);
+        m.add_group(root, GroupKind::Or, &[x, y]).unwrap();
+        let expr = m.to_expr();
+        assert!(!Configuration::from_enabled([root]).satisfies(&expr));
+        assert!(Configuration::from_enabled([root, x]).satisfies(&expr));
+        assert!(Configuration::from_enabled([root, y]).satisfies(&expr));
+        assert!(Configuration::from_enabled([root, x, y]).satisfies(&expr));
+    }
+
+    #[test]
+    fn xor_group_semantics() {
+        let mut t = FeatureTable::new();
+        let root = t.intern("Root");
+        let x = t.intern("X");
+        let y = t.intern("Y");
+        let z = t.intern("Z");
+        let mut m = FeatureModel::new(root);
+        m.add_group(root, GroupKind::Xor, &[x, y, z]).unwrap();
+        let expr = m.to_expr();
+        assert!(!Configuration::from_enabled([root]).satisfies(&expr));
+        assert!(Configuration::from_enabled([root, x]).satisfies(&expr));
+        assert!(Configuration::from_enabled([root, z]).satisfies(&expr));
+        assert!(!Configuration::from_enabled([root, x, y]).satisfies(&expr));
+        assert!(!Configuration::from_enabled([root, x, y, z]).satisfies(&expr));
+    }
+
+    #[test]
+    fn duplicate_parent_rejected() {
+        let mut t = FeatureTable::new();
+        let root = t.intern("Root");
+        let a = t.intern("A");
+        let b = t.intern("B");
+        let mut m = FeatureModel::new(root);
+        m.add_optional(root, a).unwrap();
+        assert_eq!(m.add_optional(root, a), Err(ModelError::DuplicateParent(a)));
+        assert_eq!(m.add_group(root, GroupKind::Or, &[b]), Err(ModelError::GroupTooSmall));
+    }
+
+    #[test]
+    fn features_collects_everything() {
+        let (_, m, [root, f, g, h]) = fig1_model();
+        let feats = m.features();
+        for id in [root, f, g, h] {
+            assert!(feats.contains(&id));
+        }
+    }
+}
+
+mod constraints {
+    use super::*;
+
+    /// Checks a context against brute-force expression evaluation.
+    fn check_ctx<Ctx: ConstraintContext>(ctx: &Ctx, t: &FeatureTable, exprs: &[&str]) {
+        let mut t2 = t.clone();
+        for s in exprs {
+            let e = FeatureExpr::parse(s, &mut t2).unwrap();
+            let c = ctx.of_expr(&e);
+            for bits in 0u64..(1 << t.len().min(6)) {
+                let cfg = Configuration::from_bits(bits, t.len());
+                assert_eq!(
+                    ctx.satisfied_by(&c, &cfg),
+                    cfg.satisfies(&e),
+                    "expr {s} under bits {bits:b}"
+                );
+            }
+        }
+    }
+
+    const EXPRS: &[&str] = &[
+        "A",
+        "!A",
+        "A && B",
+        "A || B",
+        "!(A && B) || C",
+        "A && !A",
+        "A || !A",
+        "(A || B) && (!A || C) && (!B || !C)",
+        "true",
+        "false",
+    ];
+
+    #[test]
+    fn bdd_context_matches_eval() {
+        let (t, ..) = table_abc();
+        let ctx = BddConstraintContext::new(&t);
+        check_ctx(&ctx, &t, EXPRS);
+    }
+
+    #[test]
+    fn dnf_context_matches_eval() {
+        let (t, ..) = table_abc();
+        let ctx = DnfConstraintContext::new(&t);
+        check_ctx(&ctx, &t, EXPRS);
+    }
+
+    #[test]
+    fn dnf_detects_contradiction() {
+        let (t, a, b, _) = table_abc();
+        let ctx = DnfConstraintContext::new(&t);
+        let c = ctx
+            .lit(a, true)
+            .and(&ctx.lit(b, true))
+            .and(&ctx.lit(a, false));
+        assert!(c.is_false());
+        // DNF is not canonical: `a | !a` is NOT syntactically reduced to
+        // true (unlike a BDD). `is_true` may under-approximate — that is
+        // safe (it is only an optimization hint) and is one reason the
+        // paper abandoned DNF.
+        let tautology = ctx.lit(a, true).or(&ctx.lit(a, false));
+        assert!(!tautology.is_false());
+        assert!(!tautology.is_true());
+        let bctx = BddConstraintContext::new(&t);
+        assert!(bctx.lit(a, true).or(&bctx.lit(a, false)).is_true());
+    }
+
+    #[test]
+    fn dnf_absorption() {
+        let (t, a, b, _) = table_abc();
+        let ctx = DnfConstraintContext::new(&t);
+        // a | (a & b) reduces to a.
+        let c = ctx.lit(a, true).or(&ctx.lit(a, true).and(&ctx.lit(b, true)));
+        assert_eq!(c, ctx.lit(a, true));
+        assert_eq!(c.cube_count(), 1);
+    }
+
+    #[test]
+    fn bdd_sat_count_of_model() {
+        // GPL-like shape: the valid-config count comes from BDD sat_count.
+        let mut t = FeatureTable::new();
+        let root = t.intern("Root");
+        let feats: Vec<_> = (0..5).map(|i| t.intern(&format!("F{i}"))).collect();
+        let mut m = FeatureModel::new(root);
+        for &f in &feats {
+            m.add_optional(root, f).unwrap();
+        }
+        m.add_constraint(FeatureExpr::var(feats[0]).implies(FeatureExpr::var(feats[1])));
+        let ctx = BddConstraintContext::new(&t);
+        let c = ctx.of_expr(&m.to_expr());
+        // root fixed true; F0→F1 kills 1/4 of 32: 24 valid.
+        assert_eq!(ctx.sat_count(&c), 24);
+    }
+
+    #[test]
+    fn of_expr_handles_negated_compounds() {
+        let (t, a, b, _) = table_abc();
+        let bctx = BddConstraintContext::new(&t);
+        let dctx = DnfConstraintContext::new(&t);
+        let e = FeatureExpr::var(a).and(FeatureExpr::var(b)).not();
+        for bits in 0u64..4 {
+            let cfg = Configuration::from_bits(bits, 2);
+            let expected = !(cfg.is_enabled(a) && cfg.is_enabled(b));
+            assert_eq!(bctx.satisfied_by(&bctx.of_expr(&e), &cfg), expected);
+            assert_eq!(dctx.satisfied_by(&dctx.of_expr(&e), &cfg), expected);
+        }
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_expr(nfeatures: u32) -> impl Strategy<Value = FeatureExpr> {
+        let leaf = prop_oneof![
+            (0..nfeatures).prop_map(|i| FeatureExpr::Var(FeatureId(i))),
+            Just(FeatureExpr::True),
+            Just(FeatureExpr::False),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(FeatureExpr::not),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+                (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+            ]
+        })
+    }
+
+    fn table_n(n: u32) -> FeatureTable {
+        let mut t = FeatureTable::new();
+        for i in 0..n {
+            t.intern(&format!("F{i}"));
+        }
+        t
+    }
+
+    proptest! {
+        /// BDD and DNF agree with direct evaluation on every configuration.
+        #[test]
+        fn representations_agree(e in arb_expr(5)) {
+            let t = table_n(5);
+            let bctx = BddConstraintContext::new(&t);
+            let dctx = DnfConstraintContext::new(&t);
+            let bc = bctx.of_expr(&e);
+            let dc = dctx.of_expr(&e);
+            for bits in 0u64..32 {
+                let cfg = Configuration::from_bits(bits, 5);
+                let expected = cfg.satisfies(&e);
+                prop_assert_eq!(bctx.satisfied_by(&bc, &cfg), expected);
+                prop_assert_eq!(dctx.satisfied_by(&dc, &cfg), expected);
+            }
+            // is_false ⇔ no satisfying config.
+            let any = (0u64..32).any(|bits| {
+                Configuration::from_bits(bits, 5).satisfies(&e)
+            });
+            prop_assert_eq!(!bc.is_false(), any);
+            prop_assert_eq!(!dc.is_false(), any);
+        }
+
+        /// DNF `or` is idempotent after reduction (solver termination).
+        #[test]
+        fn dnf_join_idempotent(a in arb_expr(4), b in arb_expr(4)) {
+            let t = table_n(4);
+            let ctx = DnfConstraintContext::new(&t);
+            let ca = ctx.of_expr(&a);
+            let cb = ctx.of_expr(&b);
+            let j = ca.or(&cb);
+            prop_assert_eq!(j.or(&cb), j.clone());
+            prop_assert_eq!(j.or(&ca), j);
+        }
+
+        /// Batory translation: a configuration is valid iff it satisfies
+        /// every structural rule, cross-checked on random 2-level models.
+        #[test]
+        fn batory_translation_sound(
+            optional in proptest::collection::vec(any::<bool>(), 1..5),
+            has_xor in any::<bool>(),
+        ) {
+            let n = optional.len() as u32;
+            let mut t = FeatureTable::new();
+            let root = t.intern("Root");
+            let feats: Vec<_> =
+                (0..n).map(|i| t.intern(&format!("F{i}"))).collect();
+            let gx = t.intern("GX");
+            let gy = t.intern("GY");
+            let mut m = FeatureModel::new(root);
+            for (i, &opt) in optional.iter().enumerate() {
+                if opt {
+                    m.add_optional(root, feats[i]).unwrap();
+                } else {
+                    m.add_mandatory(root, feats[i]).unwrap();
+                }
+            }
+            let kind = if has_xor { GroupKind::Xor } else { GroupKind::Or };
+            m.add_group(root, kind, &[gx, gy]).unwrap();
+            let expr = m.to_expr();
+            let total = t.len();
+            for bits in 0u64..(1 << total) {
+                let cfg = Configuration::from_bits(bits, total);
+                let mut expected = cfg.is_enabled(root);
+                for (i, &opt) in optional.iter().enumerate() {
+                    if opt {
+                        expected &= !cfg.is_enabled(feats[i]) || cfg.is_enabled(root);
+                    } else {
+                        expected &= cfg.is_enabled(feats[i]) == cfg.is_enabled(root);
+                    }
+                }
+                let gx_on = cfg.is_enabled(gx);
+                let gy_on = cfg.is_enabled(gy);
+                let group_ok = if has_xor { gx_on ^ gy_on } else { gx_on || gy_on };
+                expected &= cfg.is_enabled(root) == group_ok;
+                prop_assert_eq!(cfg.satisfies(&expr), expected, "bits {:b}", bits);
+            }
+        }
+    }
+}
+
+mod model_text {
+    use super::*;
+    use crate::parse_feature_model;
+
+    #[test]
+    fn full_format_round_trip() {
+        let mut t = FeatureTable::new();
+        let m = parse_feature_model(
+            "# demo model\n\
+             root R\n\
+             mandatory R Core\n\
+             optional R Log\n\
+             or R Json Xml\n\
+             xor R A B C\n\
+             constraint Log implies Core\n\
+             constraint !(Json && Xml)\n",
+            &mut t,
+        )
+        .unwrap();
+        let expr = m.to_expr();
+        let ids: Vec<_> = ["R", "Core", "Log", "Json", "Xml", "A", "B", "C"]
+            .iter()
+            .map(|n| t.get(n).unwrap())
+            .collect();
+        let cfg = |on: &[usize]| {
+            Configuration::from_enabled(on.iter().map(|&i| ids[i]))
+        };
+        // R, Core, Json, A is valid.
+        assert!(cfg(&[0, 1, 3, 5]).satisfies(&expr));
+        // Missing mandatory Core: invalid.
+        assert!(!cfg(&[0, 3, 5]).satisfies(&expr));
+        // Json && Xml forbidden by constraint.
+        assert!(!cfg(&[0, 1, 3, 4, 5]).satisfies(&expr));
+        // Two xor members: invalid.
+        assert!(!cfg(&[0, 1, 3, 5, 6]).satisfies(&expr));
+    }
+
+    #[test]
+    fn iff_sugar() {
+        let mut t = FeatureTable::new();
+        let m = parse_feature_model("root R\nconstraint A iff B\n", &mut t).unwrap();
+        let expr = m.to_expr();
+        let r = t.get("R").unwrap();
+        let a = t.get("A").unwrap();
+        let b = t.get("B").unwrap();
+        assert!(Configuration::from_enabled([r, a, b]).satisfies(&expr));
+        assert!(Configuration::from_enabled([r]).satisfies(&expr));
+        assert!(!Configuration::from_enabled([r, a]).satisfies(&expr));
+        let _ = b;
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut t = FeatureTable::new();
+        let e = parse_feature_model("root R\nbogus X\n", &mut t).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown directive"));
+
+        let e = parse_feature_model("optional R F\n", &mut t).unwrap_err();
+        assert!(e.message.contains("root"));
+
+        let e = parse_feature_model("", &mut t).unwrap_err();
+        assert!(e.message.contains("empty model"));
+
+        let e = parse_feature_model("root R\nor R OnlyOne\n", &mut t).unwrap_err();
+        assert!(e.message.contains("two members"), "{e}");
+
+        let e = parse_feature_model("root R\nroot S\n", &mut t).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = parse_feature_model("root R\nconstraint &&\n", &mut t).unwrap_err();
+        assert!(e.message.contains("bad constraint"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut t = FeatureTable::new();
+        let m =
+            parse_feature_model("\n# heading\nroot R\n\n# more\noptional R F\n", &mut t)
+                .unwrap();
+        assert_eq!(m.features().len(), 2);
+    }
+}
+
+mod model_roundtrip {
+    use super::*;
+    use crate::parse_feature_model;
+
+    #[test]
+    fn to_text_parse_roundtrip_preserves_semantics() {
+        let mut t = FeatureTable::new();
+        let root = t.intern("R");
+        let core = t.intern("Core");
+        let log = t.intern("Log");
+        let x = t.intern("X");
+        let y = t.intern("Y");
+        let mut m = FeatureModel::new(root);
+        m.add_mandatory(root, core).unwrap();
+        m.add_optional(root, log).unwrap();
+        m.add_group(root, GroupKind::Xor, &[x, y]).unwrap();
+        m.add_constraint_str("Log && Core || !Log", &mut t).unwrap();
+
+        let text = m.to_text(&t);
+        let mut t2 = t.clone();
+        let m2 = parse_feature_model(&text, &mut t2).unwrap();
+        let (e1, e2) = (m.to_expr(), m2.to_expr());
+        for bits in 0u64..(1 << t.len()) {
+            let cfg = Configuration::from_bits(bits, t.len());
+            assert_eq!(cfg.satisfies(&e1), cfg.satisfies(&e2), "bits {bits:b}\n{text}");
+        }
+    }
+}
+
+mod model_roundtrip_property {
+    use super::*;
+    use crate::parse_feature_model;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random two-level models survive to_text → parse semantically.
+        #[test]
+        fn random_models_roundtrip(
+            kinds in proptest::collection::vec(0u8..4, 1..6),
+            group in proptest::option::of(any::<bool>()),
+        ) {
+            let mut t = FeatureTable::new();
+            let root = t.intern("R");
+            let mut m = FeatureModel::new(root);
+            for (i, k) in kinds.iter().enumerate() {
+                let f = t.intern(&format!("F{i}"));
+                match k {
+                    0 => m.add_mandatory(root, f).unwrap(),
+                    1 => m.add_optional(root, f).unwrap(),
+                    2 => {
+                        m.add_optional(root, f).unwrap();
+                        m.add_constraint(FeatureExpr::var(f).implies(FeatureExpr::var(root)));
+                    }
+                    _ => {
+                        m.add_optional(root, f).unwrap();
+                        let g = t.intern(&format!("X{i}"));
+                        m.add_optional(root, g).unwrap();
+                        m.add_constraint(
+                            FeatureExpr::var(f).and(FeatureExpr::var(g)).not(),
+                        );
+                    }
+                }
+            }
+            if let Some(xor) = group {
+                let a = t.intern("GA");
+                let b = t.intern("GB");
+                let kind = if xor { GroupKind::Xor } else { GroupKind::Or };
+                m.add_group(root, kind, &[a, b]).unwrap();
+            }
+            let text = m.to_text(&t);
+            let mut t2 = t.clone();
+            let m2 = parse_feature_model(&text, &mut t2).unwrap();
+            let (e1, e2) = (m.to_expr(), m2.to_expr());
+            let n = t.len().min(12);
+            for bits in 0u64..(1 << n) {
+                let cfg = Configuration::from_bits(bits, n);
+                prop_assert_eq!(
+                    cfg.satisfies(&e1),
+                    cfg.satisfies(&e2),
+                    "bits {:b}\n{}", bits, text
+                );
+            }
+        }
+    }
+}
+
+mod bdd_context_order {
+    use super::*;
+
+    #[test]
+    fn with_order_is_semantically_equivalent() {
+        let (t, a, b, c) = table_abc();
+        let natural = BddConstraintContext::new(&t);
+        let reversed = BddConstraintContext::with_order(&t, &[c, b, a]);
+        let mut t2 = t.clone();
+        let e = FeatureExpr::parse("(A || !B) && C", &mut t2).unwrap();
+        let cn = natural.of_expr(&e);
+        let cr = reversed.of_expr(&e);
+        for bits in 0u64..8 {
+            let cfg = Configuration::from_bits(bits, 3);
+            assert_eq!(
+                natural.satisfied_by(&cn, &cfg),
+                reversed.satisfied_by(&cr, &cfg),
+                "bits {bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover every feature")]
+    fn with_order_rejects_partial_orders() {
+        let (t, a, _, _) = table_abc();
+        let _ = BddConstraintContext::with_order(&t, &[a]);
+    }
+}

@@ -1,0 +1,270 @@
+//! The abstract syntax tree.
+
+use crate::Pos;
+use spllift_features::FeatureExpr;
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstProgram {
+    /// The classes, in source order.
+    pub classes: Vec<AstClass>,
+}
+
+/// A class declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstClass {
+    /// Class name.
+    pub name: String,
+    /// Superclass name, if `extends` was given.
+    pub superclass: Option<String>,
+    /// Field declarations.
+    pub fields: Vec<AstField>,
+    /// Method declarations.
+    pub methods: Vec<AstMethod>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstField {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AstType,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A method declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstMethod {
+    /// Method name.
+    pub name: String,
+    /// `true` for `static` methods.
+    pub is_static: bool,
+    /// Return type; `None` for `void`.
+    pub ret: Option<AstType>,
+    /// Parameters (name, type).
+    pub params: Vec<(String, AstType)>,
+    /// The body statements.
+    pub body: Vec<AstStmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A source-level type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstType {
+    /// `int`
+    Int,
+    /// `boolean`
+    Boolean,
+    /// A class reference by name.
+    Class(String),
+    /// A one-dimensional array `T[]`.
+    Array(Box<AstType>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstStmt {
+    /// `type name [= init];`
+    LocalDecl {
+        /// Declared name.
+        name: String,
+        /// Declared type.
+        ty: AstType,
+        /// Optional initializer.
+        init: Option<AstExpr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target.
+        target: AstLValue,
+        /// Right-hand side.
+        value: AstExpr,
+        /// Position.
+        pos: Pos,
+    },
+    /// An expression statement (a call).
+    Expr(AstExpr, Pos),
+    /// `if (cond) { .. } [else { .. }]`
+    If {
+        /// Condition.
+        cond: AstExpr,
+        /// Then-branch.
+        then_body: Vec<AstStmt>,
+        /// Else-branch.
+        else_body: Vec<AstStmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `for (init; cond; update) { .. }`
+    For {
+        /// Optional init statement (declaration or assignment).
+        init: Option<Box<AstStmt>>,
+        /// Loop condition.
+        cond: AstExpr,
+        /// Optional update statement (assignment).
+        update: Option<Box<AstStmt>>,
+        /// Loop body.
+        body: Vec<AstStmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: AstExpr,
+        /// Loop body.
+        body: Vec<AstStmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `return [expr];`
+    Return(Option<AstExpr>, Pos),
+    /// `#ifdef cond … [#else …] #endif`
+    Ifdef {
+        /// The feature condition.
+        cond: FeatureExpr,
+        /// Statements under the condition.
+        then_body: Vec<AstStmt>,
+        /// Statements under the negated condition.
+        else_body: Vec<AstStmt>,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstLValue {
+    /// A local variable.
+    Local(String),
+    /// `base.field` — `base` is a local name or a class name.
+    Field {
+        /// Receiver: local or class name.
+        base: String,
+        /// Field name.
+        field: String,
+    },
+    /// `base[index]` — an array element.
+    Index {
+        /// The array local.
+        base: String,
+        /// Index expression.
+        index: Box<AstExpr>,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// A local variable read.
+    Local(String, Pos),
+    /// `base.field` read — `base` is a local name or a class name.
+    Field {
+        /// Receiver: local or class name.
+        base: String,
+        /// Field name.
+        field: String,
+        /// Position.
+        pos: Pos,
+    },
+    /// `new C()`.
+    New(String, Pos),
+    /// `new T[len]`.
+    NewArray {
+        /// Element type.
+        elem: AstType,
+        /// Length expression.
+        len: Box<AstExpr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `base[index]` — an array element read.
+    Index {
+        /// The array local.
+        base: String,
+        /// Index expression.
+        index: Box<AstExpr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// Unary operator.
+    Unary {
+        /// `!` or `-`.
+        op: AstUnOp,
+        /// Operand.
+        expr: Box<AstExpr>,
+    },
+    /// Binary operator (incl. short-circuit `&&`/`||`).
+    Binary {
+        /// The operator.
+        op: AstBinOp,
+        /// Left operand.
+        lhs: Box<AstExpr>,
+        /// Right operand.
+        rhs: Box<AstExpr>,
+    },
+    /// A call: `m(args)`, `Class.m(args)`, or `local.m(args)`.
+    Call {
+        /// Receiver: `None` for same-class calls, or a local/class name.
+        receiver: Option<String>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}

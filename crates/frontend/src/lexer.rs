@@ -1,0 +1,164 @@
+//! The lexer.
+
+use crate::{FrontendError, Pos};
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `#ifdef` directive.
+    HashIfdef,
+    /// `#else` directive.
+    HashElse,
+    /// `#endif` directive.
+    HashEndif,
+    /// A punctuation/operator token, e.g. `&&`, `==`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind.
+    pub kind: TokenKind,
+    /// The starting position.
+    pub pos: Pos,
+}
+
+/// Converts source text to tokens.
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    "&&", "||", "==", "!=", "<=", ">=", "{", "}", "(", ")", "[", "]", ";", ",", ".",
+    "=", "!", "<", ">", "+", "-", "*", "/", "%",
+];
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'s str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    /// Lexes the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrontendError`] on an unknown character or an
+    /// unterminated block comment.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = Pos { line: self.line, col: self.col };
+            let Some(&c) = self.src.get(self.pos) else {
+                out.push(Token { kind: TokenKind::Eof, pos });
+                return Ok(out);
+            };
+            let kind = if c == b'#' {
+                self.lex_directive()?
+            } else if c.is_ascii_alphabetic() || c == b'_' {
+                let ident = self.lex_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+                TokenKind::Ident(ident)
+            } else if c.is_ascii_digit() {
+                let digits = self.lex_while(|c| c.is_ascii_digit());
+                let value = digits.parse::<i64>().map_err(|_| {
+                    FrontendError::new(format!("integer literal too large: {digits}"), pos)
+                })?;
+                TokenKind::Int(value)
+            } else if let Some(p) = PUNCTS
+                .iter()
+                .find(|p| self.src[self.pos..].starts_with(p.as_bytes()))
+            {
+                self.advance(p.len());
+                TokenKind::Punct(p)
+            } else {
+                return Err(FrontendError::new(
+                    format!("unexpected character {:?}", c as char),
+                    pos,
+                ));
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    fn lex_directive(&mut self) -> Result<TokenKind, FrontendError> {
+        let pos = Pos { line: self.line, col: self.col };
+        self.advance(1); // '#'
+        let word = self.lex_while(|c| c.is_ascii_alphabetic());
+        match word.as_str() {
+            "ifdef" => Ok(TokenKind::HashIfdef),
+            "else" => Ok(TokenKind::HashElse),
+            "endif" => Ok(TokenKind::HashEndif),
+            other => Err(FrontendError::new(
+                format!("unknown directive #{other} (expected #ifdef/#else/#endif)"),
+                pos,
+            )),
+        }
+    }
+
+    fn lex_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while self.src.get(self.pos).copied().is_some_and(&pred) {
+            self.advance(1);
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(c) if c.is_ascii_whitespace() => self.advance(1),
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|&c| c != b'\n')
+                    {
+                        self.advance(1);
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let start = Pos { line: self.line, col: self.col };
+                    self.advance(2);
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(FrontendError::new(
+                                "unterminated block comment",
+                                start,
+                            ));
+                        }
+                        if self.src[self.pos..].starts_with(b"*/") {
+                            self.advance(2);
+                            break;
+                        }
+                        self.advance(1);
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.src.get(self.pos) == Some(&b'\n') {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! The recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::{FrontendError, Pos};
+use spllift_features::{FeatureExpr, FeatureTable};
+
+/// Parses token streams into an [`AstProgram`].
+#[derive(Debug)]
+pub struct Parser<'t> {
+    tokens: Vec<Token>,
+    pos: usize,
+    table: &'t mut FeatureTable,
+}
+
+const KEYWORDS: &[&str] = &[
+    "class", "extends", "static", "void", "int", "boolean", "if", "else", "while",
+    "for", "return", "new", "true", "false", "null",
+];
+
+impl<'t> Parser<'t> {
+    /// Parses `source`, interning feature names into `table`.
+    ///
+    /// # Errors
+    ///
+    /// The first lexical or syntax error, with position.
+    pub fn parse(source: &str, table: &'t mut FeatureTable) -> Result<AstProgram, FrontendError> {
+        let tokens = Lexer::new(source).tokenize()?;
+        let mut p = Parser { tokens, pos: 0, table };
+        let mut classes = Vec::new();
+        while !p.at_eof() {
+            classes.push(p.class_decl()?);
+        }
+        Ok(AstProgram { classes })
+    }
+
+    // --- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, FrontendError> {
+        Err(FrontendError::new(msg, self.peek().pos))
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<Pos, FrontendError> {
+        if self.is_punct(p) {
+            Ok(self.bump().pos)
+        } else {
+            self.err(format!("expected `{p}`, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(w) if w == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<Pos, FrontendError> {
+        if self.is_keyword(kw) {
+            Ok(self.bump().pos)
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), FrontendError> {
+        match &self.peek().kind {
+            TokenKind::Ident(w) if !KEYWORDS.contains(&w.as_str()) => {
+                let w = w.clone();
+                let pos = self.bump().pos;
+                Ok((w, pos))
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // --- declarations ---------------------------------------------------
+
+    fn class_decl(&mut self) -> Result<AstClass, FrontendError> {
+        let pos = self.expect_keyword("class")?;
+        let (name, _) = self.expect_ident()?;
+        let superclass = if self.eat_keyword("extends") {
+            Some(self.expect_ident()?.0)
+        } else {
+            None
+        };
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return self.err("unexpected end of input inside class body");
+            }
+            self.member(&mut fields, &mut methods)?;
+        }
+        Ok(AstClass { name, superclass, fields, methods, pos })
+    }
+
+    fn parse_type(&mut self) -> Result<AstType, FrontendError> {
+        let base = if self.eat_keyword("int") {
+            AstType::Int
+        } else if self.eat_keyword("boolean") {
+            AstType::Boolean
+        } else {
+            let (name, _) = self.expect_ident()?;
+            AstType::Class(name)
+        };
+        if self.eat_punct("[") {
+            self.expect_punct("]")?;
+            return Ok(AstType::Array(Box::new(base)));
+        }
+        Ok(base)
+    }
+
+    fn member(
+        &mut self,
+        fields: &mut Vec<AstField>,
+        methods: &mut Vec<AstMethod>,
+    ) -> Result<(), FrontendError> {
+        let is_static = self.eat_keyword("static");
+        let pos = self.peek().pos;
+        let ret = if self.eat_keyword("void") {
+            None
+        } else {
+            Some(self.parse_type()?)
+        };
+        let (name, _) = self.expect_ident()?;
+        if self.is_punct("(") {
+            // Method.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    let ty = self.parse_type()?;
+                    let (pname, _) = self.expect_ident()?;
+                    params.push((pname, ty));
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            self.expect_punct("{")?;
+            let body = self.stmt_list_until_brace()?;
+            methods.push(AstMethod { name, is_static, ret, params, body, pos });
+        } else {
+            // Field.
+            let Some(ty) = ret else {
+                return self.err("fields cannot have type void");
+            };
+            self.expect_punct(";")?;
+            fields.push(AstField { name, ty, pos });
+        }
+        Ok(())
+    }
+
+    // --- statements -----------------------------------------------------
+
+    fn stmt_list_until_brace(&mut self) -> Result<Vec<AstStmt>, FrontendError> {
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return self.err("unexpected end of input; missing `}`");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> Result<Vec<AstStmt>, FrontendError> {
+        self.expect_punct("{")?;
+        self.stmt_list_until_brace()
+    }
+
+    fn feature_expr(&mut self) -> Result<FeatureExpr, FrontendError> {
+        self.feature_or()
+    }
+
+    fn feature_or(&mut self) -> Result<FeatureExpr, FrontendError> {
+        let mut e = self.feature_and()?;
+        while self.eat_punct("||") {
+            e = e.or(self.feature_and()?);
+        }
+        Ok(e)
+    }
+
+    fn feature_and(&mut self) -> Result<FeatureExpr, FrontendError> {
+        let mut e = self.feature_unary()?;
+        while self.eat_punct("&&") {
+            e = e.and(self.feature_unary()?);
+        }
+        Ok(e)
+    }
+
+    fn feature_unary(&mut self) -> Result<FeatureExpr, FrontendError> {
+        if self.eat_punct("!") {
+            return Ok(self.feature_unary()?.not());
+        }
+        if self.eat_punct("(") {
+            let e = self.feature_or()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        if self.eat_keyword("true") {
+            return Ok(FeatureExpr::True);
+        }
+        if self.eat_keyword("false") {
+            return Ok(FeatureExpr::False);
+        }
+        let (name, _) = self.expect_ident()?;
+        Ok(FeatureExpr::Var(self.table.intern(&name)))
+    }
+
+    fn stmt(&mut self) -> Result<AstStmt, FrontendError> {
+        let pos = self.peek().pos;
+        // #ifdef
+        if matches!(self.peek().kind, TokenKind::HashIfdef) {
+            self.bump();
+            let cond = self.feature_expr()?;
+            let mut then_body = Vec::new();
+            let mut else_body = Vec::new();
+            let mut in_else = false;
+            loop {
+                match &self.peek().kind {
+                    TokenKind::HashEndif => {
+                        self.bump();
+                        break;
+                    }
+                    TokenKind::HashElse => {
+                        if in_else {
+                            return self.err("duplicate #else");
+                        }
+                        self.bump();
+                        in_else = true;
+                    }
+                    TokenKind::Eof => return self.err("unterminated #ifdef"),
+                    TokenKind::Punct("}") => {
+                        return self.err("unterminated #ifdef (missing #endif before `}`)")
+                    }
+                    _ => {
+                        let s = self.stmt()?;
+                        if in_else {
+                            else_body.push(s);
+                        } else {
+                            then_body.push(s);
+                        }
+                    }
+                }
+            }
+            return Ok(AstStmt::Ifdef { cond, then_body, else_body, pos });
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_keyword("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(AstStmt::If { cond, then_body, else_body, pos });
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(AstStmt::While { cond, body, pos });
+        }
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            let init = if self.is_punct(";") {
+                self.bump();
+                None
+            } else {
+                Some(Box::new(self.simple_stmt()?))
+            };
+            let cond = self.expr()?;
+            self.expect_punct(";")?;
+            let update = if self.is_punct(")") {
+                None
+            } else {
+                Some(Box::new(self.simple_stmt_no_semi()?))
+            };
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(AstStmt::For { init, cond, update, body, pos });
+        }
+        if self.eat_keyword("return") {
+            let value = if self.is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(AstStmt::Return(value, pos));
+        }
+        // Local declaration: `int x ...` / `boolean b ...` / `C x ...`.
+        if self.is_keyword("int") || self.is_keyword("boolean") || self.is_local_decl() {
+            let ty = self.parse_type()?;
+            let (name, _) = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(AstStmt::LocalDecl { name, ty, init, pos });
+        }
+        // Assignment or expression statement.
+        let (first, _) = self.expect_ident()?;
+        if self.eat_punct("=") {
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(AstStmt::Assign { target: AstLValue::Local(first), value, pos });
+        }
+        if self.eat_punct("[") {
+            let index = self.expr()?;
+            self.expect_punct("]")?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(AstStmt::Assign {
+                target: AstLValue::Index { base: first, index: Box::new(index) },
+                value,
+                pos,
+            });
+        }
+        if self.eat_punct(".") {
+            let (second, _) = self.expect_ident()?;
+            if self.is_punct("(") {
+                let call = self.finish_call(Some(first), second, pos)?;
+                self.expect_punct(";")?;
+                return Ok(AstStmt::Expr(call, pos));
+            }
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(AstStmt::Assign {
+                target: AstLValue::Field { base: first, field: second },
+                value,
+                pos,
+            });
+        }
+        if self.is_punct("(") {
+            let call = self.finish_call(None, first, pos)?;
+            self.expect_punct(";")?;
+            return Ok(AstStmt::Expr(call, pos));
+        }
+        self.err("expected statement")
+    }
+
+    /// A declaration or assignment terminated by `;` (for-loop init).
+    fn simple_stmt(&mut self) -> Result<AstStmt, FrontendError> {
+        let s = self.simple_stmt_no_semi()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// A declaration or assignment *without* the trailing `;`
+    /// (for-loop update clause).
+    fn simple_stmt_no_semi(&mut self) -> Result<AstStmt, FrontendError> {
+        let pos = self.peek().pos;
+        if self.is_keyword("int") || self.is_keyword("boolean") || self.is_local_decl() {
+            let ty = self.parse_type()?;
+            let (name, _) = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(AstStmt::LocalDecl { name, ty, init, pos });
+        }
+        let (first, _) = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let value = self.expr()?;
+        Ok(AstStmt::Assign { target: AstLValue::Local(first), value, pos })
+    }
+
+    /// Lookahead: `Ident Ident` (or `Ident [ ] Ident`) begins a local
+    /// declaration of class (or class-array) type.
+    fn is_local_decl(&self) -> bool {
+        let TokenKind::Ident(first) = &self.peek().kind else {
+            return false;
+        };
+        if KEYWORDS.contains(&first.as_str()) {
+            return false;
+        }
+        let at = |o: usize| self.tokens.get(self.pos + o).map(|t| &t.kind);
+        match at(1) {
+            Some(TokenKind::Ident(second)) => !KEYWORDS.contains(&second.as_str()),
+            Some(TokenKind::Punct("[")) => {
+                matches!(at(2), Some(TokenKind::Punct("]")))
+                    && matches!(at(3), Some(TokenKind::Ident(n)) if !KEYWORDS.contains(&n.as_str()))
+            }
+            _ => false,
+        }
+    }
+
+    // --- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr, FrontendError> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut e = self.expr_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.expr_and()?;
+            e = AstExpr::Binary { op: AstBinOp::Or, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+        Ok(e)
+    }
+
+    fn expr_and(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut e = self.expr_equality()?;
+        while self.eat_punct("&&") {
+            let rhs = self.expr_equality()?;
+            e = AstExpr::Binary { op: AstBinOp::And, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+        Ok(e)
+    }
+
+    fn expr_equality(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut e = self.expr_rel()?;
+        loop {
+            let op = if self.eat_punct("==") {
+                AstBinOp::Eq
+            } else if self.eat_punct("!=") {
+                AstBinOp::Ne
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.expr_rel()?;
+            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn expr_rel(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut e = self.expr_add()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                AstBinOp::Le
+            } else if self.eat_punct(">=") {
+                AstBinOp::Ge
+            } else if self.eat_punct("<") {
+                AstBinOp::Lt
+            } else if self.eat_punct(">") {
+                AstBinOp::Gt
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.expr_add()?;
+            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn expr_add(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut e = self.expr_mul()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                AstBinOp::Add
+            } else if self.eat_punct("-") {
+                AstBinOp::Sub
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.expr_mul()?;
+            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut e = self.expr_unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                AstBinOp::Mul
+            } else if self.eat_punct("/") {
+                AstBinOp::Div
+            } else if self.eat_punct("%") {
+                AstBinOp::Rem
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.expr_unary()?;
+            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<AstExpr, FrontendError> {
+        if self.eat_punct("!") {
+            return Ok(AstExpr::Unary {
+                op: AstUnOp::Not,
+                expr: Box::new(self.expr_unary()?),
+            });
+        }
+        if self.eat_punct("-") {
+            return Ok(AstExpr::Unary {
+                op: AstUnOp::Neg,
+                expr: Box::new(self.expr_unary()?),
+            });
+        }
+        self.expr_primary()
+    }
+
+    fn expr_primary(&mut self) -> Result<AstExpr, FrontendError> {
+        let pos = self.peek().pos;
+        if let TokenKind::Int(v) = self.peek().kind {
+            self.bump();
+            return Ok(AstExpr::Int(v));
+        }
+        if self.eat_keyword("true") {
+            return Ok(AstExpr::Bool(true));
+        }
+        if self.eat_keyword("false") {
+            return Ok(AstExpr::Bool(false));
+        }
+        if self.eat_keyword("null") {
+            return Ok(AstExpr::Null);
+        }
+        if self.eat_keyword("new") {
+            // `new int[n]` / `new boolean[n]` / `new C[n]` / `new C()`.
+            let elem = if self.eat_keyword("int") {
+                Some(AstType::Int)
+            } else if self.eat_keyword("boolean") {
+                Some(AstType::Boolean)
+            } else {
+                None
+            };
+            if let Some(elem) = elem {
+                self.expect_punct("[")?;
+                let len = self.expr()?;
+                self.expect_punct("]")?;
+                return Ok(AstExpr::NewArray { elem, len: Box::new(len), pos });
+            }
+            let (name, _) = self.expect_ident()?;
+            if self.eat_punct("[") {
+                let len = self.expr()?;
+                self.expect_punct("]")?;
+                return Ok(AstExpr::NewArray {
+                    elem: AstType::Class(name),
+                    len: Box::new(len),
+                    pos,
+                });
+            }
+            self.expect_punct("(")?;
+            self.expect_punct(")")?;
+            return Ok(AstExpr::New(name, pos));
+        }
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        let (first, _) = self.expect_ident()?;
+        if self.is_punct("(") {
+            return self.finish_call(None, first, pos);
+        }
+        if self.eat_punct("[") {
+            let index = self.expr()?;
+            self.expect_punct("]")?;
+            return Ok(AstExpr::Index { base: first, index: Box::new(index), pos });
+        }
+        if self.eat_punct(".") {
+            let (second, _) = self.expect_ident()?;
+            if self.is_punct("(") {
+                return self.finish_call(Some(first), second, pos);
+            }
+            return Ok(AstExpr::Field { base: first, field: second, pos });
+        }
+        Ok(AstExpr::Local(first, pos))
+    }
+
+    fn finish_call(
+        &mut self,
+        receiver: Option<String>,
+        method: String,
+        pos: Pos,
+    ) -> Result<AstExpr, FrontendError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(AstExpr::Call { receiver, method, args, pos })
+    }
+}

@@ -1,0 +1,613 @@
+use crate::{count_loc, parse_spl, FrontendError};
+use spllift_features::{FeatureExpr, FeatureTable};
+use spllift_ir::{StmtKind, Type};
+
+fn parse_ok(src: &str) -> (spllift_ir::Program, FeatureTable) {
+    let mut table = FeatureTable::new();
+    let p = parse_spl(src, &mut table).expect("parse");
+    assert!(p.check().is_ok());
+    (p, table)
+}
+
+fn parse_err(src: &str) -> FrontendError {
+    let mut table = FeatureTable::new();
+    parse_spl(src, &mut table).expect_err("expected error")
+}
+
+const FIG1: &str = r#"
+class Main {
+    static int secret() { return 42; }
+    static void print(int v) { }
+    static int foo(int p) {
+        #ifdef H
+        p = 0;
+        #endif
+        return p;
+    }
+    static void main() {
+        int x = secret();
+        int y = 0;
+        #ifdef F
+        x = 0;
+        #endif
+        #ifdef G
+        y = Main.foo(x);
+        #endif
+        Main.print(y);
+    }
+}
+"#;
+
+mod parsing {
+    use super::*;
+
+    #[test]
+    fn fig1_parses_and_lowers() {
+        let (p, table) = parse_ok(FIG1);
+        assert_eq!(p.classes().len(), 1);
+        assert_eq!(p.methods().len(), 4);
+        assert_eq!(table.len(), 3); // H, F, G
+        assert_eq!(p.entry_points().len(), 1);
+    }
+
+    #[test]
+    fn annotations_attach_to_statements() {
+        let (p, table) = parse_ok(FIG1);
+        let main = p.find_method("Main.main").unwrap();
+        let f = table.get("F").unwrap();
+        let annotated: Vec<_> = p
+            .stmts_of(main)
+            .filter(|&s| p.stmt(s).annotation != FeatureExpr::True)
+            .collect();
+        assert!(!annotated.is_empty());
+        assert!(annotated
+            .iter()
+            .any(|&s| p.stmt(s).annotation == FeatureExpr::var(f)));
+    }
+
+    #[test]
+    fn nested_ifdefs_conjoin() {
+        let src = r#"
+        class C {
+            static void main() {
+                int x = 0;
+                #ifdef A
+                #ifdef B
+                x = 1;
+                #endif
+                #endif
+            }
+        }
+        "#;
+        let (p, table) = parse_ok(src);
+        let a = table.get("A").unwrap();
+        let b = table.get("B").unwrap();
+        let main = p.find_method("C.main").unwrap();
+        let expected = FeatureExpr::var(a).and(FeatureExpr::var(b));
+        assert!(p
+            .stmts_of(main)
+            .any(|s| p.stmt(s).annotation == expected));
+    }
+
+    #[test]
+    fn ifdef_else_negates() {
+        let src = r#"
+        class C {
+            static void main() {
+                int x = 0;
+                #ifdef A
+                x = 1;
+                #else
+                x = 2;
+                #endif
+            }
+        }
+        "#;
+        let (p, table) = parse_ok(src);
+        let a = table.get("A").unwrap();
+        let main = p.find_method("C.main").unwrap();
+        let anns: Vec<_> = p
+            .stmts_of(main)
+            .map(|s| p.stmt(s).annotation.clone())
+            .collect();
+        assert!(anns.contains(&FeatureExpr::var(a)));
+        assert!(anns.contains(&FeatureExpr::var(a).not()));
+    }
+
+    #[test]
+    fn ifdef_with_compound_condition() {
+        let src = r#"
+        class C {
+            static void main() {
+                #ifdef A && !B
+                int x = 0;
+                #endif
+            }
+        }
+        "#;
+        let (p, table) = parse_ok(src);
+        let a = table.get("A").unwrap();
+        let b = table.get("B").unwrap();
+        let main = p.find_method("C.main").unwrap();
+        let expected = FeatureExpr::var(a).and(FeatureExpr::var(b).not());
+        assert!(p
+            .stmts_of(main)
+            .any(|s| p.stmt(s).annotation == expected));
+    }
+
+    #[test]
+    fn control_flow_lowering() {
+        let src = r#"
+        class C {
+            static int abs(int v) {
+                int r = v;
+                if (v < 0) { r = 0 - v; }
+                while (r > 100) { r = r - 100; }
+                return r;
+            }
+            static void main() { int q = C.abs(0 - 5); }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        let abs = p.find_method("C.abs").unwrap();
+        let kinds: Vec<_> = p.stmts_of(abs).map(|s| p.stmt(s).kind.clone()).collect();
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::If { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::Goto { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::Return { .. })));
+    }
+
+    #[test]
+    fn classes_fields_inheritance() {
+        let src = r#"
+        class Base { int data; int get() { return 0; } }
+        class Sub extends Base { int get() { return 1; } }
+        class Main {
+            static void main() {
+                Base o = new Sub();
+                o.data = 5;
+                int d = o.data;
+                int g = o.get();
+            }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        let base = p.find_class("Base").unwrap();
+        let sub = p.find_class("Sub").unwrap();
+        assert_eq!(p.class(sub).superclass, Some(base));
+        assert_eq!(p.fields().len(), 1);
+        let main = p.find_method("Main.main").unwrap();
+        let has_virtual = p.stmts_of(main).any(|s| {
+            matches!(
+                &p.stmt(s).kind,
+                StmtKind::Invoke { callee: spllift_ir::Callee::Virtual { .. }, .. }
+            )
+        });
+        assert!(has_virtual);
+    }
+
+    #[test]
+    fn short_circuit_lowering() {
+        let src = r#"
+        class C {
+            static boolean both(boolean a, boolean b) { return a && b; }
+            static boolean either(boolean a, boolean b) { return a || b; }
+            static void main() {
+                boolean x = C.both(true, false);
+                boolean y = C.either(false, true);
+            }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        let both = p.find_method("C.both").unwrap();
+        // Short-circuit becomes a conditional branch.
+        assert!(p
+            .stmts_of(both)
+            .any(|s| matches!(p.stmt(s).kind, StmtKind::If { .. })));
+    }
+
+    #[test]
+    fn comments_and_loc() {
+        let src = "// a comment\nclass C { /* block\ncomment */ static void main() { } }\n\n";
+        parse_ok(src);
+        assert_eq!(count_loc(src), 2); // the class lines, not the // line
+    }
+
+    #[test]
+    fn this_in_instance_methods() {
+        let src = r#"
+        class Counter {
+            int n;
+            void bump() { this.n = this.n + 1; }
+            int read() { return this.n; }
+        }
+        class Main {
+            static void main() {
+                Counter c = new Counter();
+                c.bump();
+                int v = c.read();
+            }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        assert!(p.find_method("Counter.bump").is_some());
+    }
+}
+
+mod errors {
+    use super::*;
+
+    #[test]
+    fn unknown_variable() {
+        let e = parse_err("class C { static void main() { x = 1; } }");
+        assert!(e.message.contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn unknown_method() {
+        let e = parse_err("class C { static void main() { nope(); } }");
+        assert!(e.message.contains("unknown method"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_local() {
+        let e = parse_err("class C { static void main() { int x = 0; int x = 1; } }");
+        assert!(e.message.contains("duplicate local"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_ifdef() {
+        let e = parse_err("class C { static void main() { #ifdef F int x = 0; } }");
+        assert!(e.message.contains("ifdef") || e.message.contains("statement"), "{e}");
+    }
+
+    #[test]
+    fn unknown_directive() {
+        let e = parse_err("class C { static void main() { #if F\n } }");
+        assert!(e.message.contains("unknown directive"), "{e}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_err("class C {\n  static void main() {\n    x = 1;\n  }\n}");
+        assert_eq!(e.pos.line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let e = parse_err("class C { /* never closed");
+        assert!(e.message.contains("unterminated block comment"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_superclass() {
+        let e = parse_err("class C extends Nope { }");
+        assert!(e.message.contains("unknown superclass"), "{e}");
+    }
+}
+
+mod end_to_end {
+    use super::*;
+    use spllift_core::{LiftedSolution, ModelMode};
+    use spllift_features::{BddConstraintContext, ConstraintContext};
+    use spllift_ir::ProgramIcfg;
+
+    /// The full paper pipeline from *source text*: parse the Figure 1
+    /// product line, lift the taint analysis, and verify the leak
+    /// constraint ¬F ∧ G ∧ ¬H.
+    #[test]
+    fn fig1_from_source_reports_leak_constraint() {
+        let (p, table) = parse_ok(FIG1);
+        let icfg = ProgramIcfg::new(&p);
+        let ctx = BddConstraintContext::new(&table);
+        let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
+        let solution =
+            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        // Find the print call and its argument local.
+        let main = p.find_method("Main.main").unwrap();
+        let print = p.find_method("Main.print").unwrap();
+        let (call, arg) = p
+            .stmts_of(main)
+            .find_map(|s| match &p.stmt(s).kind {
+                StmtKind::Invoke {
+                    callee: spllift_ir::Callee::Static(m),
+                    args,
+                    ..
+                } if *m == print => Some((s, args[0].as_local().unwrap())),
+                _ => None,
+            })
+            .unwrap();
+        let got = solution
+            .constraint_of(call, &spllift_analyses::TaintFact::Local(arg));
+        let mut t2 = table.clone();
+        let expected =
+            ctx.of_expr(&FeatureExpr::parse("!F && G && !H", &mut t2).unwrap());
+        assert_eq!(got, expected, "got {}", got.to_cube_string());
+    }
+
+    #[test]
+    fn roundtrip_through_pretty_printer_is_stable() {
+        let (p, table) = parse_ok(FIG1);
+        let text = spllift_ir::pretty::program_to_string(&p, &table);
+        assert!(text.contains("@ifdef F"));
+        assert!(text.contains("secret"));
+    }
+
+    #[test]
+    fn parse_declares_types_for_virtual_dispatch() {
+        let src = r#"
+        class Shape { int area() { return 0; } }
+        class Circle extends Shape { int area() { return 3; } }
+        class Main {
+            static void main() {
+                Shape s = new Circle();
+                int a = s.area();
+            }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        let main = p.find_method("Main.main").unwrap();
+        let body = p.body(main);
+        let shape = p.find_class("Shape").unwrap();
+        assert!(body.locals.iter().any(|l| l.ty == Type::Ref(shape)));
+        let icfg = ProgramIcfg::new(&p);
+        // CHA resolves both area() implementations.
+        let call = p
+            .stmts_of(main)
+            .find(|&s| matches!(p.stmt(s).kind, StmtKind::Invoke { .. }))
+            .unwrap();
+        assert_eq!(spllift_ifds::Icfg::callees_of(&icfg, call).len(), 2);
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use spllift_ir::ProgramIcfg;
+
+    /// Random feature-expression strings survive a display→parse round
+    /// trip semantically (via the features crate's display).
+    #[test]
+    fn large_generated_program_parses() {
+        // Sanity: a program with hundreds of statements and nested
+        // #ifdefs parses and validates in one go.
+        let mut src = String::from("class Big {\n");
+        for m in 0..25 {
+            src.push_str(&format!("  static int f{m}(int a) {{\n"));
+            src.push_str("    int v = a;\n");
+            for i in 0..10 {
+                src.push_str(&format!("    #ifdef FEAT{}\n", i % 4));
+                src.push_str(&format!("    v = v + {i};\n"));
+                src.push_str("    #endif\n");
+            }
+            if m > 0 {
+                src.push_str(&format!("    v = Big.f{}(v);\n", m - 1));
+            }
+            src.push_str("    return v;\n  }\n");
+        }
+        src.push_str("  static void main() { int r = Big.f24(1); }\n}\n");
+        let (p, t) = parse_ok(&src);
+        assert_eq!(t.len(), 4);
+        assert_eq!(p.methods().len(), 26);
+        let icfg = ProgramIcfg::new(&p);
+        assert_eq!(spllift_ifds::Icfg::methods(&icfg).len(), 26);
+    }
+
+    proptest! {
+        /// Any byte soup either parses or produces a positioned error —
+        /// the frontend never panics.
+        #[test]
+        fn parser_never_panics(input in "[ -~\n]{0,200}") {
+            let mut t = FeatureTable::new();
+            let _ = parse_spl(&input, &mut t);
+        }
+
+        /// Structured-but-randomized programs always lower to valid IR.
+        #[test]
+        fn randomized_bodies_lower_to_valid_ir(
+            consts in proptest::collection::vec(0i64..100, 1..8),
+            use_ifdef in proptest::collection::vec(any::<bool>(), 1..8),
+        ) {
+            let mut src = String::from("class R {\n  static void main() {\n    int x = 0;\n");
+            for (i, (&c, &wrap)) in consts.iter().zip(&use_ifdef).enumerate() {
+                if wrap {
+                    src.push_str(&format!("    #ifdef W{}\n", i % 3));
+                }
+                match i % 3 {
+                    0 => src.push_str(&format!("    x = x + {c};\n")),
+                    1 => src.push_str(&format!(
+                        "    if (x < {c}) {{ x = x + 1; }} else {{ x = x - 1; }}\n"
+                    )),
+                    _ => src.push_str(&format!(
+                        "    while (x > {c}) {{ x = x - 2; }}\n"
+                    )),
+                }
+                if wrap {
+                    src.push_str("    #endif\n");
+                }
+            }
+            src.push_str("  }\n}\n");
+            let mut t = FeatureTable::new();
+            let p = parse_spl(&src, &mut t).expect("structured program parses");
+            prop_assert!(p.check().is_ok());
+        }
+    }
+}
+
+mod arrays {
+    use super::*;
+
+    #[test]
+    fn array_syntax_parses_and_lowers() {
+        let src = r#"
+        class A {
+            static void main() {
+                int[] buf = new int[8];
+                int i = 0;
+                buf[i] = 42;
+                int v = buf[i + 1];
+            }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        let main = p.find_method("A.main").unwrap();
+        let kinds: Vec<_> = p.stmts_of(main).map(|s| p.stmt(s).kind.clone()).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, StmtKind::Assign { rvalue: spllift_ir::Rvalue::NewArray { .. }, .. })));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::ArrayStore { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, StmtKind::Assign { rvalue: spllift_ir::Rvalue::ArrayLoad { .. }, .. })));
+    }
+
+    #[test]
+    fn class_arrays_and_params() {
+        let src = r#"
+        class Node { int v; }
+        class A {
+            static int use_arr(Node[] ns) { Node n = ns[0]; return 1; }
+            static void main() {
+                Node[] ns = new Node[4];
+                ns[0] = new Node();
+                int r = A.use_arr(ns);
+            }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        assert!(p.find_method("A.use_arr").is_some());
+    }
+
+    #[test]
+    fn nested_arrays_rejected() {
+        // `int[][]` is not in the subset; the second `[` fails to parse
+        // as a declaration.
+        let e = parse_err("class A { static void main() { int[][] m = null; } }");
+        assert!(!e.message.is_empty());
+    }
+
+    #[test]
+    fn taint_flows_through_array_cells() {
+        use spllift_core::{LiftedSolution, ModelMode};
+        use spllift_features::BddConstraintContext;
+        let src = r#"
+        class A {
+            static int secret() { return 7; }
+            static void print(int v) { }
+            static void main() {
+                int[] buf = new int[2];
+                int s = secret();
+                #ifdef STASH
+                buf[0] = s;
+                #endif
+                int out = buf[1];
+                A.print(out);
+            }
+        }
+        "#;
+        let (p, t) = parse_ok(src);
+        let icfg = spllift_ir::ProgramIcfg::new(&p);
+        let ctx = BddConstraintContext::new(&t);
+        let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
+        let solution =
+            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        // Find the print call; its argument is tainted exactly under STASH
+        // (weak, index-insensitive array cells).
+        let main = p.find_method("A.main").unwrap();
+        let print = p.find_method("A.print").unwrap();
+        let (call, arg) = p
+            .stmts_of(main)
+            .find_map(|s| match &p.stmt(s).kind {
+                StmtKind::Invoke {
+                    callee: spllift_ir::Callee::Static(m),
+                    args,
+                    ..
+                } if *m == print => Some((s, args[0].as_local().unwrap())),
+                _ => None,
+            })
+            .unwrap();
+        let c = solution.constraint_of(call, &spllift_analyses::TaintFact::Local(arg));
+        let stash = t.get("STASH").unwrap();
+        use spllift_features::ConstraintContext as _;
+        assert_eq!(c, ctx.lit(stash, true));
+    }
+}
+
+mod for_loops {
+    use super::*;
+
+    #[test]
+    fn for_loop_desugars_to_branches() {
+        let src = r#"
+        class C {
+            static int sum(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    acc = acc + i;
+                }
+                return acc;
+            }
+            static void main() { int r = C.sum(5); }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        let sum = p.find_method("C.sum").unwrap();
+        let kinds: Vec<_> = p.stmts_of(sum).map(|s| p.stmt(s).kind.clone()).collect();
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::If { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::Goto { .. })));
+        // Concrete semantics: sum(5) = 0+1+2+3+4 = 10.
+        let trace = spllift_ir::interp::run(&p, &spllift_ir::interp::InterpConfig::default());
+        assert!(!trace.budget_exhausted);
+        assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn for_init_scope_allows_reuse() {
+        let src = r#"
+        class C {
+            static void main() {
+                for (int i = 0; i < 2; i = i + 1) { int t = i; }
+                for (int i = 5; i < 7; i = i + 1) { int t = i; }
+            }
+        }
+        "#;
+        parse_ok(src);
+    }
+
+    #[test]
+    fn for_without_init_or_update() {
+        let src = r#"
+        class C {
+            static void main() {
+                int i = 0;
+                for (; i < 3;) { i = i + 1; }
+            }
+        }
+        "#;
+        let (p, _) = parse_ok(src);
+        let trace = spllift_ir::interp::run(&p, &spllift_ir::interp::InterpConfig::default());
+        assert!(!trace.budget_exhausted);
+    }
+
+    #[test]
+    fn annotated_for_loop() {
+        let src = r#"
+        class C {
+            static void main() {
+                int acc = 0;
+                #ifdef UNROLL
+                for (int i = 0; i < 4; i = i + 1) { acc = acc + 1; }
+                #endif
+            }
+        }
+        "#;
+        let (p, t) = parse_ok(src);
+        let u = t.get("UNROLL").unwrap();
+        let main = p.find_method("C.main").unwrap();
+        // Every loop statement carries the annotation.
+        let annotated = p
+            .stmts_of(main)
+            .filter(|&s| p.stmt(s).annotation == FeatureExpr::var(u))
+            .count();
+        assert!(annotated >= 4, "init, cond, body, update, goto annotated");
+    }
+}

@@ -1,0 +1,40 @@
+//! Edge functions: distributive transformers on the value lattice.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A distributive function `V → V` attached to an edge of the exploded
+/// supergraph.
+///
+/// Edge functions must form a *finite-height* structure under
+/// [`join`](EdgeFn::join) for the solver to terminate, and must be
+/// efficiently representable: the solver composes and joins them
+/// symbolically in phase 1 and only applies them to values in phase 2.
+///
+/// For SPLLIFT, an edge function is `λc. c ∧ F` for a feature constraint
+/// `F`; composition is `∧`, join is `∨`, so the whole function is one BDD.
+pub trait EdgeFn<V>: Clone + Eq + Hash + Debug {
+    /// Applies the function to a value (phase 2).
+    fn apply(&self, v: &V) -> V;
+
+    /// `after ∘ self`: first `self` (closer to the method start point),
+    /// then `after`.
+    #[must_use]
+    fn compose_with(&self, after: &Self) -> Self;
+
+    /// Pointwise join with `other` (at control-flow merges).
+    #[must_use]
+    fn join(&self, other: &Self) -> Self;
+
+    /// `true` iff this function maps every value to ⊤ (the "kill
+    /// everything" function `allTop` of Heros).
+    ///
+    /// The solver discards path edges whose jump function is a kill
+    /// function — this is exactly the early termination in the
+    /// *construction* phase that §4.2 of the paper credits for making the
+    /// feature model free: a contradictory constraint reduces to `false`,
+    /// its edge function becomes the kill function, and tabulation stops.
+    fn is_kill(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,405 @@
+//! The two-phase IDE solver.
+//!
+//! Phase 1 tabulates *jump functions* — symbolic compositions of edge
+//! functions from `(sp(m), d1)` to `(n, d2)` — together with summary
+//! functions for calls, exactly like the IFDS tabulation but over
+//! (fact, edge-function) pairs. Phase 2 seeds concrete values at the entry
+//! points, pushes them across call edges to all procedure entries, and
+//! finally evaluates every jump function once.
+
+use crate::{EdgeFn, IdeProblem};
+use spllift_ifds::Icfg;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Counters collected during an IDE solver run.
+///
+/// `jump_fn_constructions` counts every time a jump function is created or
+/// strengthened — the quantity the paper's §6.2 correlates with running
+/// time (ρ > 0.99).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdeStats {
+    /// Phase-1 worklist items processed.
+    pub propagations: u64,
+    /// Flow-function evaluations (phase 1).
+    pub flow_evals: u64,
+    /// Jump-function creations + strengthenings.
+    pub jump_fn_constructions: u64,
+    /// Propagations discarded because the jump function was a kill
+    /// function (early termination, paper §4.2).
+    pub killed_early: u64,
+    /// Phase-2 value updates.
+    pub value_updates: u64,
+}
+
+/// The IDE solver. Build with [`IdeSolver::solve`].
+#[derive(Debug)]
+pub struct IdeSolver<G: Icfg, D, V>
+where
+    D: Clone + Eq + std::hash::Hash,
+{
+    /// Values keyed per statement, then per fact — so per-statement
+    /// queries (`results_at`) are O(facts at that statement).
+    values: HashMap<G::Stmt, HashMap<D, V>>,
+    top: V,
+    zero: D,
+    stats: IdeStats,
+}
+
+impl<G, D, V> IdeSolver<G, D, V>
+where
+    G: Icfg,
+    D: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    V: Clone + Eq + std::fmt::Debug,
+{
+    /// Runs both phases of the IDE algorithm to a fixpoint.
+    pub fn solve<P>(problem: &P, icfg: &G) -> Self
+    where
+        P: IdeProblem<G, Fact = D, Value = V>,
+    {
+        let mut phase1 = Phase1::<G, P> {
+            jump: HashMap::new(),
+            worklist: VecDeque::new(),
+            incoming: HashMap::new(),
+            end_summary: HashMap::new(),
+            stats: IdeStats::default(),
+        };
+        phase1.run(problem, icfg);
+        let stats = phase1.stats;
+        let (values, stats) = phase2(problem, icfg, &phase1.jump, stats);
+        IdeSolver { values, top: problem.top(), zero: problem.zero(), stats }
+    }
+
+    /// The value computed for `fact` at `stmt` (⊤ if never reached).
+    pub fn value_at(&self, stmt: G::Stmt, fact: &D) -> V {
+        self.values
+            .get(&stmt)
+            .and_then(|m| m.get(fact))
+            .cloned()
+            .unwrap_or_else(|| self.top.clone())
+    }
+
+    /// All (fact, value) pairs at `stmt` whose value is not ⊤.
+    pub fn results_at(&self, stmt: G::Stmt) -> HashMap<D, V> {
+        self.values
+            .get(&stmt)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, v)| **v != self.top)
+                    .map(|(d, v)| (d.clone(), v.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The value of the zero fact at `stmt` — in SPLLIFT, the reachability
+    /// constraint of the statement (paper §3.3).
+    pub fn reachability_of(&self, stmt: G::Stmt) -> V {
+        self.value_at(stmt, &self.zero)
+    }
+
+    /// Every (stmt, fact, value) triple with a non-⊤ value.
+    pub fn all_results(&self) -> impl Iterator<Item = (G::Stmt, &D, &V)> {
+        self.values.iter().flat_map(move |(s, m)| {
+            m.iter()
+                .filter(move |(_, v)| **v != self.top)
+                .map(move |(d, v)| (*s, d, v))
+        })
+    }
+
+    /// Solver counters.
+    pub fn stats(&self) -> IdeStats {
+        self.stats
+    }
+}
+
+/// Phase-1 state. Jump functions are keyed `(stmt, d1) → d2 → EF`, where
+/// `d1` is the fact at the start point of `stmt`'s method.
+struct Phase1<G: Icfg, P: IdeProblem<G>> {
+    jump: HashMap<(G::Stmt, P::Fact), HashMap<P::Fact, P::EF>>,
+    worklist: VecDeque<(P::Fact, G::Stmt, P::Fact)>,
+    /// (callee, entry fact) → {(call stmt, fact at call, caller sp fact)}.
+    incoming: HashMap<(G::Method, P::Fact), HashSet<(G::Stmt, P::Fact, P::Fact)>>,
+    /// (callee, entry fact) → (exit stmt, exit fact) → summary EF.
+    end_summary: HashMap<(G::Method, P::Fact), HashMap<(G::Stmt, P::Fact), P::EF>>,
+    stats: IdeStats,
+}
+
+impl<G, P> Phase1<G, P>
+where
+    G: Icfg,
+    P: IdeProblem<G>,
+{
+    fn propagate(&mut self, d1: P::Fact, n: G::Stmt, d2: P::Fact, f: P::EF) {
+        if f.is_kill() {
+            self.stats.killed_early += 1;
+            return;
+        }
+        let slot = self.jump.entry((n, d1.clone())).or_default();
+        let changed = match slot.get(&d2) {
+            None => {
+                slot.insert(d2.clone(), f);
+                true
+            }
+            Some(old) => {
+                let joined = old.join(&f);
+                if joined != *old {
+                    slot.insert(d2.clone(), joined);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if changed {
+            self.stats.jump_fn_constructions += 1;
+            self.worklist.push_back((d1, n, d2));
+        }
+    }
+
+    fn jump_of(&self, n: G::Stmt, d1: &P::Fact, d2: &P::Fact) -> Option<P::EF> {
+        self.jump.get(&(n, d1.clone()))?.get(d2).cloned()
+    }
+
+    fn run(&mut self, problem: &P, icfg: &G) {
+        for (sp, fact) in problem.initial_seeds(icfg) {
+            self.propagate(fact.clone(), sp, fact, problem.id_edge());
+        }
+        while let Some((d1, n, d2)) = self.worklist.pop_front() {
+            self.stats.propagations += 1;
+            // Snapshot of the (current) jump function for this triple.
+            let Some(f) = self.jump_of(n, &d1, &d2) else { continue };
+            let method = icfg.method_of(n);
+            if icfg.is_call(n) {
+                self.process_call(problem, icfg, &d1, n, &d2, &f);
+            } else {
+                if icfg.is_exit(n) {
+                    self.process_exit(problem, icfg, method, &d1, n, &d2, &f);
+                }
+                // Exit statements normally have no successors, but in a
+                // lifted SPL graph a *disabled* return falls through
+                // (paper Fig. 4): propagate normal flow along any extra
+                // successors the ICFG reports.
+                for succ in icfg.successors_of(n) {
+                    self.stats.flow_evals += 1;
+                    for (d3, g) in problem.flow_normal(icfg, n, succ, &d2) {
+                        self.propagate(d1.clone(), succ, d3, f.compose_with(&g));
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_call(
+        &mut self,
+        problem: &P,
+        icfg: &G,
+        d1: &P::Fact,
+        n: G::Stmt,
+        d2: &P::Fact,
+        f: &P::EF,
+    ) {
+        for callee in icfg.callees_of(n) {
+            self.stats.flow_evals += 1;
+            for (d3, g_call) in problem.flow_call(icfg, n, callee, d2) {
+                let sp = icfg.start_point_of(callee);
+                // Callee-local jump functions start from the identity.
+                self.propagate(d3.clone(), sp, d3.clone(), problem.id_edge());
+                let key = (callee, d3.clone());
+                self.incoming
+                    .entry(key.clone())
+                    .or_default()
+                    .insert((n, d2.clone(), d1.clone()));
+                let summaries: Vec<((G::Stmt, P::Fact), P::EF)> = self
+                    .end_summary
+                    .get(&key)
+                    .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+                    .unwrap_or_default();
+                for ((exit, d4), f_summary) in summaries {
+                    for r in icfg.return_sites_of(n) {
+                        self.stats.flow_evals += 1;
+                        for (d5, g_ret) in
+                            problem.flow_return(icfg, n, callee, exit, r, &d4)
+                        {
+                            let composed = f
+                                .compose_with(&g_call)
+                                .compose_with(&f_summary)
+                                .compose_with(&g_ret);
+                            self.propagate(d1.clone(), r, d5, composed);
+                        }
+                    }
+                }
+            }
+        }
+        for r in icfg.return_sites_of(n) {
+            self.stats.flow_evals += 1;
+            for (d3, g) in problem.flow_call_to_return(icfg, n, r, d2) {
+                self.propagate(d1.clone(), r, d3, f.compose_with(&g));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_exit(
+        &mut self,
+        problem: &P,
+        icfg: &G,
+        method: G::Method,
+        d1: &P::Fact,
+        n: G::Stmt,
+        d2: &P::Fact,
+        f: &P::EF,
+    ) {
+        let key = (method, d1.clone());
+        let entry = self
+            .end_summary
+            .entry(key.clone())
+            .or_default()
+            .entry((n, d2.clone()));
+        use std::collections::hash_map::Entry;
+        let changed = match entry {
+            Entry::Vacant(v) => {
+                v.insert(f.clone());
+                true
+            }
+            Entry::Occupied(mut o) => {
+                let joined = o.get().join(f);
+                if joined != *o.get() {
+                    o.insert(joined);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if !changed {
+            return;
+        }
+        let callers: Vec<(G::Stmt, P::Fact, P::Fact)> = self
+            .incoming
+            .get(&key)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for (call, d2c, d1c) in callers {
+            let Some(f_prefix) = self.jump_of(call, &d1c, &d2c) else { continue };
+            self.stats.flow_evals += 1;
+            for (d3, g_call) in problem.flow_call(icfg, call, method, &d2c) {
+                if d3 != *d1 {
+                    continue;
+                }
+                for r in icfg.return_sites_of(call) {
+                    self.stats.flow_evals += 1;
+                    for (d5, g_ret) in
+                        problem.flow_return(icfg, call, method, n, r, d2)
+                    {
+                        let composed = f_prefix
+                            .compose_with(&g_call)
+                            .compose_with(&f.clone())
+                            .compose_with(&g_ret);
+                        self.propagate(d1c.clone(), r, d5, composed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 2: propagate concrete values to all procedure entries, then
+/// evaluate every jump function once.
+fn phase2<G, P>(
+    problem: &P,
+    icfg: &G,
+    jump: &HashMap<(G::Stmt, P::Fact), HashMap<P::Fact, P::EF>>,
+    mut stats: IdeStats,
+) -> (HashMap<G::Stmt, HashMap<P::Fact, P::Value>>, IdeStats)
+where
+    G: Icfg,
+    P: IdeProblem<G>,
+{
+    let mut values: HashMap<G::Stmt, HashMap<P::Fact, P::Value>> = HashMap::new();
+    let mut worklist: VecDeque<(G::Method, P::Fact)> = VecDeque::new();
+    let top = problem.top();
+
+    let update = |values: &mut HashMap<G::Stmt, HashMap<P::Fact, P::Value>>,
+                  stats: &mut IdeStats,
+                  stmt: G::Stmt,
+                  fact: P::Fact,
+                  v: P::Value|
+     -> bool {
+        let slot = values
+            .entry(stmt)
+            .or_default()
+            .entry(fact)
+            .or_insert_with(|| top.clone());
+        let joined = problem.join_values(slot, &v);
+        if joined != *slot {
+            *slot = joined;
+            stats.value_updates += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    for (sp, fact) in problem.initial_seeds(icfg) {
+        if update(&mut values, &mut stats, sp, fact.clone(), problem.seed_value()) {
+            worklist.push_back((icfg.method_of(sp), fact));
+        }
+    }
+
+    // Inter-procedural value propagation between procedure entries.
+    while let Some((m, d1)) = worklist.pop_front() {
+        let sp = icfg.start_point_of(m);
+        let v = values
+            .get(&sp)
+            .and_then(|facts| facts.get(&d1))
+            .cloned()
+            .unwrap_or_else(|| top.clone());
+        for call in icfg.calls_in(m) {
+            let Some(fns) = jump.get(&(call, d1.clone())) else { continue };
+            for (d2, f) in fns {
+                let vc = f.apply(&v);
+                if vc == top {
+                    continue;
+                }
+                for callee in icfg.callees_of(call) {
+                    for (d3, g) in problem.flow_call(icfg, call, callee, d2) {
+                        let nv = g.apply(&vc);
+                        if nv == top {
+                            continue;
+                        }
+                        let spq = icfg.start_point_of(callee);
+                        if update(&mut values, &mut stats, spq, d3.clone(), nv) {
+                            worklist.push_back((callee, d3));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Evaluate jump functions at every node from the entry values.
+    let mut entry_values: Vec<(G::Stmt, P::Fact, P::Value)> = Vec::new();
+    for (&sp, facts) in &values {
+        if icfg.start_point_of(icfg.method_of(sp)) != sp {
+            continue;
+        }
+        for (d1, v) in facts {
+            entry_values.push((sp, d1.clone(), v.clone()));
+        }
+    }
+    for (sp, d1, v) in entry_values {
+        let m = icfg.method_of(sp);
+        for n in icfg.stmts_of(m) {
+            let Some(fns) = jump.get(&(n, d1.clone())) else { continue };
+            for (d2, f) in fns {
+                let nv = f.apply(&v);
+                if nv == top {
+                    continue;
+                }
+                update(&mut values, &mut stats, n, d2.clone(), nv);
+            }
+        }
+    }
+
+    (values, stats)
+}

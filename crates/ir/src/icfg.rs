@@ -1,0 +1,118 @@
+//! [`spllift_ifds::Icfg`] implementation for [`Program`]s.
+
+use crate::types::*;
+use crate::{CallGraph, Hierarchy};
+use spllift_features::FeatureExpr;
+use spllift_ifds::Icfg;
+
+/// The inter-procedural CFG of a [`Program`]: the view all solvers in the
+/// workspace analyze.
+///
+/// Construction builds the class hierarchy and the call graph; this is the
+/// analogue of the "Soot/CG" preprocessing step the paper times separately
+/// in Table 2.
+#[derive(Debug)]
+pub struct ProgramIcfg<'p> {
+    program: &'p Program,
+    hierarchy: Hierarchy,
+    call_graph: CallGraph,
+}
+
+impl<'p> ProgramIcfg<'p> {
+    /// Builds hierarchy + call graph for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        let hierarchy = Hierarchy::new(program);
+        let call_graph = CallGraph::build(program, &hierarchy);
+        ProgramIcfg { program, hierarchy, call_graph }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The class hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The call graph.
+    pub fn call_graph(&self) -> &CallGraph {
+        &self.call_graph
+    }
+
+    /// The feature annotation of `s` (`True` for unannotated statements).
+    pub fn annotation_of(&self, s: StmtRef) -> &FeatureExpr {
+        &self.program.stmt(s).annotation
+    }
+
+    /// Fall-through successor of `s` — where control goes when `s` is
+    /// *disabled* (paper Fig. 4).
+    pub fn fall_through_of(&self, s: StmtRef) -> Option<StmtRef> {
+        self.program.fall_through_of(s)
+    }
+
+    /// Branch target of an `if`/`goto` at `s`.
+    pub fn branch_target_of(&self, s: StmtRef) -> Option<StmtRef> {
+        self.program.branch_target_of(s)
+    }
+}
+
+impl Icfg for ProgramIcfg<'_> {
+    type Stmt = StmtRef;
+    type Method = MethodId;
+
+    fn entry_points(&self) -> Vec<MethodId> {
+        self.program.entry_points().to_vec()
+    }
+
+    fn start_point_of(&self, m: MethodId) -> StmtRef {
+        self.program.entry_of(m)
+    }
+
+    fn method_of(&self, s: StmtRef) -> MethodId {
+        s.method
+    }
+
+    fn successors_of(&self, s: StmtRef) -> Vec<StmtRef> {
+        self.program.successors_of(s)
+    }
+
+    fn is_call(&self, s: StmtRef) -> bool {
+        matches!(self.program.stmt(s).kind, StmtKind::Invoke { .. })
+            && !self.call_graph.callees_of(s).is_empty()
+    }
+
+    fn callees_of(&self, s: StmtRef) -> Vec<MethodId> {
+        self.call_graph
+            .callees_of(s)
+            .iter()
+            .copied()
+            .filter(|&m| self.program.method(m).body.is_some())
+            .collect()
+    }
+
+    fn is_exit(&self, s: StmtRef) -> bool {
+        matches!(self.program.stmt(s).kind, StmtKind::Return { .. })
+    }
+
+    fn stmts_of(&self, m: MethodId) -> Vec<StmtRef> {
+        self.program.stmts_of(m).collect()
+    }
+
+    fn methods(&self) -> Vec<MethodId> {
+        self.call_graph.reachable_methods().collect()
+    }
+
+    fn stmt_label(&self, s: StmtRef) -> String {
+        format!("{}: {}", s, crate::pretty::stmt_to_string(self.program, s))
+    }
+
+    fn method_label(&self, m: MethodId) -> String {
+        let meth = self.program.method(m);
+        match meth.class {
+            Some(c) => format!("{}.{}", self.program.class(c).name, meth.name),
+            None => meth.name.clone(),
+        }
+    }
+}

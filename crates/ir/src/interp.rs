@@ -1,0 +1,427 @@
+//! A concrete interpreter for the IR — used to validate the static
+//! analyses *dynamically*: whatever a concrete execution of a derived
+//! product observes (a tainted value reaching a sink, a read of an
+//! uninitialized local) must be predicted by the corresponding sound
+//! static analysis. The workspace's differential tests drive random
+//! programs through both and compare.
+//!
+//! Semantics notes:
+//!
+//! * values carry a *taint bit*; methods named in
+//!   [`InterpConfig::sources`] taint their return value, methods in
+//!   [`InterpConfig::sinks`] record a [`Event::Leak`] when any argument
+//!   is tainted;
+//! * reading an uninitialized local records [`Event::UninitRead`] and
+//!   yields an (untainted) zero — execution continues, mirroring the
+//!   "may" nature of the static analysis;
+//! * arithmetic is total (division by zero yields 0);
+//! * execution is bounded by a step budget; hitting it stops cleanly
+//!   (a partial trace is still sound to compare against).
+
+use crate::types::*;
+use std::collections::HashMap;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Default)]
+pub struct InterpConfig {
+    /// Methods whose return value is tainted.
+    pub sources: Vec<String>,
+    /// Methods that report a leak when called with a tainted argument.
+    pub sinks: Vec<String>,
+    /// Maximum number of executed statements (0 = default 100 000).
+    pub step_budget: u64,
+}
+
+impl InterpConfig {
+    /// The examples' default: `secret` → `print`.
+    pub fn secret_to_print() -> Self {
+        InterpConfig {
+            sources: vec!["secret".into()],
+            sinks: vec!["print".into()],
+            step_budget: 0,
+        }
+    }
+}
+
+/// An observable event of a concrete run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// A tainted value was passed to a sink at this call.
+    Leak(StmtRef),
+    /// An uninitialized local was read at this statement.
+    UninitRead(StmtRef, LocalId),
+}
+
+/// The result of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Observed events, in program order (deduplicated).
+    pub events: Vec<Event>,
+    /// Statements executed.
+    pub steps: u64,
+    /// `true` if the run ended because the step budget was exhausted.
+    pub budget_exhausted: bool,
+}
+
+/// A runtime value with its taint bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Value {
+    raw: Raw,
+    tainted: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Raw {
+    Int(i64),
+    Bool(bool),
+    Null,
+    Object(usize),
+    Array(usize),
+}
+
+impl Value {
+    fn int(v: i64) -> Self {
+        Value { raw: Raw::Int(v), tainted: false }
+    }
+    fn as_int(self) -> i64 {
+        match self.raw {
+            Raw::Int(v) => v,
+            Raw::Bool(b) => b as i64,
+            _ => 0,
+        }
+    }
+}
+
+struct Heap {
+    /// Object fields, keyed per object id by FieldId.
+    objects: Vec<(ClassId, HashMap<FieldId, Value>)>,
+    /// Arrays: one *summary cell* per array would be unfaithful for a
+    /// concrete semantics — store real element vectors.
+    arrays: Vec<Vec<Value>>,
+}
+
+/// Runs `program` from its entry points (in order) and collects events.
+///
+/// The program must be a *product* (annotation-free); run
+/// [`Program::derive_product`] first. Annotations still present are
+/// ignored (treated as enabled), which would make the comparison
+/// meaningless — hence the debug assertion.
+pub fn run(program: &Program, config: &InterpConfig) -> Trace {
+    debug_assert!(
+        program.methods().iter().all(|m| m
+            .body
+            .as_ref()
+            .map(|b| b
+                .stmts
+                .iter()
+                .all(|s| s.annotation == spllift_features::FeatureExpr::True))
+            .unwrap_or(true)),
+        "interpret derived products, not annotated product lines"
+    );
+    let hierarchy = crate::Hierarchy::new(program);
+    let mut interp = Interp {
+        program,
+        hierarchy,
+        config,
+        heap: Heap { objects: Vec::new(), arrays: Vec::new() },
+        trace: Trace::default(),
+        budget: if config.step_budget == 0 { 100_000 } else { config.step_budget },
+        depth: 0,
+    };
+    for &entry in program.entry_points() {
+        if program.method(entry).body.is_some() {
+            interp.call(entry, Vec::new(), None);
+        }
+    }
+    interp.trace.events.sort();
+    interp.trace.events.dedup();
+    interp.trace
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    hierarchy: crate::Hierarchy,
+    config: &'p InterpConfig,
+    heap: Heap,
+    trace: Trace,
+    budget: u64,
+    depth: u32,
+}
+
+impl Interp<'_> {
+    /// Executes `method` with `args` (after the optional receiver) and
+    /// returns its return value.
+    fn call(&mut self, method: MethodId, args: Vec<Value>, this: Option<Value>) -> Value {
+        let Some(body) = &self.program.method(method).body else {
+            return Value::int(0);
+        };
+        // Bound host-stack recursion; the budget alone cannot, because a
+        // deep call chain consumes native stack before it runs out.
+        if self.depth >= 200 {
+            self.trace.budget_exhausted = true;
+            return Value::int(0);
+        }
+        self.depth += 1;
+        let result = self.call_inner(method, body, args, this);
+        self.depth -= 1;
+        result
+    }
+
+    fn call_inner(
+        &mut self,
+        method: MethodId,
+        body: &Body,
+        args: Vec<Value>,
+        this: Option<Value>,
+    ) -> Value {
+        let mut locals: Vec<Option<Value>> = vec![None; body.locals.len()];
+        if let (Some(t), Some(v)) = (body.this_local, this) {
+            locals[t.index()] = Some(v);
+        }
+        for (i, v) in args.into_iter().enumerate() {
+            if let Some(&p) = body.param_locals.get(i) {
+                locals[p.index()] = Some(v);
+            }
+        }
+        let mut pc: u32 = 0;
+        loop {
+            if self.trace.steps >= self.budget {
+                self.trace.budget_exhausted = true;
+                return Value::int(0);
+            }
+            if (pc as usize) >= body.stmts.len() {
+                return Value::int(0); // fell off the end (defensive)
+            }
+            self.trace.steps += 1;
+            let sref = StmtRef { method, index: pc };
+            match &body.stmts[pc as usize].kind {
+                StmtKind::Nop => pc += 1,
+                StmtKind::Assign { target, rvalue } => {
+                    let v = self.eval_rvalue(sref, &mut locals, rvalue);
+                    locals[target.index()] = Some(v);
+                    pc += 1;
+                }
+                StmtKind::FieldStore { base, field, value } => {
+                    let v = self.read_op(sref, &mut locals, *value);
+                    match base.map(|b| self.read_op(sref, &mut locals, b)) {
+                        Some(Value { raw: Raw::Object(o), .. }) => {
+                            self.heap.objects[o].1.insert(*field, v);
+                        }
+                        _ => {
+                            // Static-style store: keep in a synthetic
+                            // object per field's class, object 0 slot.
+                            self.static_field_slot(*field, Some(v));
+                        }
+                    }
+                    pc += 1;
+                }
+                StmtKind::ArrayStore { base, index, value } => {
+                    let v = self.read_op(sref, &mut locals, *value);
+                    let idx = self.read_op(sref, &mut locals, *index).as_int();
+                    if let Value { raw: Raw::Array(a), .. } =
+                        self.read_op(sref, &mut locals, *base)
+                    {
+                        let arr = &mut self.heap.arrays[a];
+                        if !arr.is_empty() {
+                            let i = (idx.unsigned_abs() as usize) % arr.len();
+                            arr[i] = v;
+                        }
+                    }
+                    pc += 1;
+                }
+                StmtKind::If { op, lhs, rhs, target } => {
+                    let a = self.read_op(sref, &mut locals, *lhs);
+                    let b = self.read_op(sref, &mut locals, *rhs);
+                    if eval_cmp(*op, a, b) {
+                        pc = *target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                StmtKind::Goto { target } => pc = *target,
+                StmtKind::Invoke { result, callee, args } => {
+                    let ret = self.eval_invoke(sref, &mut locals, callee, args);
+                    if let Some(r) = result {
+                        locals[r.index()] = Some(ret);
+                    }
+                    pc += 1;
+                }
+                StmtKind::Return { value } => {
+                    return match value {
+                        Some(op) => self.read_op(sref, &mut locals, *op),
+                        None => Value::int(0),
+                    };
+                }
+            }
+        }
+    }
+
+    fn static_field_slot(&mut self, field: FieldId, store: Option<Value>) -> Value {
+        // One global slot per field id for static-style accesses.
+        let class = self.program.field(field).class;
+        let slot = self
+            .heap
+            .objects
+            .iter()
+            .position(|(c, _)| *c == class)
+            .unwrap_or_else(|| {
+                self.heap.objects.push((class, HashMap::new()));
+                self.heap.objects.len() - 1
+            });
+        if let Some(v) = store {
+            self.heap.objects[slot].1.insert(field, v);
+            v
+        } else {
+            *self.heap.objects[slot]
+                .1
+                .get(&field)
+                .unwrap_or(&Value::int(0))
+        }
+    }
+
+    fn read_op(
+        &mut self,
+        at: StmtRef,
+        locals: &mut [Option<Value>],
+        op: Operand,
+    ) -> Value {
+        match op {
+            Operand::IntConst(v) => Value::int(v),
+            Operand::BoolConst(b) => Value { raw: Raw::Bool(b), tainted: false },
+            Operand::Null => Value { raw: Raw::Null, tainted: false },
+            Operand::Local(l) => match locals[l.index()] {
+                Some(v) => v,
+                None => {
+                    self.trace.events.push(Event::UninitRead(at, l));
+                    Value::int(0)
+                }
+            },
+        }
+    }
+
+    fn eval_rvalue(
+        &mut self,
+        at: StmtRef,
+        locals: &mut [Option<Value>],
+        rvalue: &Rvalue,
+    ) -> Value {
+        match rvalue {
+            Rvalue::Use(op) => self.read_op(at, locals, *op),
+            Rvalue::Binary(op, a, b) => {
+                let va = self.read_op(at, locals, *a);
+                let vb = self.read_op(at, locals, *b);
+                let tainted = va.tainted || vb.tainted;
+                let raw = match op {
+                    BinOp::Add => Raw::Int(va.as_int().wrapping_add(vb.as_int())),
+                    BinOp::Sub => Raw::Int(va.as_int().wrapping_sub(vb.as_int())),
+                    BinOp::Mul => Raw::Int(va.as_int().wrapping_mul(vb.as_int())),
+                    BinOp::Div => {
+                        Raw::Int(va.as_int().checked_div(vb.as_int()).unwrap_or(0))
+                    }
+                    BinOp::Rem => {
+                        Raw::Int(va.as_int().checked_rem(vb.as_int()).unwrap_or(0))
+                    }
+                    _ => Raw::Bool(eval_cmp(*op, va, vb)),
+                };
+                Value { raw, tainted }
+            }
+            Rvalue::New(c) => {
+                self.heap.objects.push((*c, HashMap::new()));
+                Value {
+                    raw: Raw::Object(self.heap.objects.len() - 1),
+                    tainted: false,
+                }
+            }
+            Rvalue::NewArray { len, .. } => {
+                let n = self
+                    .read_op(at, locals, *len)
+                    .as_int()
+                    .clamp(0, 4096) as usize;
+                self.heap.arrays.push(vec![Value::int(0); n]);
+                Value { raw: Raw::Array(self.heap.arrays.len() - 1), tainted: false }
+            }
+            Rvalue::FieldLoad { base, field } => {
+                match base.map(|b| self.read_op(at, locals, b)) {
+                    Some(Value { raw: Raw::Object(o), .. }) => *self.heap.objects[o]
+                        .1
+                        .get(field)
+                        .unwrap_or(&Value::int(0)),
+                    _ => self.static_field_slot(*field, None),
+                }
+            }
+            Rvalue::ArrayLoad { base, index } => {
+                let idx = self.read_op(at, locals, *index).as_int();
+                match self.read_op(at, locals, *base) {
+                    Value { raw: Raw::Array(a), .. } => {
+                        let arr = &self.heap.arrays[a];
+                        if arr.is_empty() {
+                            Value::int(0)
+                        } else {
+                            arr[(idx.unsigned_abs() as usize) % arr.len()]
+                        }
+                    }
+                    _ => Value::int(0),
+                }
+            }
+        }
+    }
+
+    fn eval_invoke(
+        &mut self,
+        at: StmtRef,
+        locals: &mut [Option<Value>],
+        callee: &Callee,
+        args: &[Operand],
+    ) -> Value {
+        let arg_values: Vec<Value> =
+            args.iter().map(|&a| self.read_op(at, locals, a)).collect();
+        let (target, this, name) = match callee {
+            Callee::Static(m) => (Some(*m), None, self.program.method(*m).name.clone()),
+            Callee::Virtual { base, name, argc } => {
+                let recv = self.read_op(at, locals, Operand::Local(*base));
+                let target = match recv.raw {
+                    Raw::Object(o) => {
+                        let class = self.heap.objects[o].0;
+                        self.hierarchy.dispatch(class, name, *argc)
+                    }
+                    _ => {
+                        // Null/garbage receiver: fall back to the declared
+                        // type's dispatch so execution stays total.
+                        match self.program.body(at.method).locals[base.index()].ty {
+                            Type::Ref(c) => self.hierarchy.dispatch(c, name, *argc),
+                            _ => None,
+                        }
+                    }
+                };
+                (target, Some(recv), name.clone())
+            }
+        };
+        // Sink check happens at the call site, like the static analysis.
+        if self.config.sinks.contains(&name) && arg_values.iter().any(|v| v.tainted) {
+            self.trace.events.push(Event::Leak(at));
+        }
+        let mut ret = match target {
+            Some(m) if self.program.method(m).body.is_some() => {
+                self.call(m, arg_values, this)
+            }
+            _ => Value::int(0),
+        };
+        if self.config.sources.contains(&name) {
+            ret.tainted = true;
+        }
+        ret
+    }
+}
+
+fn eval_cmp(op: BinOp, a: Value, b: Value) -> bool {
+    let (x, y) = (a.as_int(), b.as_int());
+    match op {
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        BinOp::Lt => x < y,
+        BinOp::Le => x <= y,
+        BinOp::Gt => x > y,
+        BinOp::Ge => x >= y,
+        _ => false,
+    }
+}

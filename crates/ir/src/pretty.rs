@@ -1,0 +1,134 @@
+//! Jimple-like pretty-printing of programs.
+
+use crate::types::*;
+use std::fmt::Write as _;
+
+fn operand_to_string(_program: &Program, body: &Body, op: Operand) -> String {
+    match op {
+        Operand::Local(l) => body.locals[l.index()].name.clone(),
+        Operand::IntConst(c) => c.to_string(),
+        Operand::BoolConst(b) => b.to_string(),
+        Operand::Null => "null".into(),
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+/// Renders the statement at `s` in Jimple-like syntax.
+pub fn stmt_to_string(program: &Program, s: StmtRef) -> String {
+    let body = program.body(s.method);
+    let op = |o: Operand| operand_to_string(program, body, o);
+    let local = |l: LocalId| body.locals[l.index()].name.clone();
+    match &body.stmts[s.index as usize].kind {
+        StmtKind::Nop => "nop".into(),
+        StmtKind::Assign { target, rvalue } => {
+            let rhs = match rvalue {
+                Rvalue::Use(o) => op(*o),
+                Rvalue::Binary(b, l, r) => {
+                    format!("{} {} {}", op(*l), binop_str(*b), op(*r))
+                }
+                Rvalue::New(c) => format!("new {}", program.class(*c).name),
+                Rvalue::FieldLoad { base, field } => {
+                    let f = program.field(*field);
+                    match base {
+                        Some(b) => format!("{}.{}", op(*b), f.name),
+                        None => format!("{}.{}", program.class(f.class).name, f.name),
+                    }
+                }
+                Rvalue::NewArray { elem, len } => {
+                    let name = match elem {
+                        ElemType::Int => "int".to_owned(),
+                        ElemType::Boolean => "boolean".to_owned(),
+                        ElemType::Ref(c) => program.class(*c).name.clone(),
+                    };
+                    format!("new {name}[{}]", op(*len))
+                }
+                Rvalue::ArrayLoad { base, index } => {
+                    format!("{}[{}]", op(*base), op(*index))
+                }
+            };
+            format!("{} = {}", local(*target), rhs)
+        }
+        StmtKind::FieldStore { base, field, value } => {
+            let f = program.field(*field);
+            let lhs = match base {
+                Some(b) => format!("{}.{}", op(*b), f.name),
+                None => format!("{}.{}", program.class(f.class).name, f.name),
+            };
+            format!("{} = {}", lhs, op(*value))
+        }
+        StmtKind::ArrayStore { base, index, value } => {
+            format!("{}[{}] = {}", op(*base), op(*index), op(*value))
+        }
+        StmtKind::If { op: o, lhs, rhs, target } => {
+            format!("if {} {} {} goto {}", op(*lhs), binop_str(*o), op(*rhs), target)
+        }
+        StmtKind::Goto { target } => format!("goto {target}"),
+        StmtKind::Invoke { result, callee, args } => {
+            let args_str: Vec<String> = args.iter().map(|&a| op(a)).collect();
+            let call = match callee {
+                Callee::Static(m) => {
+                    let meth = program.method(*m);
+                    let qual = meth
+                        .class
+                        .map(|c| format!("{}.", program.class(c).name))
+                        .unwrap_or_default();
+                    format!("{}{}({})", qual, meth.name, args_str.join(", "))
+                }
+                Callee::Virtual { base, name, .. } => {
+                    format!("{}.{}({})", local(*base), name, args_str.join(", "))
+                }
+            };
+            match result {
+                Some(r) => format!("{} = {}", local(*r), call),
+                None => call,
+            }
+        }
+        StmtKind::Return { value } => match value {
+            Some(v) => format!("return {}", op(*v)),
+            None => "return".into(),
+        },
+    }
+}
+
+/// Renders a whole program in Jimple-like syntax, with `// @ifdef` comments
+/// for feature annotations.
+pub fn program_to_string(program: &Program, table: &spllift_features::FeatureTable) -> String {
+    let mut out = String::new();
+    for (mi, m) in program.methods().iter().enumerate() {
+        let mid = MethodId(mi as u32);
+        let qual = m
+            .class
+            .map(|c| format!("{}.", program.class(c).name))
+            .unwrap_or_default();
+        let _ = writeln!(out, "method {qual}{}({} params):", m.name, m.params.len());
+        let Some(body) = &m.body else {
+            let _ = writeln!(out, "  <abstract>");
+            continue;
+        };
+        for (i, stmt) in body.stmts.iter().enumerate() {
+            let sref = StmtRef { method: mid, index: i as u32 };
+            let ann = if stmt.annotation == spllift_features::FeatureExpr::True {
+                String::new()
+            } else {
+                format!("  // @ifdef {}", stmt.annotation.display(table))
+            };
+            let _ = writeln!(out, "  {i:3}: {}{ann}", stmt_to_string(program, sref));
+        }
+    }
+    out
+}

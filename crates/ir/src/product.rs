@@ -1,0 +1,80 @@
+//! Product derivation: the "preprocessor" of the traditional approach.
+
+use crate::types::*;
+use spllift_features::{Configuration, FeatureExpr};
+
+impl Program {
+    /// Derives the single product of this product line selected by
+    /// `config`: every statement whose annotation is not satisfied is
+    /// replaced by a `nop` (which is exactly "the statement is absent and
+    /// control falls through", while keeping branch targets stable).
+    ///
+    /// This is what the A1 baseline ("generate and analyze all products",
+    /// paper §6.2) feeds to the plain IFDS solver.
+    ///
+    /// The derived program carries no annotations (everything is `True`).
+    pub fn derive_product(&self, config: &Configuration) -> Program {
+        let mut product = self.clone();
+        for m in &mut product.methods {
+            let Some(body) = &mut m.body else { continue };
+            for stmt in &mut body.stmts {
+                if !config.satisfies(&stmt.annotation) {
+                    stmt.kind = StmtKind::Nop;
+                }
+                stmt.annotation = FeatureExpr::True;
+            }
+        }
+        product
+    }
+
+    /// Returns a copy of the program with every statement annotation
+    /// rewritten by `f` (statement kinds and CFG untouched). Useful for
+    /// controlled experiments — e.g. thinning annotations to measure the
+    /// cost of annotation density on an otherwise identical program.
+    #[must_use]
+    pub fn map_annotations(
+        &self,
+        mut f: impl FnMut(StmtRef, &FeatureExpr) -> FeatureExpr,
+    ) -> Program {
+        let mut out = self.clone();
+        for (mi, m) in out.methods.iter_mut().enumerate() {
+            let Some(body) = &mut m.body else { continue };
+            for (i, stmt) in body.stmts.iter_mut().enumerate() {
+                let sref = StmtRef { method: MethodId(mi as u32), index: i as u32 };
+                stmt.annotation = f(sref, &stmt.annotation);
+            }
+        }
+        out
+    }
+
+    /// The features mentioned in annotations of statements *reachable*
+    /// from the entry points (per the given call graph) — the paper's
+    /// "Features reachable" column of Table 1.
+    pub fn reachable_features(
+        &self,
+        call_graph: &crate::CallGraph,
+    ) -> std::collections::BTreeSet<spllift_features::FeatureId> {
+        let mut out = std::collections::BTreeSet::new();
+        for m in call_graph.reachable_methods() {
+            for s in self.stmts_of(m) {
+                self.stmt(s).annotation.collect_features(&mut out);
+            }
+        }
+        out
+    }
+
+    /// All features mentioned in any annotation (reachable or not).
+    pub fn annotated_features(
+        &self,
+    ) -> std::collections::BTreeSet<spllift_features::FeatureId> {
+        let mut out = std::collections::BTreeSet::new();
+        for (mi, m) in self.methods.iter().enumerate() {
+            let _ = mi;
+            let Some(body) = &m.body else { continue };
+            for stmt in &body.stmts {
+                stmt.annotation.collect_features(&mut out);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,51 @@
+//! A1: the traditional generate-and-analyze baseline.
+
+use spllift_features::Configuration;
+use spllift_ifds::{IfdsProblem, IfdsSolver};
+use spllift_ir::{Program, ProgramIcfg, StmtRef};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// The result of analyzing one derived product with the plain analysis.
+///
+/// Because [`Program::derive_product`] replaces disabled statements by
+/// `nop`s *in place*, statement indices are stable: a [`StmtRef`] means
+/// the same source location in every product and in the product line,
+/// which is what makes per-product results comparable.
+#[derive(Debug)]
+pub struct A1Run<D: Clone + Eq + Hash> {
+    /// The configuration this product was derived with.
+    pub config: Configuration,
+    results: std::collections::HashMap<StmtRef, HashSet<D>>,
+    /// Solver statistics for this product.
+    pub stats: spllift_ifds::SolverStats,
+}
+
+impl<D: Clone + Eq + Hash + std::fmt::Debug> A1Run<D> {
+    /// Derives the product of `spl` for `config`, builds its own call
+    /// graph (A1 pays this cost per product — the reason Table 2's A1 was
+    /// estimated in *years*), and runs the plain analysis.
+    pub fn analyze<P>(spl: &Program, problem: &P, config: Configuration) -> Self
+    where
+        P: for<'a> IfdsProblem<ProgramIcfg<'a>, Fact = D>,
+    {
+        let product = spl.derive_product(&config);
+        let icfg = ProgramIcfg::new(&product);
+        let solver = IfdsSolver::solve(problem, &icfg);
+        let mut results = std::collections::HashMap::new();
+        for s in solver.statements() {
+            results.insert(s, solver.results_at(s));
+        }
+        A1Run { config, results, stats: solver.stats() }
+    }
+
+    /// Facts (incl. zero) at `s` in this product.
+    pub fn results_at(&self, s: StmtRef) -> HashSet<D> {
+        self.results.get(&s).cloned().unwrap_or_default()
+    }
+
+    /// All statements with results.
+    pub fn statements(&self) -> impl Iterator<Item = StmtRef> + '_ {
+        self.results.keys().copied()
+    }
+}

@@ -1,0 +1,101 @@
+//! RQ1: the bidirectional SPLLIFT ↔ A2 correctness cross-check (§6.1).
+
+use crate::a2::solve_a2;
+use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};
+use spllift_features::{Configuration, Constraint, ConstraintContext, FeatureExpr};
+use spllift_ifds::{Icfg, IfdsProblem};
+use spllift_ir::{ProgramIcfg, StmtRef};
+use std::fmt;
+use std::hash::Hash;
+
+/// A disagreement between SPLLIFT and the A2 oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The configuration under which the solvers disagree.
+    pub config: Configuration,
+    /// The statement at which they disagree.
+    pub stmt: StmtRef,
+    /// Rendering of the offending fact.
+    pub fact: String,
+    /// `true` if A2 computed the fact but SPLLIFT's constraint rejects
+    /// the configuration (SPLLIFT overly restrictive / unsound);
+    /// `false` if SPLLIFT allows the configuration but A2 did not compute
+    /// the fact (SPLLIFT imprecise: a false positive w.r.t. the oracle).
+    pub missing_in_lifted: bool,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = if self.missing_in_lifted {
+            "A2 has fact but SPLLIFT constraint rejects config"
+        } else {
+            "SPLLIFT constraint allows config but A2 lacks fact"
+        };
+        write!(f, "{dir}: {:?} at {} under {:?}", self.fact, self.stmt, self.config)
+    }
+}
+
+/// Cross-checks SPLLIFT against A2 on every configuration in `configs`,
+/// in both directions, exactly as the paper's §6.1 describes:
+///
+/// 1. whenever A2 computes a fact `r` at `s` for configuration `c`, the
+///    constraint SPLLIFT computed for `r` at `s` must allow `c`
+///    (SPLLIFT is not overly restrictive — soundness), and
+/// 2. whenever SPLLIFT's constraint for `(s, r)` allows `c`, the A2
+///    instance for `c` must have computed `r` at `s`
+///    (SPLLIFT reports no false positives w.r.t. the oracle — precision).
+///
+/// Returns all mismatches (empty = the implementations agree).
+pub fn crosscheck<'p, P, Ctx>(
+    icfg: &ProgramIcfg<'p>,
+    problem: &P,
+    ctx: &Ctx,
+    model: Option<&FeatureExpr>,
+    configs: &[Configuration],
+) -> Vec<Mismatch>
+where
+    P: IfdsProblem<ProgramIcfg<'p>>,
+    P::Fact: Ord + Hash,
+    Ctx: ConstraintContext,
+{
+    let lifted =
+        LiftedSolution::solve(problem, icfg, ctx, model, ModelMode::OnEdges);
+    let lifted_icfg = LiftedIcfg::new(icfg);
+    let mut mismatches = Vec::new();
+
+    for config in configs {
+        let a2 = solve_a2(problem, &lifted_icfg, config);
+        for m in icfg.methods() {
+            for s in icfg.stmts_of(m) {
+                let a2_facts = a2.results_at(s);
+                // Direction 1: A2 fact ⟹ constraint allows config.
+                for fact in &a2_facts {
+                    let c = lifted.constraint_of(s, fact);
+                    if !ctx.satisfied_by(&c, config) {
+                        mismatches.push(Mismatch {
+                            config: config.clone(),
+                            stmt: s,
+                            fact: format!("{fact:?}"),
+                            missing_in_lifted: true,
+                        });
+                    }
+                }
+                // Direction 2: constraint allows config ⟹ A2 fact.
+                for (fact, c) in lifted.results_at(s) {
+                    if !c.is_false()
+                        && ctx.satisfied_by(&c, config)
+                        && !a2_facts.contains(&fact)
+                    {
+                        mismatches.push(Mismatch {
+                            config: config.clone(),
+                            stmt: s,
+                            fact: format!("{fact:?}"),
+                            missing_in_lifted: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    mismatches
+}

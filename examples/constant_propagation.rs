@@ -1,0 +1,51 @@
+//! Linear constant propagation — a *native IDE* analysis (the framework's
+//! original motivating client, paper §2.4) running on the same solver the
+//! lifted analyses use.
+//!
+//! Run with: `cargo run --example constant_propagation`
+
+use spllift::analyses::{CpFact, CpValue, LinearConstants};
+use spllift::features::FeatureTable;
+use spllift::frontend::parse_spl;
+use spllift::ide::IdeSolver;
+use spllift::ir::ProgramIcfg;
+
+const SOURCE: &str = r#"
+class Math {
+    static int scale(int v) { return v * 10 + 7; }
+    static void main() {
+        int a = 4;
+        int b = Math.scale(a);
+        int c = b - 7;
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = FeatureTable::new();
+    let program = parse_spl(SOURCE, &mut table)?;
+    let icfg = ProgramIcfg::new(&program);
+    let solver = IdeSolver::solve(&LinearConstants::new(), &icfg);
+
+    let main = program.find_method("Math.main").unwrap();
+    let body = program.body(main);
+    let last = spllift::ir::StmtRef {
+        method: main,
+        index: (body.stmts.len() - 1) as u32,
+    };
+    println!("constants at the end of main:");
+    for (i, local) in body.locals.iter().enumerate() {
+        let fact = CpFact::Local(spllift::ir::LocalId(i as u32));
+        match solver.value_at(last, &fact) {
+            CpValue::Const(c) => println!("  {:>4} = {c}", local.name),
+            CpValue::Bot => println!("  {:>4} = ⊥ (varies)", local.name),
+            CpValue::Top => {}
+        }
+    }
+    // a = 4, b = scale(4) = 47, c = 40.
+    assert_eq!(
+        solver.value_at(last, &CpFact::Local(spllift::ir::LocalId(1))),
+        CpValue::Const(47)
+    );
+    Ok(())
+}

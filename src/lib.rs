@@ -1,0 +1,38 @@
+//! # SPLLIFT — feature-sensitive inter-procedural static analysis
+//!
+//! A Rust reproduction of *“SPL^LIFT: Statically Analyzing Software Product
+//! Lines in Minutes Instead of Years”* (Bodden et al., PLDI 2013).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`bdd`] — reduced ordered BDDs (the JavaBDD/BuDDy substitute),
+//! * [`features`] — feature models, constraints, configurations,
+//! * [`ir`] — a Jimple-like three-address IR with CFG and call graph,
+//! * [`frontend`] — a mini-Java + `#ifdef` parser (the CIDE substitute),
+//! * [`ifds`] — the IFDS framework and tabulation solver,
+//! * [`ide`] — the IDE framework and two-phase solver,
+//! * [`lift`] — the paper's contribution: automatic IFDS→IDE lifting,
+//! * [`analyses`] — four off-the-shelf IFDS client analyses,
+//! * [`spl`] — product derivation and the A1/A2 baselines,
+//! * [`benchgen`] — deterministic benchmark product-line generators.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the paper's running example (Figure 1):
+//! a taint analysis lifted over a three-feature product line, computing that
+//! the secret leaks exactly under the constraint `¬F ∧ G ∧ ¬H`.
+
+
+#![warn(missing_docs)]
+pub mod emergent;
+
+pub use spllift_analyses as analyses;
+pub use spllift_bdd as bdd;
+pub use spllift_benchgen as benchgen;
+pub use spllift_core as lift;
+pub use spllift_features as features;
+pub use spllift_frontend as frontend;
+pub use spllift_ide as ide;
+pub use spllift_ifds as ifds;
+pub use spllift_ir as ir;
+pub use spllift_spl as spl;

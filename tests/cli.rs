@@ -1,0 +1,138 @@
+//! Integration: drive the `spllift-cli` binary end to end on the checked-in
+//! example data, the way a downstream user would.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spllift-cli"))
+}
+
+#[test]
+fn taint_table_on_fig1() {
+    let out = cli()
+        .args(["examples_data/fig1.minijava", "--analysis", "taint"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Main.main"), "{stdout}");
+    // The headline constraint appears in some variable order.
+    assert!(
+        stdout.contains("!F") && stdout.contains("G") && stdout.contains("!H"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn taint_with_feature_model() {
+    let out = cli()
+        .args([
+            "examples_data/fig1.minijava",
+            "--analysis",
+            "taint",
+            "--model",
+            "examples_data/fig1.model",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Under F ⇔ G, y is never tainted at the print call: LocalId(1)
+    // must not appear.
+    assert!(!stdout.contains("Local(LocalId(1))"), "{stdout}");
+}
+
+#[test]
+fn dot_output() {
+    let out = cli()
+        .args(["examples_data/fig1.minijava", "--format", "dot"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digraph lifted"), "{stdout}");
+}
+
+#[test]
+fn all_analyses_run() {
+    for analysis in ["taint", "types", "reaching-defs", "uninit"] {
+        let out = cli()
+            .args(["examples_data/fig1.minijava", "--analysis", analysis])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "analysis {analysis}");
+    }
+}
+
+#[test]
+fn errors_are_reported() {
+    let out = cli().args(["does-not-exist.minijava"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = cli()
+        .args(["examples_data/fig1.minijava", "--analysis", "nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown analysis"));
+}
+
+#[test]
+fn leaks_format() {
+    let out = cli()
+        .args(["examples_data/fig1.minijava", "--format", "leaks"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LEAK at"), "{stdout}");
+
+    // Under the model F ⇔ G the leak disappears.
+    let out = cli()
+        .args([
+            "examples_data/fig1.minijava",
+            "--format",
+            "leaks",
+            "--model",
+            "examples_data/fig1.model",
+        ])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no source-to-sink flows"));
+
+    // leaks + non-taint analysis is an error.
+    let out = cli()
+        .args(["examples_data/fig1.minijava", "--analysis", "uninit", "--format", "leaks"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn chat_product_line_leak_analysis() {
+    // Without a model: the raw key reaches the log under LOGGING && !ENCRYPT.
+    let out = cli()
+        .args(["examples_data/chat.minijava", "--format", "leaks"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LEAK at"), "{stdout}");
+    assert!(stdout.contains("LOGGING"), "{stdout}");
+    assert!(stdout.contains("!ENCRYPT"), "{stdout}");
+
+    // The model does not forbid LOGGING && !ENCRYPT, so the leak remains.
+    let out = cli()
+        .args([
+            "examples_data/chat.minijava",
+            "--format",
+            "leaks",
+            "--model",
+            "examples_data/chat.model",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LEAK at"), "{stdout}");
+}

@@ -1,0 +1,88 @@
+//! Integration: the RQ1 cross-check (§6.1) on a generated benchmark
+//! subject — SPLLIFT vs the A2 oracle, both directions, for all four
+//! analyses, on every valid MM08 configuration and on sampled GPL ones.
+
+use spllift::benchgen::{subject_by_name, GeneratedSpl};
+use spllift::features::BddConstraintContext;
+use spllift::spl::crosscheck;
+
+#[test]
+fn mm08_all_valid_configs_all_analyses() {
+    let spl = GeneratedSpl::generate(subject_by_name("MM08").unwrap());
+    let configs = spl.valid_configurations();
+    assert_eq!(configs.len(), 26);
+    let icfg = spl.icfg();
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+
+    let m = crosscheck(
+        &icfg,
+        &spllift::analyses::PossibleTypes::new(),
+        &ctx,
+        Some(&model),
+        &configs,
+    );
+    assert!(m.is_empty(), "possible types: {m:?}");
+    let m = crosscheck(
+        &icfg,
+        &spllift::analyses::ReachingDefs::new(),
+        &ctx,
+        Some(&model),
+        &configs,
+    );
+    assert!(m.is_empty(), "reaching defs: {m:?}");
+    let m = crosscheck(
+        &icfg,
+        &spllift::analyses::UninitVars::new(),
+        &ctx,
+        Some(&model),
+        &configs,
+    );
+    assert!(m.is_empty(), "uninit vars: {m:?}");
+    let m = crosscheck(
+        &icfg,
+        &spllift::analyses::TaintAnalysis::secret_to_print(),
+        &ctx,
+        Some(&model),
+        &configs,
+    );
+    assert!(m.is_empty(), "taint: {m:?}");
+}
+
+#[test]
+fn lampiro_all_valid_configs() {
+    let spl = GeneratedSpl::generate(subject_by_name("Lampiro").unwrap());
+    let configs = spl.valid_configurations();
+    assert_eq!(configs.len(), 4);
+    let icfg = spl.icfg();
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let m = crosscheck(
+        &icfg,
+        &spllift::analyses::UninitVars::new(),
+        &ctx,
+        Some(&model),
+        &configs,
+    );
+    assert!(m.is_empty(), "{m:?}");
+}
+
+#[test]
+fn gpl_sampled_configs() {
+    let spl = GeneratedSpl::generate(subject_by_name("GPL").unwrap());
+    let all = spl.valid_configurations();
+    assert_eq!(all.len(), 1872);
+    // Deterministic stride sample of 6 configurations.
+    let configs: Vec<_> = all.into_iter().step_by(312).collect();
+    let icfg = spl.icfg();
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let m = crosscheck(
+        &icfg,
+        &spllift::analyses::ReachingDefs::new(),
+        &ctx,
+        Some(&model),
+        &configs,
+    );
+    assert!(m.is_empty(), "{m:?}");
+}

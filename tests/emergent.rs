@@ -1,0 +1,127 @@
+//! Integration: the emergent-interfaces application (paper §7).
+
+use spllift::emergent::EmergentInterface;
+use spllift::features::{BddConstraintContext, FeatureExpr, FeatureTable};
+use spllift::frontend::parse_spl;
+use spllift::ir::{ProgramIcfg, StmtKind, StmtRef};
+use std::collections::BTreeSet;
+
+const SOURCE: &str = r#"
+class Pipeline {
+    static int transform(int data) {
+        int out = data;
+        #ifdef COMPRESS
+        out = data / 2;
+        #endif
+        #ifdef ENCRYPT
+        out = out * 31;
+        #endif
+        return out;
+    }
+    static void main() {
+        int seed = 1000;
+        int r = Pipeline.transform(seed);
+    }
+}
+"#;
+
+fn compress_stmts(
+    program: &spllift::ir::Program,
+    table: &FeatureTable,
+) -> BTreeSet<StmtRef> {
+    // The maintenance point: every statement annotated with COMPRESS.
+    let compress = table.get("COMPRESS").unwrap();
+    let mut out = BTreeSet::new();
+    for (mi, m) in program.methods().iter().enumerate() {
+        let Some(body) = &m.body else { continue };
+        for (i, stmt) in body.stmts.iter().enumerate() {
+            if stmt.annotation == FeatureExpr::var(compress) {
+                out.insert(StmtRef {
+                    method: spllift::ir::MethodId(mi as u32),
+                    index: i as u32,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn compress_feature_provides_into_encrypt_and_return() {
+    let mut table = FeatureTable::new();
+    let program = parse_spl(SOURCE, &mut table).unwrap();
+    let icfg = ProgramIcfg::new(&program);
+    let ctx = BddConstraintContext::new(&table);
+    let point = compress_stmts(&program, &table);
+    assert!(!point.is_empty());
+
+    let iface = EmergentInterface::compute(&icfg, &ctx, None, &point);
+    // COMPRESS defines `out`, consumed outside the point.
+    assert!(!iface.provides.is_empty());
+    // COMPRESS reads `data` (the parameter definition is outside).
+    assert!(!iface.requires.is_empty());
+    assert!(!iface.is_closed());
+    // Every provided dependency happens only when COMPRESS is on.
+    let compress = table.get("COMPRESS").unwrap();
+    use spllift::features::ConstraintContext as _;
+    for dep in &iface.provides {
+        assert!(
+            dep.constraint.entails(&ctx.lit(compress, true)),
+            "{} should entail COMPRESS",
+            dep.constraint.to_cube_string()
+        );
+    }
+    let rendered = iface.display(&icfg);
+    assert!(rendered.contains("provides"));
+    assert!(rendered.contains("COMPRESS"));
+}
+
+#[test]
+fn isolated_code_has_closed_interface() {
+    let src = r#"
+    class C {
+        static void main() {
+            int a = 1;
+            #ifdef LOG
+            int t = 99;
+            t = t + 1;
+            #endif
+            int b = a + 2;
+        }
+    }
+    "#;
+    let mut table = FeatureTable::new();
+    let program = parse_spl(src, &mut table).unwrap();
+    let icfg = ProgramIcfg::new(&program);
+    let ctx = BddConstraintContext::new(&table);
+    let log = table.get("LOG").unwrap();
+    let mut point = BTreeSet::new();
+    for (mi, m) in program.methods().iter().enumerate() {
+        let Some(body) = &m.body else { continue };
+        for (i, stmt) in body.stmts.iter().enumerate() {
+            if stmt.annotation == FeatureExpr::var(log) {
+                point.insert(StmtRef {
+                    method: spllift::ir::MethodId(mi as u32),
+                    index: i as u32,
+                });
+            }
+        }
+    }
+    let iface = EmergentInterface::compute(&icfg, &ctx, None, &point);
+    // The LOG block's data flow is self-contained.
+    assert!(iface.provides.is_empty(), "{:?}", iface.provides);
+}
+
+#[test]
+fn model_restricts_reported_dependencies() {
+    let mut table = FeatureTable::new();
+    let program = parse_spl(SOURCE, &mut table).unwrap();
+    let icfg = ProgramIcfg::new(&program);
+    let ctx = BddConstraintContext::new(&table);
+    let point = compress_stmts(&program, &table);
+    // Model forbidding COMPRESS: the interface collapses.
+    let model = FeatureExpr::parse("!COMPRESS", &mut table).unwrap();
+    let iface = EmergentInterface::compute(&icfg, &ctx, Some(&model), &point);
+    assert!(iface.provides.is_empty());
+    let _ = StmtKind::Nop; // keep the import used in both tests
+}

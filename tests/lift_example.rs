@@ -1,0 +1,126 @@
+//! Integration: the full paper pipeline through the facade crate —
+//! source text → frontend → IR/ICFG → lifting → constraints.
+
+use spllift::analyses::{TaintAnalysis, TaintFact};
+use spllift::features::{
+    BddConstraintContext, Configuration, ConstraintContext, FeatureExpr, FeatureTable,
+};
+use spllift::frontend::parse_spl;
+use spllift::ir::{Callee, ProgramIcfg, StmtKind, StmtRef};
+use spllift::lift::{LiftedSolution, ModelMode};
+
+const FIG1: &str = r#"
+class Main {
+    static int secret() { return 42; }
+    static void print(int v) { }
+    static int foo(int p) {
+        #ifdef H
+        p = 0;
+        #endif
+        return p;
+    }
+    static void main() {
+        int x = secret();
+        int y = 0;
+        #ifdef F
+        x = 0;
+        #endif
+        #ifdef G
+        y = Main.foo(x);
+        #endif
+        Main.print(y);
+    }
+}
+"#;
+
+fn print_call_and_arg(
+    program: &spllift::ir::Program,
+) -> (StmtRef, spllift::ir::LocalId) {
+    let main = program.find_method("Main.main").unwrap();
+    let print = program.find_method("Main.print").unwrap();
+    program
+        .stmts_of(main)
+        .find_map(|s| match &program.stmt(s).kind {
+            StmtKind::Invoke { callee: Callee::Static(m), args, .. } if *m == print => {
+                Some((s, args[0].as_local().unwrap()))
+            }
+            _ => None,
+        })
+        .unwrap()
+}
+
+#[test]
+fn paper_headline_result() {
+    let mut table = FeatureTable::new();
+    let program = parse_spl(FIG1, &mut table).unwrap();
+    let icfg = ProgramIcfg::new(&program);
+    let ctx = BddConstraintContext::new(&table);
+    let analysis = TaintAnalysis::secret_to_print();
+    let solution =
+        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let (call, arg) = print_call_and_arg(&program);
+    let got = solution.constraint_of(call, &TaintFact::Local(arg));
+    let expected = ctx.of_expr(&FeatureExpr::parse("!F && G && !H", &mut table).unwrap());
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn feature_model_neutralizes_leak() {
+    let mut table = FeatureTable::new();
+    let program = parse_spl(FIG1, &mut table).unwrap();
+    let icfg = ProgramIcfg::new(&program);
+    let ctx = BddConstraintContext::new(&table);
+    let analysis = TaintAnalysis::secret_to_print();
+    let model = FeatureExpr::parse("(F && G) || (!F && !G)", &mut table).unwrap();
+    let solution =
+        LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
+    let (call, arg) = print_call_and_arg(&program);
+    assert!(solution.constraint_of(call, &TaintFact::Local(arg)).is_false());
+}
+
+#[test]
+fn constraint_evaluates_per_configuration() {
+    let mut table = FeatureTable::new();
+    let program = parse_spl(FIG1, &mut table).unwrap();
+    let icfg = ProgramIcfg::new(&program);
+    let ctx = BddConstraintContext::new(&table);
+    let analysis = TaintAnalysis::secret_to_print();
+    let solution =
+        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let (call, arg) = print_call_and_arg(&program);
+    let fact = TaintFact::Local(arg);
+    let f = table.get("F").unwrap();
+    let g = table.get("G").unwrap();
+    let h = table.get("H").unwrap();
+    // Exactly one of the eight configurations leaks.
+    let mut leaky = Vec::new();
+    for bits in 0u64..8 {
+        let mut cfg = Configuration::empty();
+        for (i, feat) in [f, g, h].into_iter().enumerate() {
+            if bits & (1 << i) != 0 {
+                cfg.enable(feat);
+            }
+        }
+        if solution.holds_in(&ctx, call, &fact, &cfg) {
+            leaky.push(cfg.clone());
+        }
+    }
+    assert_eq!(leaky, vec![Configuration::from_enabled([g])]);
+}
+
+#[test]
+fn reachability_side_effect() {
+    // §3.3: the zero fact's value is the reachability constraint.
+    let mut table = FeatureTable::new();
+    let program = parse_spl(FIG1, &mut table).unwrap();
+    let icfg = ProgramIcfg::new(&program);
+    let ctx = BddConstraintContext::new(&table);
+    let analysis = TaintAnalysis::secret_to_print();
+    let solution =
+        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let foo = program.find_method("Main.foo").unwrap();
+    let g = ctx.lit(table.get("G").unwrap(), true);
+    assert_eq!(solution.reachability_of(program.entry_of(foo)), g);
+    let main = program.find_method("Main.main").unwrap();
+    assert!(solution.reachability_of(program.entry_of(main)).is_true());
+}
