@@ -9,7 +9,12 @@ pub(crate) fn arg_bindings(
     call: StmtRef,
     callee: MethodId,
 ) -> Vec<(LocalId, LocalId)> {
-    let StmtKind::Invoke { callee: target, args, .. } = &program.stmt(call).kind else {
+    let StmtKind::Invoke {
+        callee: target,
+        args,
+        ..
+    } = &program.stmt(call).kind
+    else {
         return Vec::new();
     };
     let callee_body = program.body(callee);
@@ -40,7 +45,9 @@ pub(crate) fn result_local(program: &Program, call: StmtRef) -> Option<LocalId> 
 /// The local returned at exit statement `exit`, if it returns a local.
 pub(crate) fn returned_local(program: &Program, exit: StmtRef) -> Option<LocalId> {
     match &program.stmt(exit).kind {
-        StmtKind::Return { value: Some(Operand::Local(l)) } => Some(*l),
+        StmtKind::Return {
+            value: Some(Operand::Local(l)),
+        } => Some(*l),
         _ => None,
     }
 }
@@ -49,12 +56,14 @@ pub(crate) fn returned_local(program: &Program, exit: StmtRef) -> Option<LocalId
 /// matching, resolved through the static target or the virtual signature.
 pub(crate) fn called_name(program: &Program, call: StmtRef) -> Option<String> {
     match &program.stmt(call).kind {
-        StmtKind::Invoke { callee: Callee::Static(m), .. } => {
-            Some(program.method(*m).name.clone())
-        }
-        StmtKind::Invoke { callee: Callee::Virtual { name, .. }, .. } => {
-            Some(name.clone())
-        }
+        StmtKind::Invoke {
+            callee: Callee::Static(m),
+            ..
+        } => Some(program.method(*m).name.clone()),
+        StmtKind::Invoke {
+            callee: Callee::Virtual { name, .. },
+            ..
+        } => Some(name.clone()),
         _ => None,
     }
 }

@@ -24,7 +24,6 @@
 //! * [`LinearConstants`] — inter-procedural linear constant propagation,
 //!   the IDE framework's original motivating analysis (§2.4).
 
-
 #![warn(missing_docs)]
 mod common;
 mod linear_const;

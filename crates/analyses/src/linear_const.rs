@@ -13,9 +13,7 @@
 
 use crate::common::*;
 use spllift_ide::{EdgeFn, IdeProblem};
-use spllift_ir::{
-    BinOp, LocalId, MethodId, Operand, ProgramIcfg, Rvalue, StmtKind, StmtRef,
-};
+use spllift_ir::{BinOp, LocalId, MethodId, Operand, ProgramIcfg, Rvalue, StmtKind, StmtRef};
 
 /// A constant-propagation fact: a local variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -75,10 +73,7 @@ impl EdgeFn<CpValue> for LinearEdge {
             (_, LinearEdge::Bot) => LinearEdge::Bot,
             (LinearEdge::Linear(a1, b1), LinearEdge::Linear(a2, b2)) => {
                 // after(self(v)) = a2·(a1·v + b1) + b2.
-                LinearEdge::Linear(
-                    a2.wrapping_mul(*a1),
-                    a2.wrapping_mul(*b1).wrapping_add(*b2),
-                )
+                LinearEdge::Linear(a2.wrapping_mul(*a1), a2.wrapping_mul(*b1).wrapping_add(*b2))
             }
         }
     }
@@ -112,24 +107,18 @@ impl LinearConstants {
     /// non-linear (`None` → generate ⊥).
     fn linear_of(rvalue: &Rvalue) -> Option<(CpFact, LinearEdge)> {
         match rvalue {
-            Rvalue::Use(Operand::IntConst(c)) => {
-                Some((CpFact::Zero, LinearEdge::Linear(0, *c)))
-            }
+            Rvalue::Use(Operand::IntConst(c)) => Some((CpFact::Zero, LinearEdge::Linear(0, *c))),
             Rvalue::Use(Operand::BoolConst(b)) => {
                 Some((CpFact::Zero, LinearEdge::Linear(0, *b as i64)))
             }
-            Rvalue::Use(Operand::Local(l)) => {
-                Some((CpFact::Local(*l), LinearEdge::ID))
-            }
+            Rvalue::Use(Operand::Local(l)) => Some((CpFact::Local(*l), LinearEdge::ID)),
             Rvalue::Binary(op, Operand::Local(l), Operand::IntConst(c))
             | Rvalue::Binary(op, Operand::IntConst(c), Operand::Local(l)) => {
                 let commuted = matches!(rvalue, Rvalue::Binary(_, Operand::IntConst(_), _));
                 match op {
                     BinOp::Add => Some((CpFact::Local(*l), LinearEdge::Linear(1, *c))),
                     BinOp::Mul => Some((CpFact::Local(*l), LinearEdge::Linear(*c, 0))),
-                    BinOp::Sub if !commuted => {
-                        Some((CpFact::Local(*l), LinearEdge::Linear(1, -c)))
-                    }
+                    BinOp::Sub if !commuted => Some((CpFact::Local(*l), LinearEdge::Linear(1, -c))),
                     BinOp::Sub => Some((CpFact::Local(*l), LinearEdge::Linear(-1, *c))),
                     _ => None,
                 }
@@ -241,10 +230,7 @@ impl<'p> IdeProblem<ProgramIcfg<'p>> for LinearConstants {
                     for (i, a) in args.iter().enumerate() {
                         if let Operand::IntConst(c) = a {
                             if let Some(&formal) = callee_body.param_locals.get(i) {
-                                out.push((
-                                    CpFact::Local(formal),
-                                    LinearEdge::Linear(0, *c),
-                                ));
+                                out.push((CpFact::Local(formal), LinearEdge::Linear(0, *c)));
                             }
                         }
                     }
@@ -273,8 +259,9 @@ impl<'p> IdeProblem<ProgramIcfg<'p>> for LinearConstants {
             CpFact::Zero => {
                 let mut out = vec![(CpFact::Zero, LinearEdge::ID)];
                 // A constant return value flows out through zero.
-                if let StmtKind::Return { value: Some(Operand::IntConst(c)) } =
-                    &program.stmt(exit).kind
+                if let StmtKind::Return {
+                    value: Some(Operand::IntConst(c)),
+                } = &program.stmt(exit).kind
                 {
                     if let Some(res) = result_local(program, call) {
                         out.push((CpFact::Local(res), LinearEdge::Linear(0, *c)));

@@ -56,8 +56,7 @@ impl<'p> IfdsProblem<ProgramIcfg<'p>> for PossibleTypes {
         let program = icfg.program();
         match &program.stmt(curr).kind {
             StmtKind::Assign { target, rvalue } => {
-                let kills_target =
-                    matches!(d, TypeFact::Local(l, _) if l == target);
+                let kills_target = matches!(d, TypeFact::Local(l, _) if l == target);
                 match rvalue {
                     Rvalue::New(c) => {
                         if *d == TypeFact::Zero {
@@ -100,18 +99,14 @@ impl<'p> IfdsProblem<ProgramIcfg<'p>> for PossibleTypes {
                 }
             }
             StmtKind::FieldStore { field, value, .. } => match d {
-                TypeFact::Local(l, c)
-                    if value.as_local().is_some_and(|v| v == *l) =>
-                {
+                TypeFact::Local(l, c) if value.as_local().is_some_and(|v| v == *l) => {
                     // Weak update: gen, never kill.
                     vec![*d, TypeFact::Field(*field, *c)]
                 }
                 _ => vec![*d],
             },
             StmtKind::ArrayStore { value, .. } => match d {
-                TypeFact::Local(l, c)
-                    if value.as_local().is_some_and(|v| v == *l) =>
-                {
+                TypeFact::Local(l, c) if value.as_local().is_some_and(|v| v == *l) => {
                     vec![*d, TypeFact::ArrayElem(*c)]
                 }
                 _ => vec![*d],

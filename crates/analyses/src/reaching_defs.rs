@@ -81,7 +81,10 @@ impl<'p> IfdsProblem<ProgramIcfg<'p>> for ReachingDefs {
             DefFact::Def { site, var } => arg_bindings(icfg.program(), call, callee)
                 .into_iter()
                 .filter(|(actual, _)| actual == var)
-                .map(|(_, formal)| DefFact::Def { site: *site, var: formal })
+                .map(|(_, formal)| DefFact::Def {
+                    site: *site,
+                    var: formal,
+                })
                 .collect(),
         }
     }
@@ -101,7 +104,10 @@ impl<'p> IfdsProblem<ProgramIcfg<'p>> for ReachingDefs {
             DefFact::Def { site, var } => {
                 if returned_local(program, exit) == Some(*var) {
                     result_local(program, call)
-                        .map(|r| DefFact::Def { site: *site, var: r })
+                        .map(|r| DefFact::Def {
+                            site: *site,
+                            var: r,
+                        })
                         .into_iter()
                         .collect()
                 } else {

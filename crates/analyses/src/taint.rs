@@ -72,8 +72,7 @@ impl TaintAnalysis {
     }
 
     fn is_source(&self, icfg: &ProgramIcfg<'_>, call: StmtRef) -> bool {
-        called_name(icfg.program(), call)
-            .is_some_and(|n| self.sources.contains(&n))
+        called_name(icfg.program(), call).is_some_and(|n| self.sources.contains(&n))
     }
 
     fn is_sink(&self, icfg: &ProgramIcfg<'_>, call: StmtRef) -> bool {
@@ -81,8 +80,7 @@ impl TaintAnalysis {
     }
 
     fn is_sanitizer(&self, icfg: &ProgramIcfg<'_>, call: StmtRef) -> bool {
-        called_name(icfg.program(), call)
-            .is_some_and(|n| self.sanitizers.contains(&n))
+        called_name(icfg.program(), call).is_some_and(|n| self.sanitizers.contains(&n))
     }
 
     /// All source→sink flows in a solved instance.
@@ -97,15 +95,17 @@ impl TaintAnalysis {
                 if !self.is_sink(icfg, s) {
                     continue;
                 }
-                let StmtKind::Invoke { args, .. } = &icfg.program().stmt(s).kind
-                else {
+                let StmtKind::Invoke { args, .. } = &icfg.program().stmt(s).kind else {
                     continue;
                 };
                 let facts = solver.results_at(s);
                 for arg in args {
                     if let Operand::Local(l) = arg {
                         if facts.contains(&TaintFact::Local(*l)) {
-                            out.push(Leak { sink_call: s, tainted_arg: *l });
+                            out.push(Leak {
+                                sink_call: s,
+                                tainted_arg: *l,
+                            });
                         }
                     }
                 }
@@ -243,9 +243,7 @@ impl<'p> IfdsProblem<ProgramIcfg<'p>> for TaintAnalysis {
                 let mut out = Vec::new();
                 // A sanitizer's return value is clean regardless of what
                 // its body computed.
-                if !self.is_sanitizer(icfg, call)
-                    && returned_local(program, exit) == Some(*l)
-                {
+                if !self.is_sanitizer(icfg, call) && returned_local(program, exit) == Some(*l) {
                     if let Some(res) = result_local(program, call) {
                         out.push(TaintFact::Local(res));
                     }

@@ -2,9 +2,7 @@ use crate::*;
 use spllift_features::Configuration;
 use spllift_ifds::IfdsSolver;
 use spllift_ir::samples::{fig1, shapes};
-use spllift_ir::{
-    BinOp, Callee, Operand, ProgramBuilder, ProgramIcfg, Rvalue, StmtRef, Type,
-};
+use spllift_ir::{BinOp, Callee, Operand, ProgramBuilder, ProgramIcfg, Rvalue, StmtRef, Type};
 
 mod taint {
     use super::*;
@@ -61,10 +59,16 @@ mod taint {
         let x = mb.local("x", Type::Int);
         let y = mb.local("y", Type::Int);
         mb.invoke(Some(x), Callee::Static(secret), vec![]);
-        mb.assign(y, Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)));
+        mb.assign(
+            y,
+            Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)),
+        );
         let sink = mb.invoke(None, Callee::Static(print), vec![Operand::Local(y)]);
         mb.ret(None);
-        let sink = StmtRef { method: main, index: sink };
+        let sink = StmtRef {
+            method: main,
+            index: sink,
+        };
         pb.finish_body(mb);
         pb.add_entry_point(main);
         let p = pb.finish();
@@ -95,7 +99,13 @@ mod taint {
         mb.field_store(None, fld, Operand::Local(x));
         // Overwrite with a clean value — weak update keeps the taint.
         mb.field_store(None, fld, Operand::IntConst(0));
-        mb.assign(z, Rvalue::FieldLoad { base: None, field: fld });
+        mb.assign(
+            z,
+            Rvalue::FieldLoad {
+                base: None,
+                field: fld,
+            },
+        );
         mb.invoke(None, Callee::Static(print), vec![Operand::Local(z)]);
         mb.ret(None);
         pb.finish_body(mb);
@@ -155,7 +165,10 @@ mod possible_types {
             })
             .collect();
         assert!(types.contains(&square));
-        assert!(!types.contains(&circle), "plain analysis strongly updates s");
+        assert!(
+            !types.contains(&circle),
+            "plain analysis strongly updates s"
+        );
     }
 
     #[test]
@@ -184,7 +197,10 @@ mod possible_types {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&PossibleTypes::new(), &icfg);
-        let facts = solver.results_at(StmtRef { method: main, index: sink });
+        let facts = solver.results_at(StmtRef {
+            method: main,
+            index: sink,
+        });
         assert!(facts
             .iter()
             .any(|f| matches!(f, TypeFact::Local(_, cc) if *cc == c)));
@@ -207,9 +223,15 @@ mod possible_types {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&PossibleTypes::new(), &icfg);
-        let facts = solver.results_at(StmtRef { method: main, index: probe });
+        let facts = solver.results_at(StmtRef {
+            method: main,
+            index: probe,
+        });
         assert!(facts.contains(&TypeFact::Local(x, b)));
-        assert!(!facts.contains(&TypeFact::Local(x, a)), "strong update on x");
+        assert!(
+            !facts.contains(&TypeFact::Local(x, a)),
+            "strong update on x"
+        );
     }
 }
 
@@ -232,14 +254,35 @@ mod reaching_defs {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&ReachingDefs::new(), &icfg);
-        let site1 = StmtRef { method: main, index: d1 };
-        let site2 = StmtRef { method: main, index: d2 };
-        let at1 = solver.results_at(StmtRef { method: main, index: probe1 });
-        assert!(at1.contains(&DefFact::Def { site: site1, var: x }));
-        let at2 = solver.results_at(StmtRef { method: main, index: probe2 });
-        assert!(at2.contains(&DefFact::Def { site: site2, var: x }));
+        let site1 = StmtRef {
+            method: main,
+            index: d1,
+        };
+        let site2 = StmtRef {
+            method: main,
+            index: d2,
+        };
+        let at1 = solver.results_at(StmtRef {
+            method: main,
+            index: probe1,
+        });
+        assert!(at1.contains(&DefFact::Def {
+            site: site1,
+            var: x
+        }));
+        let at2 = solver.results_at(StmtRef {
+            method: main,
+            index: probe2,
+        });
+        assert!(at2.contains(&DefFact::Def {
+            site: site2,
+            var: x
+        }));
         assert!(
-            !at2.contains(&DefFact::Def { site: site1, var: x }),
+            !at2.contains(&DefFact::Def {
+                site: site1,
+                var: x
+            }),
             "d1 killed by d2"
         );
     }
@@ -270,9 +313,15 @@ mod reaching_defs {
         let formal = p.body(callee).param_locals[0];
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&ReachingDefs::new(), &icfg);
-        let facts = solver.results_at(StmtRef { method: callee, index: probe });
+        let facts = solver.results_at(StmtRef {
+            method: callee,
+            index: probe,
+        });
         assert!(facts.contains(&DefFact::Def {
-            site: StmtRef { method: main, index: d1 },
+            site: StmtRef {
+                method: main,
+                index: d1
+            },
             var: formal
         }));
     }
@@ -292,8 +341,10 @@ mod uninit {
             let mut mb = pb.method_body(foo);
             let t = mb.local("t", Type::Int);
             let param = mb.param_local(0);
-            use_stmt =
-                mb.assign(t, Rvalue::Binary(BinOp::Add, Operand::Local(param), Operand::IntConst(1)));
+            use_stmt = mb.assign(
+                t,
+                Rvalue::Binary(BinOp::Add, Operand::Local(param), Operand::IntConst(1)),
+            );
             mb.ret(None);
             pb.finish_body(mb);
         }
@@ -310,7 +361,13 @@ mod uninit {
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&UninitVars::new(), &icfg);
         let uses = UninitVars::uses_of_uninit(&icfg, &solver);
-        assert!(uses.contains(&(StmtRef { method: foo, index: use_stmt }, formal)));
+        assert!(uses.contains(&(
+            StmtRef {
+                method: foo,
+                index: use_stmt
+            },
+            formal
+        )));
     }
 
     #[test]
@@ -329,9 +386,11 @@ mod uninit {
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&UninitVars::new(), &icfg);
         let uses = UninitVars::uses_of_uninit(&icfg, &solver);
-        assert!(!uses
-            .iter()
-            .any(|(s, _)| *s == StmtRef { method: main, index: ok_use }));
+        assert!(!uses.iter().any(|(s, _)| *s
+            == StmtRef {
+                method: main,
+                index: ok_use
+            }));
     }
 
     #[test]
@@ -354,7 +413,13 @@ mod uninit {
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&UninitVars::new(), &icfg);
         let uses = UninitVars::uses_of_uninit(&icfg, &solver);
-        assert!(uses.contains(&(StmtRef { method: main, index: use_idx }, x)));
+        assert!(uses.contains(&(
+            StmtRef {
+                method: main,
+                index: use_idx
+            },
+            x
+        )));
     }
 
     #[test]
@@ -382,9 +447,11 @@ mod uninit {
         let icfg = ProgramIcfg::new(&p);
         let solver = IfdsSolver::solve(&UninitVars::new(), &icfg);
         let uses = UninitVars::uses_of_uninit(&icfg, &solver);
-        assert!(!uses
-            .iter()
-            .any(|(s, _)| *s == StmtRef { method: f, index: probe }));
+        assert!(!uses.iter().any(|(s, _)| *s
+            == StmtRef {
+                method: f,
+                index: probe
+            }));
     }
 }
 
@@ -424,7 +491,11 @@ mod typestate {
     }
 
     fn virt(base: spllift_ir::LocalId, name: &str) -> Callee {
-        Callee::Virtual { base, name: name.into(), argc: 0 }
+        Callee::Virtual {
+            base,
+            name: name.into(),
+            argc: 0,
+        }
     }
 
     #[test]
@@ -512,8 +583,10 @@ mod typestate {
     #[test]
     fn lifted_typestate_reports_feature_constraint() {
         // #ifdef EAGER_CLOSE close(); #endif  read();
-        use spllift_features::{BddConstraintContext, ConstraintContext, FeatureExpr, FeatureTable};
         use spllift_core::{LiftedSolution, ModelMode};
+        use spllift_features::{
+            BddConstraintContext, ConstraintContext, FeatureExpr, FeatureTable,
+        };
         let mut t = FeatureTable::new();
         let feat = t.intern("EAGER_CLOSE");
         let mut pb = ProgramBuilder::new();
@@ -530,13 +603,39 @@ mod typestate {
         let f = mb.local("f", Type::Ref(file));
         let r = mb.local("r", Type::Int);
         mb.assign(f, Rvalue::New(file));
-        mb.invoke(None, Callee::Virtual { base: f, name: "open".into(), argc: 0 }, vec![]);
+        mb.invoke(
+            None,
+            Callee::Virtual {
+                base: f,
+                name: "open".into(),
+                argc: 0,
+            },
+            vec![],
+        );
         mb.push_annotation(FeatureExpr::var(feat));
-        mb.invoke(None, Callee::Virtual { base: f, name: "close".into(), argc: 0 }, vec![]);
+        mb.invoke(
+            None,
+            Callee::Virtual {
+                base: f,
+                name: "close".into(),
+                argc: 0,
+            },
+            vec![],
+        );
         mb.pop_annotation();
-        let read_idx =
-            mb.invoke(Some(r), Callee::Virtual { base: f, name: "read".into(), argc: 0 }, vec![]);
-        let read_stmt = StmtRef { method: main, index: read_idx };
+        let read_idx = mb.invoke(
+            Some(r),
+            Callee::Virtual {
+                base: f,
+                name: "read".into(),
+                argc: 0,
+            },
+            vec![],
+        );
+        let read_stmt = StmtRef {
+            method: main,
+            index: read_idx,
+        };
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
@@ -593,7 +692,11 @@ mod sanitizers {
 
         let plain = TaintAnalysis::secret_to_print();
         let solver = IfdsSolver::solve(&plain, &icfg);
-        assert_eq!(plain.leaks(&icfg, &solver).len(), 1, "without sanitizer: leak");
+        assert_eq!(
+            plain.leaks(&icfg, &solver).len(),
+            1,
+            "without sanitizer: leak"
+        );
 
         let sanitized = TaintAnalysis::secret_to_print().with_sanitizers(["hash"]);
         let solver = IfdsSolver::solve(&sanitized, &icfg);
@@ -622,8 +725,14 @@ mod linear_const {
         let x = mb.local("x", Type::Int);
         let y = mb.local("y", Type::Int);
         mb.assign(x, Rvalue::Use(Operand::IntConst(5)));
-        mb.assign(y, Rvalue::Binary(BinOp::Mul, Operand::Local(x), Operand::IntConst(3)));
-        mb.assign(y, Rvalue::Binary(BinOp::Add, Operand::Local(y), Operand::IntConst(2)));
+        mb.assign(
+            y,
+            Rvalue::Binary(BinOp::Mul, Operand::Local(x), Operand::IntConst(3)),
+        );
+        mb.assign(
+            y,
+            Rvalue::Binary(BinOp::Add, Operand::Local(y), Operand::IntConst(2)),
+        );
         let probe = mb.nop();
         mb.ret(None);
         pb.finish_body(mb);
@@ -631,7 +740,10 @@ mod linear_const {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let s = IdeSolver::solve(&LinearConstants::new(), &icfg);
-        let at = StmtRef { method: main, index: probe };
+        let at = StmtRef {
+            method: main,
+            index: probe,
+        };
         assert_eq!(value_at(&s, at, x), CpValue::Const(5));
         assert_eq!(value_at(&s, at, y), CpValue::Const(17)); // 5*3+2
     }
@@ -645,14 +757,22 @@ mod linear_const {
         let x = mb.local("x", Type::Int);
         let else_l = mb.fresh_label();
         let join_l = mb.fresh_label();
-        mb.if_cmp(BinOp::Eq, Operand::IntConst(0), Operand::IntConst(0), else_l);
+        mb.if_cmp(
+            BinOp::Eq,
+            Operand::IntConst(0),
+            Operand::IntConst(0),
+            else_l,
+        );
         mb.assign(x, Rvalue::Use(Operand::IntConst(4)));
         mb.goto(join_l);
         mb.bind(else_l);
         mb.assign(x, Rvalue::Use(Operand::IntConst(4)));
         mb.bind(join_l);
         let probe1 = mb.nop();
-        mb.assign(x, Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::Local(x)));
+        mb.assign(
+            x,
+            Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::Local(x)),
+        );
         let probe2 = mb.nop();
         mb.ret(None);
         pb.finish_body(mb);
@@ -660,9 +780,29 @@ mod linear_const {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let s = IdeSolver::solve(&LinearConstants::new(), &icfg);
-        assert_eq!(value_at(&s, StmtRef { method: main, index: probe1 }, x), CpValue::Const(4));
+        assert_eq!(
+            value_at(
+                &s,
+                StmtRef {
+                    method: main,
+                    index: probe1
+                },
+                x
+            ),
+            CpValue::Const(4)
+        );
         // x + x is not linear in ONE variable in our encoding → ⊥.
-        assert_eq!(value_at(&s, StmtRef { method: main, index: probe2 }, x), CpValue::Bot);
+        assert_eq!(
+            value_at(
+                &s,
+                StmtRef {
+                    method: main,
+                    index: probe2
+                },
+                x
+            ),
+            CpValue::Bot
+        );
     }
 
     #[test]
@@ -675,7 +815,10 @@ mod linear_const {
             let mut mb = pb.method_body(inc);
             let v = mb.param_local(0);
             let r = mb.local("r", Type::Int);
-            mb.assign(r, Rvalue::Binary(BinOp::Add, Operand::Local(v), Operand::IntConst(1)));
+            mb.assign(
+                r,
+                Rvalue::Binary(BinOp::Add, Operand::Local(v), Operand::IntConst(1)),
+            );
             mb.ret(Some(Operand::Local(r)));
             pb.finish_body(mb);
         }
@@ -694,7 +837,14 @@ mod linear_const {
         let icfg = ProgramIcfg::new(&p);
         let s = IdeSolver::solve(&LinearConstants::new(), &icfg);
         assert_eq!(
-            value_at(&s, StmtRef { method: main, index: probe }, r),
+            value_at(
+                &s,
+                StmtRef {
+                    method: main,
+                    index: probe
+                },
+                r
+            ),
             CpValue::Const(42)
         );
     }
@@ -709,7 +859,10 @@ mod linear_const {
             let mut mb = pb.method_body(inc);
             let v = mb.param_local(0);
             let r = mb.local("r", Type::Int);
-            mb.assign(r, Rvalue::Binary(BinOp::Add, Operand::Local(v), Operand::IntConst(1)));
+            mb.assign(
+                r,
+                Rvalue::Binary(BinOp::Add, Operand::Local(v), Operand::IntConst(1)),
+            );
             mb.ret(Some(Operand::Local(r)));
             pb.finish_body(mb);
         }
@@ -728,7 +881,10 @@ mod linear_const {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let s = IdeSolver::solve(&LinearConstants::new(), &icfg);
-        let at = StmtRef { method: main, index: probe };
+        let at = StmtRef {
+            method: main,
+            index: probe,
+        };
         assert_eq!(value_at(&s, at, r1), CpValue::Const(2));
         assert_eq!(value_at(&s, at, r2), CpValue::Const(11));
     }
@@ -744,7 +900,10 @@ mod linear_const {
         let done = mb.fresh_label();
         mb.bind(head);
         mb.if_cmp(BinOp::Ge, Operand::Local(x), Operand::IntConst(10), done);
-        mb.assign(x, Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)));
+        mb.assign(
+            x,
+            Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)),
+        );
         mb.goto(head);
         mb.bind(done);
         let probe = mb.nop();
@@ -754,6 +913,16 @@ mod linear_const {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let s = IdeSolver::solve(&LinearConstants::new(), &icfg);
-        assert_eq!(value_at(&s, StmtRef { method: main, index: probe }, x), CpValue::Bot);
+        assert_eq!(
+            value_at(
+                &s,
+                StmtRef {
+                    method: main,
+                    index: probe
+                },
+                x
+            ),
+            CpValue::Bot
+        );
     }
 }

@@ -74,7 +74,10 @@ impl Typestate {
     /// The receiver of a virtual call at `s`, if any.
     fn receiver(icfg: &ProgramIcfg<'_>, s: StmtRef) -> Option<LocalId> {
         match &icfg.program().stmt(s).kind {
-            StmtKind::Invoke { callee: Callee::Virtual { base, .. }, .. } => Some(*base),
+            StmtKind::Invoke {
+                callee: Callee::Virtual { base, .. },
+                ..
+            } => Some(*base),
             _ => None,
         }
     }
@@ -93,12 +96,7 @@ impl Typestate {
     /// Applies the protocol at a call site to a fact (used both for the
     /// call-to-return function and for invokes treated as normal
     /// statements).
-    fn through_call(
-        &self,
-        icfg: &ProgramIcfg<'_>,
-        call: StmtRef,
-        d: &StateFact,
-    ) -> Vec<StateFact> {
+    fn through_call(&self, icfg: &ProgramIcfg<'_>, call: StmtRef, d: &StateFact) -> Vec<StateFact> {
         let program = icfg.program();
         let res = result_local(program, call);
         match d {
@@ -133,16 +131,23 @@ impl Typestate {
         let mut out = Vec::new();
         for m in icfg.methods() {
             for s in icfg.stmts_of(m) {
-                let Some(name) = called_name(icfg.program(), s) else { continue };
+                let Some(name) = called_name(icfg.program(), s) else {
+                    continue;
+                };
                 if !self.use_methods.contains(&name) {
                     continue;
                 }
-                let Some(base) = Self::receiver(icfg, s) else { continue };
+                let Some(base) = Self::receiver(icfg, s) else {
+                    continue;
+                };
                 if solver
                     .results_at(s)
                     .contains(&StateFact::Local(base, State::Closed))
                 {
-                    out.push(Violation { call: s, receiver: base });
+                    out.push(Violation {
+                        call: s,
+                        receiver: base,
+                    });
                 }
             }
         }

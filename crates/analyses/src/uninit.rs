@@ -38,9 +38,7 @@ impl UninitVars {
         let body = icfg.program().body(m);
         (0..body.locals.len() as u32)
             .map(LocalId)
-            .filter(|l| {
-                !body.param_locals.contains(l) && body.this_local != Some(*l)
-            })
+            .filter(|l| !body.param_locals.contains(l) && body.this_local != Some(*l))
             .collect()
     }
 

@@ -21,7 +21,6 @@
 //! assert!(c.and(&f).is_false());
 //! ```
 
-
 #![warn(missing_docs)]
 mod manager;
 

@@ -56,8 +56,16 @@ struct Store {
 impl Store {
     fn new() -> Self {
         let terminals = vec![
-            Node { var: TERMINAL_VAR, low: FALSE_ID, high: FALSE_ID },
-            Node { var: TERMINAL_VAR, low: TRUE_ID, high: TRUE_ID },
+            Node {
+                var: TERMINAL_VAR,
+                low: FALSE_ID,
+                high: FALSE_ID,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                low: TRUE_ID,
+                high: TRUE_ID,
+            },
         ];
         Store {
             nodes: terminals,
@@ -117,11 +125,7 @@ impl Store {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let v = self
-            .node(f)
-            .var
-            .min(self.node(g).var)
-            .min(self.node(h).var);
+        let v = self.node(f).var.min(self.node(g).var).min(self.node(h).var);
         debug_assert_ne!(v, TERMINAL_VAR);
         let (f0, f1) = (self.cofactor(f, v, false), self.cofactor(f, v, true));
         let (g0, g1) = (self.cofactor(g, v, false), self.cofactor(g, v, true));
@@ -167,12 +171,7 @@ impl Store {
 
     /// Number of satisfying assignments over the first `nvars` variables.
     fn sat_count(&self, f: NodeId, nvars: u32) -> u128 {
-        fn go(
-            store: &Store,
-            f: NodeId,
-            nvars: u32,
-            memo: &mut HashMap<NodeId, u128>,
-        ) -> u128 {
+        fn go(store: &Store, f: NodeId, nvars: u32, memo: &mut HashMap<NodeId, u128>) -> u128 {
             if f == FALSE_ID {
                 return 0;
             }
@@ -292,7 +291,9 @@ impl Default for BddManager {
 impl BddManager {
     /// Creates an empty manager with no variables.
     pub fn new() -> Self {
-        BddManager { store: Rc::new(RefCell::new(Store::new())) }
+        BddManager {
+            store: Rc::new(RefCell::new(Store::new())),
+        }
     }
 
     /// Declares a fresh variable named `name` and returns it as a formula.
@@ -359,7 +360,10 @@ impl BddManager {
     }
 
     fn wrap(&self, id: NodeId) -> Bdd {
-        Bdd { mgr: self.clone(), id }
+        Bdd {
+            mgr: self.clone(),
+            id,
+        }
     }
 
     fn same_store(&self, other: &BddManager) -> bool {
@@ -547,10 +551,7 @@ impl Bdd {
     /// Number of satisfying assignments counting only the first
     /// `nvars` variables of the order (the rest must not occur in `self`).
     pub fn sat_count_over(&self, nvars: u32) -> u128 {
-        debug_assert!(self
-            .support()
-            .iter()
-            .all(|v| v.0 < nvars));
+        debug_assert!(self.support().iter().all(|v| v.0 < nvars));
         self.mgr.store.borrow().sat_count(self.id, nvars)
     }
 
@@ -617,12 +618,7 @@ impl Bdd {
         let s = self.mgr.store.borrow();
         let mut cubes: Vec<String> = Vec::new();
         let mut path: Vec<(u32, bool)> = Vec::new();
-        fn go(
-            s: &Store,
-            id: NodeId,
-            path: &mut Vec<(u32, bool)>,
-            cubes: &mut Vec<String>,
-        ) {
+        fn go(s: &Store, id: NodeId, path: &mut Vec<(u32, bool)>, cubes: &mut Vec<String>) {
             if id == FALSE_ID {
                 return;
             }

@@ -172,9 +172,7 @@ fn dot_output_mentions_vars() {
 fn node_count_of_parity_is_linear() {
     let mgr = BddManager::new();
     let vars: Vec<_> = (0..10).map(|i| mgr.var(format!("x{i}"))).collect();
-    let parity = vars
-        .iter()
-        .fold(mgr.bottom(), |acc, v| acc.xor(v));
+    let parity = vars.iter().fold(mgr.bottom(), |acc, v| acc.xor(v));
     // Parity has exactly 2n-1 nodes in a reduced OBDD... with shared
     // complement structure it is 2n-1 for this representation.
     assert_eq!(parity.node_count(), 2 * 10 - 1);
@@ -183,7 +181,7 @@ fn node_count_of_parity_is_linear() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use spllift_rng::SplitMix64;
 
     /// A tiny recursive formula AST evaluated both directly and via BDDs.
     #[derive(Debug, Clone)]
@@ -195,19 +193,27 @@ mod properties {
         Xor(Box<Formula>, Box<Formula>),
     }
 
-    fn formula() -> impl Strategy<Value = Formula> {
-        let leaf = (0u8..5).prop_map(Formula::Var);
-        leaf.prop_recursive(5, 64, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
-            ]
-        })
+    /// Seeded random formulas over 5 variables, depth-bounded like the
+    /// old proptest strategy (`prop_recursive(5, ..)`).
+    fn random_formula(rng: &mut SplitMix64, depth: usize) -> Formula {
+        if depth == 0 || rng.gen_bool(0.25) {
+            return Formula::Var(rng.gen_range(0..5u8));
+        }
+        match rng.gen_range(0..4u32) {
+            0 => Formula::Not(Box::new(random_formula(rng, depth - 1))),
+            1 => Formula::And(
+                Box::new(random_formula(rng, depth - 1)),
+                Box::new(random_formula(rng, depth - 1)),
+            ),
+            2 => Formula::Or(
+                Box::new(random_formula(rng, depth - 1)),
+                Box::new(random_formula(rng, depth - 1)),
+            ),
+            _ => Formula::Xor(
+                Box::new(random_formula(rng, depth - 1)),
+                Box::new(random_formula(rng, depth - 1)),
+            ),
+        }
     }
 
     fn to_bdd(f: &Formula, vars: &[Bdd]) -> Bdd {
@@ -230,53 +236,72 @@ mod properties {
         }
     }
 
-    proptest! {
-        /// BDD construction is semantics-preserving w.r.t. a truth table.
-        #[test]
-        fn bdd_matches_truth_table(f in formula()) {
+    /// BDD construction is semantics-preserving w.r.t. a truth table.
+    #[test]
+    fn bdd_matches_truth_table() {
+        let mut rng = SplitMix64::seed_from_u64(0xBDD_0001);
+        for _ in 0..256 {
+            let f = random_formula(&mut rng, 5);
             let mgr = BddManager::new();
             let vars: Vec<_> = (0..5).map(|i| mgr.var(format!("x{i}"))).collect();
             let bdd = to_bdd(&f, &vars);
             let mut count = 0u128;
             for bits in 0u8..32 {
                 let expected = eval(&f, bits);
-                prop_assert_eq!(bdd.eval(|v| bits & (1 << v.0) != 0), expected);
-                if expected { count += 1; }
+                assert_eq!(
+                    bdd.eval(|v| bits & (1 << v.0) != 0),
+                    expected,
+                    "formula {f:?} at assignment {bits:#07b}"
+                );
+                if expected {
+                    count += 1;
+                }
             }
-            prop_assert_eq!(bdd.sat_count(), count);
+            assert_eq!(bdd.sat_count(), count, "formula {f:?}");
         }
+    }
 
-        /// Canonicity: semantically equal formulas get the same node.
-        #[test]
-        fn canonical_forms(f in formula()) {
+    /// Canonicity: semantically equal formulas get the same node.
+    #[test]
+    fn canonical_forms() {
+        let mut rng = SplitMix64::seed_from_u64(0xBDD_0002);
+        for _ in 0..256 {
+            let f = random_formula(&mut rng, 5);
             let mgr = BddManager::new();
             let vars: Vec<_> = (0..5).map(|i| mgr.var(format!("x{i}"))).collect();
             let bdd = to_bdd(&f, &vars);
             // Double negation and or-with-self must be handle-identical.
-            prop_assert_eq!(bdd.not().not(), bdd.clone());
-            prop_assert_eq!(bdd.or(&bdd), bdd.clone());
-            prop_assert_eq!(bdd.and(&mgr.top()), bdd.clone());
-            prop_assert_eq!(bdd.or(&mgr.bottom()), bdd.clone());
+            assert_eq!(bdd.not().not(), bdd.clone());
+            assert_eq!(bdd.or(&bdd), bdd.clone());
+            assert_eq!(bdd.and(&mgr.top()), bdd.clone());
+            assert_eq!(bdd.or(&mgr.bottom()), bdd.clone());
             // Shannon expansion on variable 0 reconstructs the function.
             let v0 = crate::VarId(0);
             let x0 = vars[0].clone();
-            let expanded = x0.and(&bdd.restrict(v0, true))
+            let expanded = x0
+                .and(&bdd.restrict(v0, true))
                 .or(&x0.not().and(&bdd.restrict(v0, false)));
-            prop_assert_eq!(expanded, bdd);
+            assert_eq!(expanded, bdd, "Shannon expansion of {f:?}");
         }
+    }
 
-        /// `one_sat` returns a genuine model whenever one exists.
-        #[test]
-        fn one_sat_is_model(f in formula()) {
+    /// `one_sat` returns a genuine model whenever one exists.
+    #[test]
+    fn one_sat_is_model() {
+        let mut rng = SplitMix64::seed_from_u64(0xBDD_0003);
+        for _ in 0..256 {
+            let f = random_formula(&mut rng, 5);
             let mgr = BddManager::new();
             let vars: Vec<_> = (0..5).map(|i| mgr.var(format!("x{i}"))).collect();
             let bdd = to_bdd(&f, &vars);
             match bdd.one_sat() {
-                None => prop_assert!(bdd.is_false()),
+                None => assert!(bdd.is_false(), "no model for satisfiable {f:?}"),
                 Some(model) => {
-                    let m: std::collections::HashMap<VarId, bool> =
-                        model.into_iter().collect();
-                    prop_assert!(bdd.eval(|v| *m.get(&v).unwrap_or(&false)));
+                    let m: std::collections::HashMap<VarId, bool> = model.into_iter().collect();
+                    assert!(
+                        bdd.eval(|v| *m.get(&v).unwrap_or(&false)),
+                        "one_sat returned a non-model for {f:?}"
+                    );
                 }
             }
         }

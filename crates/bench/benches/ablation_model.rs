@@ -8,8 +8,8 @@
 //!   leads to early termination in the propagation phase");
 //! * `ignore` — no model at all (baseline for both).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spllift_analyses::{ReachingDefs, UninitVars};
+use spllift_bench::harness::Harness;
 use spllift_benchgen::{subject_by_name, GeneratedSpl};
 use spllift_core::{LiftedSolution, ModelMode};
 use spllift_features::BddConstraintContext;
@@ -30,38 +30,34 @@ fn run<P, D>(
     let _ = LiftedSolution::solve(problem, icfg, ctx, model, mode);
 }
 
-fn bench_subject(c: &mut Criterion, name: &str) {
+fn bench_subject(h: &Harness, name: &str) {
     let spl = GeneratedSpl::generate(subject_by_name(name).unwrap());
     let icfg = ProgramIcfg::new(&spl.program);
     let ctx = BddConstraintContext::new(&spl.table);
     let model = spl.model_expr();
-    let mut group = c.benchmark_group(format!("ablation_model/{name}"));
-    group.sample_size(10);
+    let h = h.group(name);
 
     macro_rules! modes {
         ($label:expr, $p:expr) => {{
             let p = $p;
-            group.bench_function(format!("on-edges/{}", $label), |b| {
-                b.iter(|| run(&p, &icfg, &ctx, Some(&model), ModelMode::OnEdges))
+            h.bench(&format!("on-edges/{}", $label), || {
+                run(&p, &icfg, &ctx, Some(&model), ModelMode::OnEdges)
             });
-            group.bench_function(format!("start-value/{}", $label), |b| {
-                b.iter(|| run(&p, &icfg, &ctx, Some(&model), ModelMode::AtStartValue))
+            h.bench(&format!("start-value/{}", $label), || {
+                run(&p, &icfg, &ctx, Some(&model), ModelMode::AtStartValue)
             });
-            group.bench_function(format!("ignore/{}", $label), |b| {
-                b.iter(|| run(&p, &icfg, &ctx, None, ModelMode::Ignore))
+            h.bench(&format!("ignore/{}", $label), || {
+                run(&p, &icfg, &ctx, None, ModelMode::Ignore)
             });
         }};
     }
     modes!("R. Def.", ReachingDefs::new());
     modes!("U. Var.", UninitVars::new());
-    group.finish();
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new("ablation_model", 10);
     for name in ["MM08", "GPL"] {
-        bench_subject(c, name);
+        bench_subject(&h, name);
     }
 }
-
-criterion_group!(ablation_model, benches);
-criterion_main!(ablation_model);

@@ -6,67 +6,53 @@
 //! that comparison by instantiating the *same* lifting with either
 //! constraint context.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spllift_analyses::{ReachingDefs, TaintAnalysis, UninitVars};
+use spllift_bench::harness::Harness;
 use spllift_benchgen::{subject_by_name, GeneratedSpl};
 use spllift_core::{LiftedSolution, ModelMode};
 use spllift_features::{BddConstraintContext, DnfConstraintContext};
 use spllift_ir::samples::fig1;
 use spllift_ir::ProgramIcfg;
 
-fn bench_fig1(c: &mut Criterion) {
+fn bench_fig1(h: &Harness) {
     let ex = fig1();
     let icfg = ProgramIcfg::new(&ex.program);
     let bctx = BddConstraintContext::new(&ex.table);
     let dctx = DnfConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let mut group = c.benchmark_group("ablation_repr/fig1-taint");
-    group.bench_function("bdd", |b| {
-        b.iter(|| {
-            let _ =
-                LiftedSolution::solve(&analysis, &icfg, &bctx, None, ModelMode::Ignore);
-        })
+    let h = h.group("fig1-taint");
+    h.bench("bdd", || {
+        let _ = LiftedSolution::solve(&analysis, &icfg, &bctx, None, ModelMode::Ignore);
     });
-    group.bench_function("dnf", |b| {
-        b.iter(|| {
-            let _ =
-                LiftedSolution::solve(&analysis, &icfg, &dctx, None, ModelMode::Ignore);
-        })
+    h.bench("dnf", || {
+        let _ = LiftedSolution::solve(&analysis, &icfg, &dctx, None, ModelMode::Ignore);
     });
-    group.finish();
 }
 
-fn bench_mm08(c: &mut Criterion) {
+fn bench_mm08(h: &Harness) {
     let spl = GeneratedSpl::generate(subject_by_name("MM08").unwrap());
     let icfg = ProgramIcfg::new(&spl.program);
     let bctx = BddConstraintContext::new(&spl.table);
     let dctx = DnfConstraintContext::new(&spl.table);
-    let mut group = c.benchmark_group("ablation_repr/MM08");
-    group.sample_size(10);
+    let h = h.group("MM08");
     let rd = ReachingDefs::new();
     let uv = UninitVars::new();
-    group.bench_function("bdd/R. Def.", |b| {
-        b.iter(|| {
-            let _ = LiftedSolution::solve(&rd, &icfg, &bctx, None, ModelMode::Ignore);
-        })
+    h.bench("bdd/R. Def.", || {
+        let _ = LiftedSolution::solve(&rd, &icfg, &bctx, None, ModelMode::Ignore);
     });
-    group.bench_function("dnf/R. Def.", |b| {
-        b.iter(|| {
-            let _ = LiftedSolution::solve(&rd, &icfg, &dctx, None, ModelMode::Ignore);
-        })
+    h.bench("dnf/R. Def.", || {
+        let _ = LiftedSolution::solve(&rd, &icfg, &dctx, None, ModelMode::Ignore);
     });
-    group.bench_function("bdd/U. Var.", |b| {
-        b.iter(|| {
-            let _ = LiftedSolution::solve(&uv, &icfg, &bctx, None, ModelMode::Ignore);
-        })
+    h.bench("bdd/U. Var.", || {
+        let _ = LiftedSolution::solve(&uv, &icfg, &bctx, None, ModelMode::Ignore);
     });
-    group.bench_function("dnf/U. Var.", |b| {
-        b.iter(|| {
-            let _ = LiftedSolution::solve(&uv, &icfg, &dctx, None, ModelMode::Ignore);
-        })
+    h.bench("dnf/U. Var.", || {
+        let _ = LiftedSolution::solve(&uv, &icfg, &dctx, None, ModelMode::Ignore);
     });
-    group.finish();
 }
 
-criterion_group!(ablation_repr, bench_fig1, bench_mm08);
-criterion_main!(ablation_repr);
+fn main() {
+    let h = Harness::new("ablation_repr", 10);
+    bench_fig1(&h);
+    bench_mm08(&h);
+}

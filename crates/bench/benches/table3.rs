@@ -1,8 +1,8 @@
-//! Criterion benches behind Table 3: the cost of regarding the feature
-//! model (edge conjunction) vs. ignoring it, per subject × analysis.
+//! Benches behind Table 3: the cost of regarding the feature model
+//! (edge conjunction) vs. ignoring it, per subject × analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spllift_analyses::{PossibleTypes, ReachingDefs, UninitVars};
+use spllift_bench::harness::Harness;
 use spllift_bench::ClientAnalysis;
 use spllift_benchgen::{subject_by_name, GeneratedSpl};
 use spllift_core::{LiftedSolution, ModelMode};
@@ -11,33 +11,21 @@ use spllift_ifds::IfdsProblem;
 use spllift_ir::ProgramIcfg;
 use std::hash::Hash;
 
-fn bench_subject(c: &mut Criterion, name: &str) {
+fn bench_subject(h: &Harness, name: &str) {
     let spl = GeneratedSpl::generate(subject_by_name(name).unwrap());
     let icfg = ProgramIcfg::new(&spl.program);
     let ctx = BddConstraintContext::new(&spl.table);
     let model = spl.model_expr();
-
-    let mut group = c.benchmark_group(format!("table3/{name}"));
-    group.sample_size(10);
+    let h = h.group(name);
 
     macro_rules! modes {
         ($label:expr, $problem:expr) => {{
             let p = $problem;
-            group.bench_function(format!("regarded/{}", $label), |b| {
-                b.iter(|| {
-                    let _ = LiftedSolution::solve(
-                        &p,
-                        &icfg,
-                        &ctx,
-                        Some(&model),
-                        ModelMode::OnEdges,
-                    );
-                })
+            h.bench(&format!("regarded/{}", $label), || {
+                let _ = LiftedSolution::solve(&p, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
             });
-            group.bench_function(format!("ignored/{}", $label), |b| {
-                b.iter(|| {
-                    let _ = run_ignored(&p, &icfg, &ctx);
-                })
+            h.bench(&format!("ignored/{}", $label), || {
+                run_ignored(&p, &icfg, &ctx);
             });
         }};
     }
@@ -51,7 +39,6 @@ fn bench_subject(c: &mut Criterion, name: &str) {
             ClientAnalysis::Taint => unreachable!(),
         }
     }
-    group.finish();
 }
 
 fn run_ignored<P, D>(problem: &P, icfg: &ProgramIcfg<'_>, ctx: &BddConstraintContext)
@@ -62,11 +49,9 @@ where
     let _ = LiftedSolution::solve(problem, icfg, ctx, None, ModelMode::Ignore);
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new("table3", 10);
     for name in ["MM08", "GPL"] {
-        bench_subject(c, name);
+        bench_subject(&h, name);
     }
 }
-
-criterion_group!(table3, benches);
-criterion_main!(table3);

@@ -47,8 +47,7 @@ fn fig5() {
     let icfg = ProgramIcfg::new(&ex.program);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
 
     println!("// Figure 5: lifted supergraph of the Fig. 1a product line (taint)");
     let lifted_icfg = LiftedIcfg::new(&icfg);

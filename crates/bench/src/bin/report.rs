@@ -1,20 +1,22 @@
 //! Regenerates the paper's evaluation artifacts from the command line.
 //!
 //! ```text
-//! cargo run -p spllift-bench --release --bin report -- all
+//! cargo run -p spllift-bench --release --bin report -- all [--jobs N]
 //! cargo run -p spllift-bench --release --bin report -- table1
-//! cargo run -p spllift-bench --release --bin report -- table2 [--cutoff SECS]
-//! cargo run -p spllift-bench --release --bin report -- table3 [--cutoff SECS]
+//! cargo run -p spllift-bench --release --bin report -- table2 [--cutoff SECS] [--jobs N]
+//! cargo run -p spllift-bench --release --bin report -- table3 [--cutoff SECS] [--jobs N]
 //! cargo run -p spllift-bench --release --bin report -- correlation
-//! cargo run -p spllift-bench --release --bin report -- rq1 [--sample N]
+//! cargo run -p spllift-bench --release --bin report -- rq1 [--sample N] [--jobs N]
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for the configuration-sharded
+//! arms (the A2 brute-force campaigns and the RQ1 cross-check); it
+//! defaults to the machine's available parallelism.
 
-use spllift_bench::{
-    fmt_duration, measure_cell, pearson, Cell, ClientAnalysis,
-};
+use spllift_bench::{fmt_duration, measure_cell, pearson, Cell, ClientAnalysis};
 use spllift_benchgen::{subjects, GeneratedSpl};
 use spllift_features::BddConstraintContext;
-use spllift_spl::crosscheck;
+use spllift_spl::{crosscheck_parallel, default_jobs, ParallelOptions};
 use std::time::Duration;
 
 fn main() {
@@ -22,25 +24,28 @@ fn main() {
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let cutoff = Duration::from_secs_f64(flag_value(&args, "--cutoff").unwrap_or(30.0));
     let sample = flag_value(&args, "--sample").unwrap_or(40.0) as usize;
+    let jobs = flag_value(&args, "--jobs")
+        .map(|j| (j as usize).max(1))
+        .unwrap_or_else(default_jobs);
     match cmd {
         "table1" => table1(),
-        "table2" => table2(cutoff),
-        "table3" => table3(cutoff),
-        "correlation" => correlation(),
-        "scaling" => scaling(),
+        "table2" => table2(cutoff, jobs),
+        "table3" => table3(cutoff, jobs),
+        "correlation" => correlation(jobs),
+        "scaling" => scaling(jobs),
         "density" => density(),
         "ordering" => ordering(),
-        "rq1" => rq1(sample),
+        "rq1" => rq1(sample, jobs),
         "all" => {
             table1();
-            let cells = measure_all(cutoff);
+            let cells = measure_all(cutoff, jobs);
             print_table2(&cells);
             print_table3(&cells);
             print_correlation(&cells);
-            scaling();
+            scaling(jobs);
             density();
             ordering();
-            rq1(sample);
+            rq1(sample, jobs);
         }
         other => {
             eprintln!("unknown command {other}; see the module docs");
@@ -101,19 +106,19 @@ fn format_pow2(n: usize) -> String {
 // Tables 2 and 3.
 // ----------------------------------------------------------------------
 
-fn measure_all(cutoff: Duration) -> Vec<Cell> {
+fn measure_all(cutoff: Duration, jobs: usize) -> Vec<Cell> {
     let mut cells = Vec::new();
     for spl in generate_all() {
         eprintln!("measuring {} ...", spl.spec.name);
         for analysis in ClientAnalysis::PAPER_THREE {
-            cells.push(measure_cell(&spl, analysis, cutoff));
+            cells.push(measure_cell(&spl, analysis, cutoff, jobs));
         }
     }
     cells
 }
 
-fn table2(cutoff: Duration) {
-    print_table2(&measure_all(cutoff));
+fn table2(cutoff: Duration, jobs: usize) {
+    print_table2(&measure_all(cutoff, jobs));
 }
 
 fn print_table2(cells: &[Cell]) {
@@ -122,6 +127,7 @@ fn print_table2(cells: &[Cell]) {
         "{:<12} {:>14} {:>9} | {:>12} {:>12} {:>9}",
         "Benchmark", "valid configs", "CG", "SPLLIFT", "A2 (all)", "speedup"
     );
+    let mut jobs = 1;
     for c in cells {
         let a2 = c.a2.total_secs();
         let lift = c.spllift_regarded.time.as_secs_f64();
@@ -130,6 +136,7 @@ fn print_table2(cells: &[Cell]) {
             | spllift_bench::A2Outcome::Estimated { configs, .. } => configs,
         };
         let marker = if c.a2.is_estimate() { "~" } else { "" };
+        jobs = c.a2.jobs();
         println!(
             "{:<12} {:>14} {:>9} | {:>12} {:>13} {:>11}  [{}]",
             c.subject,
@@ -141,11 +148,12 @@ fn print_table2(cells: &[Cell]) {
             c.analysis,
         );
     }
-    println!("(~ = extrapolated past the cutoff, as in the paper's grey cells)\n");
+    println!("(~ = extrapolated past the cutoff, as in the paper's grey cells)");
+    println!("(A2 brute-force arm sharded across {jobs} worker thread(s); times are wall-clock)\n");
 }
 
-fn table3(cutoff: Duration) {
-    print_table3(&measure_all(cutoff));
+fn table3(cutoff: Duration, jobs: usize) {
+    print_table3(&measure_all(cutoff, jobs));
 }
 
 fn print_table3(cells: &[Cell]) {
@@ -164,15 +172,17 @@ fn print_table3(cells: &[Cell]) {
             fmt_duration(c.a2.per_run_secs()),
         );
     }
-    println!("(avg A2 = mean single-configuration A2 time: the paper's 'gold standard' lower bound)\n");
+    println!(
+        "(avg A2 = mean single-configuration A2 time: the paper's 'gold standard' lower bound)\n"
+    );
 }
 
 // ----------------------------------------------------------------------
 // §6.2 qualitative analysis: time correlates with jump functions.
 // ----------------------------------------------------------------------
 
-fn correlation() {
-    print_correlation(&measure_all(Duration::from_secs(5)));
+fn correlation(jobs: usize) {
+    print_correlation(&measure_all(Duration::from_secs(5), jobs));
 }
 
 fn print_correlation(cells: &[Cell]) {
@@ -232,8 +242,10 @@ fn print_correlation(cells: &[Cell]) {
 /// configurations are valid. A2's cost doubles per feature while
 /// SPLLIFT's stays roughly flat — the claim of the paper's §8 ("SPLLIFT
 /// successfully avoids the exponential blowup") as a measurable curve.
-fn scaling() {
-    println!("== Scaling sweep: features vs. time (Reaching Definitions) ==");
+fn scaling(jobs: usize) {
+    println!(
+        "== Scaling sweep: features vs. time (Reaching Definitions, A2 on {jobs} thread(s)) =="
+    );
     println!(
         "{:>9} {:>9} {:>12} {:>12} {:>9}",
         "features", "configs", "SPLLIFT", "A2 (all)", "ratio"
@@ -242,18 +254,9 @@ fn scaling() {
         let spl = GeneratedSpl::generate(spllift_benchgen::synthetic_spec(n, 500, 42));
         let (_, icfg) = spllift_bench::time_icfg(&spl);
         let analysis = spllift_analyses::ReachingDefs::new();
-        let lift = spllift_bench::time_spllift(
-            &spl,
-            &icfg,
-            &analysis,
-            spllift_core::ModelMode::OnEdges,
-        );
-        let a2 = spllift_bench::time_a2_all(
-            &spl,
-            &icfg,
-            &analysis,
-            Duration::from_secs(20),
-        );
+        let lift =
+            spllift_bench::time_spllift(&spl, &icfg, &analysis, spllift_core::ModelMode::OnEdges);
+        let a2 = spllift_bench::time_a2_all(&spl, &icfg, &analysis, Duration::from_secs(20), jobs);
         println!(
             "{:>9} {:>9} {:>12} {:>12} {:>8.0}x",
             n,
@@ -368,11 +371,12 @@ fn ordering() {
         if natural.len() % 2 == 1 {
             interleaved.push(natural[half]);
         }
-        for (label, order) in
-            [("natural", &natural), ("reversed", &reversed), ("interleaved", &interleaved)]
-        {
-            let ctx =
-                spllift_features::BddConstraintContext::with_order(&spl.table, order);
+        for (label, order) in [
+            ("natural", &natural),
+            ("reversed", &reversed),
+            ("interleaved", &interleaved),
+        ] {
+            let ctx = spllift_features::BddConstraintContext::with_order(&spl.table, order);
             let start = std::time::Instant::now();
             let solution = spllift_core::LiftedSolution::solve(
                 &analysis,
@@ -399,8 +403,8 @@ fn ordering() {
 // RQ1: correctness cross-check against the A2 oracle.
 // ----------------------------------------------------------------------
 
-fn rq1(sample: usize) {
-    println!("== RQ1: SPLLIFT vs A2 oracle cross-check (§6.1) ==");
+fn rq1(sample: usize, jobs: usize) {
+    println!("== RQ1: SPLLIFT vs A2 oracle cross-check (§6.1, {jobs} worker thread(s)) ==");
     for spl in generate_all() {
         if spl.reachable.len() > 30 {
             println!(
@@ -417,38 +421,42 @@ fn rq1(sample: usize) {
             configs = configs.into_iter().step_by(stride.max(1)).collect();
         }
         let icfg = spl.icfg();
-        let ctx = BddConstraintContext::new(&spl.table);
         let model = spl.model_expr();
+        let opts = ParallelOptions::with_jobs(jobs);
         let mut total = 0usize;
         for analysis in ClientAnalysis::PAPER_THREE {
-            let mismatches = match analysis {
-                ClientAnalysis::PossibleTypes => crosscheck(
+            let make_ctx = || BddConstraintContext::new(&spl.table);
+            let outcome = match analysis {
+                ClientAnalysis::PossibleTypes => crosscheck_parallel(
                     &icfg,
                     &spllift_analyses::PossibleTypes::new(),
-                    &ctx,
+                    make_ctx,
                     Some(&model),
                     &configs,
+                    &opts,
                 ),
-                ClientAnalysis::ReachingDefs => crosscheck(
+                ClientAnalysis::ReachingDefs => crosscheck_parallel(
                     &icfg,
                     &spllift_analyses::ReachingDefs::new(),
-                    &ctx,
+                    make_ctx,
                     Some(&model),
                     &configs,
+                    &opts,
                 ),
-                ClientAnalysis::UninitVars => crosscheck(
+                ClientAnalysis::UninitVars => crosscheck_parallel(
                     &icfg,
                     &spllift_analyses::UninitVars::new(),
-                    &ctx,
+                    make_ctx,
                     Some(&model),
                     &configs,
+                    &opts,
                 ),
                 ClientAnalysis::Taint => unreachable!(),
             };
-            for m in mismatches.iter().take(3) {
+            for m in outcome.mismatches.iter().take(3) {
                 eprintln!("  MISMATCH: {m}");
             }
-            total += mismatches.len();
+            total += outcome.mismatches.len();
         }
         println!(
             "{:<12} {} configs x 3 analyses: {} mismatches",

@@ -1,14 +1,16 @@
 //! The benchmark harness: shared measurement machinery for the `report`
-//! binary and the Criterion benches, regenerating the paper's Tables 1–3.
-
+//! binary and the in-tree benches, regenerating the paper's Tables 1–3.
 
 #![warn(missing_docs)]
+pub mod harness;
+
 use spllift_benchgen::GeneratedSpl;
 use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};
-use spllift_features::{BddConstraintContext, Configuration};
+use spllift_features::BddConstraintContext;
 use spllift_ide::IdeStats;
 use spllift_ifds::IfdsProblem;
 use spllift_ir::ProgramIcfg;
+use spllift_spl::a2_campaign_parallel;
 use std::hash::Hash;
 use std::time::{Duration, Instant};
 
@@ -59,31 +61,44 @@ pub struct SplliftMeasurement {
 pub enum A2Outcome {
     /// All valid configurations were analyzed within the cutoff.
     Exact {
-        /// Total wall-clock time.
+        /// Campaign wall-clock time (sharded across `jobs` workers).
         total: Duration,
+        /// Summed per-shard worker time — the sequential-equivalent
+        /// cost, `≈ total × jobs` when the shards balance.
+        cpu: Duration,
         /// Number of configurations analyzed.
         configs: u128,
+        /// Worker threads the campaign was sharded across.
+        jobs: usize,
     },
     /// The cutoff was hit; the total is extrapolated as the paper does
-    /// (§6.2): average per-run time × number of valid configurations.
+    /// (§6.2): average per-run time × number of valid configurations,
+    /// divided by the worker count.
     Estimated {
-        /// Mean per-configuration time over the measured sample.
+        /// Mean per-configuration worker time over the measured sample.
         per_run: Duration,
         /// Total number of valid configurations.
         configs: u128,
         /// Configurations actually measured.
         measured: u64,
+        /// Worker threads the projection assumes.
+        jobs: usize,
     },
 }
 
 impl A2Outcome {
-    /// The (possibly extrapolated) total, in seconds.
+    /// The (possibly extrapolated) campaign wall-clock total, in
+    /// seconds, at this outcome's worker count. With `jobs = 1` the
+    /// estimate is exactly the paper's sequential extrapolation.
     pub fn total_secs(&self) -> f64 {
         match self {
             A2Outcome::Exact { total, .. } => total.as_secs_f64(),
-            A2Outcome::Estimated { per_run, configs, .. } => {
-                per_run.as_secs_f64() * (*configs as f64)
-            }
+            A2Outcome::Estimated {
+                per_run,
+                configs,
+                jobs,
+                ..
+            } => per_run.as_secs_f64() * (*configs as f64) / (*jobs).max(1) as f64,
         }
     }
 
@@ -92,13 +107,18 @@ impl A2Outcome {
         matches!(self, A2Outcome::Estimated { .. })
     }
 
-    /// Average per-configuration time in seconds (the Table 3
-    /// "average A2" row).
+    /// Worker threads used (or assumed) by the campaign.
+    pub fn jobs(&self) -> usize {
+        match self {
+            A2Outcome::Exact { jobs, .. } | A2Outcome::Estimated { jobs, .. } => (*jobs).max(1),
+        }
+    }
+
+    /// Average per-configuration worker time in seconds (the Table 3
+    /// "average A2" row) — independent of the worker count.
     pub fn per_run_secs(&self) -> f64 {
         match self {
-            A2Outcome::Exact { total, configs } => {
-                total.as_secs_f64() / (*configs).max(1) as f64
-            }
+            A2Outcome::Exact { cpu, configs, .. } => cpu.as_secs_f64() / (*configs).max(1) as f64,
             A2Outcome::Estimated { per_run, .. } => per_run.as_secs_f64(),
         }
     }
@@ -132,56 +152,74 @@ where
     let start = Instant::now();
     let solution = LiftedSolution::solve(problem, icfg, &ctx, model_opt, mode);
     let time = start.elapsed();
-    SplliftMeasurement { time, stats: solution.stats() }
+    SplliftMeasurement {
+        time,
+        stats: solution.stats(),
+    }
 }
 
-/// Runs the A2 baseline over every valid configuration, stopping at
-/// `cutoff` and extrapolating like the paper when exceeded. Subjects
-/// whose configurations cannot even be enumerated (BerkeleyDB's 2^39)
-/// are estimated from the full and empty configurations directly —
-/// exactly the paper's §6.2 estimation recipe.
+/// Runs the A2 baseline over every valid configuration, sharded across
+/// `jobs` worker threads (see [`spllift_spl::a2_campaign_parallel`]),
+/// stopping at `cutoff` and extrapolating like the paper when exceeded.
+/// Subjects whose configurations cannot even be enumerated (BerkeleyDB's
+/// 2^39) are estimated from the full and empty configurations directly —
+/// exactly the paper's §6.2 estimation recipe, projected onto `jobs`
+/// workers.
 pub fn time_a2_all<P, D>(
     spl: &GeneratedSpl,
     icfg: &ProgramIcfg<'_>,
     problem: &P,
     cutoff: Duration,
+    jobs: usize,
 ) -> A2Outcome
 where
-    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D> + Sync,
     D: Clone + Eq + Hash + std::fmt::Debug,
 {
-    let lifted_icfg = LiftedIcfg::new(icfg);
+    let jobs = jobs.max(1);
     let total_configs = spl.count_valid_configs();
-    let run_one = |config: &Configuration| -> Duration {
-        let start = Instant::now();
-        let _ = spllift_spl::solve_a2(problem, &lifted_icfg, config);
-        start.elapsed()
-    };
     if spl.reachable.len() > 30 {
+        let lifted_icfg = LiftedIcfg::new(icfg);
         let [full, empty] = spl.extrapolation_configs();
-        let t = run_one(&full) + run_one(&empty);
+        let start = Instant::now();
+        let _ = spllift_spl::solve_a2(problem, &lifted_icfg, &full);
+        let _ = spllift_spl::solve_a2(problem, &lifted_icfg, &empty);
         return A2Outcome::Estimated {
-            per_run: t / 2,
+            per_run: start.elapsed() / 2,
             configs: total_configs,
             measured: 2,
+            jobs,
         };
     }
     let configs = spl.valid_configurations();
+    // Run in batches so the cutoff is honored between fan-outs: each
+    // batch is one parallel campaign, and the cutoff check happens at
+    // batch boundaries (a batch is at most a few seconds of work).
+    let batch = (jobs * 16).max(32);
     let start = Instant::now();
-    let mut spent = Duration::ZERO;
+    let mut wall = Duration::ZERO;
+    let mut cpu = Duration::ZERO;
     let mut measured = 0u64;
-    for config in &configs {
-        spent += run_one(config);
-        measured += 1;
+    for chunk in configs.chunks(batch) {
+        let outcome = a2_campaign_parallel(icfg, problem, chunk, jobs);
+        wall += outcome.wall;
+        cpu += outcome.shards.iter().map(|s| s.wall).sum::<Duration>();
+        measured += chunk.len() as u64;
         if start.elapsed() > cutoff && measured < configs.len() as u64 {
             return A2Outcome::Estimated {
-                per_run: spent / measured as u32,
+                per_run: cpu / measured as u32,
                 configs: total_configs,
                 measured,
+                jobs,
             };
         }
     }
-    A2Outcome::Exact { total: spent, configs: configs.len() as u128 }
+    A2Outcome::Exact {
+        total: wall,
+        cpu,
+        configs: configs.len() as u128,
+        jobs,
+    }
 }
 
 /// One Table 2 / Table 3 cell: everything measured for a subject ×
@@ -202,11 +240,13 @@ pub struct Cell {
     pub a2: A2Outcome,
 }
 
-/// Measures one cell. `cutoff` bounds the A2 campaign.
+/// Measures one cell. `cutoff` bounds the A2 campaign, which is sharded
+/// across `jobs` worker threads.
 pub fn measure_cell(
     spl: &GeneratedSpl,
     analysis: ClientAnalysis,
     cutoff: Duration,
+    jobs: usize,
 ) -> Cell {
     let (cg_time, icfg) = time_icfg(spl);
     macro_rules! go {
@@ -218,7 +258,7 @@ pub fn measure_cell(
                 cg_time,
                 spllift_regarded: time_spllift(spl, &icfg, &p, ModelMode::OnEdges),
                 spllift_ignored: time_spllift(spl, &icfg, &p, ModelMode::Ignore),
-                a2: time_a2_all(spl, &icfg, &p, cutoff),
+                a2: time_a2_all(spl, &icfg, &p, cutoff, jobs),
             }
         }};
     }
@@ -276,7 +316,7 @@ mod tests {
     #[test]
     fn measure_cell_smoke_mm08() {
         let spl = GeneratedSpl::generate(subject_by_name("MM08").unwrap());
-        let cell = measure_cell(&spl, ClientAnalysis::UninitVars, Duration::from_secs(20));
+        let cell = measure_cell(&spl, ClientAnalysis::UninitVars, Duration::from_secs(20), 2);
         assert_eq!(cell.subject, "MM08");
         assert!(cell.spllift_regarded.stats.jump_fn_constructions > 0);
         match cell.a2 {
@@ -288,10 +328,15 @@ mod tests {
     #[test]
     fn spllift_beats_a2_on_mm08() {
         // The headline claim at miniature scale: one SPLLIFT pass is
-        // faster than 26 A2 runs.
+        // faster than 26 A2 runs. jobs = 1 so the comparison matches
+        // the paper's single-threaded campaign.
         let spl = GeneratedSpl::generate(subject_by_name("MM08").unwrap());
-        let cell =
-            measure_cell(&spl, ClientAnalysis::ReachingDefs, Duration::from_secs(60));
+        let cell = measure_cell(
+            &spl,
+            ClientAnalysis::ReachingDefs,
+            Duration::from_secs(60),
+            1,
+        );
         assert!(
             cell.spllift_regarded.time.as_secs_f64() < cell.a2.total_secs(),
             "SPLLIFT {}s vs A2 {}s",
@@ -323,10 +368,16 @@ mod outcome_tests {
 
     #[test]
     fn exact_outcome_math() {
-        let o = A2Outcome::Exact { total: Duration::from_secs(10), configs: 5 };
+        let o = A2Outcome::Exact {
+            total: Duration::from_secs(10),
+            cpu: Duration::from_secs(10),
+            configs: 5,
+            jobs: 1,
+        };
         assert!(!o.is_estimate());
         assert_eq!(o.total_secs(), 10.0);
         assert_eq!(o.per_run_secs(), 2.0);
+        assert_eq!(o.jobs(), 1);
     }
 
     #[test]
@@ -335,6 +386,7 @@ mod outcome_tests {
             per_run: Duration::from_millis(100),
             configs: 1_000_000,
             measured: 7,
+            jobs: 1,
         };
         assert!(o.is_estimate());
         assert!((o.total_secs() - 100_000.0).abs() < 1e-6);
@@ -342,8 +394,27 @@ mod outcome_tests {
     }
 
     #[test]
+    fn estimated_outcome_divides_by_jobs() {
+        // Projecting the sequential extrapolation onto 4 workers.
+        let o = A2Outcome::Estimated {
+            per_run: Duration::from_millis(100),
+            configs: 1_000_000,
+            measured: 7,
+            jobs: 4,
+        };
+        assert!((o.total_secs() - 25_000.0).abs() < 1e-6);
+        // The per-run (per-worker) cost does not change with jobs.
+        assert!((o.per_run_secs() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
     fn exact_with_zero_configs_is_safe() {
-        let o = A2Outcome::Exact { total: Duration::ZERO, configs: 0 };
+        let o = A2Outcome::Exact {
+            total: Duration::ZERO,
+            cpu: Duration::ZERO,
+            configs: 0,
+            jobs: 1,
+        };
         assert_eq!(o.per_run_secs(), 0.0);
     }
 }

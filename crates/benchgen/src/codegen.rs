@@ -1,9 +1,8 @@
 //! Seeded mini-Java source generation.
 
 use crate::SubjectSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use spllift_features::{FeatureId, FeatureTable};
+use spllift_rng::SplitMix64;
 use std::fmt::Write as _;
 
 /// Tunables of the code generator (fixed defaults match the subjects).
@@ -19,7 +18,11 @@ pub struct CodegenParams {
 
 impl Default for CodegenParams {
     fn default() -> Self {
-        CodegenParams { helpers_per_class: 6, stmts_per_helper: 9, ifdef_percent: 30 }
+        CodegenParams {
+            helpers_per_class: 6,
+            stmts_per_helper: 9,
+            ifdef_percent: 30,
+        }
     }
 }
 
@@ -32,14 +35,18 @@ pub(crate) fn generate_source(
     params: CodegenParams,
 ) -> String {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(spec.seed),
+        rng: SplitMix64::seed_from_u64(spec.seed),
         table,
         reachable,
         next_feature: 0,
         out: String::new(),
         params,
     };
-    let _ = writeln!(g.out, "// Generated benchmark subject: {} (seed {:#x})", spec.name, spec.seed);
+    let _ = writeln!(
+        g.out,
+        "// Generated benchmark subject: {} (seed {:#x})",
+        spec.name, spec.seed
+    );
     g.emit_runtime();
 
     // Module classes until the LOC target is reached (Main + dead code
@@ -86,7 +93,7 @@ fn count_lines(s: &str) -> usize {
 }
 
 struct Gen<'a> {
-    rng: StdRng,
+    rng: SplitMix64,
     table: &'a FeatureTable,
     reachable: &'a [FeatureId],
     /// Round-robin cursor guaranteeing full reachable-feature coverage.
@@ -117,7 +124,7 @@ impl Gen<'_> {
     fn feature_cond(&mut self) -> String {
         let f = self.pick_feature();
         let name = self.table.name(f).to_owned();
-        match self.rng.gen_range(0..6) {
+        match self.rng.gen_range(0..6u32) {
             0 => format!("!{name}"),
             1 => {
                 let g = self.reachable[self.rng.gen_range(0..self.reachable.len())];
@@ -200,7 +207,7 @@ impl Gen<'_> {
                 let cond = self.feature_cond();
                 let _ = writeln!(self.out, "        #ifdef {cond}");
             }
-            match self.rng.gen_range(0..6) {
+            match self.rng.gen_range(0..6u32) {
                 0 => {
                     let _ = writeln!(self.out, "        v0 = v0 + v1 + {i};");
                 }
@@ -212,10 +219,7 @@ impl Gen<'_> {
                 }
                 2 => {
                     if self.rng.gen_bool(0.5) {
-                        let _ = writeln!(
-                            self.out,
-                            "        while (v0 > 50) {{ v0 = v0 - 13; }}"
-                        );
+                        let _ = writeln!(self.out, "        while (v0 > 50) {{ v0 = v0 - 13; }}");
                     } else {
                         let _ = writeln!(
                             self.out,
@@ -225,16 +229,12 @@ impl Gen<'_> {
                 }
                 3 if h > 0 => {
                     let callee = self.rng.gen_range(0..h);
-                    let _ =
-                        writeln!(self.out, "        v1 = M{k}.h{callee}(v1, {i});");
+                    let _ = writeln!(self.out, "        v1 = M{k}.h{callee}(v1, {i});");
                 }
                 4 if prev_classes > 0 => {
                     let other = self.rng.gen_range(0..prev_classes);
                     let callee = self.rng.gen_range(0..helpers);
-                    let _ = writeln!(
-                        self.out,
-                        "        v1 = M{other}.h{callee}(v0, v1);"
-                    );
+                    let _ = writeln!(self.out, "        v1 = M{other}.h{callee}(v0, v1);");
                 }
                 _ => {
                     let _ = writeln!(self.out, "        v1 = v1 % 97 + {i};");

@@ -23,7 +23,6 @@
 //! Everything is generated as mini-Java **source text** and pushed through
 //! the real frontend, so the pipeline (and the KLOC metric) is honest.
 
-
 #![warn(missing_docs)]
 mod codegen;
 mod models;
@@ -32,9 +31,7 @@ pub mod random_ir;
 pub use codegen::CodegenParams;
 pub use random_ir::{random_spl, RandomSpl};
 
-use spllift_features::{
-    Configuration, FeatureExpr, FeatureId, FeatureModel, FeatureTable,
-};
+use spllift_features::{Configuration, FeatureExpr, FeatureId, FeatureModel, FeatureTable};
 use spllift_ir::{Program, ProgramIcfg};
 
 /// Static description of one benchmark subject.
@@ -162,8 +159,7 @@ impl GeneratedSpl {
             .collect();
         let root = table.intern("Root");
         let model = models::model_for(spec.name, root, &reachable, &unreachable);
-        let source =
-            codegen::generate_source(&spec, &table, &reachable, &unreachable, params);
+        let source = codegen::generate_source(&spec, &table, &reachable, &unreachable, params);
         let loc = spllift_frontend::count_loc(&source);
         let mut parse_table = table.clone();
         let program = spllift_frontend::parse_spl(&source, &mut parse_table)
@@ -173,7 +169,16 @@ impl GeneratedSpl {
             table.len(),
             "generator used a feature the table does not know"
         );
-        GeneratedSpl { spec, source, program, table, model, reachable, root, loc }
+        GeneratedSpl {
+            spec,
+            source,
+            program,
+            table,
+            model,
+            reachable,
+            root,
+            loc,
+        }
     }
 
     /// The model as a propositional constraint.

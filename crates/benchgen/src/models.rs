@@ -63,9 +63,7 @@ pub(crate) fn model_for(
             for pair in reachable[11..19].chunks(2) {
                 m.add_optional(root, pair[0]).unwrap();
                 m.add_optional(root, pair[1]).unwrap();
-                m.add_constraint(
-                    FeatureExpr::var(pair[0]).implies(FeatureExpr::var(pair[1])),
-                );
+                m.add_constraint(FeatureExpr::var(pair[0]).implies(FeatureExpr::var(pair[1])));
             }
             for &f in &reachable[19..24] {
                 m.add_mandatory(root, f).unwrap();

@@ -9,12 +9,9 @@
 //! interpreter's budget in practice, and exercise every lifted
 //! flow-function class.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use spllift_features::{FeatureExpr, FeatureId, FeatureTable};
-use spllift_ir::{
-    BinOp, Callee, LocalId, Operand, Program, ProgramBuilder, Rvalue, Type,
-};
+use spllift_ir::{BinOp, Callee, LocalId, Operand, Program, ProgramBuilder, Rvalue, Type};
+use spllift_rng::SplitMix64;
 
 /// A random annotated program plus its feature table.
 #[derive(Debug)]
@@ -33,10 +30,11 @@ pub struct RandomSpl {
 pub fn random_spl(seed: u64, nfeatures: usize, nmethods: usize) -> RandomSpl {
     assert!((1..=8).contains(&nfeatures));
     assert!((1..=8).contains(&nmethods));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut table = FeatureTable::new();
-    let features: Vec<FeatureId> =
-        (0..nfeatures).map(|i| table.intern(&format!("F{i}"))).collect();
+    let features: Vec<FeatureId> = (0..nfeatures)
+        .map(|i| table.intern(&format!("F{i}")))
+        .collect();
 
     let mut pb = ProgramBuilder::new();
     let secret = pb.declare_method("secret", None, &[], Some(Type::Int), true);
@@ -53,14 +51,12 @@ pub fn random_spl(seed: u64, nfeatures: usize, nmethods: usize) -> RandomSpl {
         pb.finish_body(mb);
     }
     let methods: Vec<_> = (0..nmethods)
-        .map(|i| {
-            pb.declare_method(&format!("m{i}"), None, &[Type::Int], Some(Type::Int), true)
-        })
+        .map(|i| pb.declare_method(&format!("m{i}"), None, &[Type::Int], Some(Type::Int), true))
         .collect();
     let main = pb.declare_method("main", None, &[], None, true);
 
-    let annotation = |rng: &mut StdRng| -> FeatureExpr {
-        match rng.gen_range(0..8) {
+    let annotation = |rng: &mut SplitMix64| -> FeatureExpr {
+        match rng.gen_range(0..8u32) {
             0 | 1 | 2 | 3 => FeatureExpr::True,
             4 => FeatureExpr::var(features[rng.gen_range(0..features.len())]),
             5 => FeatureExpr::var(features[rng.gen_range(0..features.len())]).not(),
@@ -71,7 +67,7 @@ pub fn random_spl(seed: u64, nfeatures: usize, nmethods: usize) -> RandomSpl {
         }
     };
 
-    let emit_body = |pb: &mut ProgramBuilder, rng: &mut StdRng, mid, has_param: bool| {
+    let emit_body = |pb: &mut ProgramBuilder, rng: &mut SplitMix64, mid, has_param: bool| {
         let mut mb = pb.method_body(mid);
         let mut locals: Vec<LocalId> = Vec::new();
         if has_param {
@@ -82,7 +78,7 @@ pub fn random_spl(seed: u64, nfeatures: usize, nmethods: usize) -> RandomSpl {
         }
         // One possibly-uninitialized local.
         let u = mb.local("u", Type::Int);
-        let nops = rng.gen_range(4..12);
+        let nops = rng.gen_range(4..12usize);
         let labels: Vec<_> = (0..nops + 1).map(|_| mb.fresh_label()).collect();
         for i in 0..nops {
             mb.bind(labels[i]);
@@ -91,8 +87,8 @@ pub fn random_spl(seed: u64, nfeatures: usize, nmethods: usize) -> RandomSpl {
             if push {
                 mb.push_annotation(ann);
             }
-            let pick = |rng: &mut StdRng| locals[rng.gen_range(0..locals.len())];
-            match rng.gen_range(0..10) {
+            let pick = |rng: &mut SplitMix64| locals[rng.gen_range(0..locals.len())];
+            match rng.gen_range(0..10u32) {
                 0 | 1 => {
                     let t = pick(rng);
                     let c = rng.gen_range(-4..20);
@@ -125,11 +121,7 @@ pub fn random_spl(seed: u64, nfeatures: usize, nmethods: usize) -> RandomSpl {
                     mb.invoke(Some(t), Callee::Static(secret), vec![]);
                 }
                 6 => {
-                    mb.invoke(
-                        None,
-                        Callee::Static(print),
-                        vec![Operand::Local(pick(rng))],
-                    );
+                    mb.invoke(None, Callee::Static(print), vec![Operand::Local(pick(rng))]);
                 }
                 7 => {
                     let callee = methods[rng.gen_range(0..methods.len())];
@@ -167,5 +159,9 @@ pub fn random_spl(seed: u64, nfeatures: usize, nmethods: usize) -> RandomSpl {
     pb.add_entry_point(main);
     let program = pb.finish();
     debug_assert!(program.check().is_ok());
-    RandomSpl { program, table, features }
+    RandomSpl {
+        program,
+        table,
+        features,
+    }
 }

@@ -101,10 +101,7 @@ fn subjects_have_interprocedural_structure() {
     let icfg = spl.icfg();
     let methods = icfg.methods();
     assert!(methods.len() > 10, "enough reachable methods");
-    let call_sites: usize = methods
-        .iter()
-        .map(|&m| icfg.calls_in(m).len())
-        .sum();
+    let call_sites: usize = methods.iter().map(|&m| icfg.calls_in(m).len()).sum();
     assert!(call_sites > 20, "enough call sites, got {call_sites}");
 }
 

@@ -29,7 +29,6 @@
 //! See `examples/quickstart.rs` at the workspace root: the Figure 1 taint
 //! analysis reports the leak exactly under `¬F ∧ G ∧ ¬H`.
 
-
 #![warn(missing_docs)]
 mod annotated;
 mod edge;

@@ -2,8 +2,8 @@
 
 use crate::{AnnotatedIcfg, ConstraintEdge, LiftedIcfg};
 use spllift_features::{Configuration, Constraint, ConstraintContext, FeatureExpr};
-use spllift_ifds::IfdsProblem;
 use spllift_ide::{IdeProblem, IdeSolver, IdeStats};
+use spllift_ifds::IfdsProblem;
 use std::collections::HashMap;
 
 /// How the product line's feature model is taken into account.
@@ -60,9 +60,7 @@ where
         mode: ModelMode,
     ) -> Self {
         let model_c = match (model, mode) {
-            (Some(expr), ModelMode::OnEdges | ModelMode::AtStartValue) => {
-                ctx.of_expr(expr)
-            }
+            (Some(expr), ModelMode::OnEdges | ModelMode::AtStartValue) => ctx.of_expr(expr),
             _ => ctx.tt(),
         };
         let on_edges = mode == ModelMode::OnEdges;
@@ -83,7 +81,12 @@ where
                 ann.insert(s, (en, dis));
             }
         }
-        LiftedProblem { problem, ctx, model: model_c, ann }
+        LiftedProblem {
+            problem,
+            ctx,
+            model: model_c,
+            ann,
+        }
     }
 
     /// The constraint context in use.
@@ -101,11 +104,7 @@ where
     /// Disjoins `(fact, constraint)` into `out`, merging duplicates
     /// (an edge annotated `F` in one case and `¬F` in the other becomes
     /// unconditional — the solid edges of Fig. 4).
-    fn push(
-        out: &mut Vec<(P::Fact, ConstraintEdge<Ctx::C>)>,
-        fact: P::Fact,
-        c: Ctx::C,
-    ) {
+    fn push(out: &mut Vec<(P::Fact, ConstraintEdge<Ctx::C>)>, fact: P::Fact, c: Ctx::C) {
         if c.is_false() {
             return;
         }
@@ -371,13 +370,7 @@ where
 
     /// Whether `fact` holds at `stmt` in the product selected by `config`
     /// — the RQ1 cross-check query.
-    pub fn holds_in<Ctx>(
-        &self,
-        ctx: &Ctx,
-        stmt: G::Stmt,
-        fact: &D,
-        config: &Configuration,
-    ) -> bool
+    pub fn holds_in<Ctx>(&self, ctx: &Ctx, stmt: G::Stmt, fact: &D, config: &Configuration) -> bool
     where
         Ctx: ConstraintContext<C = C>,
     {

@@ -3,8 +3,8 @@
 
 use crate::{AnnotatedIcfg, LiftedIcfg, LiftedProblem, LiftedSolution};
 use spllift_features::{Constraint, ConstraintContext};
-use spllift_ifds::{Icfg, IfdsProblem};
 use spllift_ide::IdeProblem;
+use spllift_ifds::{Icfg, IfdsProblem};
 use std::fmt::Write as _;
 
 /// Renders every satisfiable (statement, fact, constraint) triple of a
@@ -67,53 +67,39 @@ where
             next
         })
     };
-    let emit =
-        |from: usize, to: usize, c: &Ctx::C, edges: &mut Vec<String>| {
-            let style = if c.is_true() {
-                String::new()
-            } else {
-                format!(" [style=dashed,label=\"{}\"]", show_constraint(c).replace('"', "'"))
-            };
-            edges.push(format!("  n{from} -> n{to}{style};"));
+    let emit = |from: usize, to: usize, c: &Ctx::C, edges: &mut Vec<String>| {
+        let style = if c.is_true() {
+            String::new()
+        } else {
+            format!(
+                " [style=dashed,label=\"{}\"]",
+                show_constraint(c).replace('"', "'")
+            )
         };
+        edges.push(format!("  n{from} -> n{to}{style};"));
+    };
     for m in icfg.methods() {
         for s in icfg.stmts_of(m) {
             for d in facts_at(s) {
-                let from = intern(
-                    icfg.stmt_label(s),
-                    format!("{d:?}"),
-                    &mut nodes,
-                );
+                let from = intern(icfg.stmt_label(s), format!("{d:?}"), &mut nodes);
                 if icfg.is_call(s) {
                     for q in icfg.callees_of(s) {
                         let sp = icfg.start_point_of(q);
                         for (d3, ef) in lifted.flow_call(icfg, s, q, &d) {
-                            let to = intern(
-                                icfg.stmt_label(sp),
-                                format!("{d3:?}"),
-                                &mut nodes,
-                            );
+                            let to = intern(icfg.stmt_label(sp), format!("{d3:?}"), &mut nodes);
                             emit(from, to, &ef.0, &mut edges);
                         }
                     }
                     for r in icfg.return_sites_of(s) {
                         for (d3, ef) in lifted.flow_call_to_return(icfg, s, r, &d) {
-                            let to = intern(
-                                icfg.stmt_label(r),
-                                format!("{d3:?}"),
-                                &mut nodes,
-                            );
+                            let to = intern(icfg.stmt_label(r), format!("{d3:?}"), &mut nodes);
                             emit(from, to, &ef.0, &mut edges);
                         }
                     }
                 } else {
                     for succ in icfg.successors_of(s) {
                         for (d3, ef) in lifted.flow_normal(icfg, s, succ, &d) {
-                            let to = intern(
-                                icfg.stmt_label(succ),
-                                format!("{d3:?}"),
-                                &mut nodes,
-                            );
+                            let to = intern(icfg.stmt_label(succ), format!("{d3:?}"), &mut nodes);
                             emit(from, to, &ef.0, &mut edges);
                         }
                     }

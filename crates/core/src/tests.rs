@@ -1,8 +1,7 @@
 use crate::{LiftedSolution, ModelMode};
 use spllift_analyses::{PossibleTypes, TaintAnalysis, TaintFact, TypeFact};
 use spllift_features::{
-    BddConstraintContext, Configuration, ConstraintContext,
-    DnfConstraintContext, FeatureExpr,
+    BddConstraintContext, Configuration, ConstraintContext, DnfConstraintContext, FeatureExpr,
 };
 use spllift_ir::samples::{fig1, shapes};
 use spllift_ir::ProgramIcfg;
@@ -23,8 +22,7 @@ fn fig1_leak_constraint_is_not_f_and_g_and_not_h() {
     let icfg = ProgramIcfg::new(&ex.program);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     // Fact: the local y (argument of print) is tainted at the print call.
     let y = tainted_arg_fact(&ex);
     let got = solution.constraint_of(ex.print_call, &y);
@@ -44,13 +42,7 @@ fn fig1_with_model_f_iff_g_reports_no_leak() {
     let root = ex.features[0]; // reuse F as pseudo-root? build real model:
     let _ = root;
     let model = FeatureExpr::parse("(F && G) || (!F && !G)", &mut table).unwrap();
-    let solution = LiftedSolution::solve(
-        &analysis,
-        &icfg,
-        &ctx,
-        Some(&model),
-        ModelMode::OnEdges,
-    );
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
     let y = tainted_arg_fact(&ex);
     assert!(solution.constraint_of(ex.print_call, &y).is_false());
 }
@@ -63,13 +55,7 @@ fn model_on_edges_terminates_early() {
     let analysis = TaintAnalysis::secret_to_print();
     let mut table = ex.table.clone();
     let model = FeatureExpr::parse("(F && G) || (!F && !G)", &mut table).unwrap();
-    let on_edges = LiftedSolution::solve(
-        &analysis,
-        &icfg,
-        &ctx,
-        Some(&model),
-        ModelMode::OnEdges,
-    );
+    let on_edges = LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
     assert!(
         on_edges.stats().killed_early > 0,
         "contradictory paths must be pruned during construction"
@@ -107,8 +93,7 @@ fn reachability_constraints_of_fig1() {
     let icfg = ProgramIcfg::new(&ex.program);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     // main is reachable unconditionally.
     let main_entry = spllift_ifds::Icfg::start_point_of(&icfg, ex.main);
     assert!(solution.reachability_of(main_entry).is_true());
@@ -127,8 +112,7 @@ fn lifted_possible_types_keeps_both_alternatives() {
     let icfg = ProgramIcfg::new(&ex.program);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = PossibleTypes::new();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let [_, circle, square] = ex.classes;
     let s_local = receiver_local(&ex);
     let mut table = ex.table.clone();
@@ -155,8 +139,7 @@ fn lifted_matches_plain_on_annotation_free_program() {
     let icfg = ProgramIcfg::new(&product);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let plain = spllift_ifds::IfdsSolver::solve(&analysis, &icfg);
     for m in spllift_ifds::Icfg::methods(&icfg) {
         for s in spllift_ifds::Icfg::stmts_of(&icfg, m) {
@@ -203,12 +186,21 @@ fn holds_in_agrees_with_constraint_evaluation() {
     let icfg = ProgramIcfg::new(&ex.program);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let y = tainted_arg_fact(&ex);
     assert!(solution.holds_in(&ctx, ex.print_call, &y, &Configuration::from_enabled([g])));
-    assert!(!solution.holds_in(&ctx, ex.print_call, &y, &Configuration::from_enabled([f, g])));
-    assert!(!solution.holds_in(&ctx, ex.print_call, &y, &Configuration::from_enabled([g, h])));
+    assert!(!solution.holds_in(
+        &ctx,
+        ex.print_call,
+        &y,
+        &Configuration::from_enabled([f, g])
+    ));
+    assert!(!solution.holds_in(
+        &ctx,
+        ex.print_call,
+        &y,
+        &Configuration::from_enabled([g, h])
+    ));
 }
 
 #[test]
@@ -217,15 +209,13 @@ fn constraints_table_and_dot_render() {
     let icfg = ProgramIcfg::new(&ex.program);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let table = crate::report::constraints_table(&solution, &icfg, |c| c.to_cube_string());
     assert!(table.contains("main"));
     assert!(table.contains("⇐"));
 
     let lifted_icfg = crate::LiftedIcfg::new(&icfg);
-    let lifted =
-        crate::LiftedProblem::new(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let lifted = crate::LiftedProblem::new(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let dot = crate::report::lifted_supergraph_dot(
         &lifted,
         &lifted_icfg,
@@ -271,8 +261,15 @@ fn disabled_return_falls_through() {
         let mut mb = pb.method_body(main);
         let y = mb.local("y", Type::Int);
         mb.invoke(Some(y), spllift_ir::Callee::Static(callee), vec![]);
-        let idx = mb.invoke(None, spllift_ir::Callee::Static(print), vec![Operand::Local(y)]);
-        print_call = spllift_ir::StmtRef { method: main, index: idx };
+        let idx = mb.invoke(
+            None,
+            spllift_ir::Callee::Static(print),
+            vec![Operand::Local(y)],
+        );
+        print_call = spllift_ir::StmtRef {
+            method: main,
+            index: idx,
+        };
         mb.ret(None);
         pb.finish_body(mb);
     }
@@ -282,8 +279,7 @@ fn disabled_return_falls_through() {
     let icfg = ProgramIcfg::new(&p);
     let ctx = BddConstraintContext::new(&table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     // y is tainted exactly when R is enabled (the annotated return runs).
     let y_fact = TaintFact::Local(spllift_ir::LocalId(0));
     let got = solution.constraint_of(print_call, &y_fact);
@@ -320,7 +316,10 @@ mod lifted_icfg {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let lifted = LiftedIcfg::new(&icfg);
-        let goto_stmt = spllift_ir::StmtRef { method: main, index: goto_idx };
+        let goto_stmt = spllift_ir::StmtRef {
+            method: main,
+            index: goto_idx,
+        };
         // Plain view: one successor (the target).
         assert_eq!(icfg.successors_of(goto_stmt).len(), 1);
         // Lifted view: target + fall-through.
@@ -345,7 +344,10 @@ mod lifted_icfg {
         let p = pb.finish();
         let icfg = ProgramIcfg::new(&p);
         let lifted = LiftedIcfg::new(&icfg);
-        let goto_stmt = spllift_ir::StmtRef { method: main, index: goto_idx };
+        let goto_stmt = spllift_ir::StmtRef {
+            method: main,
+            index: goto_idx,
+        };
         assert_eq!(
             lifted.successors_of(goto_stmt),
             icfg.successors_of(goto_stmt)
@@ -376,7 +378,11 @@ mod lifted_icfg {
         mb.pop_annotation();
         mb.assign(x, Rvalue::Use(Operand::IntConst(0))); // scrub
         mb.bind(end);
-        let sink = mb.invoke(None, spllift_ir::Callee::Static(print), vec![Operand::Local(x)]);
+        let sink = mb.invoke(
+            None,
+            spllift_ir::Callee::Static(print),
+            vec![Operand::Local(x)],
+        );
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
@@ -384,11 +390,13 @@ mod lifted_icfg {
         let icfg = ProgramIcfg::new(&p);
         let ctx = BddConstraintContext::new(&t);
         let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
-        let solution =
-            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
         // x stays tainted at the sink exactly when A skips the scrub.
         let c = solution.constraint_of(
-            spllift_ir::StmtRef { method: main, index: sink },
+            spllift_ir::StmtRef {
+                method: main,
+                index: sink,
+            },
             &spllift_analyses::TaintFact::Local(x),
         );
         assert_eq!(c, ctx.lit(a, true), "got {}", c.to_cube_string());
@@ -422,7 +430,11 @@ mod branch_rules {
         mb.pop_annotation();
         mb.assign(x, Rvalue::Use(Operand::IntConst(0))); // scrub
         mb.bind(end);
-        let sink = mb.invoke(None, spllift_ir::Callee::Static(print), vec![Operand::Local(x)]);
+        let sink = mb.invoke(
+            None,
+            spllift_ir::Callee::Static(print),
+            vec![Operand::Local(x)],
+        );
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
@@ -430,10 +442,12 @@ mod branch_rules {
         let icfg = ProgramIcfg::new(&p);
         let ctx = BddConstraintContext::new(&t);
         let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
-        let solution =
-            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
         let c = solution.constraint_of(
-            spllift_ir::StmtRef { method: main, index: sink },
+            spllift_ir::StmtRef {
+                method: main,
+                index: sink,
+            },
             &spllift_analyses::TaintFact::Local(x),
         );
         assert_eq!(c, ctx.lit(a, true), "got {}", c.to_cube_string());
@@ -461,7 +475,11 @@ mod branch_rules {
         mb.if_cmp(BinOp::Eq, Operand::Local(x), Operand::IntConst(0), next);
         mb.pop_annotation();
         mb.bind(next);
-        let sink = mb.invoke(None, spllift_ir::Callee::Static(print), vec![Operand::Local(x)]);
+        let sink = mb.invoke(
+            None,
+            spllift_ir::Callee::Static(print),
+            vec![Operand::Local(x)],
+        );
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
@@ -469,10 +487,12 @@ mod branch_rules {
         let icfg = ProgramIcfg::new(&p);
         let ctx = BddConstraintContext::new(&t);
         let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
-        let solution =
-            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
         let c = solution.constraint_of(
-            spllift_ir::StmtRef { method: main, index: sink },
+            spllift_ir::StmtRef {
+                method: main,
+                index: sink,
+            },
             &spllift_analyses::TaintFact::Local(x),
         );
         assert!(c.is_true(), "got {}", c.to_cube_string());
@@ -509,9 +529,17 @@ mod branch_rules {
         let y = mb.local("y", Type::Int);
         mb.invoke(Some(x), spllift_ir::Callee::Static(secret), vec![]);
         mb.push_annotation(FeatureExpr::var(a));
-        mb.invoke(Some(y), spllift_ir::Callee::Static(id), vec![Operand::Local(x)]);
+        mb.invoke(
+            Some(y),
+            spllift_ir::Callee::Static(id),
+            vec![Operand::Local(x)],
+        );
         mb.pop_annotation();
-        let sink = mb.invoke(None, spllift_ir::Callee::Static(print), vec![Operand::Local(y)]);
+        let sink = mb.invoke(
+            None,
+            spllift_ir::Callee::Static(print),
+            vec![Operand::Local(y)],
+        );
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
@@ -519,14 +547,16 @@ mod branch_rules {
         let icfg = ProgramIcfg::new(&p);
         let ctx = BddConstraintContext::new(&t);
         let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
-        let solution =
-            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
         // id() is reachable only under A (paper §3.3's reachability).
         let id_entry = p.entry_of(id);
         assert_eq!(solution.reachability_of(id_entry), ctx.lit(a, true));
         // y = id(x) is tainted only under A.
         let c = solution.constraint_of(
-            spllift_ir::StmtRef { method: main, index: sink },
+            spllift_ir::StmtRef {
+                method: main,
+                index: sink,
+            },
             &spllift_analyses::TaintFact::Local(y),
         );
         assert_eq!(c, ctx.lit(a, true), "got {}", c.to_cube_string());
@@ -547,7 +577,10 @@ mod edge_laws {
         let ea = ConstraintEdge(ctx.lit(a, true));
         let eb = ConstraintEdge(ctx.lit(b, true));
         // compose = ∧ (commutative here), join = ∨.
-        assert_eq!(ea.compose_with(&eb).0, ctx.lit(a, true).and(&ctx.lit(b, true)));
+        assert_eq!(
+            ea.compose_with(&eb).0,
+            ctx.lit(a, true).and(&ctx.lit(b, true))
+        );
         assert_eq!(ea.join(&eb).0, ctx.lit(a, true).or(&ctx.lit(b, true)));
         // Identity and kill.
         let id = ConstraintEdge(ctx.tt());

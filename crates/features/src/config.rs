@@ -116,6 +116,52 @@ impl Configuration {
     }
 }
 
+/// Splits `configs` into at most `shards` contiguous, near-equal chunks,
+/// preserving order: concatenating the returned slices yields `configs`
+/// exactly. At most the first `configs.len() % shards` chunks are one
+/// element longer than the rest, and no chunk is empty (so fewer than
+/// `shards` chunks are returned when there are fewer configurations than
+/// shards).
+///
+/// This is the sharding rule of the parallel A2/crosscheck driver: because
+/// chunks are contiguous and in order, merging per-shard results in shard
+/// index order reproduces the sequential processing order regardless of
+/// how the shards were scheduled.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+///
+/// # Example
+///
+/// ```
+/// use spllift_features::{partition_configurations, Configuration};
+/// let configs: Vec<_> = (0..5).map(|b| Configuration::from_bits(b, 3)).collect();
+/// let parts = partition_configurations(&configs, 2);
+/// assert_eq!(parts.len(), 2);
+/// assert_eq!(parts[0].len(), 3);
+/// assert_eq!(parts[1].len(), 2);
+/// let rejoined: Vec<_> = parts.concat();
+/// assert_eq!(rejoined, configs);
+/// ```
+pub fn partition_configurations(configs: &[Configuration], shards: usize) -> Vec<&[Configuration]> {
+    assert!(shards > 0, "cannot partition into zero shards");
+    let shards = shards.min(configs.len()).max(1);
+    let base = configs.len() / shards;
+    let extra = configs.len() % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(&configs[start..start + len]);
+        start += len;
+    }
+    out
+}
+
 /// Enumerates all `2^n` configurations over the features `universe`.
 ///
 /// The iteration order is the binary counting order over the universe, so it

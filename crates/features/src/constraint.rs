@@ -162,7 +162,11 @@ impl BddConstraintContext {
             );
             features_by_var.push(id);
         }
-        BddConstraintContext { mgr, vars, features_by_var }
+        BddConstraintContext {
+            mgr,
+            vars,
+            features_by_var,
+        }
     }
 
     /// The underlying BDD manager.

@@ -34,7 +34,10 @@ impl Cube {
 
     /// Conjunction of two cubes, `None` if contradictory.
     fn and(self, other: Cube) -> Option<Cube> {
-        let c = Cube { pos: self.pos | other.pos, neg: self.neg | other.neg };
+        let c = Cube {
+            pos: self.pos | other.pos,
+            neg: self.neg | other.neg,
+        };
         (!c.contradictory()).then_some(c)
     }
 
@@ -72,7 +75,9 @@ pub struct Dnf {
 
 impl Dnf {
     fn tt() -> Self {
-        Dnf { cubes: vec![Cube::TOP] }
+        Dnf {
+            cubes: vec![Cube::TOP],
+        }
     }
 
     fn ff() -> Self {
@@ -80,7 +85,10 @@ impl Dnf {
     }
 
     fn lit(f: FeatureId, positive: bool) -> Self {
-        assert!(f.index() < 128, "DNF constraints support at most 128 features");
+        assert!(
+            f.index() < 128,
+            "DNF constraints support at most 128 features"
+        );
         let bit = 1u128 << f.index();
         let cube = if positive {
             Cube { pos: bit, neg: 0 }
@@ -205,7 +213,10 @@ pub struct DnfConstraintContext {
 impl DnfConstraintContext {
     /// Creates a context for the features of `table` (at most 128).
     pub fn new(table: &crate::FeatureTable) -> Self {
-        assert!(table.len() <= 128, "DNF constraints support at most 128 features");
+        assert!(
+            table.len() <= 128,
+            "DNF constraints support at most 128 features"
+        );
         DnfConstraintContext { _priv: () }
     }
 }

@@ -109,7 +109,11 @@ pub struct ParseExprError {
 
 impl fmt::Display for ParseExprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid feature expression at byte {}: {}", self.offset, self.msg)
+        write!(
+            f,
+            "invalid feature expression at byte {}: {}",
+            self.offset, self.msg
+        )
     }
 }
 
@@ -238,7 +242,11 @@ impl FeatureExpr {
     /// # Ok::<(), spllift_features::ParseExprError>(())
     /// ```
     pub fn parse(input: &str, table: &mut FeatureTable) -> Result<Self, ParseExprError> {
-        let mut p = ExprParser { input, pos: 0, table };
+        let mut p = ExprParser {
+            input,
+            pos: 0,
+            table,
+        };
         let e = p.parse_or()?;
         p.skip_ws();
         if p.pos != input.len() {
@@ -312,7 +320,10 @@ struct ExprParser<'a> {
 
 impl ExprParser<'_> {
     fn err(&self, msg: &str) -> ParseExprError {
-        ParseExprError { msg: msg.to_owned(), offset: self.pos }
+        ParseExprError {
+            msg: msg.to_owned(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {

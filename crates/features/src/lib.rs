@@ -34,7 +34,6 @@
 //! # Ok::<(), spllift_features::ParseExprError>(())
 //! ```
 
-
 #![warn(missing_docs)]
 mod config;
 mod constraint;
@@ -43,7 +42,7 @@ mod expr;
 mod model;
 mod model_text;
 
-pub use config::{all_configurations, Configuration};
+pub use config::{all_configurations, partition_configurations, Configuration};
 pub use constraint::{BddConstraint, BddConstraintContext, Constraint, ConstraintContext};
 pub use dnf::{Dnf, DnfConstraintContext};
 pub use expr::{FeatureExpr, FeatureId, FeatureTable, ParseExprError};

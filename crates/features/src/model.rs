@@ -171,7 +171,11 @@ impl FeatureModel {
         for &m in members {
             self.parents.insert(m, parent);
         }
-        self.groups.push(Group { parent, kind, members: members.to_vec() });
+        self.groups.push(Group {
+            parent,
+            kind,
+            members: members.to_vec(),
+        });
         Ok(())
     }
 
@@ -218,11 +222,7 @@ impl FeatureModel {
                     let mut mutex = FeatureExpr::True;
                     for (i, &a) in g.members.iter().enumerate() {
                         for &b in &g.members[i + 1..] {
-                            mutex = mutex.and(
-                                FeatureExpr::var(a)
-                                    .and(FeatureExpr::var(b))
-                                    .not(),
-                            );
+                            mutex = mutex.and(FeatureExpr::var(a).and(FeatureExpr::var(b)).not());
                         }
                     }
                     p.iff(mutex.and(disj))
@@ -281,8 +281,7 @@ impl FeatureModel {
                 GroupKind::Or => "or",
                 GroupKind::Xor => "xor",
             };
-            let members: Vec<&str> =
-                g.members.iter().map(|&m| table.name(m)).collect();
+            let members: Vec<&str> = g.members.iter().map(|&m| table.name(m)).collect();
             let _ = writeln!(out, "{kw} {} {}", table.name(g.parent), members.join(" "));
         }
         for c in &self.cross_tree {

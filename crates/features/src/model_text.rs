@@ -71,7 +71,10 @@ pub fn parse_feature_model(
     let mut model: Option<FeatureModel> = None;
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let err = |message: String| ModelTextError { message, line: lineno };
+        let err = |message: String| ModelTextError {
+            message,
+            line: lineno,
+        };
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -119,7 +122,11 @@ pub fn parse_feature_model(
                     .ok_or_else(|| err(format!("`{directive}` needs a parent")))?;
                 let p = table.intern(parent);
                 let members: Vec<_> = words.map(|w| table.intern(w)).collect();
-                let kind = if directive == "or" { GroupKind::Or } else { GroupKind::Xor };
+                let kind = if directive == "or" {
+                    GroupKind::Or
+                } else {
+                    GroupKind::Xor
+                };
                 model_ref
                     .add_group(p, kind, &members)
                     .map_err(|e| err(e.to_string()))?;

@@ -1,5 +1,5 @@
-use crate::*;
 use crate::config::all_configurations;
+use crate::*;
 
 fn table_abc() -> (FeatureTable, FeatureId, FeatureId, FeatureId) {
     let mut t = FeatureTable::new();
@@ -163,7 +163,8 @@ mod model {
     fn paper_intro_feature_model() {
         // §1: under the model F ≡ G, the leak constraint ¬F∧G∧¬H is vacuous.
         let (mut t, mut m, [_, f, g, h]) = fig1_model();
-        m.add_constraint_str("(F && G) || (!F && !G)", &mut t).unwrap();
+        m.add_constraint_str("(F && G) || (!F && !G)", &mut t)
+            .unwrap();
         let expr = m.to_expr();
         let leak = FeatureExpr::var(f)
             .not()
@@ -229,7 +230,10 @@ mod model {
         let mut m = FeatureModel::new(root);
         m.add_optional(root, a).unwrap();
         assert_eq!(m.add_optional(root, a), Err(ModelError::DuplicateParent(a)));
-        assert_eq!(m.add_group(root, GroupKind::Or, &[b]), Err(ModelError::GroupTooSmall));
+        assert_eq!(
+            m.add_group(root, GroupKind::Or, &[b]),
+            Err(ModelError::GroupTooSmall)
+        );
     }
 
     #[test]
@@ -314,7 +318,9 @@ mod constraints {
         let (t, a, b, _) = table_abc();
         let ctx = DnfConstraintContext::new(&t);
         // a | (a & b) reduces to a.
-        let c = ctx.lit(a, true).or(&ctx.lit(a, true).and(&ctx.lit(b, true)));
+        let c = ctx
+            .lit(a, true)
+            .or(&ctx.lit(a, true).and(&ctx.lit(b, true)));
         assert_eq!(c, ctx.lit(a, true));
         assert_eq!(c.cube_count(), 1);
     }
@@ -353,21 +359,23 @@ mod constraints {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use spllift_rng::SplitMix64;
 
-    fn arb_expr(nfeatures: u32) -> impl Strategy<Value = FeatureExpr> {
-        let leaf = prop_oneof![
-            (0..nfeatures).prop_map(|i| FeatureExpr::Var(FeatureId(i))),
-            Just(FeatureExpr::True),
-            Just(FeatureExpr::False),
-        ];
-        leaf.prop_recursive(4, 32, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(FeatureExpr::not),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-                (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
-            ]
-        })
+    /// Seeded random feature expressions, depth-bounded like the old
+    /// proptest strategy (`prop_recursive(4, ..)`).
+    fn random_expr(rng: &mut SplitMix64, nfeatures: u32, depth: usize) -> FeatureExpr {
+        if depth == 0 || rng.gen_bool(0.3) {
+            return match rng.gen_range(0..4u32) {
+                0 => FeatureExpr::True,
+                1 => FeatureExpr::False,
+                _ => FeatureExpr::Var(FeatureId(rng.gen_range(0..nfeatures))),
+            };
+        }
+        match rng.gen_range(0..3u32) {
+            0 => random_expr(rng, nfeatures, depth - 1).not(),
+            1 => random_expr(rng, nfeatures, depth - 1).and(random_expr(rng, nfeatures, depth - 1)),
+            _ => random_expr(rng, nfeatures, depth - 1).or(random_expr(rng, nfeatures, depth - 1)),
+        }
     }
 
     fn table_n(n: u32) -> FeatureTable {
@@ -378,10 +386,12 @@ mod properties {
         t
     }
 
-    proptest! {
-        /// BDD and DNF agree with direct evaluation on every configuration.
-        #[test]
-        fn representations_agree(e in arb_expr(5)) {
+    /// BDD and DNF agree with direct evaluation on every configuration.
+    #[test]
+    fn representations_agree() {
+        let mut rng = SplitMix64::seed_from_u64(0xFEA_0001);
+        for _ in 0..256 {
+            let e = random_expr(&mut rng, 5, 4);
             let t = table_n(5);
             let bctx = BddConstraintContext::new(&t);
             let dctx = DnfConstraintContext::new(&t);
@@ -390,41 +400,47 @@ mod properties {
             for bits in 0u64..32 {
                 let cfg = Configuration::from_bits(bits, 5);
                 let expected = cfg.satisfies(&e);
-                prop_assert_eq!(bctx.satisfied_by(&bc, &cfg), expected);
-                prop_assert_eq!(dctx.satisfied_by(&dc, &cfg), expected);
+                assert_eq!(bctx.satisfied_by(&bc, &cfg), expected, "{e:?} at {bits:#b}");
+                assert_eq!(dctx.satisfied_by(&dc, &cfg), expected, "{e:?} at {bits:#b}");
             }
             // is_false ⇔ no satisfying config.
-            let any = (0u64..32).any(|bits| {
-                Configuration::from_bits(bits, 5).satisfies(&e)
-            });
-            prop_assert_eq!(!bc.is_false(), any);
-            prop_assert_eq!(!dc.is_false(), any);
+            let any = (0u64..32).any(|bits| Configuration::from_bits(bits, 5).satisfies(&e));
+            assert_eq!(!bc.is_false(), any, "{e:?}");
+            assert_eq!(!dc.is_false(), any, "{e:?}");
         }
+    }
 
-        /// DNF `or` is idempotent after reduction (solver termination).
-        #[test]
-        fn dnf_join_idempotent(a in arb_expr(4), b in arb_expr(4)) {
+    /// DNF `or` is idempotent after reduction (solver termination).
+    #[test]
+    fn dnf_join_idempotent() {
+        let mut rng = SplitMix64::seed_from_u64(0xFEA_0002);
+        for _ in 0..256 {
+            let a = random_expr(&mut rng, 4, 4);
+            let b = random_expr(&mut rng, 4, 4);
             let t = table_n(4);
             let ctx = DnfConstraintContext::new(&t);
             let ca = ctx.of_expr(&a);
             let cb = ctx.of_expr(&b);
             let j = ca.or(&cb);
-            prop_assert_eq!(j.or(&cb), j.clone());
-            prop_assert_eq!(j.or(&ca), j);
+            assert_eq!(j.or(&cb), j.clone(), "join of {a:?} and {b:?}");
+            assert_eq!(j.or(&ca), j, "join of {a:?} and {b:?}");
         }
+    }
 
-        /// Batory translation: a configuration is valid iff it satisfies
-        /// every structural rule, cross-checked on random 2-level models.
-        #[test]
-        fn batory_translation_sound(
-            optional in proptest::collection::vec(any::<bool>(), 1..5),
-            has_xor in any::<bool>(),
-        ) {
+    /// Batory translation: a configuration is valid iff it satisfies
+    /// every structural rule, cross-checked on random 2-level models.
+    #[test]
+    fn batory_translation_sound() {
+        let mut rng = SplitMix64::seed_from_u64(0xFEA_0003);
+        for _ in 0..64 {
+            let optional: Vec<bool> = (0..rng.gen_range(1..5usize))
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let has_xor = rng.gen_bool(0.5);
             let n = optional.len() as u32;
             let mut t = FeatureTable::new();
             let root = t.intern("Root");
-            let feats: Vec<_> =
-                (0..n).map(|i| t.intern(&format!("F{i}"))).collect();
+            let feats: Vec<_> = (0..n).map(|i| t.intern(&format!("F{i}"))).collect();
             let gx = t.intern("GX");
             let gy = t.intern("GY");
             let mut m = FeatureModel::new(root);
@@ -435,7 +451,11 @@ mod properties {
                     m.add_mandatory(root, feats[i]).unwrap();
                 }
             }
-            let kind = if has_xor { GroupKind::Xor } else { GroupKind::Or };
+            let kind = if has_xor {
+                GroupKind::Xor
+            } else {
+                GroupKind::Or
+            };
             m.add_group(root, kind, &[gx, gy]).unwrap();
             let expr = m.to_expr();
             let total = t.len();
@@ -451,9 +471,13 @@ mod properties {
                 }
                 let gx_on = cfg.is_enabled(gx);
                 let gy_on = cfg.is_enabled(gy);
-                let group_ok = if has_xor { gx_on ^ gy_on } else { gx_on || gy_on };
+                let group_ok = if has_xor {
+                    gx_on ^ gy_on
+                } else {
+                    gx_on || gy_on
+                };
                 expected &= cfg.is_enabled(root) == group_ok;
-                prop_assert_eq!(cfg.satisfies(&expr), expected, "bits {:b}", bits);
+                assert_eq!(cfg.satisfies(&expr), expected, "bits {bits:b}");
             }
         }
     }
@@ -483,9 +507,7 @@ mod model_text {
             .iter()
             .map(|n| t.get(n).unwrap())
             .collect();
-        let cfg = |on: &[usize]| {
-            Configuration::from_enabled(on.iter().map(|&i| ids[i]))
-        };
+        let cfg = |on: &[usize]| Configuration::from_enabled(on.iter().map(|&i| ids[i]));
         // R, Core, Json, A is valid.
         assert!(cfg(&[0, 1, 3, 5]).satisfies(&expr));
         // Missing mandatory Core: invalid.
@@ -537,8 +559,7 @@ mod model_text {
     fn comments_and_blanks_ignored() {
         let mut t = FeatureTable::new();
         let m =
-            parse_feature_model("\n# heading\nroot R\n\n# more\noptional R F\n", &mut t)
-                .unwrap();
+            parse_feature_model("\n# heading\nroot R\n\n# more\noptional R F\n", &mut t).unwrap();
         assert_eq!(m.features().len(), 2);
     }
 }
@@ -567,7 +588,11 @@ mod model_roundtrip {
         let (e1, e2) = (m.to_expr(), m2.to_expr());
         for bits in 0u64..(1 << t.len()) {
             let cfg = Configuration::from_bits(bits, t.len());
-            assert_eq!(cfg.satisfies(&e1), cfg.satisfies(&e2), "bits {bits:b}\n{text}");
+            assert_eq!(
+                cfg.satisfies(&e1),
+                cfg.satisfies(&e2),
+                "bits {bits:b}\n{text}"
+            );
         }
     }
 }
@@ -575,17 +600,21 @@ mod model_roundtrip {
 mod model_roundtrip_property {
     use super::*;
     use crate::parse_feature_model;
-    use proptest::prelude::*;
+    use spllift_rng::SplitMix64;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Random two-level models survive to_text → parse semantically.
-        #[test]
-        fn random_models_roundtrip(
-            kinds in proptest::collection::vec(0u8..4, 1..6),
-            group in proptest::option::of(any::<bool>()),
-        ) {
+    /// Random two-level models survive to_text → parse semantically.
+    #[test]
+    fn random_models_roundtrip() {
+        let mut rng = SplitMix64::seed_from_u64(0xFEA_0004);
+        for _ in 0..32 {
+            let kinds: Vec<u8> = (0..rng.gen_range(1..6usize))
+                .map(|_| rng.gen_range(0..4u8))
+                .collect();
+            let group: Option<bool> = if rng.gen_bool(0.5) {
+                Some(rng.gen_bool(0.5))
+            } else {
+                None
+            };
             let mut t = FeatureTable::new();
             let root = t.intern("R");
             let mut m = FeatureModel::new(root);
@@ -602,9 +631,7 @@ mod model_roundtrip_property {
                         m.add_optional(root, f).unwrap();
                         let g = t.intern(&format!("X{i}"));
                         m.add_optional(root, g).unwrap();
-                        m.add_constraint(
-                            FeatureExpr::var(f).and(FeatureExpr::var(g)).not(),
-                        );
+                        m.add_constraint(FeatureExpr::var(f).and(FeatureExpr::var(g)).not());
                     }
                 }
             }
@@ -621,10 +648,10 @@ mod model_roundtrip_property {
             let n = t.len().min(12);
             for bits in 0u64..(1 << n) {
                 let cfg = Configuration::from_bits(bits, n);
-                prop_assert_eq!(
+                assert_eq!(
                     cfg.satisfies(&e1),
                     cfg.satisfies(&e2),
-                    "bits {:b}\n{}", bits, text
+                    "bits {bits:b}\n{text}"
                 );
             }
         }

@@ -40,14 +40,19 @@ pub struct Lexer<'s> {
 }
 
 const PUNCTS: &[&str] = &[
-    "&&", "||", "==", "!=", "<=", ">=", "{", "}", "(", ")", "[", "]", ";", ",", ".",
-    "=", "!", "<", ">", "+", "-", "*", "/", "%",
+    "&&", "||", "==", "!=", "<=", ">=", "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "!", "<",
+    ">", "+", "-", "*", "/", "%",
 ];
 
 impl<'s> Lexer<'s> {
     /// Creates a lexer over `source`.
     pub fn new(source: &'s str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Lexes the whole input.
@@ -60,9 +65,15 @@ impl<'s> Lexer<'s> {
         let mut out = Vec::new();
         loop {
             self.skip_trivia()?;
-            let pos = Pos { line: self.line, col: self.col };
+            let pos = Pos {
+                line: self.line,
+                col: self.col,
+            };
             let Some(&c) = self.src.get(self.pos) else {
-                out.push(Token { kind: TokenKind::Eof, pos });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
                 return Ok(out);
             };
             let kind = if c == b'#' {
@@ -93,7 +104,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn lex_directive(&mut self) -> Result<TokenKind, FrontendError> {
-        let pos = Pos { line: self.line, col: self.col };
+        let pos = Pos {
+            line: self.line,
+            col: self.col,
+        };
         self.advance(1); // '#'
         let word = self.lex_while(|c| c.is_ascii_alphabetic());
         match word.as_str() {
@@ -120,23 +134,19 @@ impl<'s> Lexer<'s> {
             match self.src.get(self.pos) {
                 Some(c) if c.is_ascii_whitespace() => self.advance(1),
                 Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
-                    while self
-                        .src
-                        .get(self.pos)
-                        .is_some_and(|&c| c != b'\n')
-                    {
+                    while self.src.get(self.pos).is_some_and(|&c| c != b'\n') {
                         self.advance(1);
                     }
                 }
                 Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
-                    let start = Pos { line: self.line, col: self.col };
+                    let start = Pos {
+                        line: self.line,
+                        col: self.col,
+                    };
                     self.advance(2);
                     loop {
                         if self.pos >= self.src.len() {
-                            return Err(FrontendError::new(
-                                "unterminated block comment",
-                                start,
-                            ));
+                            return Err(FrontendError::new("unterminated block comment", start));
                         }
                         if self.src[self.pos..].starts_with(b"*/") {
                             self.advance(2);

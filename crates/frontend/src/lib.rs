@@ -44,7 +44,6 @@
 //! # Ok::<(), spllift_frontend::FrontendError>(())
 //! ```
 
-
 #![warn(missing_docs)]
 mod ast;
 mod lexer;
@@ -86,7 +85,10 @@ pub struct FrontendError {
 
 impl FrontendError {
     pub(crate) fn new(message: impl Into<String>, pos: Pos) -> Self {
-        FrontendError { message: message.into(), pos }
+        FrontendError {
+            message: message.into(),
+            pos,
+        }
     }
 }
 

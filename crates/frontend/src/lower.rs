@@ -3,8 +3,8 @@
 use crate::ast::*;
 use crate::{FrontendError, Pos};
 use spllift_ir::{
-    BinOp, Callee, ClassId, ElemType, FieldId, LocalId, MethodBuilder, MethodId, Operand,
-    Program, ProgramBuilder, Rvalue, Type,
+    BinOp, Callee, ClassId, ElemType, FieldId, LocalId, MethodBuilder, MethodId, Operand, Program,
+    ProgramBuilder, Rvalue, Type,
 };
 use std::collections::HashMap;
 
@@ -22,7 +22,10 @@ pub fn lower_program(ast: &AstProgram) -> Result<Program, FrontendError> {
     // Pass 1: declare classes.
     for c in &ast.classes {
         if ctx.classes.contains_key(&c.name) {
-            return Err(FrontendError::new(format!("duplicate class `{}`", c.name), c.pos));
+            return Err(FrontendError::new(
+                format!("duplicate class `{}`", c.name),
+                c.pos,
+            ));
         }
         let id = pb.add_class(&c.name, None);
         ctx.classes.insert(c.name.clone(), id);
@@ -31,9 +34,10 @@ pub fn lower_program(ast: &AstProgram) -> Result<Program, FrontendError> {
     for c in &ast.classes {
         let cid = ctx.classes[&c.name];
         if let Some(sup) = &c.superclass {
-            let sup_id = *ctx.classes.get(sup).ok_or_else(|| {
-                FrontendError::new(format!("unknown superclass `{sup}`"), c.pos)
-            })?;
+            let sup_id = *ctx
+                .classes
+                .get(sup)
+                .ok_or_else(|| FrontendError::new(format!("unknown superclass `{sup}`"), c.pos))?;
             pb.set_superclass(cid, Some(sup_id));
         }
         for f in &c.fields {
@@ -47,12 +51,19 @@ pub fn lower_program(ast: &AstProgram) -> Result<Program, FrontendError> {
                 .iter()
                 .map(|(_, t)| ctx.resolve_type(t, m.pos))
                 .collect::<Result<_, _>>()?;
-            let ret = m.ret.as_ref().map(|t| ctx.resolve_type(t, m.pos)).transpose()?;
+            let ret = m
+                .ret
+                .as_ref()
+                .map(|t| ctx.resolve_type(t, m.pos))
+                .transpose()?;
             let mid = pb.declare_method(&m.name, Some(cid), &params, ret, m.is_static);
             ctx.methods
                 .entry((c.name.clone(), m.name.clone()))
                 .or_insert(mid);
-            ctx.methods_by_name.entry(m.name.clone()).or_default().push(mid);
+            ctx.methods_by_name
+                .entry(m.name.clone())
+                .or_default()
+                .push(mid);
         }
     }
     // Pass 3: lower bodies.
@@ -90,9 +101,12 @@ impl GlobalCtx {
         Ok(match t {
             AstType::Int => Type::Int,
             AstType::Boolean => Type::Boolean,
-            AstType::Class(name) => Type::Ref(*self.classes.get(name).ok_or_else(
-                || FrontendError::new(format!("unknown class `{name}`"), pos),
-            )?),
+            AstType::Class(name) => Type::Ref(
+                *self
+                    .classes
+                    .get(name)
+                    .ok_or_else(|| FrontendError::new(format!("unknown class `{name}`"), pos))?,
+            ),
             AstType::Array(elem) => Type::Array(self.resolve_elem_type(elem, pos)?),
         })
     }
@@ -101,14 +115,14 @@ impl GlobalCtx {
         Ok(match t {
             AstType::Int => ElemType::Int,
             AstType::Boolean => ElemType::Boolean,
-            AstType::Class(name) => ElemType::Ref(*self.classes.get(name).ok_or_else(
-                || FrontendError::new(format!("unknown class `{name}`"), pos),
-            )?),
+            AstType::Class(name) => ElemType::Ref(
+                *self
+                    .classes
+                    .get(name)
+                    .ok_or_else(|| FrontendError::new(format!("unknown class `{name}`"), pos))?,
+            ),
             AstType::Array(_) => {
-                return Err(FrontendError::new(
-                    "nested arrays are not supported",
-                    pos,
-                ))
+                return Err(FrontendError::new("nested arrays are not supported", pos))
             }
         })
     }
@@ -129,7 +143,9 @@ impl GlobalCtx {
             if let Some(&fid) = self.fields.get(&(cid, field.to_owned())) {
                 return Ok(fid);
             }
-            cur = classes.get(name.as_str()).and_then(|c| c.superclass.clone());
+            cur = classes
+                .get(name.as_str())
+                .and_then(|c| c.superclass.clone());
         }
         Err(FrontendError::new(
             format!("no field `{field}` in class `{class_name}` or its superclasses"),
@@ -195,10 +211,7 @@ impl<'c, 'a> Env<'c, 'a> {
     }
 
     fn lookup(&self, name: &str) -> Option<(LocalId, AstType)> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).cloned())
+        self.scopes.iter().rev().find_map(|s| s.get(name).cloned())
     }
 
     fn fresh_temp(&mut self, mb: &mut MethodBuilder, ty: Type) -> LocalId {
@@ -208,13 +221,14 @@ impl<'c, 'a> Env<'c, 'a> {
 
     // --- statements ---------------------------------------------------
 
-    fn lower_stmt(
-        &mut self,
-        mb: &mut MethodBuilder,
-        stmt: &AstStmt,
-    ) -> Result<(), FrontendError> {
+    fn lower_stmt(&mut self, mb: &mut MethodBuilder, stmt: &AstStmt) -> Result<(), FrontendError> {
         match stmt {
-            AstStmt::LocalDecl { name, ty, init, pos } => {
+            AstStmt::LocalDecl {
+                name,
+                ty,
+                init,
+                pos,
+            } => {
                 if self.scopes.last().unwrap().contains_key(name) {
                     return Err(FrontendError::new(
                         format!("duplicate local `{name}`"),
@@ -256,7 +270,13 @@ impl<'c, 'a> Env<'c, 'a> {
                 }
             },
             AstStmt::Expr(e, pos) => {
-                let AstExpr::Call { receiver, method, args, .. } = e else {
+                let AstExpr::Call {
+                    receiver,
+                    method,
+                    args,
+                    ..
+                } = e
+                else {
                     return Err(FrontendError::new(
                         "only calls may be used as statements",
                         *pos,
@@ -266,7 +286,12 @@ impl<'c, 'a> Env<'c, 'a> {
                 mb.invoke(None, callee, ops);
                 Ok(())
             }
-            AstStmt::If { cond, then_body, else_body, .. } => {
+            AstStmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 let c = self.lower_expr(mb, cond)?;
                 let else_l = mb.fresh_label();
                 let end_l = mb.fresh_label();
@@ -278,7 +303,13 @@ impl<'c, 'a> Env<'c, 'a> {
                 mb.bind(end_l);
                 Ok(())
             }
-            AstStmt::For { init, cond, update, body, .. } => {
+            AstStmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 // Java-style: the init declaration is scoped to the loop.
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
@@ -312,14 +343,16 @@ impl<'c, 'a> Env<'c, 'a> {
                 Ok(())
             }
             AstStmt::Return(value, _) => {
-                let op = value
-                    .as_ref()
-                    .map(|e| self.lower_expr(mb, e))
-                    .transpose()?;
+                let op = value.as_ref().map(|e| self.lower_expr(mb, e)).transpose()?;
                 mb.ret(op);
                 Ok(())
             }
-            AstStmt::Ifdef { cond, then_body, else_body, .. } => {
+            AstStmt::Ifdef {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 // CPP-style: #ifdef does NOT open a variable scope, so a
                 // declaration inside it stays visible afterwards — which
                 // is precisely how the paper's §1 "possibly undefined
@@ -341,11 +374,7 @@ impl<'c, 'a> Env<'c, 'a> {
         }
     }
 
-    fn scoped(
-        &mut self,
-        mb: &mut MethodBuilder,
-        body: &[AstStmt],
-    ) -> Result<(), FrontendError> {
+    fn scoped(&mut self, mb: &mut MethodBuilder, body: &[AstStmt]) -> Result<(), FrontendError> {
         self.scopes.push(HashMap::new());
         for s in body {
             self.lower_stmt(mb, s)?;
@@ -365,21 +394,33 @@ impl<'c, 'a> Env<'c, 'a> {
         e: &AstExpr,
     ) -> Result<(), FrontendError> {
         match e {
-            AstExpr::Call { receiver, method, args, pos } => {
+            AstExpr::Call {
+                receiver,
+                method,
+                args,
+                pos,
+            } => {
                 let (callee, ops) = self.lower_call_parts(mb, receiver, method, args, *pos)?;
                 mb.invoke(Some(target), callee, ops);
                 Ok(())
             }
             AstExpr::New(class, pos) => {
-                let cid = *self.ctx.classes.get(class).ok_or_else(|| {
-                    FrontendError::new(format!("unknown class `{class}`"), *pos)
-                })?;
+                let cid =
+                    *self.ctx.classes.get(class).ok_or_else(|| {
+                        FrontendError::new(format!("unknown class `{class}`"), *pos)
+                    })?;
                 mb.assign(target, Rvalue::New(cid));
                 Ok(())
             }
             AstExpr::Field { base, field, pos } => {
                 let (base_op, fid) = self.resolve_field_access(mb, base, field, *pos)?;
-                mb.assign(target, Rvalue::FieldLoad { base: base_op, field: fid });
+                mb.assign(
+                    target,
+                    Rvalue::FieldLoad {
+                        base: base_op,
+                        field: fid,
+                    },
+                );
                 Ok(())
             }
             AstExpr::NewArray { elem, len, pos } => {
@@ -395,13 +436,14 @@ impl<'c, 'a> Env<'c, 'a> {
                 let idx = self.lower_expr(mb, index)?;
                 mb.assign(
                     target,
-                    Rvalue::ArrayLoad { base: Operand::Local(arr), index: idx },
+                    Rvalue::ArrayLoad {
+                        base: Operand::Local(arr),
+                        index: idx,
+                    },
                 );
                 Ok(())
             }
-            AstExpr::Binary { op, lhs, rhs }
-                if !matches!(op, AstBinOp::And | AstBinOp::Or) =>
-            {
+            AstExpr::Binary { op, lhs, rhs } if !matches!(op, AstBinOp::And | AstBinOp::Or) => {
                 let a = self.lower_expr(mb, lhs)?;
                 let b = self.lower_expr(mb, rhs)?;
                 mb.assign(target, Rvalue::Binary(lower_binop(*op), a, b));
@@ -430,19 +472,29 @@ impl<'c, 'a> Env<'c, 'a> {
                 })?;
                 Ok(Operand::Local(local))
             }
-            AstExpr::Unary { op: AstUnOp::Not, expr } => {
+            AstExpr::Unary {
+                op: AstUnOp::Not,
+                expr,
+            } => {
                 let a = self.lower_expr(mb, expr)?;
                 let t = self.fresh_temp(mb, Type::Boolean);
                 mb.assign(t, Rvalue::Binary(BinOp::Eq, a, Operand::BoolConst(false)));
                 Ok(Operand::Local(t))
             }
-            AstExpr::Unary { op: AstUnOp::Neg, expr } => {
+            AstExpr::Unary {
+                op: AstUnOp::Neg,
+                expr,
+            } => {
                 let a = self.lower_expr(mb, expr)?;
                 let t = self.fresh_temp(mb, Type::Int);
                 mb.assign(t, Rvalue::Binary(BinOp::Sub, Operand::IntConst(0), a));
                 Ok(Operand::Local(t))
             }
-            AstExpr::Binary { op: AstBinOp::And, lhs, rhs } => {
+            AstExpr::Binary {
+                op: AstBinOp::And,
+                lhs,
+                rhs,
+            } => {
                 // Short-circuit: t = false; if (a == false) goto end;
                 // t = b; end:
                 let t = self.fresh_temp(mb, Type::Boolean);
@@ -454,7 +506,11 @@ impl<'c, 'a> Env<'c, 'a> {
                 mb.bind(end);
                 Ok(Operand::Local(t))
             }
-            AstExpr::Binary { op: AstBinOp::Or, lhs, rhs } => {
+            AstExpr::Binary {
+                op: AstBinOp::Or,
+                lhs,
+                rhs,
+            } => {
                 let t = self.fresh_temp(mb, Type::Boolean);
                 mb.assign(t, Rvalue::Use(Operand::BoolConst(true)));
                 let end = mb.fresh_label();
@@ -468,7 +524,10 @@ impl<'c, 'a> Env<'c, 'a> {
                 let a = self.lower_expr(mb, lhs)?;
                 let b = self.lower_expr(mb, rhs)?;
                 let ty = match op {
-                    AstBinOp::Add | AstBinOp::Sub | AstBinOp::Mul | AstBinOp::Div
+                    AstBinOp::Add
+                    | AstBinOp::Sub
+                    | AstBinOp::Mul
+                    | AstBinOp::Div
                     | AstBinOp::Rem => Type::Int,
                     _ => Type::Boolean,
                 };
@@ -493,9 +552,10 @@ impl<'c, 'a> Env<'c, 'a> {
     fn static_type_of(&self, e: &AstExpr) -> Result<Type, FrontendError> {
         match e {
             AstExpr::New(class, pos) => {
-                let cid = *self.ctx.classes.get(class).ok_or_else(|| {
-                    FrontendError::new(format!("unknown class `{class}`"), *pos)
-                })?;
+                let cid =
+                    *self.ctx.classes.get(class).ok_or_else(|| {
+                        FrontendError::new(format!("unknown class `{class}`"), *pos)
+                    })?;
                 Ok(Type::Ref(cid))
             }
             AstExpr::Field { base, field, pos } => {
@@ -518,7 +578,12 @@ impl<'c, 'a> Env<'c, 'a> {
                     *pos,
                 )),
             },
-            AstExpr::Call { receiver, method, args, pos } => {
+            AstExpr::Call {
+                receiver,
+                method,
+                args,
+                pos,
+            } => {
                 let mid = self.resolve_callee_id(receiver, method, args.len(), *pos)?;
                 let _ = mid;
                 self.method_ret_type(receiver, method, args.len(), *pos)
@@ -604,7 +669,10 @@ impl<'c, 'a> Env<'c, 'a> {
                 };
             }
         }
-        Err(FrontendError::new(format!("unknown method `{method}`"), pos))
+        Err(FrontendError::new(
+            format!("unknown method `{method}`"),
+            pos,
+        ))
     }
 
     /// Resolves a call's [`Callee`] and lowers its arguments.

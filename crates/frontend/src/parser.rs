@@ -14,8 +14,8 @@ pub struct Parser<'t> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "class", "extends", "static", "void", "int", "boolean", "if", "else", "while",
-    "for", "return", "new", "true", "false", "null",
+    "class", "extends", "static", "void", "int", "boolean", "if", "else", "while", "for", "return",
+    "new", "true", "false", "null",
 ];
 
 impl<'t> Parser<'t> {
@@ -26,7 +26,11 @@ impl<'t> Parser<'t> {
     /// The first lexical or syntax error, with position.
     pub fn parse(source: &str, table: &'t mut FeatureTable) -> Result<AstProgram, FrontendError> {
         let tokens = Lexer::new(source).tokenize()?;
-        let mut p = Parser { tokens, pos: 0, table };
+        let mut p = Parser {
+            tokens,
+            pos: 0,
+            table,
+        };
         let mut classes = Vec::new();
         while !p.at_eof() {
             classes.push(p.class_decl()?);
@@ -128,7 +132,13 @@ impl<'t> Parser<'t> {
             }
             self.member(&mut fields, &mut methods)?;
         }
-        Ok(AstClass { name, superclass, fields, methods, pos })
+        Ok(AstClass {
+            name,
+            superclass,
+            fields,
+            methods,
+            pos,
+        })
     }
 
     fn parse_type(&mut self) -> Result<AstType, FrontendError> {
@@ -177,7 +187,14 @@ impl<'t> Parser<'t> {
             }
             self.expect_punct("{")?;
             let body = self.stmt_list_until_brace()?;
-            methods.push(AstMethod { name, is_static, ret, params, body, pos });
+            methods.push(AstMethod {
+                name,
+                is_static,
+                ret,
+                params,
+                body,
+                pos,
+            });
         } else {
             // Field.
             let Some(ty) = ret else {
@@ -282,7 +299,12 @@ impl<'t> Parser<'t> {
                     }
                 }
             }
-            return Ok(AstStmt::Ifdef { cond, then_body, else_body, pos });
+            return Ok(AstStmt::Ifdef {
+                cond,
+                then_body,
+                else_body,
+                pos,
+            });
         }
         if self.eat_keyword("if") {
             self.expect_punct("(")?;
@@ -294,7 +316,12 @@ impl<'t> Parser<'t> {
             } else {
                 Vec::new()
             };
-            return Ok(AstStmt::If { cond, then_body, else_body, pos });
+            return Ok(AstStmt::If {
+                cond,
+                then_body,
+                else_body,
+                pos,
+            });
         }
         if self.eat_keyword("while") {
             self.expect_punct("(")?;
@@ -320,7 +347,13 @@ impl<'t> Parser<'t> {
             };
             self.expect_punct(")")?;
             let body = self.block()?;
-            return Ok(AstStmt::For { init, cond, update, body, pos });
+            return Ok(AstStmt::For {
+                init,
+                cond,
+                update,
+                body,
+                pos,
+            });
         }
         if self.eat_keyword("return") {
             let value = if self.is_punct(";") {
@@ -341,14 +374,23 @@ impl<'t> Parser<'t> {
                 None
             };
             self.expect_punct(";")?;
-            return Ok(AstStmt::LocalDecl { name, ty, init, pos });
+            return Ok(AstStmt::LocalDecl {
+                name,
+                ty,
+                init,
+                pos,
+            });
         }
         // Assignment or expression statement.
         let (first, _) = self.expect_ident()?;
         if self.eat_punct("=") {
             let value = self.expr()?;
             self.expect_punct(";")?;
-            return Ok(AstStmt::Assign { target: AstLValue::Local(first), value, pos });
+            return Ok(AstStmt::Assign {
+                target: AstLValue::Local(first),
+                value,
+                pos,
+            });
         }
         if self.eat_punct("[") {
             let index = self.expr()?;
@@ -357,7 +399,10 @@ impl<'t> Parser<'t> {
             let value = self.expr()?;
             self.expect_punct(";")?;
             return Ok(AstStmt::Assign {
-                target: AstLValue::Index { base: first, index: Box::new(index) },
+                target: AstLValue::Index {
+                    base: first,
+                    index: Box::new(index),
+                },
                 value,
                 pos,
             });
@@ -373,7 +418,10 @@ impl<'t> Parser<'t> {
             let value = self.expr()?;
             self.expect_punct(";")?;
             return Ok(AstStmt::Assign {
-                target: AstLValue::Field { base: first, field: second },
+                target: AstLValue::Field {
+                    base: first,
+                    field: second,
+                },
                 value,
                 pos,
             });
@@ -405,12 +453,21 @@ impl<'t> Parser<'t> {
             } else {
                 None
             };
-            return Ok(AstStmt::LocalDecl { name, ty, init, pos });
+            return Ok(AstStmt::LocalDecl {
+                name,
+                ty,
+                init,
+                pos,
+            });
         }
         let (first, _) = self.expect_ident()?;
         self.expect_punct("=")?;
         let value = self.expr()?;
-        Ok(AstStmt::Assign { target: AstLValue::Local(first), value, pos })
+        Ok(AstStmt::Assign {
+            target: AstLValue::Local(first),
+            value,
+            pos,
+        })
     }
 
     /// Lookahead: `Ident Ident` (or `Ident [ ] Ident`) begins a local
@@ -443,7 +500,11 @@ impl<'t> Parser<'t> {
         let mut e = self.expr_and()?;
         while self.eat_punct("||") {
             let rhs = self.expr_and()?;
-            e = AstExpr::Binary { op: AstBinOp::Or, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = AstExpr::Binary {
+                op: AstBinOp::Or,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(e)
     }
@@ -452,7 +513,11 @@ impl<'t> Parser<'t> {
         let mut e = self.expr_equality()?;
         while self.eat_punct("&&") {
             let rhs = self.expr_equality()?;
-            e = AstExpr::Binary { op: AstBinOp::And, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = AstExpr::Binary {
+                op: AstBinOp::And,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(e)
     }
@@ -468,7 +533,11 @@ impl<'t> Parser<'t> {
                 return Ok(e);
             };
             let rhs = self.expr_rel()?;
-            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = AstExpr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -487,7 +556,11 @@ impl<'t> Parser<'t> {
                 return Ok(e);
             };
             let rhs = self.expr_add()?;
-            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = AstExpr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -502,7 +575,11 @@ impl<'t> Parser<'t> {
                 return Ok(e);
             };
             let rhs = self.expr_mul()?;
-            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = AstExpr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -519,7 +596,11 @@ impl<'t> Parser<'t> {
                 return Ok(e);
             };
             let rhs = self.expr_unary()?;
-            e = AstExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = AstExpr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -567,7 +648,11 @@ impl<'t> Parser<'t> {
                 self.expect_punct("[")?;
                 let len = self.expr()?;
                 self.expect_punct("]")?;
-                return Ok(AstExpr::NewArray { elem, len: Box::new(len), pos });
+                return Ok(AstExpr::NewArray {
+                    elem,
+                    len: Box::new(len),
+                    pos,
+                });
             }
             let (name, _) = self.expect_ident()?;
             if self.eat_punct("[") {
@@ -595,14 +680,22 @@ impl<'t> Parser<'t> {
         if self.eat_punct("[") {
             let index = self.expr()?;
             self.expect_punct("]")?;
-            return Ok(AstExpr::Index { base: first, index: Box::new(index), pos });
+            return Ok(AstExpr::Index {
+                base: first,
+                index: Box::new(index),
+                pos,
+            });
         }
         if self.eat_punct(".") {
             let (second, _) = self.expect_ident()?;
             if self.is_punct("(") {
                 return self.finish_call(Some(first), second, pos);
             }
-            return Ok(AstExpr::Field { base: first, field: second, pos });
+            return Ok(AstExpr::Field {
+                base: first,
+                field: second,
+                pos,
+            });
         }
         Ok(AstExpr::Local(first, pos))
     }
@@ -624,6 +717,11 @@ impl<'t> Parser<'t> {
                 self.expect_punct(",")?;
             }
         }
-        Ok(AstExpr::Call { receiver, method, args, pos })
+        Ok(AstExpr::Call {
+            receiver,
+            method,
+            args,
+            pos,
+        })
     }
 }

@@ -84,9 +84,7 @@ mod parsing {
         let b = table.get("B").unwrap();
         let main = p.find_method("C.main").unwrap();
         let expected = FeatureExpr::var(a).and(FeatureExpr::var(b));
-        assert!(p
-            .stmts_of(main)
-            .any(|s| p.stmt(s).annotation == expected));
+        assert!(p.stmts_of(main).any(|s| p.stmt(s).annotation == expected));
     }
 
     #[test]
@@ -130,9 +128,7 @@ mod parsing {
         let b = table.get("B").unwrap();
         let main = p.find_method("C.main").unwrap();
         let expected = FeatureExpr::var(a).and(FeatureExpr::var(b).not());
-        assert!(p
-            .stmts_of(main)
-            .any(|s| p.stmt(s).annotation == expected));
+        assert!(p.stmts_of(main).any(|s| p.stmt(s).annotation == expected));
     }
 
     #[test]
@@ -179,7 +175,10 @@ mod parsing {
         let has_virtual = p.stmts_of(main).any(|s| {
             matches!(
                 &p.stmt(s).kind,
-                StmtKind::Invoke { callee: spllift_ir::Callee::Virtual { .. }, .. }
+                StmtKind::Invoke {
+                    callee: spllift_ir::Callee::Virtual { .. },
+                    ..
+                }
             )
         });
         assert!(has_virtual);
@@ -257,7 +256,10 @@ mod errors {
     #[test]
     fn unterminated_ifdef() {
         let e = parse_err("class C { static void main() { #ifdef F int x = 0; } }");
-        assert!(e.message.contains("ifdef") || e.message.contains("statement"), "{e}");
+        assert!(
+            e.message.contains("ifdef") || e.message.contains("statement"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -300,8 +302,7 @@ mod end_to_end {
         let icfg = ProgramIcfg::new(&p);
         let ctx = BddConstraintContext::new(&table);
         let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
-        let solution =
-            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
         // Find the print call and its argument local.
         let main = p.find_method("Main.main").unwrap();
         let print = p.find_method("Main.print").unwrap();
@@ -316,11 +317,9 @@ mod end_to_end {
                 _ => None,
             })
             .unwrap();
-        let got = solution
-            .constraint_of(call, &spllift_analyses::TaintFact::Local(arg));
+        let got = solution.constraint_of(call, &spllift_analyses::TaintFact::Local(arg));
         let mut t2 = table.clone();
-        let expected =
-            ctx.of_expr(&FeatureExpr::parse("!F && G && !H", &mut t2).unwrap());
+        let expected = ctx.of_expr(&FeatureExpr::parse("!F && G && !H", &mut t2).unwrap());
         assert_eq!(got, expected, "got {}", got.to_cube_string());
     }
 
@@ -361,8 +360,8 @@ mod end_to_end {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
     use spllift_ir::ProgramIcfg;
+    use spllift_rng::SplitMix64;
 
     /// Random feature-expression strings survive a display→parse round
     /// trip semantically (via the features crate's display).
@@ -392,21 +391,37 @@ mod properties {
         assert_eq!(spllift_ifds::Icfg::methods(&icfg).len(), 26);
     }
 
-    proptest! {
-        /// Any byte soup either parses or produces a positioned error —
-        /// the frontend never panics.
-        #[test]
-        fn parser_never_panics(input in "[ -~\n]{0,200}") {
+    /// Any byte soup either parses or produces a positioned error —
+    /// the frontend never panics.
+    #[test]
+    fn parser_never_panics() {
+        let mut rng = SplitMix64::seed_from_u64(0xF807_0001);
+        for _ in 0..256 {
+            // Printable-ASCII-plus-newline soup, like the old proptest
+            // regex strategy `[ -~\n]{0,200}`.
+            let len = rng.gen_range(0..201usize);
+            let input: String = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.05) {
+                        '\n'
+                    } else {
+                        rng.gen_range(0x20..0x7fu8) as char
+                    }
+                })
+                .collect();
             let mut t = FeatureTable::new();
             let _ = parse_spl(&input, &mut t);
         }
+    }
 
-        /// Structured-but-randomized programs always lower to valid IR.
-        #[test]
-        fn randomized_bodies_lower_to_valid_ir(
-            consts in proptest::collection::vec(0i64..100, 1..8),
-            use_ifdef in proptest::collection::vec(any::<bool>(), 1..8),
-        ) {
+    /// Structured-but-randomized programs always lower to valid IR.
+    #[test]
+    fn randomized_bodies_lower_to_valid_ir() {
+        let mut rng = SplitMix64::seed_from_u64(0xF807_0002);
+        for _ in 0..128 {
+            let n = rng.gen_range(1..8usize);
+            let consts: Vec<i64> = (0..n).map(|_| rng.gen_range(0..100i64)).collect();
+            let use_ifdef: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
             let mut src = String::from("class R {\n  static void main() {\n    int x = 0;\n");
             for (i, (&c, &wrap)) in consts.iter().zip(&use_ifdef).enumerate() {
                 if wrap {
@@ -417,9 +432,7 @@ mod properties {
                     1 => src.push_str(&format!(
                         "    if (x < {c}) {{ x = x + 1; }} else {{ x = x - 1; }}\n"
                     )),
-                    _ => src.push_str(&format!(
-                        "    while (x > {c}) {{ x = x - 2; }}\n"
-                    )),
+                    _ => src.push_str(&format!("    while (x > {c}) {{ x = x - 2; }}\n")),
                 }
                 if wrap {
                     src.push_str("    #endif\n");
@@ -428,7 +441,7 @@ mod properties {
             src.push_str("  }\n}\n");
             let mut t = FeatureTable::new();
             let p = parse_spl(&src, &mut t).expect("structured program parses");
-            prop_assert!(p.check().is_ok());
+            assert!(p.check().is_ok(), "{src}");
         }
     }
 }
@@ -451,13 +464,23 @@ mod arrays {
         let (p, _) = parse_ok(src);
         let main = p.find_method("A.main").unwrap();
         let kinds: Vec<_> = p.stmts_of(main).map(|s| p.stmt(s).kind.clone()).collect();
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            StmtKind::Assign {
+                rvalue: spllift_ir::Rvalue::NewArray { .. },
+                ..
+            }
+        )));
         assert!(kinds
             .iter()
-            .any(|k| matches!(k, StmtKind::Assign { rvalue: spllift_ir::Rvalue::NewArray { .. }, .. })));
-        assert!(kinds.iter().any(|k| matches!(k, StmtKind::ArrayStore { .. })));
-        assert!(kinds
-            .iter()
-            .any(|k| matches!(k, StmtKind::Assign { rvalue: spllift_ir::Rvalue::ArrayLoad { .. }, .. })));
+            .any(|k| matches!(k, StmtKind::ArrayStore { .. })));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            StmtKind::Assign {
+                rvalue: spllift_ir::Rvalue::ArrayLoad { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -508,8 +531,7 @@ mod arrays {
         let icfg = spllift_ir::ProgramIcfg::new(&p);
         let ctx = BddConstraintContext::new(&t);
         let analysis = spllift_analyses::TaintAnalysis::secret_to_print();
-        let solution =
-            LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+        let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
         // Find the print call; its argument is tainted exactly under STASH
         // (weak, index-insensitive array cells).
         let main = p.find_method("A.main").unwrap();

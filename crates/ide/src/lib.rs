@@ -19,7 +19,6 @@
 //! * [`embed_ifds`](binary::IfdsAsIde) — the binary-domain embedding that
 //!   proves every IFDS problem is an IDE problem (paper §2.4).
 
-
 #![warn(missing_docs)]
 pub mod binary;
 mod edge_fn;

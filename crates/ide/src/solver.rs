@@ -66,7 +66,12 @@ where
         phase1.run(problem, icfg);
         let stats = phase1.stats;
         let (values, stats) = phase2(problem, icfg, &phase1.jump, stats);
-        IdeSolver { values, top: problem.top(), zero: problem.zero(), stats }
+        IdeSolver {
+            values,
+            top: problem.top(),
+            zero: problem.zero(),
+            stats,
+        }
     }
 
     /// The value computed for `fact` at `stmt` (⊤ if never reached).
@@ -167,7 +172,9 @@ where
         while let Some((d1, n, d2)) = self.worklist.pop_front() {
             self.stats.propagations += 1;
             // Snapshot of the (current) jump function for this triple.
-            let Some(f) = self.jump_of(n, &d1, &d2) else { continue };
+            let Some(f) = self.jump_of(n, &d1, &d2) else {
+                continue;
+            };
             let method = icfg.method_of(n);
             if icfg.is_call(n) {
                 self.process_call(problem, icfg, &d1, n, &d2, &f);
@@ -217,9 +224,7 @@ where
                 for ((exit, d4), f_summary) in summaries {
                     for r in icfg.return_sites_of(n) {
                         self.stats.flow_evals += 1;
-                        for (d5, g_ret) in
-                            problem.flow_return(icfg, n, callee, exit, r, &d4)
-                        {
+                        for (d5, g_ret) in problem.flow_return(icfg, n, callee, exit, r, &d4) {
                             let composed = f
                                 .compose_with(&g_call)
                                 .compose_with(&f_summary)
@@ -280,7 +285,9 @@ where
             .map(|s| s.iter().cloned().collect())
             .unwrap_or_default();
         for (call, d2c, d1c) in callers {
-            let Some(f_prefix) = self.jump_of(call, &d1c, &d2c) else { continue };
+            let Some(f_prefix) = self.jump_of(call, &d1c, &d2c) else {
+                continue;
+            };
             self.stats.flow_evals += 1;
             for (d3, g_call) in problem.flow_call(icfg, call, method, &d2c) {
                 if d3 != *d1 {
@@ -288,9 +295,7 @@ where
                 }
                 for r in icfg.return_sites_of(call) {
                     self.stats.flow_evals += 1;
-                    for (d5, g_ret) in
-                        problem.flow_return(icfg, call, method, n, r, d2)
-                    {
+                    for (d5, g_ret) in problem.flow_return(icfg, call, method, n, r, d2) {
                         let composed = f_prefix
                             .compose_with(&g_call)
                             .compose_with(&f.clone())
@@ -341,7 +346,13 @@ where
     };
 
     for (sp, fact) in problem.initial_seeds(icfg) {
-        if update(&mut values, &mut stats, sp, fact.clone(), problem.seed_value()) {
+        if update(
+            &mut values,
+            &mut stats,
+            sp,
+            fact.clone(),
+            problem.seed_value(),
+        ) {
             worklist.push_back((icfg.method_of(sp), fact));
         }
     }
@@ -355,7 +366,9 @@ where
             .cloned()
             .unwrap_or_else(|| top.clone());
         for call in icfg.calls_in(m) {
-            let Some(fns) = jump.get(&(call, d1.clone())) else { continue };
+            let Some(fns) = jump.get(&(call, d1.clone())) else {
+                continue;
+            };
             for (d2, f) in fns {
                 let vc = f.apply(&v);
                 if vc == top {
@@ -390,7 +403,9 @@ where
     for (sp, d1, v) in entry_values {
         let m = icfg.method_of(sp);
         for n in icfg.stmts_of(m) {
-            let Some(fns) = jump.get(&(n, d1.clone())) else { continue };
+            let Some(fns) = jump.get(&(n, d1.clone())) else {
+                continue;
+            };
             for (d2, f) in fns {
                 let nv = f.apply(&v);
                 if nv == top {

@@ -92,13 +92,7 @@ impl IdeProblem<SimpleGraph> for ConstProp {
         CpEdge::Id
     }
 
-    fn flow_normal(
-        &self,
-        g: &SimpleGraph,
-        curr: u32,
-        _succ: u32,
-        d: &Fact,
-    ) -> Vec<(Fact, CpEdge)> {
+    fn flow_normal(&self, g: &SimpleGraph, curr: u32, _succ: u32, d: &Fact) -> Vec<(Fact, CpEdge)> {
         let parts: Vec<&str> = g.label(curr).split_whitespace().collect();
         match parts.as_slice() {
             ["set", x, c] => {
@@ -131,13 +125,7 @@ impl IdeProblem<SimpleGraph> for ConstProp {
         }
     }
 
-    fn flow_call(
-        &self,
-        g: &SimpleGraph,
-        call: u32,
-        _callee: u32,
-        d: &Fact,
-    ) -> Vec<(Fact, CpEdge)> {
+    fn flow_call(&self, g: &SimpleGraph, call: u32, _callee: u32, d: &Fact) -> Vec<(Fact, CpEdge)> {
         let parts: Vec<&str> = g.label(call).split_whitespace().collect();
         if d == "0" {
             return vec![(zero(), CpEdge::Id)];

@@ -43,7 +43,6 @@
 //! assert!(solver.results_at(s1).contains("x"));
 //! ```
 
-
 #![warn(missing_docs)]
 mod icfg;
 mod problem;

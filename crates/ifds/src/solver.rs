@@ -75,11 +75,11 @@ where
                         let sp = icfg.start_point_of(callee);
                         state.propagate(d3.clone(), sp, d3.clone(), Some((n, d2.clone())));
                         let inc_key = (callee, d3.clone());
-                        state
-                            .incoming
-                            .entry(inc_key.clone())
-                            .or_default()
-                            .insert((n, d2.clone(), d1.clone()));
+                        state.incoming.entry(inc_key.clone()).or_default().insert((
+                            n,
+                            d2.clone(),
+                            d1.clone(),
+                        ));
                         // Apply already-known summaries for this callee
                         // entry fact.
                         let summaries: Vec<(G::Stmt, D)> = state
@@ -90,15 +90,8 @@ where
                         for (exit, d4) in summaries {
                             for r in icfg.return_sites_of(n) {
                                 state.stats.flow_evals += 1;
-                                for d5 in
-                                    problem.flow_return(icfg, n, callee, exit, r, &d4)
-                                {
-                                    state.propagate(
-                                        d1.clone(),
-                                        r,
-                                        d5,
-                                        Some((exit, d4.clone())),
-                                    );
+                                for d5 in problem.flow_return(icfg, n, callee, exit, r, &d4) {
+                                    state.propagate(d1.clone(), r, d5, Some((exit, d4.clone())));
                                 }
                             }
                         }
@@ -131,12 +124,7 @@ where
                     for r in icfg.return_sites_of(call) {
                         state.stats.flow_evals += 1;
                         for d5 in problem.flow_return(icfg, call, method, n, r, &d2) {
-                            state.propagate(
-                                d1_caller.clone(),
-                                r,
-                                d5,
-                                Some((n, d2.clone())),
-                            );
+                            state.propagate(d1_caller.clone(), r, d5, Some((n, d2.clone())));
                         }
                     }
                 }
@@ -184,7 +172,9 @@ where
 
     /// `true` iff `s` was reached at all (its zero fact was propagated).
     pub fn is_reachable(&self, s: G::Stmt) -> bool {
-        self.results.get(&s).is_some_and(|set| set.contains(&self.zero))
+        self.results
+            .get(&s)
+            .is_some_and(|set| set.contains(&self.zero))
     }
 
     /// All statements with at least one discovered fact.
@@ -239,11 +229,7 @@ where
     fn propagate(&mut self, d1: D, n: G::Stmt, d2: D, pred: Option<(G::Stmt, D)>) {
         let edge = (d1, n, d2);
         if self.path_edges.insert(edge.clone()) {
-            let is_new_node = self
-                .results
-                .entry(n)
-                .or_default()
-                .insert(edge.2.clone());
+            let is_new_node = self.results.entry(n).or_default().insert(edge.2.clone());
             if is_new_node {
                 if let Some(p) = pred {
                     self.predecessors.insert((n, edge.2.clone()), p);

@@ -76,9 +76,7 @@ where
                             continue;
                         }
                         for r in icfg.return_sites_of(call) {
-                            for d5 in
-                                problem.flow_return(icfg, call, icfg.method_of(s), s, r, d)
-                            {
+                            for d5 in problem.flow_return(icfg, call, icfg.method_of(s), s, r, d) {
                                 out.insert(ExplodedEdge {
                                     from_stmt: icfg.stmt_label(s),
                                     from_fact: fact_label(d),
@@ -119,8 +117,14 @@ pub fn to_dot(edges: &[ExplodedEdge]) -> String {
     let mut node_ids: BTreeMap<(String, String), String> = BTreeMap::new();
     let mut facts_per_stmt: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
     for e in edges {
-        facts_per_stmt.entry(&e.from_stmt).or_default().insert(&e.from_fact);
-        facts_per_stmt.entry(&e.to_stmt).or_default().insert(&e.to_fact);
+        facts_per_stmt
+            .entry(&e.from_stmt)
+            .or_default()
+            .insert(&e.from_fact);
+        facts_per_stmt
+            .entry(&e.to_stmt)
+            .or_default()
+            .insert(&e.to_fact);
     }
     let mut out = String::from("digraph exploded {\n  rankdir=TB;\n  node [shape=circle];\n");
     for (i, (&stmt, facts)) in facts_per_stmt.iter().enumerate() {

@@ -23,13 +23,7 @@ impl IfdsProblem<SimpleGraph> for LabelTaint {
         zero()
     }
 
-    fn flow_normal(
-        &self,
-        g: &SimpleGraph,
-        curr: u32,
-        _succ: u32,
-        d: &Fact,
-    ) -> Vec<Fact> {
+    fn flow_normal(&self, g: &SimpleGraph, curr: u32, _succ: u32, d: &Fact) -> Vec<Fact> {
         let label = g.label(curr);
         let mut parts = label.split_whitespace();
         match (parts.next(), parts.next(), parts.next()) {
@@ -60,13 +54,7 @@ impl IfdsProblem<SimpleGraph> for LabelTaint {
         }
     }
 
-    fn flow_call(
-        &self,
-        g: &SimpleGraph,
-        call: u32,
-        _callee: u32,
-        d: &Fact,
-    ) -> Vec<Fact> {
+    fn flow_call(&self, g: &SimpleGraph, call: u32, _callee: u32, d: &Fact) -> Vec<Fact> {
         // "call pass X": actual X becomes formal "arg" in the callee.
         let parts: Vec<&str> = g.label(call).split_whitespace().collect();
         if d == "0" {
@@ -166,7 +154,10 @@ fn kill_stops_fact() {
     g.add_edge(b, c);
     g.set_entry(m);
     let s = IfdsSolver::solve(&LabelTaint, &g);
-    assert!(s.facts_at(b).contains("x"), "x holds before the kill executes");
+    assert!(
+        s.facts_at(b).contains("x"),
+        "x holds before the kill executes"
+    );
     assert!(!s.facts_at(c).contains("x"));
 }
 
@@ -214,7 +205,10 @@ fn call_to_return_kills_assigned_var() {
     g.set_entry(main);
     let s = IfdsSolver::solve(&LabelTaint, &g);
     assert!(s.facts_at(s_call).contains("y"));
-    assert!(!s.facts_at(s_sink).contains("y"), "strong update across call");
+    assert!(
+        !s.facts_at(s_sink).contains("y"),
+        "strong update across call"
+    );
 }
 
 #[test]

@@ -59,7 +59,11 @@ impl ProgramBuilder {
     /// Declares a field on `class`.
     pub fn add_field(&mut self, class: ClassId, name: &str, ty: Type) -> FieldId {
         let id = FieldId(self.program.fields.len() as u32);
-        self.program.fields.push(Field { name: name.to_owned(), class, ty });
+        self.program.fields.push(Field {
+            name: name.to_owned(),
+            class,
+            ty,
+        });
         self.program.classes[class.index()].fields.push(id);
         id
     }
@@ -106,7 +110,10 @@ impl ProgramBuilder {
         let mut param_locals = Vec::new();
         for (i, &ty) in m.params.iter().enumerate() {
             let id = LocalId(locals.len() as u32);
-            locals.push(Local { name: format!("p{i}"), ty });
+            locals.push(Local {
+                name: format!("p{i}"),
+                ty,
+            });
             param_locals.push(id);
         }
         MethodBuilder {
@@ -114,7 +121,10 @@ impl ProgramBuilder {
             locals,
             param_locals,
             this_local,
-            stmts: vec![Stmt { kind: StmtKind::Nop, annotation: FeatureExpr::True }],
+            stmts: vec![Stmt {
+                kind: StmtKind::Nop,
+                annotation: FeatureExpr::True,
+            }],
             labels: Vec::new(),
             fixups: Vec::new(),
             annotation_stack: Vec::new(),
@@ -177,7 +187,10 @@ impl MethodBuilder {
     /// Declares a fresh local.
     pub fn local(&mut self, name: &str, ty: Type) -> LocalId {
         let id = LocalId(self.locals.len() as u32);
-        self.locals.push(Local { name: name.to_owned(), ty });
+        self.locals.push(Local {
+            name: name.to_owned(),
+            ty,
+        });
         id
     }
 
@@ -209,7 +222,10 @@ impl MethodBuilder {
 
     fn push_stmt(&mut self, kind: StmtKind) -> u32 {
         let idx = self.stmts.len() as u32;
-        self.stmts.push(Stmt { kind, annotation: self.current_annotation() });
+        self.stmts.push(Stmt {
+            kind,
+            annotation: self.current_annotation(),
+        });
         idx
     }
 
@@ -224,12 +240,7 @@ impl MethodBuilder {
     }
 
     /// Emits a field store.
-    pub fn field_store(
-        &mut self,
-        base: Option<Operand>,
-        field: FieldId,
-        value: Operand,
-    ) -> u32 {
+    pub fn field_store(&mut self, base: Option<Operand>, field: FieldId, value: Operand) -> u32 {
         self.push_stmt(StmtKind::FieldStore { base, field, value })
     }
 
@@ -239,13 +250,12 @@ impl MethodBuilder {
     }
 
     /// Emits an invoke.
-    pub fn invoke(
-        &mut self,
-        result: Option<LocalId>,
-        callee: Callee,
-        args: Vec<Operand>,
-    ) -> u32 {
-        self.push_stmt(StmtKind::Invoke { result, callee, args })
+    pub fn invoke(&mut self, result: Option<LocalId>, callee: Callee, args: Vec<Operand>) -> u32 {
+        self.push_stmt(StmtKind::Invoke {
+            result,
+            callee,
+            args,
+        })
     }
 
     /// Emits `return [value]`.
@@ -267,7 +277,12 @@ impl MethodBuilder {
 
     /// Emits `if lhs op rhs goto label`.
     pub fn if_cmp(&mut self, op: BinOp, lhs: Operand, rhs: Operand, label: Label) -> u32 {
-        let idx = self.push_stmt(StmtKind::If { op, lhs, rhs, target: u32::MAX });
+        let idx = self.push_stmt(StmtKind::If {
+            op,
+            lhs,
+            rhs,
+            target: u32::MAX,
+        });
         self.fixups.push((idx as usize, label.0));
         idx
     }
@@ -288,8 +303,10 @@ impl MethodBuilder {
                 if *annotation == FeatureExpr::True
         );
         if needs_ret {
-            self.stmts
-                .push(Stmt { kind: StmtKind::Return { value: None }, annotation: FeatureExpr::True });
+            self.stmts.push(Stmt {
+                kind: StmtKind::Return { value: None },
+                annotation: FeatureExpr::True,
+            });
         }
         // Labels bound past the end point at the final return.
         let last = (self.stmts.len() - 1) as u32;

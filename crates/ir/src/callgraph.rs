@@ -41,9 +41,7 @@ impl CallGraph {
                     Callee::Virtual { base, name, argc } => {
                         let body = program.body(m);
                         match body.locals[base.index()].ty {
-                            Type::Ref(declared) => {
-                                hierarchy.resolve_virtual(declared, name, *argc)
-                            }
+                            Type::Ref(declared) => hierarchy.resolve_virtual(declared, name, *argc),
                             _ => Vec::new(),
                         }
                     }
@@ -60,7 +58,11 @@ impl CallGraph {
         // Only keep reachable methods that have bodies (abstract targets
         // are kept in `targets` for diagnostics but not analyzed).
         reachable.retain(|&m| program.method(m).body.is_some());
-        CallGraph { targets, reachable, callers }
+        CallGraph {
+            targets,
+            reachable,
+            callers,
+        }
     }
 
     /// The possible callees of call site `s` (empty for non-calls).

@@ -45,7 +45,10 @@ impl Hierarchy {
                 cur = program.class(c).superclass;
             }
         }
-        Hierarchy { subclasses, dispatch }
+        Hierarchy {
+            subclasses,
+            dispatch,
+        }
     }
 
     /// Direct subclasses of `c`.
@@ -85,12 +88,7 @@ impl Hierarchy {
 
     /// CHA resolution: all implementations a call `base.name(...)` with
     /// declared receiver type `declared` may reach.
-    pub fn resolve_virtual(
-        &self,
-        declared: ClassId,
-        name: &str,
-        argc: usize,
-    ) -> Vec<MethodId> {
+    pub fn resolve_virtual(&self, declared: ClassId, name: &str, argc: usize) -> Vec<MethodId> {
         let mut out: Vec<MethodId> = self
             .subtypes_of(declared)
             .into_iter()

@@ -23,7 +23,11 @@ impl<'p> ProgramIcfg<'p> {
     pub fn new(program: &'p Program) -> Self {
         let hierarchy = Hierarchy::new(program);
         let call_graph = CallGraph::build(program, &hierarchy);
-        ProgramIcfg { program, hierarchy, call_graph }
+        ProgramIcfg {
+            program,
+            hierarchy,
+            call_graph,
+        }
     }
 
     /// The underlying program.

@@ -81,7 +81,10 @@ enum Raw {
 
 impl Value {
     fn int(v: i64) -> Self {
-        Value { raw: Raw::Int(v), tainted: false }
+        Value {
+            raw: Raw::Int(v),
+            tainted: false,
+        }
     }
     fn as_int(self) -> i64 {
         match self.raw {
@@ -123,9 +126,16 @@ pub fn run(program: &Program, config: &InterpConfig) -> Trace {
         program,
         hierarchy,
         config,
-        heap: Heap { objects: Vec::new(), arrays: Vec::new() },
+        heap: Heap {
+            objects: Vec::new(),
+            arrays: Vec::new(),
+        },
         trace: Trace::default(),
-        budget: if config.step_budget == 0 { 100_000 } else { config.step_budget },
+        budget: if config.step_budget == 0 {
+            100_000
+        } else {
+            config.step_budget
+        },
         depth: 0,
     };
     for &entry in program.entry_points() {
@@ -204,7 +214,10 @@ impl Interp<'_> {
                 StmtKind::FieldStore { base, field, value } => {
                     let v = self.read_op(sref, &mut locals, *value);
                     match base.map(|b| self.read_op(sref, &mut locals, b)) {
-                        Some(Value { raw: Raw::Object(o), .. }) => {
+                        Some(Value {
+                            raw: Raw::Object(o),
+                            ..
+                        }) => {
                             self.heap.objects[o].1.insert(*field, v);
                         }
                         _ => {
@@ -218,8 +231,9 @@ impl Interp<'_> {
                 StmtKind::ArrayStore { base, index, value } => {
                     let v = self.read_op(sref, &mut locals, *value);
                     let idx = self.read_op(sref, &mut locals, *index).as_int();
-                    if let Value { raw: Raw::Array(a), .. } =
-                        self.read_op(sref, &mut locals, *base)
+                    if let Value {
+                        raw: Raw::Array(a), ..
+                    } = self.read_op(sref, &mut locals, *base)
                     {
                         let arr = &mut self.heap.arrays[a];
                         if !arr.is_empty() {
@@ -229,7 +243,12 @@ impl Interp<'_> {
                     }
                     pc += 1;
                 }
-                StmtKind::If { op, lhs, rhs, target } => {
+                StmtKind::If {
+                    op,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
                     let a = self.read_op(sref, &mut locals, *lhs);
                     let b = self.read_op(sref, &mut locals, *rhs);
                     if eval_cmp(*op, a, b) {
@@ -239,7 +258,11 @@ impl Interp<'_> {
                     }
                 }
                 StmtKind::Goto { target } => pc = *target,
-                StmtKind::Invoke { result, callee, args } => {
+                StmtKind::Invoke {
+                    result,
+                    callee,
+                    args,
+                } => {
                     let ret = self.eval_invoke(sref, &mut locals, callee, args);
                     if let Some(r) = result {
                         locals[r.index()] = Some(ret);
@@ -279,16 +302,17 @@ impl Interp<'_> {
         }
     }
 
-    fn read_op(
-        &mut self,
-        at: StmtRef,
-        locals: &mut [Option<Value>],
-        op: Operand,
-    ) -> Value {
+    fn read_op(&mut self, at: StmtRef, locals: &mut [Option<Value>], op: Operand) -> Value {
         match op {
             Operand::IntConst(v) => Value::int(v),
-            Operand::BoolConst(b) => Value { raw: Raw::Bool(b), tainted: false },
-            Operand::Null => Value { raw: Raw::Null, tainted: false },
+            Operand::BoolConst(b) => Value {
+                raw: Raw::Bool(b),
+                tainted: false,
+            },
+            Operand::Null => Value {
+                raw: Raw::Null,
+                tainted: false,
+            },
             Operand::Local(l) => match locals[l.index()] {
                 Some(v) => v,
                 None => {
@@ -299,12 +323,7 @@ impl Interp<'_> {
         }
     }
 
-    fn eval_rvalue(
-        &mut self,
-        at: StmtRef,
-        locals: &mut [Option<Value>],
-        rvalue: &Rvalue,
-    ) -> Value {
+    fn eval_rvalue(&mut self, at: StmtRef, locals: &mut [Option<Value>], rvalue: &Rvalue) -> Value {
         match rvalue {
             Rvalue::Use(op) => self.read_op(at, locals, *op),
             Rvalue::Binary(op, a, b) => {
@@ -315,12 +334,8 @@ impl Interp<'_> {
                     BinOp::Add => Raw::Int(va.as_int().wrapping_add(vb.as_int())),
                     BinOp::Sub => Raw::Int(va.as_int().wrapping_sub(vb.as_int())),
                     BinOp::Mul => Raw::Int(va.as_int().wrapping_mul(vb.as_int())),
-                    BinOp::Div => {
-                        Raw::Int(va.as_int().checked_div(vb.as_int()).unwrap_or(0))
-                    }
-                    BinOp::Rem => {
-                        Raw::Int(va.as_int().checked_rem(vb.as_int()).unwrap_or(0))
-                    }
+                    BinOp::Div => Raw::Int(va.as_int().checked_div(vb.as_int()).unwrap_or(0)),
+                    BinOp::Rem => Raw::Int(va.as_int().checked_rem(vb.as_int()).unwrap_or(0)),
                     _ => Raw::Bool(eval_cmp(*op, va, vb)),
                 };
                 Value { raw, tainted }
@@ -333,26 +348,26 @@ impl Interp<'_> {
                 }
             }
             Rvalue::NewArray { len, .. } => {
-                let n = self
-                    .read_op(at, locals, *len)
-                    .as_int()
-                    .clamp(0, 4096) as usize;
+                let n = self.read_op(at, locals, *len).as_int().clamp(0, 4096) as usize;
                 self.heap.arrays.push(vec![Value::int(0); n]);
-                Value { raw: Raw::Array(self.heap.arrays.len() - 1), tainted: false }
-            }
-            Rvalue::FieldLoad { base, field } => {
-                match base.map(|b| self.read_op(at, locals, b)) {
-                    Some(Value { raw: Raw::Object(o), .. }) => *self.heap.objects[o]
-                        .1
-                        .get(field)
-                        .unwrap_or(&Value::int(0)),
-                    _ => self.static_field_slot(*field, None),
+                Value {
+                    raw: Raw::Array(self.heap.arrays.len() - 1),
+                    tainted: false,
                 }
             }
+            Rvalue::FieldLoad { base, field } => match base.map(|b| self.read_op(at, locals, b)) {
+                Some(Value {
+                    raw: Raw::Object(o),
+                    ..
+                }) => *self.heap.objects[o].1.get(field).unwrap_or(&Value::int(0)),
+                _ => self.static_field_slot(*field, None),
+            },
             Rvalue::ArrayLoad { base, index } => {
                 let idx = self.read_op(at, locals, *index).as_int();
                 match self.read_op(at, locals, *base) {
-                    Value { raw: Raw::Array(a), .. } => {
+                    Value {
+                        raw: Raw::Array(a), ..
+                    } => {
                         let arr = &self.heap.arrays[a];
                         if arr.is_empty() {
                             Value::int(0)
@@ -373,8 +388,7 @@ impl Interp<'_> {
         callee: &Callee,
         args: &[Operand],
     ) -> Value {
-        let arg_values: Vec<Value> =
-            args.iter().map(|&a| self.read_op(at, locals, a)).collect();
+        let arg_values: Vec<Value> = args.iter().map(|&a| self.read_op(at, locals, a)).collect();
         let (target, this, name) = match callee {
             Callee::Static(m) => (Some(*m), None, self.program.method(*m).name.clone()),
             Callee::Virtual { base, name, argc } => {
@@ -401,9 +415,7 @@ impl Interp<'_> {
             self.trace.events.push(Event::Leak(at));
         }
         let mut ret = match target {
-            Some(m) if self.program.method(m).body.is_some() => {
-                self.call(m, arg_values, this)
-            }
+            Some(m) if self.program.method(m).body.is_some() => self.call(m, arg_values, this),
             _ => Value::int(0),
         };
         if self.config.sources.contains(&name) {

@@ -24,7 +24,6 @@
 //! synthetic entry `nop`, and every method body ends with an unannotated
 //! `return` so that disabled trailing returns still fall through somewhere.
 
-
 #![warn(missing_docs)]
 mod builder;
 mod callgraph;
@@ -41,8 +40,8 @@ pub use callgraph::CallGraph;
 pub use hierarchy::Hierarchy;
 pub use icfg::ProgramIcfg;
 pub use types::{
-    BinOp, Body, Callee, Class, ClassId, ElemType, Field, FieldId, IrError, Local, LocalId,
-    Method, MethodId, Operand, Program, Rvalue, Stmt, StmtKind, StmtRef, Type,
+    BinOp, Body, Callee, Class, ClassId, ElemType, Field, FieldId, IrError, Local, LocalId, Method,
+    MethodId, Operand, Program, Rvalue, Stmt, StmtKind, StmtRef, Type,
 };
 
 #[cfg(test)]

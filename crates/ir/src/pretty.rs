@@ -74,11 +74,26 @@ pub fn stmt_to_string(program: &Program, s: StmtRef) -> String {
         StmtKind::ArrayStore { base, index, value } => {
             format!("{}[{}] = {}", op(*base), op(*index), op(*value))
         }
-        StmtKind::If { op: o, lhs, rhs, target } => {
-            format!("if {} {} {} goto {}", op(*lhs), binop_str(*o), op(*rhs), target)
+        StmtKind::If {
+            op: o,
+            lhs,
+            rhs,
+            target,
+        } => {
+            format!(
+                "if {} {} {} goto {}",
+                op(*lhs),
+                binop_str(*o),
+                op(*rhs),
+                target
+            )
         }
         StmtKind::Goto { target } => format!("goto {target}"),
-        StmtKind::Invoke { result, callee, args } => {
+        StmtKind::Invoke {
+            result,
+            callee,
+            args,
+        } => {
             let args_str: Vec<String> = args.iter().map(|&a| op(a)).collect();
             let call = match callee {
                 Callee::Static(m) => {
@@ -121,7 +136,10 @@ pub fn program_to_string(program: &Program, table: &spllift_features::FeatureTab
             continue;
         };
         for (i, stmt) in body.stmts.iter().enumerate() {
-            let sref = StmtRef { method: mid, index: i as u32 };
+            let sref = StmtRef {
+                method: mid,
+                index: i as u32,
+            };
             let ann = if stmt.annotation == spllift_features::FeatureExpr::True {
                 String::new()
             } else {

@@ -40,7 +40,10 @@ impl Program {
         for (mi, m) in out.methods.iter_mut().enumerate() {
             let Some(body) = &mut m.body else { continue };
             for (i, stmt) in body.stmts.iter_mut().enumerate() {
-                let sref = StmtRef { method: MethodId(mi as u32), index: i as u32 };
+                let sref = StmtRef {
+                    method: MethodId(mi as u32),
+                    index: i as u32,
+                };
                 stmt.annotation = f(sref, &stmt.annotation);
             }
         }
@@ -64,9 +67,7 @@ impl Program {
     }
 
     /// All features mentioned in any annotation (reachable or not).
-    pub fn annotated_features(
-        &self,
-    ) -> std::collections::BTreeSet<spllift_features::FeatureId> {
+    pub fn annotated_features(&self) -> std::collections::BTreeSet<spllift_features::FeatureId> {
         let mut out = std::collections::BTreeSet::new();
         for (mi, m) in self.methods.iter().enumerate() {
             let _ = mi;

@@ -90,7 +90,10 @@ pub fn fig1() -> Fig1 {
         mb.invoke(Some(y), Callee::Static(foo), vec![Operand::Local(x)]);
         mb.pop_annotation();
         let idx = mb.invoke(None, Callee::Static(print), vec![Operand::Local(y)]);
-        print_call = StmtRef { method: main, index: idx };
+        print_call = StmtRef {
+            method: main,
+            index: idx,
+        };
         mb.ret(None);
         pb.finish_body(mb);
     }
@@ -136,10 +139,8 @@ pub fn shapes() -> Shapes {
     let circle = pb.add_class("Circle", Some(shape));
     let square = pb.add_class("Square", Some(shape));
     let shape_area = pb.declare_method("area", Some(shape), &[], Some(Type::Int), false);
-    let circle_area =
-        pb.declare_method("area", Some(circle), &[], Some(Type::Int), false);
-    let square_area =
-        pb.declare_method("area", Some(square), &[], Some(Type::Int), false);
+    let circle_area = pb.declare_method("area", Some(circle), &[], Some(Type::Int), false);
+    let square_area = pb.declare_method("area", Some(square), &[], Some(Type::Int), false);
     let main = pb.declare_method("main", None, &[], None, true);
 
     for (m, v) in [(shape_area, 0), (circle_area, 1), (square_area, 2)] {
@@ -164,10 +165,17 @@ pub fn shapes() -> Shapes {
         mb.pop_annotation();
         let idx = mb.invoke(
             Some(a),
-            Callee::Virtual { base: s, name: "area".into(), argc: 0 },
+            Callee::Virtual {
+                base: s,
+                name: "area".into(),
+                argc: 0,
+            },
             vec![],
         );
-        call_site = StmtRef { method: main, index: idx };
+        call_site = StmtRef {
+            method: main,
+            index: idx,
+        };
         mb.ret(None);
         pb.finish_body(mb);
     }

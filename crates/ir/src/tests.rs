@@ -15,7 +15,10 @@ mod builder {
         let p = pb.finish();
         let body = p.body(m);
         assert!(matches!(body.stmts[0].kind, StmtKind::Nop));
-        assert!(matches!(body.stmts.last().unwrap().kind, StmtKind::Return { .. }));
+        assert!(matches!(
+            body.stmts.last().unwrap().kind,
+            StmtKind::Return { .. }
+        ));
         assert!(p.check().is_ok());
     }
 
@@ -47,7 +50,10 @@ mod builder {
         let done = mb.fresh_label();
         mb.bind(loop_head);
         mb.if_cmp(BinOp::Ge, Operand::Local(x), Operand::IntConst(10), done);
-        mb.assign(x, Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)));
+        mb.assign(
+            x,
+            Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)),
+        );
         mb.goto(loop_head);
         mb.bind(done);
         mb.ret(None);
@@ -104,9 +110,21 @@ mod cfg {
         // In foo: 0 nop, 1 p=0 (H), 2 return p (unannotated, no backstop).
         let body = p.body(ex.foo);
         assert_eq!(body.stmts.len(), 3);
-        let s0 = StmtRef { method: ex.foo, index: 0 };
-        let s2 = StmtRef { method: ex.foo, index: 2 };
-        assert_eq!(p.successors_of(s0), vec![StmtRef { method: ex.foo, index: 1 }]);
+        let s0 = StmtRef {
+            method: ex.foo,
+            index: 0,
+        };
+        let s2 = StmtRef {
+            method: ex.foo,
+            index: 2,
+        };
+        assert_eq!(
+            p.successors_of(s0),
+            vec![StmtRef {
+                method: ex.foo,
+                index: 1
+            }]
+        );
         assert!(p.successors_of(s2).is_empty(), "return has no successors");
     }
 
@@ -122,11 +140,26 @@ mod cfg {
         mb.ret(None);
         pb.finish_body(mb);
         let p = pb.finish();
-        let s_if = StmtRef { method: m, index: 1 };
+        let s_if = StmtRef {
+            method: m,
+            index: 1,
+        };
         let succs = p.successors_of(s_if);
         assert_eq!(succs.len(), 2);
-        assert_eq!(p.fall_through_of(s_if), Some(StmtRef { method: m, index: 2 }));
-        assert_eq!(p.branch_target_of(s_if), Some(StmtRef { method: m, index: 3 }));
+        assert_eq!(
+            p.fall_through_of(s_if),
+            Some(StmtRef {
+                method: m,
+                index: 2
+            })
+        );
+        assert_eq!(
+            p.branch_target_of(s_if),
+            Some(StmtRef {
+                method: m,
+                index: 3
+            })
+        );
     }
 
     #[test]
@@ -183,10 +216,7 @@ mod hierarchy_and_callgraph {
             assert!(cg.is_reachable(m), "{m} must be reachable");
         }
         assert!(cg.edge_count() >= 3);
-        assert!(cg
-            .callers_of(ex.foo)
-            .iter()
-            .all(|s| s.method == ex.main));
+        assert!(cg.callers_of(ex.foo).iter().all(|s| s.method == ex.main));
     }
 
     #[test]
@@ -227,7 +257,10 @@ mod icfg_impl {
         assert_eq!(sp.index, 0);
         assert!(!icfg.is_call(sp));
         // Statement 1 of main is the secret() call.
-        let call = StmtRef { method: ex.main, index: 1 };
+        let call = StmtRef {
+            method: ex.main,
+            index: 1,
+        };
         assert!(icfg.is_call(call));
         assert_eq!(icfg.callees_of(call), vec![ex.secret]);
         assert_eq!(icfg.return_sites_of(call).len(), 1);
@@ -245,16 +278,25 @@ mod icfg_impl {
         let icfg = ProgramIcfg::new(&ex.program);
         let [f, _, _] = ex.features;
         // Statement 3 of main is `x = 0` under F.
-        let s = StmtRef { method: ex.main, index: 3 };
+        let s = StmtRef {
+            method: ex.main,
+            index: 3,
+        };
         assert_eq!(*icfg.annotation_of(s), FeatureExpr::var(f));
-        assert_eq!(*icfg.annotation_of(icfg.start_point_of(ex.main)), FeatureExpr::True);
+        assert_eq!(
+            *icfg.annotation_of(icfg.start_point_of(ex.main)),
+            FeatureExpr::True
+        );
     }
 
     #[test]
     fn stmt_labels_render() {
         let ex = fig1();
         let icfg = ProgramIcfg::new(&ex.program);
-        let label = icfg.stmt_label(StmtRef { method: ex.main, index: 1 });
+        let label = icfg.stmt_label(StmtRef {
+            method: ex.main,
+            index: 1,
+        });
         assert!(label.contains("secret"), "{label}");
         assert_eq!(icfg.method_label(ex.main), "main");
     }
@@ -272,10 +314,16 @@ mod product {
         let product = ex.program.derive_product(&config);
         assert!(product.check().is_ok());
         // x = 0 under F (main index 3) must be a nop now.
-        let s = StmtRef { method: ex.main, index: 3 };
+        let s = StmtRef {
+            method: ex.main,
+            index: 3,
+        };
         assert!(matches!(product.stmt(s).kind, StmtKind::Nop));
         // y = foo(x) under G (main index 4) must survive.
-        let s = StmtRef { method: ex.main, index: 4 };
+        let s = StmtRef {
+            method: ex.main,
+            index: 4,
+        };
         assert!(matches!(product.stmt(s).kind, StmtKind::Invoke { .. }));
         // Annotations are gone.
         assert!(product
@@ -290,11 +338,7 @@ mod product {
         let [f, g, h] = ex.features;
         let config = Configuration::from_enabled([f, g, h]);
         let product = ex.program.derive_product(&config);
-        for (orig, derived) in ex
-            .program
-            .stmts_of(ex.main)
-            .zip(product.stmts_of(ex.main))
-        {
+        for (orig, derived) in ex.program.stmts_of(ex.main).zip(product.stmts_of(ex.main)) {
             assert_eq!(ex.program.stmt(orig).kind, product.stmt(derived).kind);
         }
     }
@@ -372,14 +416,23 @@ mod uses_defs {
         let mut mb = pb.method_body(m);
         let x = mb.local("x", Type::Int);
         let y = mb.local("y", Type::Int);
-        mb.assign(y, Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)));
+        mb.assign(
+            y,
+            Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)),
+        );
         mb.ret(Some(Operand::Local(y)));
         pb.finish_body(mb);
         let p = pb.finish();
-        let assign = p.stmt(StmtRef { method: m, index: 1 });
+        let assign = p.stmt(StmtRef {
+            method: m,
+            index: 1,
+        });
         assert_eq!(assign.kind.def(), Some(y));
         assert_eq!(assign.kind.uses(), vec![x]);
-        let ret = p.stmt(StmtRef { method: m, index: 2 });
+        let ret = p.stmt(StmtRef {
+            method: m,
+            index: 2,
+        });
         assert_eq!(ret.kind.def(), None);
         assert_eq!(ret.kind.uses(), vec![y]);
     }
@@ -387,13 +440,15 @@ mod uses_defs {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
     use spllift_features::Configuration;
+    use spllift_rng::SplitMix64;
 
     /// Random annotated straight-line-with-branches method bodies,
     /// validating structural invariants and product derivation.
-    fn arb_annotation() -> impl Strategy<Value = u8> {
-        0u8..6
+    fn random_ops(rng: &mut SplitMix64) -> Vec<(u8, u8)> {
+        (0..rng.gen_range(1..12usize))
+            .map(|_| (rng.gen_range(0..4u8), rng.gen_range(0..6u8)))
+            .collect()
     }
 
     fn annotation_of(code: u8, f: &[spllift_features::FeatureId; 2]) -> FeatureExpr {
@@ -425,11 +480,19 @@ mod properties {
                     mb.assign(x, Rvalue::Use(Operand::IntConst(op as i64)));
                 }
                 1 => {
-                    mb.assign(y, Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)));
+                    mb.assign(
+                        y,
+                        Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)),
+                    );
                 }
                 2 => {
                     let t = (i + 2).min(ops.len());
-                    mb.if_cmp(BinOp::Lt, Operand::Local(x), Operand::IntConst(5), labels[t]);
+                    mb.if_cmp(
+                        BinOp::Lt,
+                        Operand::Local(x),
+                        Operand::IntConst(5),
+                        labels[t],
+                    );
                 }
                 _ => {
                     let t = (i + 2).min(ops.len());
@@ -446,40 +509,44 @@ mod properties {
         pb.finish()
     }
 
-    proptest! {
-        /// Every generated program passes structural validation, and so
-        /// does every derived product; deriving twice equals deriving
-        /// once (annotation erasure is idempotent).
-        #[test]
-        fn derivation_is_valid_and_idempotent(
-            ops in proptest::collection::vec((0u8..4, arb_annotation()), 1..12),
-            bits in 0u64..4,
-        ) {
+    /// Every generated program passes structural validation, and so
+    /// does every derived product; deriving twice equals deriving
+    /// once (annotation erasure is idempotent).
+    #[test]
+    fn derivation_is_valid_and_idempotent() {
+        let mut rng = SplitMix64::seed_from_u64(0x18_0001);
+        for _ in 0..256 {
+            let ops = random_ops(&mut rng);
+            let bits = rng.gen_range(0..4u64);
             let mut t = spllift_features::FeatureTable::new();
             let f = [t.intern("A"), t.intern("B")];
             let p = build(&ops, &f);
-            prop_assert!(p.check().is_ok());
+            assert!(p.check().is_ok(), "ops {ops:?}");
             let config = Configuration::from_bits(bits, 2);
             let once = p.derive_product(&config);
-            prop_assert!(once.check().is_ok());
+            assert!(once.check().is_ok(), "ops {ops:?} bits {bits:b}");
             let twice = once.derive_product(&config);
-            prop_assert_eq!(&once, &twice);
+            assert_eq!(&once, &twice);
             // Derived products carry no annotations.
             for m in 0..once.methods().len() {
                 let mid = MethodId(m as u32);
-                if once.method(mid).body.is_none() { continue; }
+                if once.method(mid).body.is_none() {
+                    continue;
+                }
                 for s in once.stmts_of(mid) {
-                    prop_assert_eq!(&once.stmt(s).annotation, &FeatureExpr::True);
+                    assert_eq!(&once.stmt(s).annotation, &FeatureExpr::True);
                 }
             }
         }
+    }
 
-        /// CFG sanity: every successor is in range and non-return
-        /// statements always have at least one successor.
-        #[test]
-        fn cfg_well_formed(
-            ops in proptest::collection::vec((0u8..4, arb_annotation()), 1..12),
-        ) {
+    /// CFG sanity: every successor is in range and non-return
+    /// statements always have at least one successor.
+    #[test]
+    fn cfg_well_formed() {
+        let mut rng = SplitMix64::seed_from_u64(0x18_0002);
+        for _ in 0..256 {
+            let ops = random_ops(&mut rng);
             let mut t = spllift_features::FeatureTable::new();
             let f = [t.intern("A"), t.intern("B")];
             let p = build(&ops, &f);
@@ -488,10 +555,10 @@ mod properties {
             for s in p.stmts_of(m) {
                 let succs = p.successors_of(s);
                 for succ in &succs {
-                    prop_assert!(succ.index < n);
+                    assert!(succ.index < n);
                 }
                 let is_return = matches!(p.stmt(s).kind, StmtKind::Return { .. });
-                prop_assert_eq!(succs.is_empty(), is_return, "at {}", s);
+                assert_eq!(succs.is_empty(), is_return, "at {s}");
             }
         }
     }
@@ -506,9 +573,8 @@ mod interp {
     fn fig1_products_leak_dynamically_exactly_when_static_says() {
         let ex = fig1();
         let [f, g, h] = ex.features;
-        let config_leaks = |cfg: &Configuration| {
-            !cfg.is_enabled(f) && cfg.is_enabled(g) && !cfg.is_enabled(h)
-        };
+        let config_leaks =
+            |cfg: &Configuration| !cfg.is_enabled(f) && cfg.is_enabled(g) && !cfg.is_enabled(h);
         for bits in 0u64..8 {
             let mut cfg = Configuration::empty();
             for (i, feat) in [f, g, h].into_iter().enumerate() {
@@ -531,7 +597,10 @@ mod interp {
         let mut mb = pb.method_body(main);
         let x = mb.local("x", Type::Int);
         let y = mb.local("y", Type::Int);
-        let use_idx = mb.assign(y, Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)));
+        let use_idx = mb.assign(
+            y,
+            Rvalue::Binary(BinOp::Add, Operand::Local(x), Operand::IntConst(1)),
+        );
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
@@ -539,7 +608,13 @@ mod interp {
         let trace = run(&p, &InterpConfig::default());
         assert_eq!(
             trace.events,
-            vec![Event::UninitRead(StmtRef { method: main, index: use_idx }, x)]
+            vec![Event::UninitRead(
+                StmtRef {
+                    method: main,
+                    index: use_idx
+                },
+                x
+            )]
         );
     }
 
@@ -554,7 +629,10 @@ mod interp {
         let done = mb.fresh_label();
         mb.bind(head);
         mb.if_cmp(BinOp::Le, Operand::Local(x), Operand::IntConst(0), done);
-        mb.assign(x, Rvalue::Binary(BinOp::Sub, Operand::Local(x), Operand::IntConst(1)));
+        mb.assign(
+            x,
+            Rvalue::Binary(BinOp::Sub, Operand::Local(x), Operand::IntConst(1)),
+        );
         mb.goto(head);
         mb.bind(done);
         mb.ret(None);
@@ -577,7 +655,13 @@ mod interp {
         pb.finish_body(mb);
         pb.add_entry_point(main);
         let p = pb.finish();
-        let trace = run(&p, &InterpConfig { step_budget: 1_000, ..Default::default() });
+        let trace = run(
+            &p,
+            &InterpConfig {
+                step_budget: 1_000,
+                ..Default::default()
+            },
+        );
         assert!(trace.budget_exhausted);
     }
 
@@ -608,7 +692,10 @@ mod interp {
             let r = mb.local("r", Type::Int);
             // rec(n) = rec(n+1): infinite recursion.
             let arg = mb.local("arg", Type::Int);
-            mb.assign(arg, Rvalue::Binary(BinOp::Add, Operand::Local(p0), Operand::IntConst(1)));
+            mb.assign(
+                arg,
+                Rvalue::Binary(BinOp::Add, Operand::Local(p0), Operand::IntConst(1)),
+            );
             mb.invoke(Some(r), Callee::Static(rec), vec![Operand::Local(arg)]);
             mb.ret(Some(Operand::Local(r)));
             pb.finish_body(mb);
@@ -623,7 +710,13 @@ mod interp {
         }
         pb.add_entry_point(main);
         let p = pb.finish();
-        let trace = run(&p, &InterpConfig { step_budget: 50_000, ..Default::default() });
+        let trace = run(
+            &p,
+            &InterpConfig {
+                step_budget: 50_000,
+                ..Default::default()
+            },
+        );
         // Either budget or depth guard fires; no stack overflow.
         assert!(trace.budget_exhausted);
     }
@@ -649,19 +742,32 @@ mod interp {
         let buf = mb.local("buf", Type::Array(ElemType::Int));
         let s = mb.local("s", Type::Int);
         let out = mb.local("out", Type::Int);
-        mb.assign(buf, Rvalue::NewArray { elem: ElemType::Int, len: Operand::IntConst(3) });
+        mb.assign(
+            buf,
+            Rvalue::NewArray {
+                elem: ElemType::Int,
+                len: Operand::IntConst(3),
+            },
+        );
         mb.invoke(Some(s), Callee::Static(secret), vec![]);
         mb.array_store(Operand::Local(buf), Operand::IntConst(1), Operand::Local(s));
-        mb.assign(out, Rvalue::ArrayLoad { base: Operand::Local(buf), index: Operand::IntConst(1) });
+        mb.assign(
+            out,
+            Rvalue::ArrayLoad {
+                base: Operand::Local(buf),
+                index: Operand::IntConst(1),
+            },
+        );
         let sink = mb.invoke(None, Callee::Static(print), vec![Operand::Local(out)]);
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
         let p = pb.finish();
         let trace = run(&p, &InterpConfig::secret_to_print());
-        assert!(trace
-            .events
-            .contains(&Event::Leak(StmtRef { method: main, index: sink })));
+        assert!(trace.events.contains(&Event::Leak(StmtRef {
+            method: main,
+            index: sink
+        })));
     }
 }
 
@@ -675,9 +781,25 @@ mod arrays_ir {
         let mut mb = pb.method_body(m);
         let buf = mb.local("buf", Type::Array(ElemType::Int));
         let v = mb.local("v", Type::Int);
-        mb.assign(buf, Rvalue::NewArray { elem: ElemType::Int, len: Operand::IntConst(8) });
-        mb.array_store(Operand::Local(buf), Operand::IntConst(0), Operand::IntConst(5));
-        mb.assign(v, Rvalue::ArrayLoad { base: Operand::Local(buf), index: Operand::IntConst(0) });
+        mb.assign(
+            buf,
+            Rvalue::NewArray {
+                elem: ElemType::Int,
+                len: Operand::IntConst(8),
+            },
+        );
+        mb.array_store(
+            Operand::Local(buf),
+            Operand::IntConst(0),
+            Operand::IntConst(5),
+        );
+        mb.assign(
+            v,
+            Rvalue::ArrayLoad {
+                base: Operand::Local(buf),
+                index: Operand::IntConst(0),
+            },
+        );
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(m);
@@ -699,13 +821,15 @@ mod arrays_ir {
         let buf = mb.local("buf", Type::Array(ElemType::Int));
         let i = mb.local("i", Type::Int);
         let v = mb.local("v", Type::Int);
-        let store =
-            mb.array_store(Operand::Local(buf), Operand::Local(i), Operand::Local(v));
+        let store = mb.array_store(Operand::Local(buf), Operand::Local(i), Operand::Local(v));
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(m);
         let p = pb.finish();
-        let s = p.stmt(StmtRef { method: m, index: store });
+        let s = p.stmt(StmtRef {
+            method: m,
+            index: store,
+        });
         assert_eq!(s.kind.def(), None, "array stores define no local");
         let uses = s.kind.uses();
         for l in [buf, i, v] {
@@ -756,16 +880,23 @@ mod interp_fields {
         mb.assign(b, Rvalue::New(c));
         mb.invoke(Some(s), Callee::Static(secret), vec![]);
         mb.field_store(Some(Operand::Local(b)), fld, Operand::Local(s));
-        mb.assign(out, Rvalue::FieldLoad { base: Some(Operand::Local(b)), field: fld });
+        mb.assign(
+            out,
+            Rvalue::FieldLoad {
+                base: Some(Operand::Local(b)),
+                field: fld,
+            },
+        );
         let sink = mb.invoke(None, Callee::Static(print), vec![Operand::Local(out)]);
         mb.ret(None);
         pb.finish_body(mb);
         pb.add_entry_point(main);
         let p = pb.finish();
         let trace = run(&p, &InterpConfig::secret_to_print());
-        assert!(trace
-            .events
-            .contains(&Event::Leak(StmtRef { method: main, index: sink })));
+        assert!(trace.events.contains(&Event::Leak(StmtRef {
+            method: main,
+            index: sink
+        })));
     }
 
     /// Distinct objects have distinct field storage: taint in one box
@@ -795,7 +926,13 @@ mod interp_fields {
         mb.field_store(Some(Operand::Local(b1)), fld, Operand::Local(s));
         mb.field_store(Some(Operand::Local(b2)), fld, Operand::IntConst(0));
         // Read from the CLEAN box only.
-        mb.assign(out, Rvalue::FieldLoad { base: Some(Operand::Local(b2)), field: fld });
+        mb.assign(
+            out,
+            Rvalue::FieldLoad {
+                base: Some(Operand::Local(b2)),
+                field: fld,
+            },
+        );
         mb.invoke(None, Callee::Static(print), vec![Operand::Local(out)]);
         mb.ret(None);
         pb.finish_body(mb);

@@ -190,13 +190,9 @@ impl Rvalue {
     pub fn uses(&self) -> Vec<LocalId> {
         match self {
             Rvalue::Use(op) => op.as_local().into_iter().collect(),
-            Rvalue::Binary(_, a, b) => {
-                a.as_local().into_iter().chain(b.as_local()).collect()
-            }
+            Rvalue::Binary(_, a, b) => a.as_local().into_iter().chain(b.as_local()).collect(),
             Rvalue::New(_) => Vec::new(),
-            Rvalue::FieldLoad { base, .. } => {
-                base.and_then(|b| b.as_local()).into_iter().collect()
-            }
+            Rvalue::FieldLoad { base, .. } => base.and_then(|b| b.as_local()).into_iter().collect(),
             Rvalue::NewArray { len, .. } => len.as_local().into_iter().collect(),
             Rvalue::ArrayLoad { base, index } => base
                 .as_local()
@@ -317,16 +313,13 @@ impl StmtKind {
             }
             StmtKind::Goto { .. } => Vec::new(),
             StmtKind::Invoke { callee, args, .. } => {
-                let mut v: Vec<LocalId> =
-                    args.iter().filter_map(|a| a.as_local()).collect();
+                let mut v: Vec<LocalId> = args.iter().filter_map(|a| a.as_local()).collect();
                 if let Callee::Virtual { base, .. } = callee {
                     v.push(*base);
                 }
                 v
             }
-            StmtKind::Return { value } => {
-                value.and_then(|v| v.as_local()).into_iter().collect()
-            }
+            StmtKind::Return { value } => value.and_then(|v| v.as_local()).into_iter().collect(),
         }
     }
 }
@@ -493,7 +486,10 @@ impl Program {
 
     /// The synthetic entry statement of `m`.
     pub fn entry_of(&self, m: MethodId) -> StmtRef {
-        StmtRef { method: m, index: 0 }
+        StmtRef {
+            method: m,
+            index: 0,
+        }
     }
 
     /// Iterates over all statements of `m`.
@@ -533,17 +529,25 @@ impl Program {
     pub fn successors_of(&self, s: StmtRef) -> Vec<StmtRef> {
         let body = self.body(s.method);
         let next = |i: u32| -> Option<StmtRef> {
-            (((i + 1) as usize) < body.stmts.len())
-                .then_some(StmtRef { method: s.method, index: i + 1 })
+            (((i + 1) as usize) < body.stmts.len()).then_some(StmtRef {
+                method: s.method,
+                index: i + 1,
+            })
         };
         match &body.stmts[s.index as usize].kind {
             StmtKind::Return { .. } => Vec::new(),
             StmtKind::Goto { target } => {
-                vec![StmtRef { method: s.method, index: *target }]
+                vec![StmtRef {
+                    method: s.method,
+                    index: *target,
+                }]
             }
             StmtKind::If { target, .. } => {
                 let mut v: Vec<StmtRef> = next(s.index).into_iter().collect();
-                v.push(StmtRef { method: s.method, index: *target });
+                v.push(StmtRef {
+                    method: s.method,
+                    index: *target,
+                });
                 v
             }
             _ => next(s.index).into_iter().collect(),
@@ -554,16 +558,19 @@ impl Program {
     /// successor a *disabled* statement falls through to (paper Fig. 4).
     pub fn fall_through_of(&self, s: StmtRef) -> Option<StmtRef> {
         let body = self.body(s.method);
-        (((s.index + 1) as usize) < body.stmts.len())
-            .then_some(StmtRef { method: s.method, index: s.index + 1 })
+        (((s.index + 1) as usize) < body.stmts.len()).then_some(StmtRef {
+            method: s.method,
+            index: s.index + 1,
+        })
     }
 
     /// The branch target of an `if`/`goto`, if `s` is a branch.
     pub fn branch_target_of(&self, s: StmtRef) -> Option<StmtRef> {
         match &self.stmt(s).kind {
-            StmtKind::If { target, .. } | StmtKind::Goto { target } => {
-                Some(StmtRef { method: s.method, index: *target })
-            }
+            StmtKind::If { target, .. } | StmtKind::Goto { target } => Some(StmtRef {
+                method: s.method,
+                index: *target,
+            }),
             _ => None,
         }
     }
@@ -591,12 +598,17 @@ impl Program {
                 return Err(IrError::BadEntry(mid));
             }
             match body.stmts.last() {
-                Some(Stmt { kind: StmtKind::Return { .. }, annotation })
-                    if *annotation == FeatureExpr::True => {}
+                Some(Stmt {
+                    kind: StmtKind::Return { .. },
+                    annotation,
+                }) if *annotation == FeatureExpr::True => {}
                 _ => return Err(IrError::MissingFinalReturn(mid)),
             }
             for (i, stmt) in body.stmts.iter().enumerate() {
-                let sref = StmtRef { method: mid, index: i as u32 };
+                let sref = StmtRef {
+                    method: mid,
+                    index: i as u32,
+                };
                 let check_local = |l: LocalId| -> Result<(), IrError> {
                     if l.index() < body.locals.len() {
                         Ok(())
@@ -610,9 +622,7 @@ impl Program {
                 for u in stmt.kind.uses() {
                     check_local(u)?;
                 }
-                if let StmtKind::If { target, .. } | StmtKind::Goto { target } =
-                    &stmt.kind
-                {
+                if let StmtKind::If { target, .. } | StmtKind::Goto { target } = &stmt.kind {
                     if (*target as usize) >= body.stmts.len() {
                         return Err(IrError::BadBranchTarget(sref, *target));
                     }

@@ -1,0 +1,212 @@
+//! A tiny, dependency-free, seeded PRNG for deterministic benchmark
+//! generation and randomized property tests.
+//!
+//! The workspace must build **offline** (see `DESIGN.md` §5): Cargo
+//! resolves even *optional* registry dependencies at lock time, so any
+//! mention of `rand`/`proptest` in a manifest breaks a network-less
+//! build. This crate replaces both for our purposes with a SplitMix64
+//! generator — 64 bits of state, statistically solid for test-case
+//! generation, and trivially reproducible from a `u64` seed.
+//!
+//! This is **not** a cryptographic generator and must never be used for
+//! anything security-sensitive; everything in this workspace that wants
+//! randomness wants *reproducible* randomness.
+//!
+//! # Example
+//!
+//! ```
+//! use spllift_rng::SplitMix64;
+//! let mut rng = SplitMix64::seed_from_u64(42);
+//! let d = rng.gen_range(0..6u32);
+//! assert!(d < 6);
+//! // Same seed, same stream: `gen_range` consumed draw #1 above.
+//! assert_eq!(rng.next_u64(), SplitMix64::seed_from_u64(42).nth_u64(2));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Sebastiano Vigna's SplitMix64: the recommended seeder for the
+/// xorshift family, and a perfectly good generator on its own for
+/// non-cryptographic use. Passes BigCrush when used directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Skips ahead and returns the `n`-th draw (1-based); handy in tests.
+    pub fn nth_u64(&mut self, n: u64) -> u64 {
+        let mut v = 0;
+        for _ in 0..n {
+            v = self.next_u64();
+        }
+        v
+    }
+
+    /// A uniform draw from `range` (half-open, must be non-empty).
+    ///
+    /// Uses Lemire-style rejection-free multiply-shift reduction; the
+    /// modulo bias is below 2⁻⁴⁰ for every span this workspace uses,
+    /// which is irrelevant for test-case generation.
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+
+    /// A uniformly chosen element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.gen_range(0..slice.len())]
+    }
+
+    /// A fresh generator seeded from this one — lets one master seed
+    /// drive independent sub-streams without correlated draws.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::seed_from_u64(self.next_u64())
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Multiply-shift reduction of a 64-bit draw onto [0, span).
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Types [`SplitMix64::gen_range`] can sample from a half-open range.
+pub trait SampleRange: Copy {
+    /// Draws a uniform value in `[range.start, range.end)`.
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                (range.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_signed!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = SplitMix64::seed_from_u64(8).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn reference_vector() {
+        // First outputs of SplitMix64 with seed 1234567, from the
+        // reference C implementation (prng.di.unimi.it/splitmix64.c).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let u = r.gen_range(3..17usize);
+            assert!((3..17).contains(&u));
+            let i = r.gen_range(-5..6i64);
+            assert!((-5..6).contains(&i));
+            let b = r.gen_range(0..2u8);
+            assert!(b < 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values drawn: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads} heads");
+    }
+
+    #[test]
+    fn choose_and_fork() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let xs = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(xs.contains(r.choose(&xs)));
+        }
+        let mut f1 = r.clone().fork();
+        let mut f2 = r.fork();
+        assert_eq!(f1.next_u64(), f2.next_u64(), "fork is deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SplitMix64::seed_from_u64(0);
+        let _ = r.gen_range(5..5usize);
+    }
+}

@@ -36,7 +36,11 @@ impl<D: Clone + Eq + Hash + std::fmt::Debug> A1Run<D> {
         for s in solver.statements() {
             results.insert(s, solver.results_at(s));
         }
-        A1Run { config, results, stats: solver.stats() }
+        A1Run {
+            config,
+            results,
+            stats: solver.stats(),
+        }
     }
 
     /// Facts (incl. zero) at `s` in this product.

@@ -32,7 +32,6 @@ impl<'a, P> A2Problem<'a, P> {
     pub fn new(problem: &'a P, config: &'a Configuration) -> Self {
         A2Problem { problem, config }
     }
-
 }
 
 /// Runs the full A2 analysis of `problem` for one configuration.

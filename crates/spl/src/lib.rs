@@ -20,15 +20,19 @@
 //! must allow `c`; and every SPLLIFT result satisfied by `c` must also be
 //! computed by A2.
 
-
 #![warn(missing_docs)]
 pub mod a1;
 pub mod a2;
 pub mod crosscheck;
+pub mod parallel;
 
 pub use a1::A1Run;
 pub use a2::{solve_a2, A2Problem};
-pub use crosscheck::{crosscheck, Mismatch};
+pub use crosscheck::{crosscheck, crosscheck_with, Mismatch, DEFAULT_MAX_MISMATCHES};
+pub use parallel::{
+    a2_campaign_parallel, crosscheck_parallel, default_jobs, A2CampaignOutcome, CrosscheckOutcome,
+    ParallelOptions, ShardStats,
+};
 
 use spllift_features::{Configuration, FeatureExpr, FeatureId};
 
@@ -41,10 +45,7 @@ use spllift_features::{Configuration, FeatureExpr, FeatureId};
 /// Panics if `universe` has more than 30 features (enumerate via BDD
 /// `sat_count` instead — this is exactly the wall the paper hits with
 /// BerkeleyDB's 2^39 reachable configurations).
-pub fn valid_configurations(
-    model: &FeatureExpr,
-    universe: &[FeatureId],
-) -> Vec<Configuration> {
+pub fn valid_configurations(model: &FeatureExpr, universe: &[FeatureId]) -> Vec<Configuration> {
     assert!(
         universe.len() <= 30,
         "refusing to enumerate 2^{} configurations",

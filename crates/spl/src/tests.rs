@@ -2,15 +2,15 @@ use crate::a2::solve_a2;
 use crate::{crosscheck, valid_configurations, A1Run, A2Problem};
 use spllift_analyses::{PossibleTypes, ReachingDefs, TaintAnalysis, UninitVars};
 use spllift_core::LiftedIcfg;
-use spllift_features::{
-    BddConstraintContext, Configuration, FeatureExpr, FeatureId, FeatureTable,
-};
+use spllift_features::{BddConstraintContext, Configuration, FeatureExpr, FeatureId, FeatureTable};
 use spllift_ifds::{Icfg, IfdsSolver};
 use spllift_ir::samples::fig1;
 use spllift_ir::ProgramIcfg;
 
 fn all_fig1_configs() -> Vec<Configuration> {
-    (0u64..8).map(|bits| Configuration::from_bits(bits, 3)).collect()
+    (0u64..8)
+        .map(|bits| Configuration::from_bits(bits, 3))
+        .collect()
 }
 
 #[test]
@@ -72,8 +72,7 @@ fn crosscheck_taint_on_fig1_has_no_mismatches() {
     let icfg = ProgramIcfg::new(&ex.program);
     let ctx = BddConstraintContext::new(&ex.table);
     let analysis = TaintAnalysis::secret_to_print();
-    let mismatches =
-        crosscheck(&icfg, &analysis, &ctx, None, &all_fig1_configs());
+    let mismatches = crosscheck(&icfg, &analysis, &ctx, None, &all_fig1_configs());
     assert!(mismatches.is_empty(), "{mismatches:?}");
 }
 
@@ -121,8 +120,7 @@ fn crosscheck_reports_oracle_disagreement() {
     let [_, g, _] = ex.features;
     let bad_config = Configuration::from_enabled([g]);
     let analysis = TaintAnalysis::secret_to_print();
-    let mismatches =
-        crosscheck(&icfg, &analysis, &ctx, Some(&model), &[bad_config]);
+    let mismatches = crosscheck(&icfg, &analysis, &ctx, Some(&model), &[bad_config]);
     assert!(
         !mismatches.is_empty(),
         "invalid configs must surface as disagreements"
@@ -163,9 +161,7 @@ fn a2_problem_is_reusable_via_new() {
 #[test]
 fn enumerating_too_many_features_panics() {
     let universe: Vec<FeatureId> = (0..31).map(FeatureId).collect();
-    let result = std::panic::catch_unwind(|| {
-        valid_configurations(&FeatureExpr::True, &universe)
-    });
+    let result = std::panic::catch_unwind(|| valid_configurations(&FeatureExpr::True, &universe));
     assert!(result.is_err());
 }
 
@@ -176,9 +172,9 @@ fn enumerating_too_many_features_panics() {
 /// IDE solver, BDD algebra) and the simple A2 oracle fails the test.
 mod property {
     use super::*;
-    use proptest::prelude::*;
     use spllift_features::FeatureExpr;
     use spllift_ir::{BinOp, LocalId, Operand, Program, ProgramBuilder, Rvalue, Type};
+    use spllift_rng::SplitMix64;
 
     /// One random statement of a method body.
     #[derive(Debug, Clone)]
@@ -209,28 +205,41 @@ mod property {
         }
     }
 
-    fn arb_op() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u8..3, -5i8..6).prop_map(|(l, c)| Op::AssignConst(l, c)),
-            (0u8..3, 0u8..3).prop_map(|(a, b)| Op::Copy(a, b)),
-            (0u8..3, 0u8..3, 0u8..3).prop_map(|(a, b, c)| Op::Add(a, b, c)),
-            (1u8..4).prop_map(Op::IfSkip),
-            (1u8..3).prop_map(Op::GotoSkip),
-            (0u8..3).prop_map(Op::CallSecret),
-            (0u8..3).prop_map(Op::CallPrint),
-            (0u8..4, 0u8..3, 0u8..3).prop_map(|(m, a, r)| Op::CallM(m, a, r)),
-            (0u8..3).prop_map(Op::Ret),
-        ]
+    fn random_op(rng: &mut SplitMix64) -> Op {
+        match rng.gen_range(0..9u32) {
+            0 => Op::AssignConst(rng.gen_range(0..3u8), rng.gen_range(-5..6i8)),
+            1 => Op::Copy(rng.gen_range(0..3u8), rng.gen_range(0..3u8)),
+            2 => Op::Add(
+                rng.gen_range(0..3u8),
+                rng.gen_range(0..3u8),
+                rng.gen_range(0..3u8),
+            ),
+            3 => Op::IfSkip(rng.gen_range(1..4u8)),
+            4 => Op::GotoSkip(rng.gen_range(1..3u8)),
+            5 => Op::CallSecret(rng.gen_range(0..3u8)),
+            6 => Op::CallPrint(rng.gen_range(0..3u8)),
+            7 => Op::CallM(
+                rng.gen_range(0..4u8),
+                rng.gen_range(0..3u8),
+                rng.gen_range(0..3u8),
+            ),
+            _ => Op::Ret(rng.gen_range(0..3u8)),
+        }
     }
 
-    fn arb_body() -> impl Strategy<Value = Vec<(Op, u8)>> {
-        proptest::collection::vec((arb_op(), any::<u8>()), 2..9)
+    fn random_body(rng: &mut SplitMix64) -> Vec<(Op, u8)> {
+        (0..rng.gen_range(2..9usize))
+            .map(|_| (random_op(rng), rng.gen_range(0..256u32) as u8))
+            .collect()
     }
 
-    fn build_program(
-        bodies: &[Vec<(Op, u8)>],
-        f: &[spllift_features::FeatureId; 3],
-    ) -> Program {
+    fn random_bodies(rng: &mut SplitMix64, range: std::ops::Range<usize>) -> Vec<Vec<(Op, u8)>> {
+        (0..rng.gen_range(range))
+            .map(|_| random_body(rng))
+            .collect()
+    }
+
+    fn build_program(bodies: &[Vec<(Op, u8)>], f: &[spllift_features::FeatureId; 3]) -> Program {
         let n = bodies.len() - 1; // last body is main
         let mut pb = ProgramBuilder::new();
         let secret = pb.declare_method("secret", None, &[], Some(Type::Int), true);
@@ -247,22 +256,14 @@ mod property {
             pb.finish_body(mb);
         }
         let gen_methods: Vec<_> = (0..n.max(1))
-            .map(|i| {
-                pb.declare_method(
-                    &format!("m{i}"),
-                    None,
-                    &[Type::Int],
-                    Some(Type::Int),
-                    true,
-                )
-            })
+            .map(|i| pb.declare_method(&format!("m{i}"), None, &[Type::Int], Some(Type::Int), true))
             .collect();
         let main = pb.declare_method("main", None, &[], None, true);
 
         let emit = |pb: &mut ProgramBuilder,
-                        mid: spllift_ir::MethodId,
-                        ops: &[(Op, u8)],
-                        has_param: bool| {
+                    mid: spllift_ir::MethodId,
+                    ops: &[(Op, u8)],
+                    has_param: bool| {
             let mut mb = pb.method_body(mid);
             let locals: Vec<LocalId> = if has_param {
                 let p = mb.param_local(0);
@@ -360,30 +361,33 @@ mod property {
         (t, f)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// SPLLIFT ≡ A2 on random annotated programs, all configurations,
-        /// all four analyses (and reaching defs under a feature model).
-        #[test]
-        fn crosscheck_random_programs(
-            bodies in proptest::collection::vec(arb_body(), 2..5)
-        ) {
+    /// SPLLIFT ≡ A2 on random annotated programs, all configurations,
+    /// all four analyses (and reaching defs under a feature model).
+    #[test]
+    fn crosscheck_random_programs() {
+        let mut rng = SplitMix64::seed_from_u64(0x591_0001);
+        for _ in 0..24 {
+            let bodies = random_bodies(&mut rng, 2..5);
             let (t, f) = features3();
             let program = build_program(&bodies, &f);
             let icfg = ProgramIcfg::new(&program);
             let ctx = BddConstraintContext::new(&t);
-            let configs: Vec<_> =
-                (0u64..8).map(|b| Configuration::from_bits(b, 3)).collect();
+            let configs: Vec<_> = (0u64..8).map(|b| Configuration::from_bits(b, 3)).collect();
 
-            let m = crosscheck(&icfg, &TaintAnalysis::secret_to_print(), &ctx, None, &configs);
-            prop_assert!(m.is_empty(), "taint: {:?}", m);
+            let m = crosscheck(
+                &icfg,
+                &TaintAnalysis::secret_to_print(),
+                &ctx,
+                None,
+                &configs,
+            );
+            assert!(m.is_empty(), "taint: {m:?}");
             let m = crosscheck(&icfg, &UninitVars::new(), &ctx, None, &configs);
-            prop_assert!(m.is_empty(), "uninit: {:?}", m);
+            assert!(m.is_empty(), "uninit: {m:?}");
             let m = crosscheck(&icfg, &ReachingDefs::new(), &ctx, None, &configs);
-            prop_assert!(m.is_empty(), "reaching defs: {:?}", m);
+            assert!(m.is_empty(), "reaching defs: {m:?}");
             let m = crosscheck(&icfg, &PossibleTypes::new(), &ctx, None, &configs);
-            prop_assert!(m.is_empty(), "possible types: {:?}", m);
+            assert!(m.is_empty(), "possible types: {m:?}");
 
             // With a feature model: only valid configs participate.
             let mut t2 = t.clone();
@@ -394,17 +398,19 @@ mod property {
                 .cloned()
                 .collect();
             let m = crosscheck(&icfg, &ReachingDefs::new(), &ctx, Some(&model), &valid);
-            prop_assert!(m.is_empty(), "reaching defs + model: {:?}", m);
+            assert!(m.is_empty(), "reaching defs + model: {m:?}");
         }
+    }
 
-        /// BDD- and DNF-backed liftings agree semantically on random
-        /// programs (every fact, every statement, every configuration).
-        #[test]
-        fn bdd_and_dnf_liftings_agree(
-            bodies in proptest::collection::vec(arb_body(), 2..4)
-        ) {
-            use spllift_core::{LiftedSolution, ModelMode};
-            use spllift_features::{ConstraintContext as _, DnfConstraintContext};
+    /// BDD- and DNF-backed liftings agree semantically on random
+    /// programs (every fact, every statement, every configuration).
+    #[test]
+    fn bdd_and_dnf_liftings_agree() {
+        use spllift_core::{LiftedSolution, ModelMode};
+        use spllift_features::{ConstraintContext as _, DnfConstraintContext};
+        let mut rng = SplitMix64::seed_from_u64(0x591_0002);
+        for _ in 0..24 {
+            let bodies = random_bodies(&mut rng, 2..4);
             let (t, f) = features3();
             let program = build_program(&bodies, &f);
             let icfg = ProgramIcfg::new(&program);
@@ -421,20 +427,15 @@ mod property {
                         let cfg = Configuration::from_bits(bits, 3);
                         for (fact, bc) in &br {
                             let holds_b = bctx.satisfied_by(bc, &cfg);
-                            let holds_d = dr
-                                .get(fact)
-                                .is_some_and(|dc| dctx.satisfied_by(dc, &cfg));
-                            prop_assert_eq!(
-                                holds_b, holds_d,
-                                "fact {:?} at {} under {:?}", fact, s, cfg
-                            );
+                            let holds_d =
+                                dr.get(fact).is_some_and(|dc| dctx.satisfied_by(dc, &cfg));
+                            assert_eq!(holds_b, holds_d, "fact {fact:?} at {s} under {cfg:?}");
                         }
                         for (fact, dc) in &dr {
                             let holds_d = dctx.satisfied_by(dc, &cfg);
-                            let holds_b = br
-                                .get(fact)
-                                .is_some_and(|bc| bctx.satisfied_by(bc, &cfg));
-                            prop_assert_eq!(holds_d, holds_b);
+                            let holds_b =
+                                br.get(fact).is_some_and(|bc| bctx.satisfied_by(bc, &cfg));
+                            assert_eq!(holds_d, holds_b);
                         }
                     }
                 }

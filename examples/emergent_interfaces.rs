@@ -37,13 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let icfg = ProgramIcfg::new(&program);
     let ctx = BddConstraintContext::new(&table);
 
-    let solution = LiftedSolution::solve(
-        &ReachingDefs::new(),
-        &icfg,
-        &ctx,
-        None,
-        ModelMode::Ignore,
-    );
+    let solution =
+        LiftedSolution::solve(&ReachingDefs::new(), &icfg, &ctx, None, ModelMode::Ignore);
 
     // For every statement that USES a local, report which feature-
     // annotated definitions may reach it and under which configurations:
@@ -57,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             for (fact, c) in solution.results_at(s) {
-                let DefFact::Def { site, var } = fact else { continue };
+                let DefFact::Def { site, var } = fact else {
+                    continue;
+                };
                 if !uses.contains(&var) {
                     continue;
                 }

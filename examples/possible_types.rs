@@ -37,13 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let icfg = ProgramIcfg::new(&program);
     let ctx = BddConstraintContext::new(&table);
 
-    let solution = LiftedSolution::solve(
-        &PossibleTypes::new(),
-        &icfg,
-        &ctx,
-        None,
-        ModelMode::Ignore,
-    );
+    let solution =
+        LiftedSolution::solve(&PossibleTypes::new(), &icfg, &ctx, None, ModelMode::Ignore);
 
     let main = program.find_method("Main.main").unwrap();
     let call = program
@@ -68,8 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for l in &lines {
         println!("{l}");
     }
-    assert!(lines.iter().any(|l| l.contains("Circle") && l.contains("FANCY_SHAPES")));
-    assert!(lines.iter().any(|l| l.contains("Square") && l.contains("!FANCY_SHAPES")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("Circle") && l.contains("FANCY_SHAPES")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("Square") && l.contains("!FANCY_SHAPES")));
 
     // §5: the call graph itself remains feature-INsensitive — all three
     // area() implementations are CHA targets regardless of features.

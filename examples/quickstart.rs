@@ -49,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Lift the *unchanged* IFDS taint analysis and solve in one pass.
     let ctx = BddConstraintContext::new(&table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
 
     // 4. Ask under which configurations the argument of print() is
     //    tainted.
@@ -59,14 +58,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (call, arg) = program
         .stmts_of(main)
         .find_map(|s| match &program.stmt(s).kind {
-            StmtKind::Invoke { callee: Callee::Static(m), args, .. } if *m == print => {
-                Some((s, args[0].as_local()?))
-            }
+            StmtKind::Invoke {
+                callee: Callee::Static(m),
+                args,
+                ..
+            } if *m == print => Some((s, args[0].as_local()?)),
             _ => None,
         })
         .expect("print call exists");
     let constraint = solution.constraint_of(call, &TaintFact::Local(arg));
-    println!("secret may reach print() iff: {}", constraint.to_cube_string());
+    println!(
+        "secret may reach print() iff: {}",
+        constraint.to_cube_string()
+    );
     // Canonical BDDs make the comparison semantic, independent of how the
     // cube string orders the variables.
     use spllift::features::ConstraintContext as _;
@@ -79,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let with_model =
         LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
     let constraint = with_model.constraint_of(call, &TaintFact::Local(arg));
-    println!("under the model F <=> G:     {}", constraint.to_cube_string());
+    println!(
+        "under the model F <=> G:     {}",
+        constraint.to_cube_string()
+    );
     assert!(constraint.is_false());
     Ok(())
 }

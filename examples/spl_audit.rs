@@ -27,8 +27,7 @@ fn main() {
 
     // ---- lifted taint: which configurations can leak? -----------------
     let analysis = TaintAnalysis::new(["secret"], ["print", "sink"]);
-    let taint =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
+    let taint = LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
     let mut leaky_configs = ctx.ff();
     let mut flows = 0;
     for m in icfg.methods() {
@@ -63,8 +62,13 @@ fn main() {
     );
 
     // ---- lifted uninit: configuration-dependent uninitialized reads ---
-    let uninit =
-        LiftedSolution::solve(&UninitVars::new(), &icfg, &ctx, Some(&model), ModelMode::OnEdges);
+    let uninit = LiftedSolution::solve(
+        &UninitVars::new(),
+        &icfg,
+        &ctx,
+        Some(&model),
+        ModelMode::OnEdges,
+    );
     let mut uses = 0;
     for m in icfg.methods() {
         for s in icfg.stmts_of(m) {
@@ -84,7 +88,9 @@ fn main() {
     let solver = IfdsSolver::solve(&analysis, &product_icfg);
     'outer: for m in product_icfg.methods() {
         for s in product_icfg.stmts_of(m) {
-            let StmtKind::Invoke { args, .. } = &product.stmt(s).kind else { continue };
+            let StmtKind::Invoke { args, .. } = &product.stmt(s).kind else {
+                continue;
+            };
             for arg in args {
                 let Operand::Local(l) = arg else { continue };
                 if let Some(trace) = solver.witness(s, &TaintFact::Local(*l)) {

@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stream = program.find_class("Stream").expect("Stream class");
     let analysis = Typestate::new(stream, ["open"], ["close"], ["read"]);
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
 
     // Report, for every read() call, the constraint under which the
     // receiver may be closed.

@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let icfg = ProgramIcfg::new(&program);
     let ctx = BddConstraintContext::new(&table);
 
-    let solution =
-        LiftedSolution::solve(&UninitVars::new(), &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&UninitVars::new(), &icfg, &ctx, None, ModelMode::Ignore);
 
     // Find every use of a maybe-uninitialized local and print the
     // configurations it happens under.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: everything must pass with no network access.
+#
+#   ./scripts/ci.sh
+#
+# The workspace has no crates.io dependencies (see DESIGN.md §5), so
+# every step runs with --offline to catch any accidental registry dep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "ci: all green"

@@ -1,34 +1,59 @@
 //! `spllift-cli` — analyze a mini-Java product line from the command line.
 //!
 //! ```text
-//! spllift-cli <FILE> [--analysis taint|types|reaching-defs|uninit]
-//!                    [--model <MODEL-FILE>]
-//!                    [--format table|dot|leaks]
+//! spllift-cli <INPUT> [--analysis taint|types|reaching-defs|uninit]
+//!                     [--model <MODEL-FILE>]
+//!                     [--format table|dot|leaks|crosscheck|a2-bench]
+//!                     [--jobs N] [--max-mismatches N]
+//!
+//! <INPUT> is a product-line source file (mini-Java with `#ifdef`
+//! annotations), or one of the built-in generated benchmark subjects:
+//!
+//!   gen:MM08 | gen:GPL | gen:Lampiro | gen:BerkeleyDB
+//!   gen:synthetic:<features>:<loc>:<seed>
 //!
 //! `--format leaks` (taint only) prints one line per possible
 //! source-to-sink flow with the feature constraint it happens under.
+//!
+//! `--format crosscheck` runs the §6.1 bidirectional SPLLIFT ↔ A2
+//! cross-check over every valid configuration, sharded across `--jobs`
+//! worker threads; mismatch collection stops at `--max-mismatches`
+//! (default 100).
+//!
+//! `--format a2-bench` times the brute-force A2 campaign (one full IFDS
+//! solve per valid configuration) sequentially and sharded across
+//! `--jobs` threads, and reports the wall-clock speedup.
+//!
+//! For both parallel formats, stdout carries only the deterministic
+//! results — byte-identical for every `--jobs` value — while per-shard
+//! wall-clock stats and speedups go to stderr.
 //! ```
 //!
-//! Reads a product-line source file (mini-Java with `#ifdef` annotations),
-//! optionally a feature model in the `spllift::features` text format,
-//! runs the chosen analysis lifted with SPLLIFT, and prints either the
-//! per-statement constraint table or the constraint-labeled exploded
-//! supergraph in Graphviz DOT.
+//! Reads the product line, optionally a feature model in the
+//! `spllift::features` text format, runs the chosen analysis lifted with
+//! SPLLIFT, and prints either the per-statement constraint table or the
+//! constraint-labeled exploded supergraph in Graphviz DOT.
 //!
 //! Example:
 //!
 //! ```text
 //! cargo run --bin spllift-cli -- examples_data/fig1.minijava --analysis taint
+//! cargo run --release --bin spllift-cli -- gen:synthetic:6:400:42 --format a2-bench
 //! ```
 
 use spllift::analyses::{PossibleTypes, ReachingDefs, TaintAnalysis, UninitVars};
+use spllift::benchgen::{subject_by_name, synthetic_spec, GeneratedSpl, SubjectSpec};
 use spllift::features::{
-    parse_feature_model, BddConstraintContext, FeatureExpr, FeatureTable,
+    parse_feature_model, BddConstraintContext, Configuration, FeatureExpr, FeatureTable,
 };
 use spllift::frontend::parse_spl;
 use spllift::ifds::IfdsProblem;
-use spllift::ir::ProgramIcfg;
+use spllift::ir::{Program, ProgramIcfg};
 use spllift::lift::{report, LiftedIcfg, LiftedProblem, LiftedSolution, ModelMode};
+use spllift::spl::{
+    a2_campaign_parallel, crosscheck_parallel, default_jobs, CrosscheckOutcome, ParallelOptions,
+    ShardStats, DEFAULT_MAX_MISMATCHES,
+};
 use std::hash::Hash;
 use std::process::ExitCode;
 
@@ -47,6 +72,8 @@ struct Options {
     analysis: String,
     model_file: Option<String>,
     format: String,
+    jobs: usize,
+    max_mismatches: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -55,6 +82,8 @@ fn parse_args() -> Result<Options, String> {
     let mut analysis = "taint".to_owned();
     let mut model_file = None;
     let mut format = "table".to_owned();
+    let mut jobs = default_jobs();
+    let mut max_mismatches = DEFAULT_MAX_MISMATCHES;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--analysis" => {
@@ -64,10 +93,24 @@ fn parse_args() -> Result<Options, String> {
                 model_file = Some(args.next().ok_or("--model needs a file")?);
             }
             "--format" => {
-                format = args.next().ok_or("--format needs table|dot")?;
+                format = args.next().ok_or("--format needs a value")?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a thread count")?;
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&j| j >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--max-mismatches" => {
+                let v = args.next().ok_or("--max-mismatches needs a count")?;
+                max_mismatches = v.parse::<usize>().ok().filter(|&m| m >= 1).ok_or(format!(
+                    "--max-mismatches needs a positive integer, got `{v}`"
+                ))?;
             }
             "--help" | "-h" => {
-                return Err("usage: spllift-cli <FILE> [--analysis taint|types|reaching-defs|uninit] [--model FILE] [--format table|dot]"
+                return Err("usage: spllift-cli <FILE|gen:SUBJECT> [--analysis taint|types|reaching-defs|uninit] [--model FILE] [--format table|dot|leaks|crosscheck|a2-bench] [--jobs N] [--max-mismatches N]"
                     .into());
             }
             other if !other.starts_with('-') && file.is_none() => {
@@ -81,47 +124,273 @@ fn parse_args() -> Result<Options, String> {
         analysis,
         model_file,
         format,
+        jobs,
+        max_mismatches,
     })
+}
+
+/// A fully loaded product line, whichever way it came in.
+struct Loaded {
+    program: Program,
+    table: FeatureTable,
+    model: Option<FeatureExpr>,
+    /// Pre-enumerated valid configurations, for `gen:` inputs.
+    configs: Option<Vec<Configuration>>,
+}
+
+fn parse_gen_spec(s: &str) -> Result<SubjectSpec, String> {
+    if let Some(rest) = s.strip_prefix("synthetic:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [features, loc, seed] = parts.as_slice() else {
+            return Err("gen:synthetic takes gen:synthetic:<features>:<loc>:<seed>".into());
+        };
+        let parse = |what: &str, v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("gen:synthetic {what} must be an integer, got `{v}`"))
+        };
+        Ok(synthetic_spec(
+            parse("feature count", features)?,
+            parse("loc", loc)?,
+            parse("seed", seed)? as u64,
+        ))
+    } else {
+        subject_by_name(s).ok_or_else(|| {
+            format!(
+                "unknown generated subject `{s}` (MM08|GPL|Lampiro|BerkeleyDB, or synthetic:<features>:<loc>:<seed>)"
+            )
+        })
+    }
+}
+
+fn load(opts: &Options) -> Result<Loaded, String> {
+    if let Some(spec) = opts.file.strip_prefix("gen:") {
+        if opts.model_file.is_some() {
+            return Err(
+                "--model cannot be combined with gen: inputs (the generated feature model is used)"
+                    .into(),
+            );
+        }
+        let spl = GeneratedSpl::generate(parse_gen_spec(spec)?);
+        let model = Some(spl.model_expr());
+        let configs = (spl.reachable.len() <= 20).then(|| spl.valid_configurations());
+        let GeneratedSpl { program, table, .. } = spl;
+        return Ok(Loaded {
+            program,
+            table,
+            model,
+            configs,
+        });
+    }
+    let source = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
+    let mut table = FeatureTable::new();
+    let program = parse_spl(&source, &mut table).map_err(|e| format!("{}: {e}", opts.file))?;
+    let model: Option<FeatureExpr> = match &opts.model_file {
+        None => None,
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let m = parse_feature_model(&text, &mut table).map_err(|e| format!("{path}: {e}"))?;
+            Some(m.to_expr())
+        }
+    };
+    Ok(Loaded {
+        program,
+        table,
+        model,
+        configs: None,
+    })
+}
+
+/// The valid configurations to brute-force over: pre-enumerated for
+/// `gen:` inputs, every model-satisfying assignment for file inputs.
+fn configurations(loaded: &Loaded) -> Result<Vec<Configuration>, String> {
+    if let Some(configs) = &loaded.configs {
+        return Ok(configs.clone());
+    }
+    let n = loaded.table.iter().count();
+    if n > 16 {
+        return Err(format!(
+            "refusing to enumerate 2^{n} configurations; use a gen: subject instead"
+        ));
+    }
+    let mut out = Vec::new();
+    for bits in 0u64..(1u64 << n) {
+        let cfg = Configuration::from_bits(bits, n);
+        if loaded.model.as_ref().is_none_or(|m| cfg.satisfies(m)) {
+            out.push(cfg);
+        }
+    }
+    Ok(out)
 }
 
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
-    let source = std::fs::read_to_string(&opts.file)
-        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
-    let mut table = FeatureTable::new();
-    let program = parse_spl(&source, &mut table)
-        .map_err(|e| format!("{}: {e}", opts.file))?;
-    if program.entry_points().is_empty() {
+    let loaded = load(&opts)?;
+    if loaded.program.entry_points().is_empty() {
         return Err("no entry point: declare a method named `main`".into());
     }
-    let model: Option<FeatureExpr> = match &opts.model_file {
-        None => None,
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            let m = parse_feature_model(&text, &mut table)
-                .map_err(|e| format!("{path}: {e}"))?;
-            Some(m.to_expr())
-        }
-    };
-    let icfg = ProgramIcfg::new(&program);
-    let ctx = BddConstraintContext::new(&table);
+    let icfg = ProgramIcfg::new(&loaded.program);
 
+    match opts.format.as_str() {
+        "crosscheck" => return run_crosscheck(&opts, &icfg, &loaded),
+        "a2-bench" => return run_a2_bench(&opts, &icfg, &loaded),
+        _ => {}
+    }
+
+    let ctx = BddConstraintContext::new(&loaded.table);
+    let model = &loaded.model;
     if opts.format == "leaks" {
         if opts.analysis != "taint" {
             return Err("--format leaks requires --analysis taint".into());
         }
-        return emit_leaks(&icfg, &ctx, &model);
+        return emit_leaks(&icfg, &ctx, model);
     }
     match opts.analysis.as_str() {
-        "taint" => emit(&opts, &icfg, &ctx, &TaintAnalysis::secret_to_print(), &model),
-        "types" => emit(&opts, &icfg, &ctx, &PossibleTypes::new(), &model),
-        "reaching-defs" => emit(&opts, &icfg, &ctx, &ReachingDefs::new(), &model),
-        "uninit" => emit(&opts, &icfg, &ctx, &UninitVars::new(), &model),
+        "taint" => emit(&opts, &icfg, &ctx, &TaintAnalysis::secret_to_print(), model),
+        "types" => emit(&opts, &icfg, &ctx, &PossibleTypes::new(), model),
+        "reaching-defs" => emit(&opts, &icfg, &ctx, &ReachingDefs::new(), model),
+        "uninit" => emit(&opts, &icfg, &ctx, &UninitVars::new(), model),
         other => Err(format!(
             "unknown analysis `{other}` (taint|types|reaching-defs|uninit)"
         )),
     }
+}
+
+fn print_shards(label: &str, shards: &[ShardStats]) {
+    for s in shards {
+        eprintln!(
+            "  {label} shard {:>2}: {:>6} configs in {:>10.3?}",
+            s.shard, s.configs, s.wall
+        );
+    }
+}
+
+/// `--format crosscheck`: the §6.1 bidirectional SPLLIFT ↔ A2 check over
+/// every valid configuration, sharded across `--jobs` worker threads.
+/// Results go to stdout (deterministic across `--jobs`), per-shard
+/// timings to stderr.
+fn run_crosscheck(opts: &Options, icfg: &ProgramIcfg<'_>, loaded: &Loaded) -> Result<(), String> {
+    let configs = configurations(loaded)?;
+    let popts = ParallelOptions {
+        jobs: opts.jobs,
+        max_mismatches: opts.max_mismatches,
+    };
+    let model = loaded.model.as_ref();
+    let make_ctx = || BddConstraintContext::new(&loaded.table);
+    let outcome: CrosscheckOutcome = match opts.analysis.as_str() {
+        "taint" => crosscheck_parallel(
+            icfg,
+            &TaintAnalysis::secret_to_print(),
+            make_ctx,
+            model,
+            &configs,
+            &popts,
+        ),
+        "types" => crosscheck_parallel(
+            icfg,
+            &PossibleTypes::new(),
+            make_ctx,
+            model,
+            &configs,
+            &popts,
+        ),
+        "reaching-defs" => crosscheck_parallel(
+            icfg,
+            &ReachingDefs::new(),
+            make_ctx,
+            model,
+            &configs,
+            &popts,
+        ),
+        "uninit" => {
+            crosscheck_parallel(icfg, &UninitVars::new(), make_ctx, model, &configs, &popts)
+        }
+        other => {
+            return Err(format!(
+                "unknown analysis `{other}` (taint|types|reaching-defs|uninit)"
+            ))
+        }
+    };
+    eprintln!(
+        "crosscheck: {} configurations across {} worker thread(s), wall {:.3?}",
+        configs.len(),
+        outcome.jobs,
+        outcome.wall
+    );
+    print_shards("crosscheck", &outcome.shards);
+    println!(
+        "crosscheck: {} analysis over {} valid configurations",
+        opts.analysis,
+        configs.len()
+    );
+    if outcome.mismatches.is_empty() {
+        println!("OK: SPLLIFT and A2 agree on every configuration");
+        Ok(())
+    } else {
+        for m in &outcome.mismatches {
+            println!("MISMATCH: {m}");
+        }
+        let capped = if outcome.mismatches.len() == opts.max_mismatches {
+            " (cap reached)"
+        } else {
+            ""
+        };
+        println!("{} mismatch(es){capped}", outcome.mismatches.len());
+        Err(format!(
+            "crosscheck found {} mismatch(es)",
+            outcome.mismatches.len()
+        ))
+    }
+}
+
+/// `--format a2-bench`: times the brute-force A2 campaign sequentially
+/// and sharded across `--jobs` threads, reporting the wall-clock
+/// speedup on stderr. Stdout carries only the configuration count and
+/// the order-independent fact checksum, which are `--jobs`-invariant.
+fn run_a2_bench(opts: &Options, icfg: &ProgramIcfg<'_>, loaded: &Loaded) -> Result<(), String> {
+    let configs = configurations(loaded)?;
+    macro_rules! campaign {
+        ($p:expr) => {{
+            let p = $p;
+            (a2_campaign_parallel(icfg, &p, &configs, 1), {
+                a2_campaign_parallel(icfg, &p, &configs, opts.jobs)
+            })
+        }};
+    }
+    let (seq, par) = match opts.analysis.as_str() {
+        "taint" => campaign!(TaintAnalysis::secret_to_print()),
+        "types" => campaign!(PossibleTypes::new()),
+        "reaching-defs" => campaign!(ReachingDefs::new()),
+        "uninit" => campaign!(UninitVars::new()),
+        other => {
+            return Err(format!(
+                "unknown analysis `{other}` (taint|types|reaching-defs|uninit)"
+            ))
+        }
+    };
+    if seq.facts != par.facts {
+        return Err(format!(
+            "a2-bench determinism violation: sequential checksum {} != parallel checksum {}",
+            seq.facts, par.facts
+        ));
+    }
+    eprintln!("a2-bench: jobs=1 wall {:.3?}", seq.wall);
+    print_shards("jobs=1", &seq.shards);
+    eprintln!("a2-bench: jobs={} wall {:.3?}", par.jobs, par.wall);
+    print_shards(&format!("jobs={}", par.jobs), &par.shards);
+    eprintln!(
+        "a2-bench: speedup {:.2}x at {} threads",
+        seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9),
+        par.jobs
+    );
+    println!(
+        "a2-bench: {} analysis, {} valid configurations, facts checksum {}",
+        opts.analysis,
+        configs.len(),
+        par.facts
+    );
+    Ok(())
 }
 
 fn emit<P, D>(
@@ -135,8 +404,7 @@ where
     P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
     D: Clone + Eq + Ord + Hash + std::fmt::Debug,
 {
-    let solution =
-        LiftedSolution::solve(problem, icfg, ctx, model.as_ref(), ModelMode::OnEdges);
+    let solution = LiftedSolution::solve(problem, icfg, ctx, model.as_ref(), ModelMode::OnEdges);
     match opts.format.as_str() {
         "table" => {
             print!(
@@ -147,13 +415,7 @@ where
         }
         "dot" => {
             let lifted_icfg = LiftedIcfg::new(icfg);
-            let lifted = LiftedProblem::new(
-                problem,
-                icfg,
-                ctx,
-                model.as_ref(),
-                ModelMode::OnEdges,
-            );
+            let lifted = LiftedProblem::new(problem, icfg, ctx, model.as_ref(), ModelMode::OnEdges);
             println!(
                 "{}",
                 report::lifted_supergraph_dot(
@@ -165,7 +427,9 @@ where
             );
             Ok(())
         }
-        other => Err(format!("unknown format `{other}` (table|dot|leaks)")),
+        other => Err(format!(
+            "unknown format `{other}` (table|dot|leaks|crosscheck|a2-bench)"
+        )),
     }
 }
 
@@ -180,13 +444,7 @@ fn emit_leaks(
     use spllift::ifds::Icfg as _;
     use spllift::ir::{Operand, StmtKind};
     let analysis = TaintAnalysis::secret_to_print();
-    let solution = LiftedSolution::solve(
-        &analysis,
-        icfg,
-        ctx,
-        model.as_ref(),
-        ModelMode::OnEdges,
-    );
+    let solution = LiftedSolution::solve(&analysis, icfg, ctx, model.as_ref(), ModelMode::OnEdges);
     let mut found = 0;
     for m in icfg.methods() {
         for s in icfg.stmts_of(m) {

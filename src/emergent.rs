@@ -1,5 +1,5 @@
 //! Emergent interfaces (Ribeiro et al., SPLASH 2010) — the paper's §7
-//! motivating application: "interfaces [that] emerge on demand to give
+//! motivating application: "interfaces \[that\] emerge on demand to give
 //! support for specific SPL maintenance tasks and thus help developers
 //! understand and manage dependencies between features."
 //!
@@ -54,13 +54,8 @@ impl EmergentInterface {
         model: Option<&FeatureExpr>,
         maintenance_point: &BTreeSet<StmtRef>,
     ) -> Self {
-        let solution = LiftedSolution::solve(
-            &ReachingDefs::new(),
-            icfg,
-            ctx,
-            model,
-            ModelMode::OnEdges,
-        );
+        let solution =
+            LiftedSolution::solve(&ReachingDefs::new(), icfg, ctx, model, ModelMode::OnEdges);
         let mut out = EmergentInterface::default();
         let program = icfg.program();
         for m in icfg.methods() {
@@ -70,13 +65,23 @@ impl EmergentInterface {
                     continue;
                 }
                 for (fact, constraint) in solution.results_at(use_site) {
-                    let DefFact::Def { site: def_site, var } = fact else { continue };
+                    let DefFact::Def {
+                        site: def_site,
+                        var,
+                    } = fact
+                    else {
+                        continue;
+                    };
                     if !uses.contains(&var) || constraint.is_false() {
                         continue;
                     }
                     let def_inside = maintenance_point.contains(&def_site);
                     let use_inside = maintenance_point.contains(&use_site);
-                    let dep = Dependency { def_site, use_site, constraint: constraint.clone() };
+                    let dep = Dependency {
+                        def_site,
+                        use_site,
+                        constraint: constraint.clone(),
+                    };
                     if def_inside && !use_inside {
                         out.provides.push(dep);
                     } else if !def_inside && use_inside {

@@ -22,7 +22,6 @@
 //! a taint analysis lifted over a three-feature product line, computing that
 //! the secret leaks exactly under the constraint `¬F ∧ G ∧ ¬H`.
 
-
 #![warn(missing_docs)]
 pub mod emergent;
 

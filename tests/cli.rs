@@ -13,7 +13,11 @@ fn taint_table_on_fig1() {
         .args(["examples_data/fig1.minijava", "--analysis", "taint"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Main.main"), "{stdout}");
     // The headline constraint appears in some variable order.
@@ -103,7 +107,13 @@ fn leaks_format() {
 
     // leaks + non-taint analysis is an error.
     let out = cli()
-        .args(["examples_data/fig1.minijava", "--analysis", "uninit", "--format", "leaks"])
+        .args([
+            "examples_data/fig1.minijava",
+            "--analysis",
+            "uninit",
+            "--format",
+            "leaks",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -116,7 +126,11 @@ fn chat_product_line_leak_analysis() {
         .args(["examples_data/chat.minijava", "--format", "leaks"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("LEAK at"), "{stdout}");
     assert!(stdout.contains("LOGGING"), "{stdout}");

@@ -37,8 +37,7 @@ fn check_config(
             Event::Leak(call) => {
                 // Some argument of the sink call must be statically
                 // tainted under this configuration.
-                let StmtKind::Invoke { args, .. } = &spl.program.stmt(*call).kind
-                else {
+                let StmtKind::Invoke { args, .. } = &spl.program.stmt(*call).kind else {
                     return Err(format!("leak at non-call {call}"));
                 };
                 let covered = args.iter().any(|a| {
@@ -77,10 +76,13 @@ fn check_subject(name: &str, sample_stride: usize) {
         None,
         ModelMode::Ignore,
     );
-    let uninit =
-        LiftedSolution::solve(&UninitVars::new(), &icfg, &ctx, None, ModelMode::Ignore);
+    let uninit = LiftedSolution::solve(&UninitVars::new(), &icfg, &ctx, None, ModelMode::Ignore);
     let mut checked = 0;
-    for config in spl.valid_configurations().into_iter().step_by(sample_stride) {
+    for config in spl
+        .valid_configurations()
+        .into_iter()
+        .step_by(sample_stride)
+    {
         if let Err(msg) = check_config(&spl, &icfg, &taint, &uninit, &ctx, &config) {
             panic!("{name}: {msg}");
         }

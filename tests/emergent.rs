@@ -25,10 +25,7 @@ class Pipeline {
 }
 "#;
 
-fn compress_stmts(
-    program: &spllift::ir::Program,
-    table: &FeatureTable,
-) -> BTreeSet<StmtRef> {
+fn compress_stmts(program: &spllift::ir::Program, table: &FeatureTable) -> BTreeSet<StmtRef> {
     // The maintenance point: every statement annotated with COMPRESS.
     let compress = table.get("COMPRESS").unwrap();
     let mut out = BTreeSet::new();

@@ -33,17 +33,17 @@ class Main {
 }
 "#;
 
-fn print_call_and_arg(
-    program: &spllift::ir::Program,
-) -> (StmtRef, spllift::ir::LocalId) {
+fn print_call_and_arg(program: &spllift::ir::Program) -> (StmtRef, spllift::ir::LocalId) {
     let main = program.find_method("Main.main").unwrap();
     let print = program.find_method("Main.print").unwrap();
     program
         .stmts_of(main)
         .find_map(|s| match &program.stmt(s).kind {
-            StmtKind::Invoke { callee: Callee::Static(m), args, .. } if *m == print => {
-                Some((s, args[0].as_local().unwrap()))
-            }
+            StmtKind::Invoke {
+                callee: Callee::Static(m),
+                args,
+                ..
+            } if *m == print => Some((s, args[0].as_local().unwrap())),
             _ => None,
         })
         .unwrap()
@@ -56,8 +56,7 @@ fn paper_headline_result() {
     let icfg = ProgramIcfg::new(&program);
     let ctx = BddConstraintContext::new(&table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let (call, arg) = print_call_and_arg(&program);
     let got = solution.constraint_of(call, &TaintFact::Local(arg));
     let expected = ctx.of_expr(&FeatureExpr::parse("!F && G && !H", &mut table).unwrap());
@@ -72,10 +71,11 @@ fn feature_model_neutralizes_leak() {
     let ctx = BddConstraintContext::new(&table);
     let analysis = TaintAnalysis::secret_to_print();
     let model = FeatureExpr::parse("(F && G) || (!F && !G)", &mut table).unwrap();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
     let (call, arg) = print_call_and_arg(&program);
-    assert!(solution.constraint_of(call, &TaintFact::Local(arg)).is_false());
+    assert!(solution
+        .constraint_of(call, &TaintFact::Local(arg))
+        .is_false());
 }
 
 #[test]
@@ -85,8 +85,7 @@ fn constraint_evaluates_per_configuration() {
     let icfg = ProgramIcfg::new(&program);
     let ctx = BddConstraintContext::new(&table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let (call, arg) = print_call_and_arg(&program);
     let fact = TaintFact::Local(arg);
     let f = table.get("F").unwrap();
@@ -116,8 +115,7 @@ fn reachability_side_effect() {
     let icfg = ProgramIcfg::new(&program);
     let ctx = BddConstraintContext::new(&table);
     let analysis = TaintAnalysis::secret_to_print();
-    let solution =
-        LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let solution = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
     let foo = program.find_method("Main.foo").unwrap();
     let g = ctx.lit(table.get("G").unwrap(), true);
     assert_eq!(solution.reachability_of(program.entry_of(foo)), g);

@@ -1,0 +1,167 @@
+//! Integration: the parallel configuration-sharded drivers must produce
+//! results *identical* to the sequential pass for every `--jobs` value —
+//! on the checked-in example SPLs and on a seeded benchgen program, both
+//! through the library API and through the CLI binary.
+
+use spllift::analyses::{ReachingDefs, TaintAnalysis};
+use spllift::benchgen::{synthetic_spec, GeneratedSpl};
+use spllift::features::{
+    parse_feature_model, BddConstraintContext, Configuration, FeatureExpr, FeatureTable,
+};
+use spllift::frontend::parse_spl;
+use spllift::ir::{Program, ProgramIcfg};
+use spllift::spl::{a2_campaign_parallel, crosscheck_parallel, crosscheck_with, ParallelOptions};
+use std::process::Command;
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+fn load_example(name: &str, model: bool) -> (Program, FeatureTable, Option<FeatureExpr>) {
+    let source = std::fs::read_to_string(format!("examples_data/{name}.minijava")).unwrap();
+    let mut table = FeatureTable::new();
+    let program = parse_spl(&source, &mut table).unwrap();
+    let model = model.then(|| {
+        let text = std::fs::read_to_string(format!("examples_data/{name}.model")).unwrap();
+        parse_feature_model(&text, &mut table).unwrap().to_expr()
+    });
+    (program, table, model)
+}
+
+fn all_configs(table: &FeatureTable, model: Option<&FeatureExpr>) -> Vec<Configuration> {
+    let n = table.iter().count();
+    assert!(n <= 16, "example SPLs are small");
+    (0u64..(1u64 << n))
+        .map(|bits| Configuration::from_bits(bits, n))
+        .filter(|cfg| model.is_none_or(|m| cfg.satisfies(m)))
+        .collect()
+}
+
+fn assert_jobs_invariant(
+    program: &Program,
+    table: &FeatureTable,
+    model: Option<&FeatureExpr>,
+    configs: &[Configuration],
+) {
+    let icfg = ProgramIcfg::new(program);
+    let analysis = TaintAnalysis::secret_to_print();
+    let ctx = BddConstraintContext::new(table);
+    let sequential = crosscheck_with(&icfg, &analysis, &ctx, model, configs, 100);
+    let campaign_reference = a2_campaign_parallel(&icfg, &analysis, configs, 1).facts;
+    for jobs in JOBS {
+        let outcome = crosscheck_parallel(
+            &icfg,
+            &analysis,
+            || BddConstraintContext::new(table),
+            model,
+            configs,
+            &ParallelOptions {
+                jobs,
+                max_mismatches: 100,
+            },
+        );
+        assert_eq!(outcome.mismatches, sequential, "crosscheck, jobs = {jobs}");
+        assert_eq!(
+            a2_campaign_parallel(&icfg, &analysis, configs, jobs).facts,
+            campaign_reference,
+            "A2 campaign checksum, jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn fig1_parallel_equals_sequential() {
+    let (program, table, model) = load_example("fig1", true);
+    // Once without the model (all 8 configurations), once with it.
+    let unconstrained = all_configs(&table, None);
+    assert_jobs_invariant(&program, &table, None, &unconstrained);
+    let constrained = all_configs(&table, model.as_ref());
+    assert!(
+        constrained.len() < unconstrained.len(),
+        "fig1 model excludes configs"
+    );
+    assert_jobs_invariant(&program, &table, model.as_ref(), &constrained);
+}
+
+#[test]
+fn chat_parallel_equals_sequential() {
+    let (program, table, model) = load_example("chat", true);
+    let configs = all_configs(&table, model.as_ref());
+    assert!(!configs.is_empty());
+    assert_jobs_invariant(&program, &table, model.as_ref(), &configs);
+}
+
+#[test]
+fn benchgen_program_parallel_equals_sequential() {
+    // A seeded generated product line: 4 unconstrained features, all 16
+    // configurations valid.
+    let spl = GeneratedSpl::generate(synthetic_spec(4, 250, 0xD15EA5E));
+    let configs = spl.valid_configurations();
+    assert_eq!(configs.len(), 16);
+    let icfg = spl.icfg();
+    let analysis = ReachingDefs::new();
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let sequential = crosscheck_with(&icfg, &analysis, &ctx, Some(&model), &configs, 100);
+    let reference = a2_campaign_parallel(&icfg, &analysis, &configs, 1).facts;
+    assert!(reference > 0);
+    for jobs in JOBS {
+        let outcome = crosscheck_parallel(
+            &icfg,
+            &analysis,
+            || BddConstraintContext::new(&spl.table),
+            Some(&model),
+            &configs,
+            &ParallelOptions {
+                jobs,
+                max_mismatches: 100,
+            },
+        );
+        assert_eq!(outcome.mismatches, sequential, "crosscheck, jobs = {jobs}");
+        assert_eq!(
+            a2_campaign_parallel(&icfg, &analysis, &configs, jobs).facts,
+            reference
+        );
+    }
+}
+
+#[test]
+fn cli_parallel_stdout_is_jobs_invariant() {
+    // stdout of both parallel formats must be byte-identical for every
+    // --jobs value (shard timings go to stderr).
+    let runs = [
+        vec!["examples_data/fig1.minijava", "--format", "crosscheck"],
+        vec![
+            "examples_data/chat.minijava",
+            "--format",
+            "crosscheck",
+            "--model",
+            "examples_data/chat.model",
+        ],
+        vec![
+            "gen:synthetic:4:250:99",
+            "--analysis",
+            "reaching-defs",
+            "--format",
+            "a2-bench",
+        ],
+    ];
+    for args in runs {
+        let mut outputs = Vec::new();
+        for jobs in JOBS {
+            let out = Command::new(env!("CARGO_BIN_EXE_spllift-cli"))
+                .args(&args)
+                .args(["--jobs", &jobs.to_string()])
+                .output()
+                .expect("binary runs");
+            assert!(
+                out.status.success(),
+                "{args:?} --jobs {jobs}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            outputs.push(out.stdout);
+        }
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "stdout differs across --jobs for {args:?}"
+        );
+    }
+}

@@ -57,13 +57,8 @@ fn random_programs_dynamic_events_are_statically_predicted() {
             None,
             ModelMode::Ignore,
         );
-        let uninit = LiftedSolution::solve(
-            &UninitVars::new(),
-            &icfg,
-            &ctx,
-            None,
-            ModelMode::Ignore,
-        );
+        let uninit =
+            LiftedSolution::solve(&UninitVars::new(), &icfg, &ctx, None, ModelMode::Ignore);
         for bits in 0u64..(1 << NFEATURES) {
             let config = Configuration::from_bits(bits, NFEATURES);
             let product = spl.program.derive_product(&config);
@@ -71,9 +66,7 @@ fn random_programs_dynamic_events_are_statically_predicted() {
             for event in &trace.events {
                 match event {
                     Event::Leak(call) => {
-                        let StmtKind::Invoke { args, .. } =
-                            &spl.program.stmt(*call).kind
-                        else {
+                        let StmtKind::Invoke { args, .. } = &spl.program.stmt(*call).kind else {
                             panic!("seed {seed}: leak at non-call {call}");
                         };
                         let covered = args.iter().any(|a| {
