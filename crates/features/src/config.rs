@@ -145,10 +145,22 @@ impl Configuration {
 /// assert_eq!(rejoined, configs);
 /// ```
 pub fn partition_configurations(configs: &[Configuration], shards: usize) -> Vec<&[Configuration]> {
+    partition_slice(configs, shards)
+}
+
+/// The generic form of [`partition_configurations`]: the same contiguous,
+/// ordered, near-equal chunking over any item type. The fuzz-campaign
+/// driver shards *seeds* with it, so seed verdicts merge back in seed
+/// order under exactly the same rule the configuration shards use.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn partition_slice<T>(items: &[T], shards: usize) -> Vec<&[T]> {
     assert!(shards > 0, "cannot partition into zero shards");
-    let shards = shards.min(configs.len()).max(1);
-    let base = configs.len() / shards;
-    let extra = configs.len() % shards;
+    let shards = shards.min(items.len()).max(1);
+    let base = items.len() / shards;
+    let extra = items.len() % shards;
     let mut out = Vec::with_capacity(shards);
     let mut start = 0;
     for i in 0..shards {
@@ -156,7 +168,7 @@ pub fn partition_configurations(configs: &[Configuration], shards: usize) -> Vec
         if len == 0 {
             break;
         }
-        out.push(&configs[start..start + len]);
+        out.push(&items[start..start + len]);
         start += len;
     }
     out

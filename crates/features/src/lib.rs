@@ -42,7 +42,7 @@ mod expr;
 mod model;
 mod model_text;
 
-pub use config::{all_configurations, partition_configurations, Configuration};
+pub use config::{all_configurations, partition_configurations, partition_slice, Configuration};
 pub use constraint::{BddConstraint, BddConstraintContext, Constraint, ConstraintContext};
 pub use dnf::{Dnf, DnfConstraintContext};
 pub use expr::{FeatureExpr, FeatureId, FeatureTable, ParseExprError};

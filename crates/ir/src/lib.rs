@@ -18,7 +18,9 @@
 //!   that turns the product line into a single product for a configuration
 //!   (used by the A1 baseline and by differential tests),
 //! * a [`ProgramBuilder`] for constructing programs programmatically and a
-//!   pretty-printer for a Jimple-like text form.
+//!   pretty-printer for a Jimple-like text form,
+//! * a round-trippable plain-text program format ([`text`]) for committed
+//!   fuzzing repros (`tests/corpus/`).
 //!
 //! Statements are addressed by [`StmtRef`] (method + index); index 0 is a
 //! synthetic entry `nop`, and every method body ends with an unannotated
@@ -33,6 +35,7 @@ pub mod interp;
 pub mod pretty;
 mod product;
 pub mod samples;
+pub mod text;
 mod types;
 
 pub use builder::{Label, MethodBuilder, ProgramBuilder};

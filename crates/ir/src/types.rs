@@ -432,6 +432,20 @@ pub struct Program {
 }
 
 impl Program {
+    /// Appends a fully formed method (used by the repro-file parser,
+    /// which bypasses [`crate::ProgramBuilder`] because bodies arrive
+    /// complete with their synthetic entry and final return).
+    pub(crate) fn push_method(&mut self, m: Method) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(m);
+        id
+    }
+
+    /// Appends an entry point (repro-file parser hook).
+    pub(crate) fn push_entry_point(&mut self, m: MethodId) {
+        self.entry_points.push(m);
+    }
+
     /// All classes, indexable by [`ClassId`].
     pub fn classes(&self) -> &[Class] {
         &self.classes
@@ -479,9 +493,38 @@ impl Program {
             .unwrap_or_else(|| panic!("method {m} has no body"))
     }
 
+    /// Mutable access to the body of `m` — the hook the structural
+    /// mutators and the test-case reducer use to edit programs in place.
+    /// Callers are expected to re-validate with [`Program::check`] after
+    /// a batch of edits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` has no body.
+    pub fn body_mut(&mut self, m: MethodId) -> &mut Body {
+        self.methods[m.index()]
+            .body
+            .as_mut()
+            .unwrap_or_else(|| panic!("method {m} has no body"))
+    }
+
     /// The statement referred to by `s`.
     pub fn stmt(&self, s: StmtRef) -> &Stmt {
         &self.body(s.method).stmts[s.index as usize]
+    }
+
+    /// Mutable access to the statement referred to by `s`.
+    pub fn stmt_mut(&mut self, s: StmtRef) -> &mut Stmt {
+        &mut self.body_mut(s.method).stmts[s.index as usize]
+    }
+
+    /// Method ids whose method has a body, in declaration order.
+    pub fn methods_with_body(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.body.is_some())
+            .map(|(i, _)| MethodId(i as u32))
     }
 
     /// The synthetic entry statement of `m`.

@@ -24,14 +24,19 @@
 pub mod a1;
 pub mod a2;
 pub mod crosscheck;
+pub mod fuzz;
 pub mod parallel;
 
 pub use a1::A1Run;
 pub use a2::{solve_a2, A2Problem};
 pub use crosscheck::{crosscheck, crosscheck_with, Mismatch, DEFAULT_MAX_MISMATCHES};
+pub use fuzz::{
+    check_program, failure_persists, fuzz_campaign, subject_for_seed, AnalysisVerdict, BugWrapper,
+    FailureReport, FuzzOptions, FuzzReport, InjectedBug, SeedVerdict, UnpredictedEvent, ANALYSES,
+};
 pub use parallel::{
-    a2_campaign_parallel, crosscheck_parallel, default_jobs, A2CampaignOutcome, CrosscheckOutcome,
-    ParallelOptions, ShardStats,
+    a2_campaign_parallel, crosscheck_parallel, default_jobs, map_shards, A2CampaignOutcome,
+    CrosscheckOutcome, ParallelOptions, ShardStats,
 };
 
 use spllift_features::{Configuration, FeatureExpr, FeatureId};

@@ -24,7 +24,7 @@
 
 use crate::crosscheck::{check_shard, Mismatch, DEFAULT_MAX_MISMATCHES};
 use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};
-use spllift_features::{partition_configurations, Configuration, ConstraintContext, FeatureExpr};
+use spllift_features::{partition_slice, Configuration, ConstraintContext, FeatureExpr};
 use spllift_ifds::{Icfg, IfdsProblem};
 use spllift_ir::ProgramIcfg;
 use std::hash::Hash;
@@ -75,11 +75,64 @@ impl ParallelOptions {
 pub struct ShardStats {
     /// Shard index (== merge position).
     pub shard: usize,
-    /// Number of configurations the shard was assigned.
-    pub configs: usize,
+    /// Number of work items (configurations, or fuzz seeds) the shard
+    /// was assigned.
+    pub items: usize,
     /// Wall-clock time the shard's worker spent, including its private
     /// context/solution setup.
     pub wall: Duration,
+}
+
+/// The generic shard-map engine behind every parallel driver in this
+/// crate: partitions `items` into contiguous ordered shards
+/// ([`partition_slice`]), runs `work` on each shard in its own scoped
+/// thread, and returns the per-shard results **in shard index order**
+/// together with per-shard wall-clock stats and the worker count
+/// actually used.
+///
+/// Because shards are contiguous and merged in order, concatenating the
+/// per-shard results reproduces the sequential item order for every
+/// `jobs` value — the invariant all determinism tests in this workspace
+/// lean on. `work` receives the shard index and its slice; anything
+/// thread-local (constraint contexts, lifted solutions) must be built
+/// *inside* `work`.
+pub fn map_shards<T, R, F>(items: &[T], jobs: usize, work: F) -> (Vec<R>, Vec<ShardStats>, usize)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let shards = partition_slice(items, jobs.max(1));
+    let jobs = shards.len().max(1);
+    let per_shard: Vec<(R, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, &chunk)| {
+                let work = &work;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let result = work(i, chunk);
+                    (result, t0.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    let mut results = Vec::with_capacity(per_shard.len());
+    let mut stats = Vec::with_capacity(per_shard.len());
+    for (i, ((result, wall), chunk)) in per_shard.into_iter().zip(&shards).enumerate() {
+        stats.push(ShardStats {
+            shard: i,
+            items: chunk.len(),
+            wall,
+        });
+        results.push(result);
+    }
+    (results, stats, jobs)
 }
 
 /// Result of a parallel cross-check.
@@ -141,52 +194,27 @@ where
     F: Fn() -> Ctx + Sync,
 {
     let start = Instant::now();
-    let shards = partition_configurations(configs, opts.jobs.max(1));
-    let jobs = shards.len().max(1);
     let budget = opts.max_mismatches;
 
-    let per_shard: Vec<(Vec<Mismatch>, Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|&chunk| {
-                let make_ctx = &make_ctx;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let ctx = make_ctx();
-                    let lifted =
-                        LiftedSolution::solve(problem, icfg, &ctx, model, ModelMode::OnEdges);
-                    let lifted_icfg = LiftedIcfg::new(icfg);
-                    let mut mismatches = Vec::new();
-                    check_shard(
-                        icfg,
-                        &lifted,
-                        &lifted_icfg,
-                        problem,
-                        &ctx,
-                        chunk,
-                        budget,
-                        &mut mismatches,
-                    );
-                    (mismatches, t0.elapsed())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+    let (per_shard, stats, jobs) = map_shards(configs, opts.jobs, |_shard, chunk| {
+        let ctx = make_ctx();
+        let lifted = LiftedSolution::solve(problem, icfg, &ctx, model, ModelMode::OnEdges);
+        let lifted_icfg = LiftedIcfg::new(icfg);
+        let mut mismatches = Vec::new();
+        check_shard(
+            icfg,
+            &lifted,
+            &lifted_icfg,
+            problem,
+            &ctx,
+            chunk,
+            budget,
+            &mut mismatches,
+        );
+        mismatches
     });
 
-    let mut mismatches = Vec::new();
-    let mut stats = Vec::with_capacity(per_shard.len());
-    for (i, ((shard_mismatches, wall), chunk)) in per_shard.into_iter().zip(&shards).enumerate() {
-        stats.push(ShardStats {
-            shard: i,
-            configs: chunk.len(),
-            wall,
-        });
-        mismatches.extend(shard_mismatches);
-    }
+    let mut mismatches: Vec<Mismatch> = per_shard.into_iter().flatten().collect();
     mismatches.truncate(budget);
     CrosscheckOutcome {
         mismatches,
@@ -216,50 +244,26 @@ where
     P::Fact: Hash,
 {
     let start = Instant::now();
-    let shards = partition_configurations(configs, jobs.max(1));
-    let jobs = shards.len().max(1);
 
-    let per_shard: Vec<(u64, Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|&chunk| {
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let lifted_icfg = LiftedIcfg::new(icfg);
-                    let stmts: Vec<_> = icfg
-                        .methods()
-                        .into_iter()
-                        .flat_map(|m| icfg.stmts_of(m))
-                        .collect();
-                    let mut facts = 0u64;
-                    for config in chunk {
-                        let a2 = crate::a2::solve_a2(problem, &lifted_icfg, config);
-                        for &s in &stmts {
-                            facts += a2.results_at(s).len() as u64;
-                        }
-                    }
-                    (facts, t0.elapsed())
-                })
-            })
-            .collect();
-        handles
+    let (per_shard, stats, jobs) = map_shards(configs, jobs, |_shard, chunk| {
+        let lifted_icfg = LiftedIcfg::new(icfg);
+        let stmts: Vec<_> = icfg
+            .methods()
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+            .flat_map(|m| icfg.stmts_of(m))
+            .collect();
+        let mut facts = 0u64;
+        for config in chunk {
+            let a2 = crate::a2::solve_a2(problem, &lifted_icfg, config);
+            for &s in &stmts {
+                facts += a2.results_at(s).len() as u64;
+            }
+        }
+        facts
     });
 
-    let mut facts = 0u64;
-    let mut stats = Vec::with_capacity(per_shard.len());
-    for (i, ((shard_facts, wall), chunk)) in per_shard.into_iter().zip(&shards).enumerate() {
-        stats.push(ShardStats {
-            shard: i,
-            configs: chunk.len(),
-            wall,
-        });
-        facts += shard_facts;
-    }
     A2CampaignOutcome {
-        facts,
+        facts: per_shard.into_iter().sum(),
         shards: stats,
         jobs,
         wall: start.elapsed(),
@@ -315,7 +319,7 @@ mod tests {
             );
             assert_eq!(outcome.mismatches, sequential, "jobs = {jobs}");
             assert_eq!(
-                outcome.shards.iter().map(|s| s.configs).sum::<usize>(),
+                outcome.shards.iter().map(|s| s.items).sum::<usize>(),
                 configs.len()
             );
         }

@@ -17,4 +17,12 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== fuzz smoke (deterministic seed range, sharded) =="
+# A short differential fuzz campaign: 32 seeded random product lines,
+# each cross-checked SPLLIFT vs A2 (all five analyses, both directions)
+# and against the interpreter. Any mismatch exits non-zero and, with
+# set -e, fails CI. The seed range is fixed, so this is fully
+# deterministic; --jobs 2 also exercises the sharded driver.
+./target/release/spllift-cli fuzz --seeds 0..32 --jobs 2
+
 echo "ci: all green"

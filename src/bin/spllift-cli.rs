@@ -6,6 +6,15 @@
 //!                     [--format table|dot|leaks|crosscheck|a2-bench]
 //!                     [--jobs N] [--max-mismatches N]
 //!
+//! spllift-cli fuzz   [--seeds A..B] [--jobs N] [--nfeatures N]
+//!                    [--nmethods N] [--mutations N] [--budget-secs S]
+//!                    [--corpus-dir DIR] [--inject-bug kill-call-to-return]
+//!                    [--no-reduce]
+//!
+//! spllift-cli reduce gen:<seed>:<nfeatures>:<nmethods> [--mutations N]
+//! spllift-cli reduce <FILE.repro> [--check <analysis>|interp-taint|interp-uninit]
+//!                    [--inject-bug kill-call-to-return]
+//!
 //! <INPUT> is a product-line source file (mini-Java with `#ifdef`
 //! annotations), or one of the built-in generated benchmark subjects:
 //!
@@ -27,6 +36,19 @@
 //! For both parallel formats, stdout carries only the deterministic
 //! results — byte-identical for every `--jobs` value — while per-shard
 //! wall-clock stats and speedups go to stderr.
+//!
+//! The `fuzz` subcommand runs the differential fuzzing campaign: seeded
+//! random mutated product lines, all five analyses cross-checked against
+//! A2 in both directions plus the interpreter-soundness sweep, failures
+//! auto-reduced by ddmin. Stdout is the deterministic campaign report
+//! (byte-identical for every `--jobs` value when no `--budget-secs` is
+//! set); timings go to stderr; the exit code is non-zero iff a seed
+//! failed. `--corpus-dir` writes each reduced failure as a `.repro` file.
+//!
+//! The `reduce` subcommand either prints the repro text of a generated
+//! subject (`reduce gen:<seed>:<nfeatures>:<nmethods>`, for seeding
+//! `tests/corpus/`), or minimizes a failing `.repro` file against a
+//! named check.
 //! ```
 //!
 //! Reads the product line, optionally a feature model in the
@@ -51,14 +73,20 @@ use spllift::ifds::IfdsProblem;
 use spllift::ir::{Program, ProgramIcfg};
 use spllift::lift::{report, LiftedIcfg, LiftedProblem, LiftedSolution, ModelMode};
 use spllift::spl::{
-    a2_campaign_parallel, crosscheck_parallel, default_jobs, CrosscheckOutcome, ParallelOptions,
-    ShardStats, DEFAULT_MAX_MISMATCHES,
+    a2_campaign_parallel, crosscheck_parallel, default_jobs, fuzz_campaign, CrosscheckOutcome,
+    FuzzOptions, InjectedBug, ParallelOptions, ShardStats, DEFAULT_MAX_MISMATCHES,
 };
 use std::hash::Hash;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("fuzz") => run_fuzz(&args[1..]),
+        Some("reduce") => run_reduce(&args[1..]),
+        _ => run(&args),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("spllift-cli: {msg}");
@@ -76,8 +104,8 @@ struct Options {
     max_mismatches: usize,
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut args = args.iter().cloned();
     let mut file = None;
     let mut analysis = "taint".to_owned();
     let mut model_file = None;
@@ -110,7 +138,7 @@ fn parse_args() -> Result<Options, String> {
                 ))?;
             }
             "--help" | "-h" => {
-                return Err("usage: spllift-cli <FILE|gen:SUBJECT> [--analysis taint|types|reaching-defs|uninit] [--model FILE] [--format table|dot|leaks|crosscheck|a2-bench] [--jobs N] [--max-mismatches N]"
+                return Err("usage: spllift-cli <FILE|gen:SUBJECT> [--analysis taint|types|reaching-defs|uninit] [--model FILE] [--format table|dot|leaks|crosscheck|a2-bench] [--jobs N] [--max-mismatches N]\n       spllift-cli fuzz [--seeds A..B] [--jobs N] [--nfeatures N] [--nmethods N] [--mutations N] [--budget-secs S] [--corpus-dir DIR] [--inject-bug kill-call-to-return] [--no-reduce]\n       spllift-cli reduce <gen:SEED:NFEATURES:NMETHODS | FILE.repro> [--check CHECK] [--mutations N] [--inject-bug kill-call-to-return]"
                     .into());
             }
             other if !other.starts_with('-') && file.is_none() => {
@@ -224,8 +252,8 @@ fn configurations(loaded: &Loaded) -> Result<Vec<Configuration>, String> {
     Ok(out)
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args()?;
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_args(args)?;
     let loaded = load(&opts)?;
     if loaded.program.entry_points().is_empty() {
         return Err("no entry point: declare a method named `main`".into());
@@ -260,8 +288,8 @@ fn run() -> Result<(), String> {
 fn print_shards(label: &str, shards: &[ShardStats]) {
     for s in shards {
         eprintln!(
-            "  {label} shard {:>2}: {:>6} configs in {:>10.3?}",
-            s.shard, s.configs, s.wall
+            "  {label} shard {:>2}: {:>6} items in {:>10.3?}",
+            s.shard, s.items, s.wall
         );
     }
 }
@@ -468,5 +496,203 @@ fn emit_leaks(
     if found == 0 {
         println!("no source-to-sink flows in any configuration");
     }
+    Ok(())
+}
+
+/// Parses `A..B` into a half-open seed range.
+fn parse_seed_range(s: &str) -> Result<(u64, u64), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("--seeds takes A..B (half-open), got `{s}`"))?;
+    let parse = |v: &str| {
+        v.parse::<u64>()
+            .map_err(|_| format!("--seeds bound must be an integer, got `{v}`"))
+    };
+    let (start, end) = (parse(a)?, parse(b)?);
+    if start >= end {
+        return Err(format!("--seeds range `{s}` is empty"));
+    }
+    Ok((start, end))
+}
+
+fn parse_injected_bug(v: &str) -> Result<InjectedBug, String> {
+    match v {
+        "kill-call-to-return" => Ok(InjectedBug::KillAtCallToReturn),
+        other => Err(format!(
+            "unknown --inject-bug `{other}` (kill-call-to-return)"
+        )),
+    }
+}
+
+/// `spllift-cli fuzz`: the differential fuzzing campaign. Stdout is the
+/// deterministic report; per-shard timings go to stderr; exit code 2 if
+/// any seed failed.
+fn run_fuzz(args: &[String]) -> Result<(), String> {
+    let mut opts = FuzzOptions::default();
+    let mut corpus_dir: Option<String> = None;
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        let mut int_flag = |what: &str| -> Result<usize, String> {
+            let v = args.next().ok_or(format!("{what} needs a value"))?;
+            v.parse::<usize>()
+                .map_err(|_| format!("{what} needs an integer, got `{v}`"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                let v = args.next().ok_or("--seeds needs a range A..B")?;
+                (opts.seed_start, opts.seed_end) = parse_seed_range(&v)?;
+            }
+            "--jobs" => opts.jobs = int_flag("--jobs")?.max(1),
+            "--nfeatures" => opts.nfeatures = int_flag("--nfeatures")?,
+            "--nmethods" => opts.nmethods = int_flag("--nmethods")?,
+            "--mutations" => opts.mutations = int_flag("--mutations")?,
+            "--max-mismatches" => opts.max_mismatches = int_flag("--max-mismatches")?.max(1),
+            "--budget-secs" => {
+                opts.budget = Some(std::time::Duration::from_secs(
+                    int_flag("--budget-secs")? as u64
+                ));
+            }
+            "--inject-bug" => {
+                let v = args.next().ok_or("--inject-bug needs a value")?;
+                opts.bug = parse_injected_bug(&v)?;
+            }
+            "--no-reduce" => opts.reduce_failures = false,
+            "--corpus-dir" => {
+                corpus_dir = Some(args.next().ok_or("--corpus-dir needs a directory")?);
+            }
+            other => return Err(format!("unexpected fuzz argument `{other}` (try --help)")),
+        }
+    }
+
+    let report = fuzz_campaign(&opts);
+    eprintln!(
+        "fuzz: {} seeds across {} worker thread(s), wall {:.3?}",
+        report.verdicts.len() + report.skipped.len(),
+        report.jobs,
+        report.wall
+    );
+    print_shards("fuzz", &report.shards);
+    print!("{}", report.render());
+
+    if let Some(dir) = corpus_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        for f in &report.failures {
+            let path = format!("{dir}/fuzz-seed{}-{}.repro", f.seed, f.analysis);
+            std::fs::write(&path, &f.reduced.repro)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("fuzz: wrote reduced repro to {path}");
+        }
+    }
+
+    if report.ok() {
+        Ok(())
+    } else {
+        let failed = report.verdicts.iter().filter(|v| !v.ok()).count();
+        Err(format!("fuzz campaign found {failed} failing seed(s)"))
+    }
+}
+
+/// `spllift-cli reduce`: print the repro text of a generated subject
+/// (`gen:` input), or ddmin-minimize a failing `.repro` file.
+fn run_reduce(args: &[String]) -> Result<(), String> {
+    use spllift::benchgen::{reduce, ReduceOptions};
+    use spllift::ir::text::{parse_repro, to_repro_string};
+    use spllift::spl::{check_program, failure_persists, subject_for_seed};
+
+    let mut input: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut mutations = 0usize;
+    let mut bug = InjectedBug::None;
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = Some(args.next().ok_or("--check needs a value")?),
+            "--mutations" => {
+                let v = args.next().ok_or("--mutations needs a value")?;
+                mutations = v
+                    .parse()
+                    .map_err(|_| format!("--mutations needs an integer, got `{v}`"))?;
+            }
+            "--inject-bug" => {
+                let v = args.next().ok_or("--inject-bug needs a value")?;
+                bug = parse_injected_bug(&v)?;
+            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_owned()),
+            other => return Err(format!("unexpected reduce argument `{other}` (try --help)")),
+        }
+    }
+    let input = input.ok_or("reduce needs an input: gen:SEED:NF:NM or FILE.repro (try --help)")?;
+
+    // gen: mode — emit the repro text of a (possibly mutated) generated
+    // subject. This is the corpus-seeding tool.
+    if let Some(spec) = input.strip_prefix("gen:") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [seed, nf, nm] = parts.as_slice() else {
+            return Err("reduce gen: takes gen:<seed>:<nfeatures>:<nmethods>".into());
+        };
+        let parse = |what: &str, v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("gen: {what} must be an integer, got `{v}`"))
+        };
+        let fopts = FuzzOptions {
+            seed_start: 0,
+            seed_end: 1,
+            nfeatures: parse("nfeatures", nf)?,
+            nmethods: parse("nmethods", nm)?,
+            mutations,
+            ..FuzzOptions::default()
+        };
+        let spl = subject_for_seed(parse("seed", seed)? as u64, &fopts);
+        let repro = to_repro_string(&spl.program, &spl.table)
+            .map_err(|e| format!("generated subject outside the repro subset: {e}"))?;
+        print!("{repro}");
+        return Ok(());
+    }
+
+    // File mode — parse, find (or take) the failing check, minimize.
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let (program, table) = parse_repro(&text).map_err(|e| format!("{input}: {e}"))?;
+    let features: Vec<_> = table.iter().map(|(f, _)| f).collect();
+    let (analysis, dynamic) = match check.as_deref() {
+        Some("interp-taint") => ("taint".to_owned(), true),
+        Some("interp-uninit") => ("uninit".to_owned(), true),
+        Some(name) => (name.to_owned(), false),
+        None => {
+            // No check named: pick the first failing one.
+            let (verdicts, unpredicted) = check_program(&program, &table, &features, bug, 1);
+            if let Some(v) = verdicts.iter().find(|v| !v.mismatches.is_empty()) {
+                (v.analysis.to_owned(), false)
+            } else if let Some(u) = unpredicted.first() {
+                (u.analysis.to_owned(), true)
+            } else {
+                return Err(format!(
+                    "{input} passes every check; nothing to reduce (name one with --check, or use --inject-bug)"
+                ));
+            }
+        }
+    };
+    if !failure_persists(&program, &table, &features, bug, &analysis, dynamic) {
+        return Err(format!(
+            "{input} does not fail the `{analysis}` check; nothing to reduce"
+        ));
+    }
+    let mut oracle = |p: &spllift::ir::Program, feats: &[spllift::features::FeatureId]| {
+        failure_persists(p, &table, feats, bug, &analysis, dynamic)
+    };
+    let out = reduce(
+        &program,
+        &table,
+        &features,
+        &mut oracle,
+        ReduceOptions::default(),
+    );
+    eprintln!(
+        "reduce: {} check, {} -> {} payload stmts in {} oracle runs",
+        analysis,
+        spllift::benchgen::payload_stmt_count(&program),
+        out.payload_stmts,
+        out.oracle_runs
+    );
+    print!("{}", out.repro);
     Ok(())
 }

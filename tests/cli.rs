@@ -120,6 +120,68 @@ fn leaks_format() {
 }
 
 #[test]
+fn fuzz_stdout_is_byte_identical_across_jobs() {
+    // Acceptance criterion of the fuzz driver: for a fixed seed range the
+    // report on stdout is byte-identical no matter how the seeds were
+    // sharded. Timings and shard stats go to stderr only.
+    let run = |jobs: &str| {
+        let out = cli()
+            .args(["fuzz", "--seeds", "0..16", "--jobs", jobs])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "jobs {jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let reference = run("1");
+    let text = String::from_utf8_lossy(&reference).into_owned();
+    assert!(text.contains("fuzz: 16 seeds checked, 16 ok"), "{text}");
+    for jobs in ["2", "8"] {
+        assert_eq!(run(jobs), reference, "stdout differs for --jobs {jobs}");
+    }
+}
+
+#[test]
+fn fuzz_reports_and_reduces_injected_bug() {
+    let out = cli()
+        .args([
+            "fuzz",
+            "--seeds",
+            "0..4",
+            "--jobs",
+            "2",
+            "--inject-bug",
+            "kill-call-to-return",
+        ])
+        .output()
+        .expect("binary runs");
+    // Mismatches => exit code 2, like a failing crosscheck.
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("reduced seed"), "{stdout}");
+}
+
+#[test]
+fn reduce_gen_emits_parseable_repro() {
+    let out = cli()
+        .args(["reduce", "gen:3:3:3"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("# spllift repro v1"), "{stdout}");
+    assert!(stdout.contains("entry main"), "{stdout}");
+}
+
+#[test]
 fn chat_product_line_leak_analysis() {
     // Without a model: the raw key reaches the log under LOGGING && !ENCRYPT.
     let out = cli()

@@ -19,17 +19,26 @@ use spllift::ir::{Operand, ProgramIcfg, StmtKind};
 use spllift::lift::{LiftedSolution, ModelMode};
 use spllift::spl::crosscheck;
 
-const SEEDS: std::ops::Range<u64> = 0..60;
-const NFEATURES: usize = 3;
+/// Sweep over feature-universe sizes. Each extra feature doubles the
+/// number of configurations (and so the A2 / interpreter work per seed),
+/// so the seed budget shrinks as the universe grows; the totals keep the
+/// suite's wall-clock close to the old fixed `NFEATURES = 3, 60 seeds`
+/// shape while covering the degenerate 1-feature case and the denser
+/// 4-feature one.
+fn sweep() -> impl Iterator<Item = (usize, u64)> {
+    [(1usize, 24u64), (2, 20), (3, 40), (4, 10)]
+        .into_iter()
+        .flat_map(|(nfeatures, seeds)| (0..seeds).map(move |seed| (nfeatures, seed)))
+}
 
 #[test]
 fn random_programs_crosscheck_against_a2() {
-    for seed in SEEDS {
-        let spl = random_spl(seed, NFEATURES, 3);
+    for (nfeatures, seed) in sweep() {
+        let spl = random_spl(seed, nfeatures, 3);
         let icfg = ProgramIcfg::new(&spl.program);
         let ctx = BddConstraintContext::new(&spl.table);
-        let configs: Vec<_> = (0u64..(1 << NFEATURES))
-            .map(|b| Configuration::from_bits(b, NFEATURES))
+        let configs: Vec<_> = (0u64..(1 << nfeatures))
+            .map(|b| Configuration::from_bits(b, nfeatures))
             .collect();
         let m = crosscheck(
             &icfg,
@@ -38,16 +47,22 @@ fn random_programs_crosscheck_against_a2() {
             None,
             &configs,
         );
-        assert!(m.is_empty(), "seed {seed} taint: {m:?}");
+        assert!(
+            m.is_empty(),
+            "nfeatures {nfeatures} seed {seed} taint: {m:?}"
+        );
         let m = crosscheck(&icfg, &UninitVars::new(), &ctx, None, &configs);
-        assert!(m.is_empty(), "seed {seed} uninit: {m:?}");
+        assert!(
+            m.is_empty(),
+            "nfeatures {nfeatures} seed {seed} uninit: {m:?}"
+        );
     }
 }
 
 #[test]
 fn random_programs_dynamic_events_are_statically_predicted() {
-    for seed in SEEDS {
-        let spl = random_spl(seed, NFEATURES, 3);
+    for (nfeatures, seed) in sweep() {
+        let spl = random_spl(seed, nfeatures, 3);
         let icfg = ProgramIcfg::new(&spl.program);
         let ctx = BddConstraintContext::new(&spl.table);
         let taint = LiftedSolution::solve(
@@ -59,15 +74,15 @@ fn random_programs_dynamic_events_are_statically_predicted() {
         );
         let uninit =
             LiftedSolution::solve(&UninitVars::new(), &icfg, &ctx, None, ModelMode::Ignore);
-        for bits in 0u64..(1 << NFEATURES) {
-            let config = Configuration::from_bits(bits, NFEATURES);
+        for bits in 0u64..(1 << nfeatures) {
+            let config = Configuration::from_bits(bits, nfeatures);
             let product = spl.program.derive_product(&config);
             let trace = run(&product, &InterpConfig::secret_to_print());
             for event in &trace.events {
                 match event {
                     Event::Leak(call) => {
                         let StmtKind::Invoke { args, .. } = &spl.program.stmt(*call).kind else {
-                            panic!("seed {seed}: leak at non-call {call}");
+                            panic!("nfeatures {nfeatures} seed {seed}: leak at non-call {call}");
                         };
                         let covered = args.iter().any(|a| {
                             matches!(a, Operand::Local(l)
@@ -75,7 +90,7 @@ fn random_programs_dynamic_events_are_statically_predicted() {
                         });
                         assert!(
                             covered,
-                            "seed {seed}: dynamic leak at {call} unpredicted, config {bits:b}"
+                            "nfeatures {nfeatures} seed {seed}: dynamic leak at {call} unpredicted, config {bits:b}"
                         );
                     }
                     Event::UninitRead(stmt, local) => {
@@ -86,7 +101,7 @@ fn random_programs_dynamic_events_are_statically_predicted() {
                                 &UninitFact::Local(*local),
                                 &config
                             ),
-                            "seed {seed}: uninit read at {stmt} of {local} unpredicted, config {bits:b}"
+                            "nfeatures {nfeatures} seed {seed}: uninit read at {stmt} of {local} unpredicted, config {bits:b}"
                         );
                     }
                 }
