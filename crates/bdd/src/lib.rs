@@ -6,6 +6,13 @@
 //! conjunction, disjunction, negation, and the constant-time `is_false`
 //! check on reduced diagrams — all of which this crate provides.
 //!
+//! All operations memoize through an `ite` op-cache keyed by node id.
+//! Commutative operations (`and`, `or`, `xor`, `iff`) sort their two
+//! operands by node id before the cache probe, so `f ∧ g` and `g ∧ f`
+//! share a single cache slot — the SPLLIFT solver joins the same
+//! constraint pairs from both directions constantly, and without the
+//! normalization every symmetric pair would be computed twice.
+//!
 //! # Example
 //!
 //! ```

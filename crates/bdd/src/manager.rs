@@ -1,7 +1,7 @@
 //! The BDD node store, hash-consing unique table, and operation caches.
 
+use spllift_hash::{FastMap, FastSet};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -47,9 +47,10 @@ pub struct BddStats {
 
 struct Store {
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeId>,
-    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
-    not_cache: HashMap<NodeId, NodeId>,
+    unique: FastMap<Node, NodeId>,
+    ite_cache: FastMap<(NodeId, NodeId, NodeId), NodeId>,
+    not_cache: FastMap<NodeId, NodeId>,
+    restrict_cache: FastMap<(NodeId, u32, bool), NodeId>,
     var_names: Vec<String>,
 }
 
@@ -69,9 +70,10 @@ impl Store {
         ];
         Store {
             nodes: terminals,
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            unique: FastMap::default(),
+            ite_cache: FastMap::default(),
+            not_cache: FastMap::default(),
+            restrict_cache: FastMap::default(),
             var_names: Vec::new(),
         }
     }
@@ -137,41 +139,129 @@ impl Store {
         r
     }
 
-    fn not(&mut self, f: NodeId) -> NodeId {
-        if f == TRUE_ID {
-            return FALSE_ID;
-        }
-        if f == FALSE_ID {
-            return TRUE_ID;
-        }
-        if let Some(&r) = self.not_cache.get(&f) {
-            return r;
-        }
-        let n = self.node(f);
-        let low = self.not(n.low);
-        let high = self.not(n.high);
-        let r = self.mk(n.var, low, high);
-        self.not_cache.insert(f, r);
-        self.not_cache.insert(r, f);
-        r
+    /// Commutative conjunction: operands are sorted by node id so the
+    /// symmetric query shares one `ite_cache` slot (`a.and(b)` and
+    /// `b.and(a)` hit the same `(f, g, 0)` triple).
+    fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let (f, g) = (f.min(g), f.max(g));
+        self.ite(f, g, FALSE_ID)
     }
 
+    /// Commutative disjunction; see [`Store::and`] for the operand sort.
+    fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let (f, g) = (f.min(g), f.max(g));
+        self.ite(f, TRUE_ID, g)
+    }
+
+    /// Commutative exclusive-or; see [`Store::and`] for the operand sort.
+    fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let (f, g) = (f.min(g), f.max(g));
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Commutative biconditional; see [`Store::and`] for the operand sort.
+    fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let (f, g) = (f.min(g), f.max(g));
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Negation, fully memoized both ways (`¬f → r` and `¬r → f`).
+    ///
+    /// Iterative (explicit work stack): a chain-shaped diagram is as
+    /// deep as the variable count, and the recursive form blew the call
+    /// stack around ~100k variables.
+    fn not(&mut self, f: NodeId) -> NodeId {
+        fn resolved(store: &Store, id: NodeId) -> Option<NodeId> {
+            match id {
+                FALSE_ID => Some(TRUE_ID),
+                TRUE_ID => Some(FALSE_ID),
+                _ => store.not_cache.get(&id).copied(),
+            }
+        }
+        if let Some(r) = resolved(self, f) {
+            return r;
+        }
+        let mut stack = vec![f];
+        while let Some(&id) = stack.last() {
+            if resolved(self, id).is_some() {
+                stack.pop();
+                continue;
+            }
+            let n = self.node(id);
+            match (resolved(self, n.low), resolved(self, n.high)) {
+                (Some(low), Some(high)) => {
+                    let r = self.mk(n.var, low, high);
+                    self.not_cache.insert(id, r);
+                    self.not_cache.insert(r, id);
+                    stack.pop();
+                }
+                (low, high) => {
+                    if low.is_none() {
+                        stack.push(n.low);
+                    }
+                    if high.is_none() {
+                        stack.push(n.high);
+                    }
+                }
+            }
+        }
+        resolved(self, f).expect("negation computed for the root")
+    }
+
+    /// Cofactor of `f` with `var` fixed to `value`, memoized in
+    /// `restrict_cache`.
+    ///
+    /// Without the memo, a shared sub-DAG was re-walked once per *path*
+    /// from the root — exponential on dense diagrams (e.g. parity).
+    /// Iterative for the same deep-chain reason as [`Store::not`].
     fn restrict(&mut self, f: NodeId, var: u32, value: bool) -> NodeId {
-        let n = self.node(f);
-        if n.var == TERMINAL_VAR || n.var > var {
-            return f;
+        fn resolved(store: &Store, id: NodeId, var: u32, value: bool) -> Option<NodeId> {
+            let n = store.node(id);
+            if n.var == TERMINAL_VAR || n.var > var {
+                return Some(id);
+            }
+            if n.var == var {
+                return Some(if value { n.high } else { n.low });
+            }
+            store.restrict_cache.get(&(id, var, value)).copied()
         }
-        if n.var == var {
-            return if value { n.high } else { n.low };
+        if let Some(r) = resolved(self, f, var, value) {
+            return r;
         }
-        let low = self.restrict(n.low, var, value);
-        let high = self.restrict(n.high, var, value);
-        self.mk(n.var, low, high)
+        let mut stack = vec![f];
+        while let Some(&id) = stack.last() {
+            if resolved(self, id, var, value).is_some() {
+                stack.pop();
+                continue;
+            }
+            let n = self.node(id);
+            match (
+                resolved(self, n.low, var, value),
+                resolved(self, n.high, var, value),
+            ) {
+                (Some(low), Some(high)) => {
+                    let r = self.mk(n.var, low, high);
+                    self.restrict_cache.insert((id, var, value), r);
+                    stack.pop();
+                }
+                (low, high) => {
+                    if low.is_none() {
+                        stack.push(n.low);
+                    }
+                    if high.is_none() {
+                        stack.push(n.high);
+                    }
+                }
+            }
+        }
+        resolved(self, f, var, value).expect("restriction computed for the root")
     }
 
     /// Number of satisfying assignments over the first `nvars` variables.
     fn sat_count(&self, f: NodeId, nvars: u32) -> u128 {
-        fn go(store: &Store, f: NodeId, nvars: u32, memo: &mut HashMap<NodeId, u128>) -> u128 {
+        fn go(store: &Store, f: NodeId, nvars: u32, memo: &mut FastMap<NodeId, u128>) -> u128 {
             if f == FALSE_ID {
                 return 0;
             }
@@ -196,7 +286,7 @@ impl Store {
         if f == FALSE_ID {
             return 0;
         }
-        let mut memo = HashMap::new();
+        let mut memo = FastMap::default();
         let top = self.node(f).var;
         let leading = if top == TERMINAL_VAR { nvars } else { top };
         go(self, f, nvars, &mut memo) << leading
@@ -236,7 +326,7 @@ impl Store {
     }
 
     fn support(&self, f: NodeId) -> Vec<u32> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FastSet::default();
         let mut vars = std::collections::BTreeSet::new();
         let mut stack = vec![f];
         while let Some(id) = stack.pop() {
@@ -451,29 +541,29 @@ impl Bdd {
 
     binary_op!(
         /// Conjunction `self ∧ other`.
-        and, |s, f, g| s.ite(f, g, FALSE_ID)
+        ///
+        /// Commutative calls are normalized (operands sorted by node
+        /// id), so `a.and(b)` and `b.and(a)` share one op-cache slot.
+        and, |s, f, g| s.and(f, g)
     );
     binary_op!(
-        /// Disjunction `self ∨ other`.
-        or, |s, f, g| s.ite(f, TRUE_ID, g)
+        /// Disjunction `self ∨ other`. Commutatively normalized like
+        /// [`Bdd::and`].
+        or, |s, f, g| s.or(f, g)
     );
     binary_op!(
-        /// Exclusive or `self ⊕ other`.
-        xor, |s, f, g| {
-            let ng = s.not(g);
-            s.ite(f, ng, g)
-        }
+        /// Exclusive or `self ⊕ other`. Commutatively normalized like
+        /// [`Bdd::and`].
+        xor, |s, f, g| s.xor(f, g)
     );
     binary_op!(
         /// Implication `self → other`.
         implies, |s, f, g| s.ite(f, g, TRUE_ID)
     );
     binary_op!(
-        /// Biconditional `self ↔ other`.
-        iff, |s, f, g| {
-            let ng = s.not(g);
-            s.ite(f, g, ng)
-        }
+        /// Biconditional `self ↔ other`. Commutatively normalized like
+        /// [`Bdd::and`].
+        iff, |s, f, g| s.iff(f, g)
     );
 
     /// Negation `¬self`.
@@ -550,8 +640,19 @@ impl Bdd {
 
     /// Number of satisfying assignments counting only the first
     /// `nvars` variables of the order (the rest must not occur in `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula depends on a variable `≥ nvars`. This is
+    /// checked in release builds too: a `debug_assert!` here once let
+    /// release binaries silently return a wrong model count (the
+    /// skip-count arithmetic underflows for out-of-range variables).
     pub fn sat_count_over(&self, nvars: u32) -> u128 {
-        debug_assert!(self.support().iter().all(|v| v.0 < nvars));
+        assert!(
+            self.support().iter().all(|v| v.0 < nvars),
+            "sat_count_over({nvars}) on a formula with support {:?}",
+            self.support()
+        );
         self.mgr.store.borrow().sat_count(self.id, nvars)
     }
 
@@ -588,7 +689,7 @@ impl Bdd {
     /// Number of internal nodes of this diagram (terminals excluded).
     pub fn node_count(&self) -> usize {
         let s = self.mgr.store.borrow();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FastSet::default();
         let mut stack = vec![self.id];
         let mut count = 0usize;
         while let Some(id) = stack.pop() {
@@ -658,7 +759,7 @@ impl Bdd {
         let s = self.mgr.store.borrow();
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
         out.push_str("  f [shape=box,label=\"0\"];\n  t [shape=box,label=\"1\"];\n");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FastSet::default();
         let mut stack = vec![self.id];
         let node_name = |id: NodeId| -> String {
             match id {

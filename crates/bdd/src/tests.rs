@@ -371,3 +371,129 @@ mod quantification {
         assert!(a.entails(&mgr.top()));
     }
 }
+
+/// Regression tests for the hot-path perf overhaul: commutative op-cache
+/// normalization, the `restrict` memo, iterative deep-diagram traversal,
+/// and the always-on `sat_count_over` precondition.
+mod perf_overhaul {
+    use super::*;
+
+    #[test]
+    fn commutative_ops_share_one_cache_slot() {
+        // `a ∧ b` then `b ∧ a` must not add new `ite` cache entries:
+        // operands are sorted by node id before the cache probe.
+        let (mgr, a, b, _) = three_vars();
+        let _ = a.and(&b);
+        let after_first = mgr.stats().cache_entries;
+        let _ = b.and(&a);
+        assert_eq!(mgr.stats().cache_entries, after_first, "and not shared");
+
+        let _ = a.or(&b);
+        let after_or = mgr.stats().cache_entries;
+        let _ = b.or(&a);
+        assert_eq!(mgr.stats().cache_entries, after_or, "or not shared");
+
+        let _ = a.xor(&b);
+        let after_xor = mgr.stats().cache_entries;
+        let _ = b.xor(&a);
+        assert_eq!(mgr.stats().cache_entries, after_xor, "xor not shared");
+
+        let _ = a.iff(&b);
+        let after_iff = mgr.stats().cache_entries;
+        let _ = b.iff(&a);
+        assert_eq!(mgr.stats().cache_entries, after_iff, "iff not shared");
+    }
+
+    #[test]
+    #[should_panic(expected = "sat_count_over")]
+    fn sat_count_over_rejects_out_of_range_support() {
+        // Pre-fix this was a `debug_assert!`, so `--release` binaries
+        // silently returned a wrong model count; the check is now an
+        // always-on `assert!`, so this test passes under `cargo test`
+        // in *both* profiles.
+        let mgr = BddManager::new();
+        let _a = mgr.var("A");
+        let b = mgr.var("B"); // VarId(1): outside `nvars = 1`.
+        let _ = b.sat_count_over(1);
+    }
+
+    #[test]
+    fn sat_count_over_in_range_still_counts() {
+        let mgr = BddManager::new();
+        let a = mgr.var("A");
+        let _b = mgr.var("B");
+        // Over just {A}: one model. (Over both vars it would be 2.)
+        assert_eq!(a.sat_count_over(1), 1);
+    }
+
+    /// x₀ ∧ x₁ ∧ … ∧ xₙ₋₁ built bottom-up (highest variable first), so
+    /// each `and` only recurses O(1) deep while the *resulting* diagram
+    /// is a chain of depth n.
+    fn deep_chain(mgr: &BddManager, n: u32) -> (Bdd, Vec<VarId>) {
+        let vars: Vec<VarId> = (0..n).map(|i| mgr.new_var(format!("v{i}"))).collect();
+        let mut chain = mgr.top();
+        for &v in vars.iter().rev() {
+            chain = mgr.var_bdd(v).and(&chain);
+        }
+        (chain, vars)
+    }
+
+    #[test]
+    fn deep_chain_not_does_not_overflow_stack() {
+        // ~100k-variable chain: the recursive `Store::not` blew the
+        // call stack here (8 MiB default / ~100 bytes per frame).
+        let mgr = BddManager::new();
+        let (chain, _) = deep_chain(&mgr, 100_000);
+        let neg = chain.not();
+        assert!(!neg.is_false());
+        assert_eq!(neg.not(), chain, "negation must be an involution");
+    }
+
+    #[test]
+    fn deep_chain_restrict_does_not_overflow_stack() {
+        let mgr = BddManager::new();
+        let n = 100_000;
+        let (chain, vars) = deep_chain(&mgr, n);
+        // Fixing the *bottom* variable true walks the whole chain.
+        let r = chain.restrict(vars[(n - 1) as usize], true);
+        // The result is the same conjunction without its last literal.
+        assert_eq!(r.support().len() as u32, n - 1);
+        // Fixing it false kills the conjunction entirely.
+        assert!(chain.restrict(vars[(n - 1) as usize], false).is_false());
+    }
+
+    #[test]
+    fn restrict_memo_handles_exponential_path_counts() {
+        // Parity of n variables: O(n) nodes but 2ⁿ⁻¹ root-to-sink
+        // paths. The unmemoized `restrict` re-walked one subtree per
+        // *path*, so n = 48 took ~2⁴⁷ steps (would hang for hours);
+        // with the memo it is O(n).
+        let mgr = BddManager::new();
+        let n = 48u32;
+        let vars: Vec<VarId> = (0..n).map(|i| mgr.new_var(format!("p{i}"))).collect();
+        let mut parity = mgr.bottom();
+        for &v in &vars {
+            parity = parity.xor(&mgr.var_bdd(v));
+        }
+        let r = parity.restrict(vars[(n - 1) as usize], true);
+        // Fixing the last variable to true flips the parity of the rest.
+        let rest_parity = vars[..(n - 1) as usize]
+            .iter()
+            .fold(mgr.bottom(), |acc, &v| acc.xor(&mgr.var_bdd(v)));
+        assert_eq!(r, rest_parity.not());
+    }
+
+    #[test]
+    fn restrict_is_memoized_across_calls() {
+        // Second identical restrict must do no fresh node construction:
+        // node count in the manager is unchanged and the result is
+        // handle-identical.
+        let (mgr, a, b, c) = three_vars();
+        let f = a.iff(&b).or(&b.iff(&c));
+        let first = f.restrict(VarId(1), true);
+        let nodes_after_first = mgr.stats().nodes;
+        let second = f.restrict(VarId(1), true);
+        assert_eq!(first, second);
+        assert_eq!(mgr.stats().nodes, nodes_after_first);
+    }
+}

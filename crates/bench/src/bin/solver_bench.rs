@@ -1,0 +1,229 @@
+//! `solver_bench` — the machine-readable solver benchmark.
+//!
+//! Measures the full SPLLIFT hot path (lifting + both IDE phases) per
+//! subject × analysis and writes the results as `BENCH_solver.json`
+//! (schema `spllift-bench-solver/v1`, see `spllift_bench::json`), so
+//! every PR can record before/after numbers against the same schema.
+//!
+//! ```text
+//! cargo run --release -p spllift-bench --bin solver_bench -- \
+//!     [--samples N] [--subjects fig1,chat,MM08,...] [--out PATH]
+//! cargo run --release -p spllift-bench --bin solver_bench -- --validate PATH
+//! ```
+//!
+//! Subjects: `fig1` and `chat` (the committed `examples_data/` product
+//! lines, feature models regarded), any generated subject
+//! (`MM08|GPL|Lampiro|BerkeleyDB`), or `synthetic:<features>:<loc>:<seed>`.
+//!
+//! Stdout carries nothing but the JSON document when `--out -` is
+//! given; the per-bench human summary lines go to stderr (see
+//! [`BenchSink`]), so the emitted file can be schema-validated in CI
+//! (`--validate`) without stream-corruption worries.
+
+use spllift_bench::harness::{BenchSink, Harness};
+use spllift_bench::json::{render_solver_bench, validate_solver_bench, SolverBenchEntry};
+use spllift_benchgen::{subject_by_name, synthetic_spec, GeneratedSpl};
+use spllift_core::{LiftedSolution, ModelMode};
+use spllift_features::{parse_feature_model, BddConstraintContext, FeatureExpr, FeatureTable};
+use spllift_frontend::parse_spl;
+use spllift_ide::IdeStats;
+use spllift_ifds::IfdsProblem;
+use spllift_ir::{Program, ProgramIcfg};
+use std::cell::RefCell;
+use std::hash::Hash;
+use std::process::ExitCode;
+
+const DEFAULT_SUBJECTS: &str = "fig1,chat,MM08,GPL,Lampiro";
+const DEFAULT_OUT: &str = "BENCH_solver.json";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("solver_bench: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut samples = 3usize;
+    let mut subjects = DEFAULT_SUBJECTS.to_owned();
+    let mut out = DEFAULT_OUT.to_owned();
+    let mut args_iter = args.iter().cloned();
+    while let Some(arg) = args_iter.next() {
+        match arg.as_str() {
+            "--validate" => {
+                let path = args_iter.next().ok_or("--validate needs a file path")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let n = validate_solver_bench(&text).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("solver_bench: {path} is valid ({n} entries)");
+                return Ok(());
+            }
+            "--samples" => {
+                let v = args_iter.next().ok_or("--samples needs a count")?;
+                samples = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&s| s >= 1)
+                    .ok_or(format!("--samples needs a positive integer, got `{v}`"))?;
+            }
+            "--subjects" => {
+                subjects = args_iter.next().ok_or("--subjects needs a list")?;
+            }
+            "--out" => {
+                out = args_iter.next().ok_or("--out needs a path")?;
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: solver_bench [--samples N] [--subjects A,B,..] [--out PATH|-]\n       solver_bench --validate PATH\n(default subjects: {DEFAULT_SUBJECTS}; default out: {DEFAULT_OUT})"
+                ));
+            }
+            other => return Err(format!("unexpected argument `{other}` (try --help)")),
+        }
+    }
+
+    let mut entries = Vec::new();
+    for name in subjects.split(',').filter(|s| !s.is_empty()) {
+        let subject = load_subject(name)?;
+        entries.extend(measure_subject(&subject, samples));
+    }
+    let doc = render_solver_bench(samples, &entries);
+    // The emitter owns stdout; sanity-check our own output before
+    // writing, so a malformed document can never land on disk.
+    validate_solver_bench(&doc).map_err(|e| format!("internal emitter error: {e}"))?;
+    if out == "-" {
+        print!("{doc}");
+    } else {
+        std::fs::write(&out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!(
+            "solver_bench: wrote {} entries ({} samples each) to {out}",
+            entries.len(),
+            samples
+        );
+    }
+    Ok(())
+}
+
+/// An owned, fully loaded benchmark subject.
+struct Subject {
+    name: String,
+    program: Program,
+    table: FeatureTable,
+    model: Option<FeatureExpr>,
+}
+
+/// Path of a committed `examples_data/` file, resolved relative to the
+/// workspace so the binary works from any working directory.
+fn example_path(file: &str) -> String {
+    format!("{}/../../examples_data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load_example(name: &str) -> Result<Subject, String> {
+    let src_path = example_path(&format!("{name}.minijava"));
+    let model_path = example_path(&format!("{name}.model"));
+    let source =
+        std::fs::read_to_string(&src_path).map_err(|e| format!("cannot read {src_path}: {e}"))?;
+    let mut table = FeatureTable::new();
+    let program = parse_spl(&source, &mut table).map_err(|e| format!("{src_path}: {e}"))?;
+    let text = std::fs::read_to_string(&model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let model = parse_feature_model(&text, &mut table)
+        .map_err(|e| format!("{model_path}: {e}"))?
+        .to_expr();
+    Ok(Subject {
+        name: name.to_owned(),
+        program,
+        table,
+        model: Some(model),
+    })
+}
+
+fn load_subject(name: &str) -> Result<Subject, String> {
+    if name == "fig1" || name == "chat" {
+        return load_example(name);
+    }
+    let spec = if let Some(rest) = name.strip_prefix("synthetic:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [features, loc, seed] = parts.as_slice() else {
+            return Err("synthetic takes synthetic:<features>:<loc>:<seed>".into());
+        };
+        let parse = |what: &str, v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("synthetic {what} must be an integer, got `{v}`"))
+        };
+        synthetic_spec(
+            parse("feature count", features)?,
+            parse("loc", loc)?,
+            parse("seed", seed)? as u64,
+        )
+    } else {
+        subject_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown subject `{name}` (fig1|chat|MM08|GPL|Lampiro|BerkeleyDB|synthetic:<f>:<loc>:<seed>)"
+            )
+        })?
+    };
+    let spl = GeneratedSpl::generate(spec);
+    let model = spl.model_expr();
+    let GeneratedSpl { program, table, .. } = spl;
+    Ok(Subject {
+        name: name.to_owned(),
+        program,
+        table,
+        model: Some(model),
+    })
+}
+
+fn measure_subject(subject: &Subject, samples: usize) -> Vec<SolverBenchEntry> {
+    let icfg = ProgramIcfg::new(&subject.program);
+    let mut entries = Vec::new();
+    macro_rules! go {
+        ($label:expr, $problem:expr) => {{
+            let p = $problem;
+            entries.push(measure_one(subject, &icfg, $label, &p, samples));
+        }};
+    }
+    go!("Taint", spllift_analyses::TaintAnalysis::secret_to_print());
+    go!("P. Types", spllift_analyses::PossibleTypes::new());
+    go!("R. Def.", spllift_analyses::ReachingDefs::new());
+    go!("U. Var.", spllift_analyses::UninitVars::new());
+    entries
+}
+
+fn measure_one<P, D>(
+    subject: &Subject,
+    icfg: &ProgramIcfg<'_>,
+    label: &str,
+    problem: &P,
+    samples: usize,
+) -> SolverBenchEntry
+where
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
+    D: Clone + Eq + Hash + std::fmt::Debug,
+{
+    // One manager per subject × analysis: samples share the unique
+    // table and op caches, exactly like repeated solves in production.
+    let ctx = BddConstraintContext::new(&subject.table);
+    let harness =
+        Harness::new(format!("solver/{}", subject.name), samples).with_sink(BenchSink::Stderr);
+    let ide_stats: RefCell<IdeStats> = RefCell::new(IdeStats::default());
+    let wall = harness.bench(label, || {
+        let solution = LiftedSolution::solve(
+            problem,
+            icfg,
+            &ctx,
+            subject.model.as_ref(),
+            ModelMode::OnEdges,
+        );
+        *ide_stats.borrow_mut() = solution.stats();
+    });
+    SolverBenchEntry {
+        subject: subject.name.clone(),
+        analysis: label.to_owned(),
+        wall,
+        ide: ide_stats.into_inner(),
+        bdd: ctx.manager().stats(),
+    }
+}

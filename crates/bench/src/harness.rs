@@ -6,6 +6,8 @@
 //! All four `[[bench]]` targets (`harness = false`) are plain `main`
 //! functions built on [`Harness::bench`].
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Summary of one benchmarked closure.
@@ -33,11 +35,46 @@ impl std::fmt::Display for BenchStats {
     }
 }
 
+/// Where [`Harness::bench`] sends its human-readable summary lines.
+///
+/// The historical behavior (and the default) is one line per bench on
+/// stdout; a machine-readable emitter (see `bin/solver_bench`) instead
+/// claims stdout for itself and routes the human lines to [`Stderr`]
+/// (or drops them with [`Quiet`]).
+///
+/// [`Stderr`]: BenchSink::Stderr
+/// [`Quiet`]: BenchSink::Quiet
+#[derive(Debug, Clone, Default)]
+pub enum BenchSink {
+    /// Print each summary line to stdout (the default).
+    #[default]
+    Stdout,
+    /// Print each summary line to stderr, leaving stdout free for
+    /// machine-readable output.
+    Stderr,
+    /// Discard the summary lines.
+    Quiet,
+    /// Append each summary line to a shared buffer (for tests).
+    Collect(Rc<RefCell<Vec<String>>>),
+}
+
+impl BenchSink {
+    fn emit(&self, line: &str) {
+        match self {
+            BenchSink::Stdout => println!("{line}"),
+            BenchSink::Stderr => eprintln!("{line}"),
+            BenchSink::Quiet => {}
+            BenchSink::Collect(buf) => buf.borrow_mut().push(line.to_owned()),
+        }
+    }
+}
+
 /// Runs benches with a fixed sample count and prints one line each.
 #[derive(Debug, Clone)]
 pub struct Harness {
     group: String,
     samples: usize,
+    sink: BenchSink,
 }
 
 impl Harness {
@@ -47,7 +84,15 @@ impl Harness {
         Harness {
             group: group.into(),
             samples: samples.max(1),
+            sink: BenchSink::default(),
         }
+    }
+
+    /// The same harness with its summary lines routed to `sink`.
+    #[must_use]
+    pub fn with_sink(mut self, sink: BenchSink) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// A sub-harness with `suffix` appended to the group prefix.
@@ -55,11 +100,13 @@ impl Harness {
         Harness {
             group: format!("{}/{suffix}", self.group),
             samples: self.samples,
+            sink: self.sink.clone(),
         }
     }
 
     /// Times `f`: one untimed warmup call, then `samples` timed calls.
-    /// Prints the summary line to stdout and returns it.
+    /// Emits the summary line to the configured [`BenchSink`]
+    /// (stdout by default) and returns it.
     pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) -> BenchStats {
         f();
         let mut total = Duration::ZERO;
@@ -80,7 +127,7 @@ impl Harness {
             min,
             max,
         };
-        println!("{stats}");
+        self.sink.emit(&stats.to_string());
         stats
     }
 }
@@ -105,6 +152,37 @@ mod tests {
         let h = Harness::new("table2", 1).group("MM08");
         let stats = h.bench("spllift", || {});
         assert_eq!(stats.name, "table2/MM08/spllift");
+    }
+
+    #[test]
+    fn collect_sink_captures_lines_instead_of_printing() {
+        // Regression for the JSON emitter: `bench` must route its human
+        // summary through the configured sink, not unconditionally
+        // through stdout (pre-fix, `bench` always `println!`ed, which
+        // corrupted machine-readable output on stdout).
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        let h = Harness::new("grp", 2).with_sink(BenchSink::Collect(buf.clone()));
+        let stats = h.bench("x", || {});
+        let lines = buf.borrow();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0], stats.to_string());
+        assert!(lines[0].starts_with("grp/x"));
+    }
+
+    #[test]
+    fn sink_is_inherited_by_sub_groups() {
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        let h = Harness::new("a", 1).with_sink(BenchSink::Collect(buf.clone()));
+        let _ = h.group("b").bench("c", || {});
+        assert_eq!(buf.borrow().len(), 1);
+        assert!(buf.borrow()[0].starts_with("a/b/c"));
+    }
+
+    #[test]
+    fn quiet_sink_still_returns_stats() {
+        let h = Harness::new("q", 1).with_sink(BenchSink::Quiet);
+        let stats = h.bench("x", || {});
+        assert_eq!(stats.name, "q/x");
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! Machine-readable benchmark output: the `BENCH_solver.json` emitter,
+//! a minimal JSON parser, and the schema validator CI runs against the
+//! emitted file.
+//!
+//! The workspace builds offline with zero registry dependencies, so
+//! there is no serde here: the emitter writes the (small, fixed-shape)
+//! document by hand, and the validator uses a ~100-line recursive
+//! descent parser that covers exactly the JSON subset the emitter
+//! produces (objects, arrays, strings, finite numbers, booleans).
+//!
+//! # Schema (`spllift-bench-solver/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "spllift-bench-solver/v1",
+//!   "samples": 3,
+//!   "entries": [
+//!     {
+//!       "subject": "MM08",
+//!       "analysis": "R. Def.",
+//!       "wall_ns": {"mean": 1234, "min": 1200, "max": 1300},
+//!       "ide": {"propagations": 10, "flow_evals": 20,
+//!               "jump_fn_constructions": 8, "killed_early": 1,
+//!               "value_updates": 5},
+//!       "bdd": {"nodes": 40, "vars": 9, "cache_entries": 100}
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Every number is a non-negative integer (nanoseconds for the wall
+//! times); the validator additionally rejects any value that does not
+//! parse as a *finite* `f64`, so a corrupted emitter fails CI fast.
+
+use crate::harness::BenchStats;
+use spllift_bdd::BddStats;
+use spllift_ide::IdeStats;
+
+/// The schema identifier written to (and required in) the JSON file.
+pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v1";
+
+/// One per-subject/per-analysis measurement destined for
+/// `BENCH_solver.json`.
+#[derive(Debug, Clone)]
+pub struct SolverBenchEntry {
+    /// Subject name (`fig1`, `chat`, `MM08`, …).
+    pub subject: String,
+    /// Analysis label (the paper's column label, e.g. `R. Def.`).
+    pub analysis: String,
+    /// Wall-clock samples of the full lifted solve.
+    pub wall: BenchStats,
+    /// IDE solver counters from the last sample.
+    pub ide: IdeStats,
+    /// BDD manager counters after all samples (shared manager).
+    pub bdd: BddStats,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full `BENCH_solver.json` document.
+pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SOLVER_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"subject\": \"{}\",\n", escape(&e.subject)));
+        out.push_str(&format!(
+            "      \"analysis\": \"{}\",\n",
+            escape(&e.analysis)
+        ));
+        out.push_str(&format!(
+            "      \"wall_ns\": {{\"mean\": {}, \"min\": {}, \"max\": {}}},\n",
+            e.wall.mean.as_nanos(),
+            e.wall.min.as_nanos(),
+            e.wall.max.as_nanos()
+        ));
+        out.push_str(&format!(
+            "      \"ide\": {{\"propagations\": {}, \"flow_evals\": {}, \"jump_fn_constructions\": {}, \"killed_early\": {}, \"value_updates\": {}}},\n",
+            e.ide.propagations,
+            e.ide.flow_evals,
+            e.ide.jump_fn_constructions,
+            e.ide.killed_early,
+            e.ide.value_updates
+        ));
+        out.push_str(&format!(
+            "      \"bdd\": {{\"nodes\": {}, \"vars\": {}, \"cache_entries\": {}}}\n",
+            e.bdd.nodes, e.bdd.vars, e.bdd.cache_entries
+        ));
+        out.push_str(if i + 1 == entries.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON parser (validation only).
+// ----------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; the parser rejects non-finite values.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys rejected).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("bad number `{text}`")))?;
+        if !n.is_finite() {
+            return Err(self.err(&format!("non-finite number `{text}`")));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (the subset the emitter produces).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// Validates a `BENCH_solver.json` document against the
+/// [`SOLVER_BENCH_SCHEMA`] shape: schema id, non-empty `entries`, every
+/// required key present, every number finite and non-negative. Returns
+/// the entry count.
+pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let schema = doc.get("schema").ok_or("missing `schema` key")?.clone();
+    if schema != Json::Str(SOLVER_BENCH_SCHEMA.into()) {
+        return Err(format!(
+            "schema mismatch: expected \"{SOLVER_BENCH_SCHEMA}\", got {schema:?}"
+        ));
+    }
+    let num = |v: &Json, what: &str| -> Result<f64, String> {
+        match v {
+            Json::Num(n) if n.is_finite() && *n >= 0.0 => Ok(*n),
+            other => Err(format!(
+                "`{what}` must be a finite non-negative number, got {other:?}"
+            )),
+        }
+    };
+    num(
+        doc.get("samples").ok_or("missing `samples` key")?,
+        "samples",
+    )?;
+    let Some(Json::Arr(entries)) = doc.get("entries") else {
+        return Err("missing or non-array `entries`".into());
+    };
+    if entries.is_empty() {
+        return Err("`entries` is empty".into());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        let ctx = |k: &str| format!("entries[{i}].{k}");
+        for key in ["subject", "analysis"] {
+            match e.get(key) {
+                Some(Json::Str(s)) if !s.is_empty() => {}
+                _ => return Err(format!("{} must be a non-empty string", ctx(key))),
+            }
+        }
+        let groups: [(&str, &[&str]); 3] = [
+            ("wall_ns", &["mean", "min", "max"]),
+            (
+                "ide",
+                &[
+                    "propagations",
+                    "flow_evals",
+                    "jump_fn_constructions",
+                    "killed_early",
+                    "value_updates",
+                ],
+            ),
+            ("bdd", &["nodes", "vars", "cache_entries"]),
+        ];
+        for (group, keys) in groups {
+            let obj = e
+                .get(group)
+                .ok_or_else(|| format!("missing {}", ctx(group)))?;
+            for key in keys {
+                let v = obj
+                    .get(key)
+                    .ok_or_else(|| format!("missing {}.{key}", ctx(group)))?;
+                num(v, &format!("{}.{key}", ctx(group)))?;
+            }
+        }
+    }
+    Ok(entries.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn entry() -> SolverBenchEntry {
+        SolverBenchEntry {
+            subject: "MM08".into(),
+            analysis: "R. Def.".into(),
+            wall: BenchStats {
+                name: "solver/MM08/R. Def.".into(),
+                samples: 3,
+                mean: Duration::from_nanos(1500),
+                min: Duration::from_nanos(1000),
+                max: Duration::from_nanos(2000),
+            },
+            ide: IdeStats {
+                propagations: 10,
+                flow_evals: 20,
+                jump_fn_constructions: 8,
+                killed_early: 1,
+                value_updates: 5,
+            },
+            bdd: BddStats {
+                nodes: 40,
+                vars: 9,
+                cache_entries: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn emitted_document_validates() {
+        let text = render_solver_bench(3, &[entry()]);
+        assert_eq!(validate_solver_bench(&text), Ok(1));
+    }
+
+    #[test]
+    fn emitted_document_round_trips() {
+        let text = render_solver_bench(3, &[entry(), entry()]);
+        let doc = parse_json(&text).unwrap();
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Json::Str(SOLVER_BENCH_SCHEMA.into()))
+        );
+        let Some(Json::Arr(entries)) = doc.get("entries") else {
+            panic!("entries missing");
+        };
+        assert_eq!(entries.len(), 2);
+        let wall = entries[0].get("wall_ns").unwrap();
+        assert_eq!(wall.get("mean"), Some(&Json::Num(1500.0)));
+        assert_eq!(
+            entries[0].get("ide").unwrap().get("jump_fn_constructions"),
+            Some(&Json::Num(8.0))
+        );
+    }
+
+    #[test]
+    fn validator_rejects_missing_keys_and_bad_numbers() {
+        assert!(validate_solver_bench("{}").is_err());
+        assert!(validate_solver_bench("not json").is_err());
+        let wrong_schema = r#"{"schema": "other/v9", "samples": 1, "entries": []}"#;
+        assert!(validate_solver_bench(wrong_schema)
+            .unwrap_err()
+            .contains("schema mismatch"));
+        let empty =
+            format!(r#"{{"schema": "{SOLVER_BENCH_SCHEMA}", "samples": 1, "entries": []}}"#);
+        assert!(validate_solver_bench(&empty).unwrap_err().contains("empty"));
+        // A key present but non-finite (parser rejects before shape check).
+        let text = render_solver_bench(3, &[entry()]).replace("1500", "1e999");
+        assert!(validate_solver_bench(&text).is_err());
+        // A missing ide counter.
+        let text = render_solver_bench(3, &[entry()]).replace("\"killed_early\"", "\"other\"");
+        assert!(validate_solver_bench(&text)
+            .unwrap_err()
+            .contains("killed_early"));
+    }
+
+    #[test]
+    fn parser_handles_strings_escapes_and_nesting() {
+        let doc =
+            parse_json(r#"{"a": ["x\n\"y\"", {"b": -1.5e3}], "c": true, "d": null}"#).unwrap();
+        let Some(Json::Arr(items)) = doc.get("a") else {
+            panic!()
+        };
+        assert_eq!(items[0], Json::Str("x\n\"y\"".into()));
+        assert_eq!(items[1].get("b"), Some(&Json::Num(-1500.0)));
+        assert_eq!(doc.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_keys_and_trailing_garbage() {
+        assert!(parse_json(r#"{"a": 1, "a": 2}"#).is_err());
+        assert!(parse_json(r#"{"a": 1} extra"#).is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+    }
+}

@@ -3,6 +3,7 @@
 
 #![warn(missing_docs)]
 pub mod harness;
+pub mod json;
 
 use spllift_benchgen::GeneratedSpl;
 use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};

@@ -2,9 +2,9 @@
 
 use crate::{AnnotatedIcfg, ConstraintEdge, LiftedIcfg};
 use spllift_features::{Configuration, Constraint, ConstraintContext, FeatureExpr};
-use spllift_ide::{IdeProblem, IdeSolver, IdeStats};
+use spllift_hash::FastMap;
+use spllift_ide::{IdeProblem, IdeSolver, IdeSolverOptions, IdeStats};
 use spllift_ifds::IfdsProblem;
-use std::collections::HashMap;
 
 /// How the product line's feature model is taken into account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,7 +37,7 @@ pub struct LiftedProblem<'a, G: AnnotatedIcfg, P, Ctx: ConstraintContext> {
     ctx: &'a Ctx,
     model: Ctx::C,
     /// stmt → (enabled-case constraint, disabled-case constraint).
-    ann: HashMap<G::Stmt, (Ctx::C, Ctx::C)>,
+    ann: FastMap<G::Stmt, (Ctx::C, Ctx::C)>,
 }
 
 impl<'a, G, P, Ctx> LiftedProblem<'a, G, P, Ctx>
@@ -64,7 +64,7 @@ where
             _ => ctx.tt(),
         };
         let on_edges = mode == ModelMode::OnEdges;
-        let mut ann = HashMap::new();
+        let mut ann = FastMap::default();
         for m in icfg.methods() {
             for s in icfg.stmts_of(m) {
                 let a = icfg.annotation(s);
@@ -345,9 +345,27 @@ where
         P: IfdsProblem<G, Fact = D>,
         Ctx: ConstraintContext<C = C>,
     {
+        Self::solve_with(problem, icfg, ctx, model, mode, IdeSolverOptions::default())
+    }
+
+    /// Like [`solve`](Self::solve), but with explicit
+    /// [`IdeSolverOptions`] — used by the invariance tests to compare
+    /// solver configurations on the same problem.
+    pub fn solve_with<P, Ctx>(
+        problem: &P,
+        icfg: &'g G,
+        ctx: &Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+        options: IdeSolverOptions,
+    ) -> Self
+    where
+        P: IfdsProblem<G, Fact = D>,
+        Ctx: ConstraintContext<C = C>,
+    {
         let lifted_icfg = LiftedIcfg::new(icfg);
         let lifted = LiftedProblem::new(problem, icfg, ctx, model, mode);
-        let solver = IdeSolver::solve(&lifted, &lifted_icfg);
+        let solver = IdeSolver::solve_with(&lifted, &lifted_icfg, options);
         LiftedSolution { solver }
     }
 
@@ -364,7 +382,7 @@ where
     }
 
     /// All facts with a satisfiable constraint at `stmt`.
-    pub fn results_at(&self, stmt: G::Stmt) -> HashMap<D, C> {
+    pub fn results_at(&self, stmt: G::Stmt) -> FastMap<D, C> {
         self.solver.results_at(stmt)
     }
 

@@ -143,7 +143,7 @@ fn lifted_matches_plain_on_annotation_free_program() {
     let plain = spllift_ifds::IfdsSolver::solve(&analysis, &icfg);
     for m in spllift_ifds::Icfg::methods(&icfg) {
         for s in spllift_ifds::Icfg::stmts_of(&icfg, m) {
-            let lifted_facts: std::collections::HashSet<_> = solution
+            let lifted_facts: spllift_hash::FastSet<_> = solution
                 .results_at(s)
                 .into_iter()
                 .map(|(d, c)| {

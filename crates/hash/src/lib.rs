@@ -1,0 +1,213 @@
+//! A tiny, dependency-free, fast non-cryptographic hasher for the
+//! solver hot paths.
+//!
+//! The workspace must build **offline** (see `DESIGN.md` §5), so we
+//! cannot pull in `rustc-hash`/`fxhash`/`ahash`; this crate provides
+//! the small part of them the solvers need. The std `HashMap` defaults
+//! to SipHash-1-3, which is DoS-resistant but spends ~1 ns/byte on
+//! keys; the SPLLIFT hot path — BDD unique-table and op-cache lookups,
+//! IDE jump-function maps, IFDS path-edge dedup — hashes billions of
+//! tiny fixed-size keys (a few machine words each), where a
+//! multiply-rotate mixer is several times faster and the keys are
+//! internal solver state, never attacker-controlled.
+//!
+//! [`FxHasher64`] uses the FxHash word-mixing step (the compiler's
+//! `(state.rotate_left(5) ^ word) * SEED` per 8-byte word), plus a
+//! SplitMix64-style finalizer in [`finish`](std::hash::Hasher::finish)
+//! so the low bits — the ones hashbrown's bucket index uses — see full
+//! avalanche even for keys that only differ in their high bits.
+//!
+//! # Example
+//!
+//! ```
+//! use spllift_hash::{FastMap, FastSet};
+//! let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+//! m.insert((1, 2), 3);
+//! assert_eq!(m.get(&(1, 2)), Some(&3));
+//! let mut s: FastSet<u32> = FastSet::default();
+//! assert!(s.insert(7));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The FxHash multiplication constant (a 64-bit odd number derived from
+/// the golden ratio; the same one rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic 64-bit hasher.
+///
+/// Deterministic across processes and runs (no random state), which the
+/// deterministic-output invariants of the parallel drivers rely on —
+/// and which also means it must **never** be used on attacker-chosen
+/// keys where HashDoS matters. Every key it hashes in this workspace is
+/// internal solver state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(word.try_into().unwrap()) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // SplitMix64 finalizer: full avalanche so the low bits (the
+        // hashbrown bucket index) depend on every input bit.
+        let mut z = self.hash;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher64`]s (zero-sized, `Default`).
+pub type FastBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` keyed with [`FxHasher64`] — drop-in for hot-path maps.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher64`] — drop-in for hot-path sets.
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+/// Hashes one value to a 64-bit digest (convenience for checksums).
+pub fn hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher64::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let key = (42u32, 7u32, "x");
+        assert_eq!(hash_one(&key), hash_one(&key));
+        let mut a = FxHasher64::default();
+        let mut b = FxHasher64::default();
+        key.hash(&mut a);
+        key.hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn small_integer_keys_do_not_collide() {
+        // The BDD unique table hashes (var, low, high) triples of small
+        // integers; a mixer with weak low bits would cluster them.
+        let mut seen = HashSet::new();
+        for var in 0u32..32 {
+            for low in 0u32..32 {
+                for high in 0u32..32 {
+                    assert!(
+                        seen.insert(hash_one(&(var, low, high))),
+                        "collision at ({var},{low},{high})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn low_bits_are_mixed() {
+        // Keys differing only in high bits must differ in low bits
+        // often enough for bucket indexing: 1024 uniform draws over 256
+        // bins hit ~251 distinct values in expectation (256·(1−e⁻⁴));
+        // raw FxHash without a finalizer would hit far fewer.
+        let mut low_bytes = HashSet::new();
+        for i in 0u64..1024 {
+            low_bytes.insert((hash_one(&(i << 48)) & 0xff) as u8);
+        }
+        assert!(low_bytes.len() > 235, "only {} low bytes", low_bytes.len());
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        assert_eq!(hash_one(&[1u8, 2, 3][..]), hash_one(&[1u8, 2, 3][..]));
+        assert_ne!(hash_one(&[1u8, 2, 3][..]), hash_one(&[1u8, 2, 4][..]));
+        // Exercise the 8-byte, 4-byte, and tail paths of `write`.
+        let long: Vec<u8> = (0..29).collect();
+        let mut tweaked = long.clone();
+        tweaked[28] ^= 1;
+        assert_ne!(hash_one(&long[..]), hash_one(&tweaked[..]));
+    }
+
+    #[test]
+    fn fast_map_and_set_behave_like_std() {
+        let mut m: FastMap<String, usize> = FastMap::default();
+        for i in 0..100 {
+            m.insert(format!("k{i}"), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get("k42"), Some(&42));
+        let mut s: FastSet<(u64, u64)> = FastSet::default();
+        for i in 0..100u64 {
+            assert!(s.insert((i, i * 3)));
+            assert!(!s.insert((i, i * 3)));
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn with_capacity_constructors_work() {
+        // `with_capacity_and_hasher` is what hot loops use to presize.
+        let m: FastMap<u32, u32> = FastMap::with_capacity_and_hasher(64, Default::default());
+        assert!(m.capacity() >= 64);
+    }
+}

@@ -8,8 +8,9 @@
 //! finally evaluates every jump function once.
 
 use crate::{EdgeFn, IdeProblem};
+use spllift_hash::{FastMap, FastSet};
 use spllift_ifds::Icfg;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Counters collected during an IDE solver run.
 ///
@@ -31,6 +32,29 @@ pub struct IdeStats {
     pub value_updates: u64,
 }
 
+/// Tuning knobs for the IDE solver.
+///
+/// The defaults are what [`IdeSolver::solve`] uses; pass an explicit
+/// value to [`IdeSolver::solve_with`] to deviate (the invariance tests
+/// run both settings and assert identical results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdeSolverOptions {
+    /// Deduplicate the Phase-1 worklist: a `(d1, n, d2)` triple whose
+    /// jump function strengthens while the triple is already queued is
+    /// not queued a second time — the pending entry reads the latest
+    /// jump function when it is popped, so the fixpoint is unchanged but
+    /// [`IdeStats::propagations`] drops.
+    pub worklist_dedup: bool,
+}
+
+impl Default for IdeSolverOptions {
+    fn default() -> Self {
+        IdeSolverOptions {
+            worklist_dedup: true,
+        }
+    }
+}
+
 /// The IDE solver. Build with [`IdeSolver::solve`].
 #[derive(Debug)]
 pub struct IdeSolver<G: Icfg, D, V>
@@ -39,7 +63,7 @@ where
 {
     /// Values keyed per statement, then per fact — so per-statement
     /// queries (`results_at`) are O(facts at that statement).
-    values: HashMap<G::Stmt, HashMap<D, V>>,
+    values: FastMap<G::Stmt, FastMap<D, V>>,
     top: V,
     zero: D,
     stats: IdeStats,
@@ -51,16 +75,27 @@ where
     D: Clone + Eq + std::hash::Hash + std::fmt::Debug,
     V: Clone + Eq + std::fmt::Debug,
 {
-    /// Runs both phases of the IDE algorithm to a fixpoint.
+    /// Runs both phases of the IDE algorithm to a fixpoint with the
+    /// default [`IdeSolverOptions`].
     pub fn solve<P>(problem: &P, icfg: &G) -> Self
     where
         P: IdeProblem<G, Fact = D, Value = V>,
     {
+        Self::solve_with(problem, icfg, IdeSolverOptions::default())
+    }
+
+    /// Runs both phases of the IDE algorithm to a fixpoint with explicit
+    /// [`IdeSolverOptions`].
+    pub fn solve_with<P>(problem: &P, icfg: &G, options: IdeSolverOptions) -> Self
+    where
+        P: IdeProblem<G, Fact = D, Value = V>,
+    {
         let mut phase1 = Phase1::<G, P> {
-            jump: HashMap::new(),
+            jump: FastMap::default(),
             worklist: VecDeque::new(),
-            incoming: HashMap::new(),
-            end_summary: HashMap::new(),
+            dedup: options.worklist_dedup,
+            incoming: FastMap::default(),
+            end_summary: FastMap::default(),
             stats: IdeStats::default(),
         };
         phase1.run(problem, icfg);
@@ -84,7 +119,7 @@ where
     }
 
     /// All (fact, value) pairs at `stmt` whose value is not ⊤.
-    pub fn results_at(&self, stmt: G::Stmt) -> HashMap<D, V> {
+    pub fn results_at(&self, stmt: G::Stmt) -> FastMap<D, V> {
         self.values
             .get(&stmt)
             .map(|m| {
@@ -117,15 +152,22 @@ where
     }
 }
 
+/// A Phase-1 jump function plus its worklist status. The `bool` is
+/// `true` while the owning `(d1, n, d2)` triple sits in the worklist —
+/// tracked inline so dedup costs no extra hashing or fact clones (the
+/// flag rides on map lookups `propagate`/`run` perform anyway).
+type JumpEntry<EF> = (EF, bool);
+
 /// Phase-1 state. Jump functions are keyed `(stmt, d1) → d2 → EF`, where
 /// `d1` is the fact at the start point of `stmt`'s method.
 struct Phase1<G: Icfg, P: IdeProblem<G>> {
-    jump: HashMap<(G::Stmt, P::Fact), HashMap<P::Fact, P::EF>>,
+    jump: FastMap<(G::Stmt, P::Fact), FastMap<P::Fact, JumpEntry<P::EF>>>,
     worklist: VecDeque<(P::Fact, G::Stmt, P::Fact)>,
+    dedup: bool,
     /// (callee, entry fact) → {(call stmt, fact at call, caller sp fact)}.
-    incoming: HashMap<(G::Method, P::Fact), HashSet<(G::Stmt, P::Fact, P::Fact)>>,
+    incoming: FastMap<(G::Method, P::Fact), FastSet<(G::Stmt, P::Fact, P::Fact)>>,
     /// (callee, entry fact) → (exit stmt, exit fact) → summary EF.
-    end_summary: HashMap<(G::Method, P::Fact), HashMap<(G::Stmt, P::Fact), P::EF>>,
+    end_summary: FastMap<(G::Method, P::Fact), FastMap<(G::Stmt, P::Fact), P::EF>>,
     stats: IdeStats,
 }
 
@@ -140,29 +182,49 @@ where
             return;
         }
         let slot = self.jump.entry((n, d1.clone())).or_default();
-        let changed = match slot.get(&d2) {
+        // `queue` means: strengthened AND not already pending (a pending
+        // entry reads the latest jump function when it is popped, so
+        // re-queuing it would only burn a propagation — unless dedup is
+        // off, where we reproduce the historical always-queue behavior).
+        let (changed, queue) = match slot.get_mut(&d2) {
             None => {
-                slot.insert(d2.clone(), f);
-                true
+                slot.insert(d2.clone(), (f, true));
+                (true, true)
             }
-            Some(old) => {
+            Some((old, queued)) => {
                 let joined = old.join(&f);
                 if joined != *old {
-                    slot.insert(d2.clone(), joined);
-                    true
+                    *old = joined;
+                    let requeue = !*queued || !self.dedup;
+                    *queued = true;
+                    (true, requeue)
                 } else {
-                    false
+                    (false, false)
                 }
             }
         };
         if changed {
             self.stats.jump_fn_constructions += 1;
+        }
+        if queue {
             self.worklist.push_back((d1, n, d2));
         }
     }
 
     fn jump_of(&self, n: G::Stmt, d1: &P::Fact, d2: &P::Fact) -> Option<P::EF> {
-        self.jump.get(&(n, d1.clone()))?.get(d2).cloned()
+        self.jump
+            .get(&(n, d1.clone()))?
+            .get(d2)
+            .map(|(f, _)| f.clone())
+    }
+
+    /// [`jump_of`](Self::jump_of) for the just-popped worklist triple:
+    /// additionally clears its pending flag, so later strengthenings
+    /// queue it again.
+    fn take_jump(&mut self, n: G::Stmt, d1: &P::Fact, d2: &P::Fact) -> Option<P::EF> {
+        let (f, queued) = self.jump.get_mut(&(n, d1.clone()))?.get_mut(d2)?;
+        *queued = false;
+        Some(f.clone())
     }
 
     fn run(&mut self, problem: &P, icfg: &G) {
@@ -171,8 +233,9 @@ where
         }
         while let Some((d1, n, d2)) = self.worklist.pop_front() {
             self.stats.propagations += 1;
-            // Snapshot of the (current) jump function for this triple.
-            let Some(f) = self.jump_of(n, &d1, &d2) else {
+            // Snapshot of the (current) jump function for this triple;
+            // clears its pending flag.
+            let Some(f) = self.take_jump(n, &d1, &d2) else {
                 continue;
             };
             let method = icfg.method_of(n);
@@ -313,18 +376,18 @@ where
 fn phase2<G, P>(
     problem: &P,
     icfg: &G,
-    jump: &HashMap<(G::Stmt, P::Fact), HashMap<P::Fact, P::EF>>,
+    jump: &FastMap<(G::Stmt, P::Fact), FastMap<P::Fact, JumpEntry<P::EF>>>,
     mut stats: IdeStats,
-) -> (HashMap<G::Stmt, HashMap<P::Fact, P::Value>>, IdeStats)
+) -> (FastMap<G::Stmt, FastMap<P::Fact, P::Value>>, IdeStats)
 where
     G: Icfg,
     P: IdeProblem<G>,
 {
-    let mut values: HashMap<G::Stmt, HashMap<P::Fact, P::Value>> = HashMap::new();
+    let mut values: FastMap<G::Stmt, FastMap<P::Fact, P::Value>> = FastMap::default();
     let mut worklist: VecDeque<(G::Method, P::Fact)> = VecDeque::new();
     let top = problem.top();
 
-    let update = |values: &mut HashMap<G::Stmt, HashMap<P::Fact, P::Value>>,
+    let update = |values: &mut FastMap<G::Stmt, FastMap<P::Fact, P::Value>>,
                   stats: &mut IdeStats,
                   stmt: G::Stmt,
                   fact: P::Fact,
@@ -369,7 +432,7 @@ where
             let Some(fns) = jump.get(&(call, d1.clone())) else {
                 continue;
             };
-            for (d2, f) in fns {
+            for (d2, (f, _)) in fns {
                 let vc = f.apply(&v);
                 if vc == top {
                     continue;
@@ -406,7 +469,7 @@ where
             let Some(fns) = jump.get(&(n, d1.clone())) else {
                 continue;
             };
-            for (d2, f) in fns {
+            for (d2, (f, _)) in fns {
                 let nv = f.apply(&v);
                 if nv == top {
                     continue;

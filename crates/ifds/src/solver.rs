@@ -1,7 +1,8 @@
 //! The IFDS tabulation solver (Reps–Horwitz–Sagiv, POPL 1995).
 
 use crate::{Icfg, IfdsProblem};
-use std::collections::{HashMap, HashSet, VecDeque};
+use spllift_hash::{FastMap, FastSet};
+use std::collections::VecDeque;
 
 /// Counters collected during a solver run.
 ///
@@ -30,10 +31,10 @@ type PathEdge<S, D> = (D, S, D);
 /// [`results_at`](IfdsSolver::results_at).
 #[derive(Debug)]
 pub struct IfdsSolver<G: Icfg, D: Clone + Eq + std::hash::Hash> {
-    results: HashMap<G::Stmt, HashSet<D>>,
+    results: FastMap<G::Stmt, FastSet<D>>,
     /// First-discoverer back-pointers: (stmt, fact) → predecessor
     /// (stmt, fact), for witness reconstruction.
-    predecessors: HashMap<(G::Stmt, D), (G::Stmt, D)>,
+    predecessors: FastMap<(G::Stmt, D), (G::Stmt, D)>,
     zero: D,
     stats: SolverStats,
 }
@@ -51,12 +52,12 @@ where
     {
         let zero = problem.zero();
         let mut state = State::<G, D> {
-            path_edges: HashSet::new(),
+            path_edges: FastSet::default(),
             worklist: VecDeque::new(),
-            predecessors: HashMap::new(),
-            incoming: HashMap::new(),
-            end_summary: HashMap::new(),
-            results: HashMap::new(),
+            predecessors: FastMap::default(),
+            incoming: FastMap::default(),
+            end_summary: FastMap::default(),
+            results: FastMap::default(),
             stats: SolverStats::default(),
         };
 
@@ -159,12 +160,12 @@ where
 
     /// The facts holding at `s`, including the zero fact if `s` is
     /// reachable.
-    pub fn results_at(&self, s: G::Stmt) -> HashSet<D> {
+    pub fn results_at(&self, s: G::Stmt) -> FastSet<D> {
         self.results.get(&s).cloned().unwrap_or_default()
     }
 
     /// The non-zero facts holding at `s`.
-    pub fn facts_at(&self, s: G::Stmt) -> HashSet<D> {
+    pub fn facts_at(&self, s: G::Stmt) -> FastSet<D> {
         let mut r = self.results_at(s);
         r.remove(&self.zero);
         r
@@ -210,14 +211,14 @@ where
 }
 
 struct State<G: Icfg, D: Clone + Eq + std::hash::Hash> {
-    path_edges: HashSet<PathEdge<G::Stmt, D>>,
+    path_edges: FastSet<PathEdge<G::Stmt, D>>,
     worklist: VecDeque<PathEdge<G::Stmt, D>>,
-    predecessors: HashMap<(G::Stmt, D), (G::Stmt, D)>,
+    predecessors: FastMap<(G::Stmt, D), (G::Stmt, D)>,
     /// (callee, entry fact) → callers: (call stmt, fact at call, caller sp fact).
-    incoming: HashMap<(G::Method, D), HashSet<(G::Stmt, D, D)>>,
+    incoming: FastMap<(G::Method, D), FastSet<(G::Stmt, D, D)>>,
     /// (method, entry fact) → exits: (exit stmt, exit fact).
-    end_summary: HashMap<(G::Method, D), HashSet<(G::Stmt, D)>>,
-    results: HashMap<G::Stmt, HashSet<D>>,
+    end_summary: FastMap<(G::Method, D), FastSet<(G::Stmt, D)>>,
+    results: FastMap<G::Stmt, FastSet<D>>,
     stats: SolverStats,
 }
 

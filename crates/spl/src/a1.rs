@@ -1,9 +1,9 @@
 //! A1: the traditional generate-and-analyze baseline.
 
 use spllift_features::Configuration;
+use spllift_hash::{FastMap, FastSet};
 use spllift_ifds::{IfdsProblem, IfdsSolver};
 use spllift_ir::{Program, ProgramIcfg, StmtRef};
-use std::collections::HashSet;
 use std::hash::Hash;
 
 /// The result of analyzing one derived product with the plain analysis.
@@ -16,7 +16,7 @@ use std::hash::Hash;
 pub struct A1Run<D: Clone + Eq + Hash> {
     /// The configuration this product was derived with.
     pub config: Configuration,
-    results: std::collections::HashMap<StmtRef, HashSet<D>>,
+    results: FastMap<StmtRef, FastSet<D>>,
     /// Solver statistics for this product.
     pub stats: spllift_ifds::SolverStats,
 }
@@ -32,7 +32,7 @@ impl<D: Clone + Eq + Hash + std::fmt::Debug> A1Run<D> {
         let product = spl.derive_product(&config);
         let icfg = ProgramIcfg::new(&product);
         let solver = IfdsSolver::solve(problem, &icfg);
-        let mut results = std::collections::HashMap::new();
+        let mut results = FastMap::default();
         for s in solver.statements() {
             results.insert(s, solver.results_at(s));
         }
@@ -44,7 +44,7 @@ impl<D: Clone + Eq + Hash + std::fmt::Debug> A1Run<D> {
     }
 
     /// Facts (incl. zero) at `s` in this product.
-    pub fn results_at(&self, s: StmtRef) -> HashSet<D> {
+    pub fn results_at(&self, s: StmtRef) -> FastSet<D> {
         self.results.get(&s).cloned().unwrap_or_default()
     }
 

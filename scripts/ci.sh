@@ -11,11 +11,14 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo build --release --offline =="
-cargo build --release --offline
+echo "== cargo build --release --offline --workspace =="
+# --workspace matters: a plain `cargo build` only covers the root facade
+# package and its dependencies, which silently skips the bench crate's
+# binaries (solver_bench below would run stale).
+cargo build --release --offline --workspace
 
-echo "== cargo test -q --offline =="
-cargo test -q --offline
+echo "== cargo test -q --offline --workspace =="
+cargo test -q --offline --workspace
 
 echo "== fuzz smoke (deterministic seed range, sharded) =="
 # A short differential fuzz campaign: 32 seeded random product lines,
@@ -24,5 +27,15 @@ echo "== fuzz smoke (deterministic seed range, sharded) =="
 # set -e, fails CI. The seed range is fixed, so this is fully
 # deterministic; --jobs 2 also exercises the sharded driver.
 ./target/release/spllift-cli fuzz --seeds 0..32 --jobs 2
+
+echo "== solver bench smoke (BENCH_solver.json) =="
+# Regenerates the machine-readable benchmark document (schema
+# `spllift-bench-solver/v1`) on the small subjects and schema-validates
+# it, so the emitter, the parser, and the measured hot path all stay
+# wired. Full-subject numbers for EXPERIMENTS.md are produced with the
+# default arguments instead (see EXPERIMENTS.md §BENCH).
+./target/release/solver_bench --samples 1 --subjects fig1,chat,MM08 \
+    --out BENCH_solver.json
+./target/release/solver_bench --validate BENCH_solver.json
 
 echo "ci: all green"
