@@ -1,12 +1,10 @@
-//! Machine-readable benchmark output: the `BENCH_solver.json` emitter,
-//! a minimal JSON parser, and the schema validator CI runs against the
-//! emitted file.
+//! Machine-readable benchmark output: the `BENCH_solver.json` emitter and
+//! the schema validator CI runs against the emitted file.
 //!
-//! The workspace builds offline with zero registry dependencies, so
-//! there is no serde here: the emitter writes the (small, fixed-shape)
-//! document by hand, and the validator uses a ~100-line recursive
-//! descent parser that covers exactly the JSON subset the emitter
-//! produces (objects, arrays, strings, finite numbers, booleans).
+//! The JSON value type, parser, and string escaping live in the shared
+//! [`spllift_json`] crate (also used by the analysis server's request
+//! protocol); this module keeps only the `spllift-bench-solver/v1`
+//! schema layered on top.
 //!
 //! # Schema (`spllift-bench-solver/v1`)
 //!
@@ -35,6 +33,7 @@
 use crate::harness::BenchStats;
 use spllift_bdd::BddStats;
 use spllift_ide::IdeStats;
+pub use spllift_json::{escape, parse_json, Json};
 
 /// The schema identifier written to (and required in) the JSON file.
 pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v1";
@@ -53,22 +52,6 @@ pub struct SolverBenchEntry {
     pub ide: IdeStats,
     /// BDD manager counters after all samples (shared manager).
     pub bdd: BddStats,
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Renders the full `BENCH_solver.json` document.
@@ -111,234 +94,6 @@ pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> Stri
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-// ----------------------------------------------------------------------
-// Minimal JSON parser (validation only).
-// ----------------------------------------------------------------------
-
-/// A parsed JSON value (just enough for validation).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number; the parser rejects non-finite values.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order (duplicate keys rejected).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Looks up `key` in an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, msg: &str) -> String {
-        format!("json parse error at byte {}: {msg}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.keyword("true", Json::Bool(true)),
-            Some(b'f') => self.keyword("false", Json::Bool(false)),
-            Some(b'n') => self.keyword("null", Json::Null),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected `{word}`")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        let n: f64 = text
-            .parse()
-            .map_err(|_| self.err(&format!("bad number `{text}`")))?;
-        if !n.is_finite() {
-            return Err(self.err(&format!("non-finite number `{text}`")));
-        }
-        Ok(Json::Num(n))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
-                                16,
-                            )
-                            .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
-                            );
-                        }
-                        _ => return Err(self.err("unsupported escape")),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields: Vec<(String, Json)> = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            if fields.iter().any(|(k, _)| *k == key) {
-                return Err(self.err(&format!("duplicate key `{key}`")));
-            }
-            self.skip_ws();
-            self.expect(b':')?;
-            let v = self.value()?;
-            fields.push((key, v));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-}
-
-/// Parses a JSON document (the subset the emitter produces).
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing garbage after document"));
-    }
-    Ok(v)
 }
 
 /// Validates a `BENCH_solver.json` document against the
@@ -484,25 +239,5 @@ mod tests {
         assert!(validate_solver_bench(&text)
             .unwrap_err()
             .contains("killed_early"));
-    }
-
-    #[test]
-    fn parser_handles_strings_escapes_and_nesting() {
-        let doc =
-            parse_json(r#"{"a": ["x\n\"y\"", {"b": -1.5e3}], "c": true, "d": null}"#).unwrap();
-        let Some(Json::Arr(items)) = doc.get("a") else {
-            panic!()
-        };
-        assert_eq!(items[0], Json::Str("x\n\"y\"".into()));
-        assert_eq!(items[1].get("b"), Some(&Json::Num(-1500.0)));
-        assert_eq!(doc.get("c"), Some(&Json::Bool(true)));
-        assert_eq!(doc.get("d"), Some(&Json::Null));
-    }
-
-    #[test]
-    fn parser_rejects_duplicate_keys_and_trailing_garbage() {
-        assert!(parse_json(r#"{"a": 1, "a": 2}"#).is_err());
-        assert!(parse_json(r#"{"a": 1} extra"#).is_err());
-        assert!(parse_json(r#"{"a": }"#).is_err());
     }
 }

@@ -38,6 +38,7 @@ pub mod report;
 pub use annotated::{AnnotatedIcfg, LiftedIcfg};
 pub use edge::ConstraintEdge;
 pub use lift::{LiftedProblem, LiftedSolution, ModelMode};
+pub use spllift_ide::SolverMemo;
 
 #[cfg(test)]
 mod tests;

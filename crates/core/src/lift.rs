@@ -3,7 +3,7 @@
 use crate::{AnnotatedIcfg, ConstraintEdge, LiftedIcfg};
 use spllift_features::{Configuration, Constraint, ConstraintContext, FeatureExpr};
 use spllift_hash::FastMap;
-use spllift_ide::{IdeProblem, IdeSolver, IdeSolverOptions, IdeStats};
+use spllift_ide::{IdeProblem, IdeSolver, IdeSolverOptions, IdeStats, SolverMemo};
 use spllift_ifds::IfdsProblem;
 
 /// How the product line's feature model is taken into account.
@@ -367,6 +367,38 @@ where
         let lifted = LiftedProblem::new(problem, icfg, ctx, model, mode);
         let solver = IdeSolver::solve_with(&lifted, &lifted_icfg, options);
         LiftedSolution { solver }
+    }
+
+    /// Incremental SPLLIFT: like [`solve_with`](Self::solve_with), but
+    /// warm-started from the `memo` of a previous solve of the same
+    /// product line. Methods for which `clean` returns `true` keep their
+    /// retained jump functions and end summaries; everything else is
+    /// re-tabulated. Returns the solution plus a fresh memo for the next
+    /// incremental round.
+    ///
+    /// The caller must pass a `clean` predicate whose complement (the
+    /// dirty set) contains every transitive *caller* of every edited
+    /// method — see [`SolverMemo`] for the closure argument. The analysis
+    /// server derives it from the call graph
+    /// (`spllift_ir::callgraph::transitive_callers`).
+    pub fn solve_memoized<P, Ctx>(
+        problem: &P,
+        icfg: &'g G,
+        ctx: &Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+        options: IdeSolverOptions,
+        memo: &SolverMemo<G::Method, G::Stmt, D, ConstraintEdge<C>>,
+        clean: &dyn Fn(G::Method) -> bool,
+    ) -> (Self, SolverMemo<G::Method, G::Stmt, D, ConstraintEdge<C>>)
+    where
+        P: IfdsProblem<G, Fact = D>,
+        Ctx: ConstraintContext<C = C>,
+    {
+        let lifted_icfg = LiftedIcfg::new(icfg);
+        let lifted = LiftedProblem::new(problem, icfg, ctx, model, mode);
+        let (solver, next) = IdeSolver::solve_seeded(&lifted, &lifted_icfg, options, memo, clean);
+        (LiftedSolution { solver }, next)
     }
 
     /// The constraint under which `fact` may hold at `stmt`

@@ -183,6 +183,42 @@ impl BddConstraintContext {
     pub fn sat_count(&self, c: &Bdd) -> u128 {
         c.sat_count()
     }
+
+    /// Translates a BDD back into a [`FeatureExpr`] by Shannon expansion
+    /// on its topmost variable — the inverse direction of
+    /// [`ConstraintContext::of_expr`].
+    ///
+    /// The result is semantically equivalent to `c` (not syntactically
+    /// canonical); it lets constraint-valued analysis results be
+    /// re-evaluated against [`Configuration`]s without the manager, e.g.
+    /// for the analysis server's `holds_in` queries on worker threads
+    /// (the manager is thread-local, a `FeatureExpr` is `Send + Sync`).
+    pub fn to_expr(&self, c: &Bdd) -> FeatureExpr {
+        if c.is_true() {
+            return FeatureExpr::True;
+        }
+        if c.is_false() {
+            return FeatureExpr::False;
+        }
+        let v = c.support()[0];
+        let f = self.features_by_var[v.0 as usize];
+        let lo = self.to_expr(&c.restrict(v, false));
+        let hi = self.to_expr(&c.restrict(v, true));
+        let pos = match hi {
+            FeatureExpr::False => FeatureExpr::False,
+            FeatureExpr::True => FeatureExpr::var(f),
+            hi => FeatureExpr::var(f).and(hi),
+        };
+        let neg = match lo {
+            FeatureExpr::False => FeatureExpr::False,
+            FeatureExpr::True => FeatureExpr::var(f).not(),
+            lo => FeatureExpr::var(f).not().and(lo),
+        };
+        match (pos, neg) {
+            (FeatureExpr::False, e) | (e, FeatureExpr::False) => e,
+            (pos, neg) => pos.or(neg),
+        }
+    }
 }
 
 impl ConstraintContext for BddConstraintContext {

@@ -114,6 +114,35 @@ pub fn parse_spl(source: &str, table: &mut FeatureTable) -> Result<Program, Fron
     lower_program(&ast)
 }
 
+/// Parses SPL source in either supported text format, sniffing the
+/// repro-file header: input starting with
+/// [`spllift_ir::text::REPRO_HEADER`] goes through
+/// [`spllift_ir::text::parse_repro`], anything else through
+/// [`parse_spl`]. Used by the analysis server's `load` request, which
+/// accepts both formats.
+///
+/// # Errors
+///
+/// The respective parser's error, rendered to a string (the two parsers
+/// report positions differently).
+pub fn parse_source(source: &str, table: &mut FeatureTable) -> Result<Program, String> {
+    if source
+        .trim_start()
+        .starts_with(spllift_ir::text::REPRO_HEADER)
+    {
+        let (program, parsed_table) =
+            spllift_ir::text::parse_repro(source).map_err(|e| e.to_string())?;
+        // Repro files fix the feature order via their `features` header;
+        // merge into the caller's (expected-empty) table in that order.
+        for (_, name) in parsed_table.iter() {
+            table.intern(name);
+        }
+        Ok(program)
+    } else {
+        parse_spl(source, table).map_err(|e| e.to_string())
+    }
+}
+
 /// Counts the non-blank, non-comment source lines — the KLOC metric of
 /// the paper's Table 1.
 pub fn count_loc(source: &str) -> usize {

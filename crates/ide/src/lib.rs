@@ -27,7 +27,7 @@ mod solver;
 
 pub use edge_fn::EdgeFn;
 pub use problem::IdeProblem;
-pub use solver::{IdeSolver, IdeSolverOptions, IdeStats};
+pub use solver::{IdeSolver, IdeSolverOptions, IdeStats, SolverMemo};
 
 #[cfg(test)]
 mod tests;

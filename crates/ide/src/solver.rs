@@ -55,6 +55,54 @@ impl Default for IdeSolverOptions {
     }
 }
 
+/// Reusable Phase-1 artifacts of a completed solve: jump functions and
+/// Reps–Horwitz–Sagiv end summaries, keyed exactly as Phase 1 keeps
+/// them. [`IdeSolver::solve_seeded`] consumes a memo to warm-start an
+/// *incremental* re-solve: entries belonging to methods the caller
+/// declares clean are preloaded at their fixpoint, so the solver only
+/// re-tabulates the dirty region; entries for dirty methods are
+/// discarded and recomputed.
+///
+/// Soundness requires the clean set to be closed under "calls into":
+/// a clean method must only call clean methods (equivalently, the dirty
+/// set must contain every transitive *caller* of an edited method).
+/// Under that closure a clean method's summaries depend only on
+/// unchanged code, so they are final, and the warm solve's fixpoint —
+/// and therefore its values — is identical to a cold solve's.
+pub struct SolverMemo<M, S, D, EF> {
+    /// `(stmt, entry-fact) → target-fact → jump function`, at fixpoint.
+    jump: FastMap<(S, D), FastMap<D, EF>>,
+    /// `(method, entry-fact) → (exit stmt, exit fact) → summary`.
+    end_summary: FastMap<(M, D), FastMap<(S, D), EF>>,
+}
+
+impl<M, S, D, EF> Default for SolverMemo<M, S, D, EF> {
+    fn default() -> Self {
+        SolverMemo {
+            jump: FastMap::default(),
+            end_summary: FastMap::default(),
+        }
+    }
+}
+
+impl<M, S, D, EF> SolverMemo<M, S, D, EF> {
+    /// `true` if the memo carries no retained state (a seeded solve with
+    /// an empty memo is exactly a cold solve).
+    pub fn is_empty(&self) -> bool {
+        self.jump.is_empty() && self.end_summary.is_empty()
+    }
+
+    /// Number of retained jump-function entries.
+    pub fn jump_fns(&self) -> usize {
+        self.jump.values().map(FastMap::len).sum()
+    }
+
+    /// Number of retained `(method, entry-fact)` summary keys.
+    pub fn summary_keys(&self) -> usize {
+        self.end_summary.len()
+    }
+}
+
 /// The IDE solver. Build with [`IdeSolver::solve`].
 #[derive(Debug)]
 pub struct IdeSolver<G: Icfg, D, V>
@@ -90,23 +138,84 @@ where
     where
         P: IdeProblem<G, Fact = D, Value = V>,
     {
+        Self::solve_seeded(problem, icfg, options, &SolverMemo::default(), &|_| false).0
+    }
+
+    /// Incremental solve: warm-starts Phase 1 from `memo`, keeping the
+    /// retained jump functions and end summaries of every method `m`
+    /// with `clean(m)`, and re-tabulating everything else. Returns the
+    /// solution together with a fresh memo for the *next* solve.
+    ///
+    /// The caller guarantees the clean-set closure documented on
+    /// [`SolverMemo`]; with it, the result is identical to a cold
+    /// [`solve_with`](Self::solve_with) while
+    /// [`IdeStats::propagations`] only counts work in the dirty region
+    /// (plus any new entry facts flowing into clean methods).
+    pub fn solve_seeded<P>(
+        problem: &P,
+        icfg: &G,
+        options: IdeSolverOptions,
+        memo: &SolverMemo<G::Method, G::Stmt, D, P::EF>,
+        clean: &dyn Fn(G::Method) -> bool,
+    ) -> (Self, SolverMemo<G::Method, G::Stmt, D, P::EF>)
+    where
+        P: IdeProblem<G, Fact = D, Value = V>,
+    {
+        // Preload clean methods' Phase-1 state. Jump entries enter with
+        // a cleared pending flag: they are already at fixpoint, so the
+        // initial seeds re-joining the identity edge find no change and
+        // queue nothing — a fully clean program re-solves with zero
+        // propagations.
+        let mut jump: FastMap<(G::Stmt, P::Fact), FastMap<P::Fact, JumpEntry<P::EF>>> =
+            FastMap::default();
+        for (key, fns) in &memo.jump {
+            if clean(icfg.method_of(key.0)) {
+                jump.insert(
+                    key.clone(),
+                    fns.iter()
+                        .map(|(d, f)| (d.clone(), (f.clone(), false)))
+                        .collect(),
+                );
+            }
+        }
+        let mut end_summary: FastMap<(G::Method, P::Fact), FastMap<(G::Stmt, P::Fact), P::EF>> =
+            FastMap::default();
+        let mut sealed: FastSet<(G::Method, P::Fact)> = FastSet::default();
+        for (key, summaries) in &memo.end_summary {
+            if clean(key.0) {
+                sealed.insert(key.clone());
+                end_summary.insert(key.clone(), summaries.clone());
+            }
+        }
         let mut phase1 = Phase1::<G, P> {
-            jump: FastMap::default(),
+            jump,
             worklist: VecDeque::new(),
             dedup: options.worklist_dedup,
             incoming: FastMap::default(),
-            end_summary: FastMap::default(),
+            end_summary,
+            sealed,
             stats: IdeStats::default(),
         };
         phase1.run(problem, icfg);
         let stats = phase1.stats;
         let (values, stats) = phase2(problem, icfg, &phase1.jump, stats);
-        IdeSolver {
-            values,
-            top: problem.top(),
-            zero: problem.zero(),
-            stats,
-        }
+        let next_memo = SolverMemo {
+            jump: phase1
+                .jump
+                .into_iter()
+                .map(|(k, fns)| (k, fns.into_iter().map(|(d, (f, _))| (d, f)).collect()))
+                .collect(),
+            end_summary: phase1.end_summary,
+        };
+        (
+            IdeSolver {
+                values,
+                top: problem.top(),
+                zero: problem.zero(),
+                stats,
+            },
+            next_memo,
+        )
     }
 
     /// The value computed for `fact` at `stmt` (⊤ if never reached).
@@ -168,6 +277,11 @@ struct Phase1<G: Icfg, P: IdeProblem<G>> {
     incoming: FastMap<(G::Method, P::Fact), FastSet<(G::Stmt, P::Fact, P::Fact)>>,
     /// (callee, entry fact) → (exit stmt, exit fact) → summary EF.
     end_summary: FastMap<(G::Method, P::Fact), FastMap<(G::Stmt, P::Fact), P::EF>>,
+    /// `(method, entry fact)` keys whose end summaries were preloaded
+    /// from a [`SolverMemo`] and are known final: calls reaching such an
+    /// entry apply the cached summaries without re-tabulating the callee
+    /// body for that entry fact.
+    sealed: FastSet<(G::Method, P::Fact)>,
     stats: IdeStats,
 }
 
@@ -272,9 +386,14 @@ where
             self.stats.flow_evals += 1;
             for (d3, g_call) in problem.flow_call(icfg, n, callee, d2) {
                 let sp = icfg.start_point_of(callee);
-                // Callee-local jump functions start from the identity.
-                self.propagate(d3.clone(), sp, d3.clone(), problem.id_edge());
                 let key = (callee, d3.clone());
+                // Callee-local jump functions start from the identity —
+                // unless this entry is sealed (its summaries were
+                // preloaded at fixpoint), in which case re-tabulating
+                // the callee body would be pure wasted work.
+                if !self.sealed.contains(&key) {
+                    self.propagate(d3.clone(), sp, d3.clone(), problem.id_edge());
+                }
                 self.incoming
                     .entry(key.clone())
                     .or_default()

@@ -1,0 +1,30 @@
+//! Deterministic program fingerprints.
+//!
+//! The analysis server keys its solution cache and its incremental-solve
+//! bookkeeping on a fingerprint of everything the lifted analysis reads:
+//! the program (classes, fields, methods, bodies, annotations), the
+//! feature table (names *and* interning order — BDD variable order
+//! follows it), and the feature-model constraint. Two inputs with equal
+//! fingerprints produce byte-identical analysis output, so a fingerprint
+//! match is a safe cache hit; a mismatch forces a re-solve.
+//!
+//! The hash is [`spllift_hash::FxHasher64`] — deterministic across runs
+//! and platforms (no randomized state), which keeps server responses
+//! reproducible in golden-transcript tests.
+
+use crate::Program;
+use spllift_features::{FeatureExpr, FeatureTable};
+use spllift_hash::FxHasher64;
+use std::hash::{Hash, Hasher};
+
+/// Fingerprint of `(program, feature table, feature model)`.
+pub fn fingerprint(program: &Program, table: &FeatureTable, model: Option<&FeatureExpr>) -> u64 {
+    let mut h = FxHasher64::default();
+    program.hash(&mut h);
+    table.len().hash(&mut h);
+    for (_, name) in table.iter() {
+        name.hash(&mut h);
+    }
+    model.hash(&mut h);
+    h.finish()
+}

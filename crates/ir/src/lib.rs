@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 mod builder;
 mod callgraph;
+mod fingerprint;
 mod hierarchy;
 mod icfg;
 pub mod interp;
@@ -39,7 +40,8 @@ pub mod text;
 mod types;
 
 pub use builder::{Label, MethodBuilder, ProgramBuilder};
-pub use callgraph::CallGraph;
+pub use callgraph::{transitive_callers, CallGraph};
+pub use fingerprint::fingerprint;
 pub use hierarchy::Hierarchy;
 pub use icfg::ProgramIcfg;
 pub use types::{

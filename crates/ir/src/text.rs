@@ -536,6 +536,109 @@ pub fn parse_repro(input: &str) -> Result<(Program, FeatureTable), ReproParseErr
     Ok((program, table))
 }
 
+/// Parses a replacement body for one method of an existing program — the
+/// payload of the analysis server's `edit` request.
+///
+/// `locals_line` lists the non-parameter locals in the `locals` syntax of
+/// the repro format (may be empty); `stmt_lines` are repro statement
+/// lines (`index: statement [@ annotation]`, indices `0..n` in order).
+/// The parameter locals (names and types) are carried over from the
+/// method's current body; calls are resolved against `program` by method
+/// name, and annotations may only use features already in `table` — an
+/// edit can never grow the feature table, which keeps the session's BDD
+/// variable order stable.
+///
+/// The returned [`Body`] is *not* yet validated against the program
+/// invariants ([`Program::check`]); the caller splices it in and
+/// re-checks (reverting on failure).
+///
+/// # Errors
+///
+/// [`ReproParseError`] with a 1-based line number into `stmt_lines`
+/// (0 = the locals line) on malformed input, unknown names, new
+/// features, or a method outside the editable subset (instance methods,
+/// bodyless methods, non-prefix parameter locals).
+pub fn parse_body_edit(
+    program: &Program,
+    table: &FeatureTable,
+    method: MethodId,
+    locals_line: &str,
+    stmt_lines: &[&str],
+) -> Result<Body, ReproParseError> {
+    let fail0 = |msg: String| ReproParseError { line: 0, msg };
+    let m = program.method(method);
+    let Some(old_body) = &m.body else {
+        return Err(fail0(format!("method `{}` has no body to edit", m.name)));
+    };
+    let nparams = m.params.len();
+    let expected: Vec<LocalId> = (0..nparams as u32).map(LocalId).collect();
+    if old_body.this_local.is_some() || old_body.param_locals != expected {
+        return Err(fail0(format!(
+            "method `{}` is outside the editable subset (instance method or \
+             non-prefix parameter locals)",
+            m.name
+        )));
+    }
+    let mut body_locals: Vec<Local> = old_body.locals[..nparams].to_vec();
+    for (name, ty) in parse_typed_names(locals_line).map_err(fail0)? {
+        if body_locals.iter().any(|l| l.name == name) {
+            return Err(fail0(format!("duplicate local `{name}`")));
+        }
+        body_locals.push(Local { name, ty });
+    }
+    let lookup = |s: &str| -> Option<LocalId> {
+        body_locals
+            .iter()
+            .position(|l| l.name == s)
+            .map(|i| LocalId(i as u32))
+    };
+    let find_method = |name: &str| program.find_method(name);
+    let arity = |mid: MethodId| program.method(mid).params.len();
+    // Parse annotations against a scratch copy so a rejected edit cannot
+    // leave a half-interned feature behind in the session's table.
+    let mut scratch = table.clone();
+    let frozen = scratch.len();
+    let mut stmts = Vec::new();
+    for (i, line) in stmt_lines.iter().enumerate() {
+        let fail = |msg: String| ReproParseError { line: i + 1, msg };
+        let (index, text) = line
+            .split_once(':')
+            .ok_or_else(|| fail("expected `index: statement`".into()))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| fail(format!("bad statement index `{}`", index.trim())))?;
+        if index != stmts.len() {
+            return Err(fail(format!(
+                "statement index {index} out of order (expected {})",
+                stmts.len()
+            )));
+        }
+        let (stmt_text, ann_text) = split_annotation(text);
+        let annotation = match ann_text {
+            None => FeatureExpr::True,
+            Some(a) => {
+                let e = FeatureExpr::parse(a, &mut scratch).map_err(|e| fail(e.to_string()))?;
+                if scratch.len() != frozen {
+                    return Err(fail(format!(
+                        "annotation `{a}` uses a feature missing from the session's \
+                         feature table"
+                    )));
+                }
+                e
+            }
+        };
+        let kind = parse_stmt_kind(stmt_text, &lookup, &find_method, &arity).map_err(fail)?;
+        stmts.push(Stmt { kind, annotation });
+    }
+    Ok(Body {
+        param_locals: expected,
+        this_local: None,
+        locals: body_locals,
+        stmts,
+    })
+}
+
 fn parse_stmt_kind(
     text: &str,
     lookup: &dyn Fn(&str) -> Option<LocalId>,

@@ -94,7 +94,7 @@ impl From<ElemType> for Type {
 }
 
 /// A local variable declaration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Local {
     /// Source-level name (for diagnostics; uniqueness not required).
     pub name: String,
@@ -153,7 +153,7 @@ pub enum BinOp {
 }
 
 /// The right-hand side of an assignment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Rvalue {
     /// Plain copy of an operand.
     Use(Operand),
@@ -204,7 +204,7 @@ impl Rvalue {
 }
 
 /// Call target of an [`StmtKind::Invoke`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Callee {
     /// Direct call to a static method (or constructor).
     Static(MethodId),
@@ -220,7 +220,7 @@ pub enum Callee {
 }
 
 /// A single three-address statement.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum StmtKind {
     /// No operation (also the synthetic method entry).
     Nop,
@@ -329,7 +329,7 @@ impl StmtKind {
 /// The annotation is the conjunction of all `#ifdef` conditions enclosing
 /// the statement in the SPL source; `FeatureExpr::True` for unannotated
 /// code.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Stmt {
     /// The operation.
     pub kind: StmtKind,
@@ -338,7 +338,7 @@ pub struct Stmt {
 }
 
 /// A method body.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Body {
     /// All locals, including parameter locals.
     pub locals: Vec<Local>,
@@ -352,7 +352,7 @@ pub struct Body {
 }
 
 /// A method declaration (possibly abstract: no body).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Method {
     /// Method name.
     pub name: String,
@@ -369,7 +369,7 @@ pub struct Method {
 }
 
 /// A field declaration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Field name.
     pub name: String,
@@ -380,7 +380,7 @@ pub struct Field {
 }
 
 /// A class declaration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Class {
     /// Class name.
     pub name: String,
@@ -423,7 +423,7 @@ impl fmt::Display for IrError {
 impl std::error::Error for IrError {}
 
 /// A whole program: classes, fields, methods, and entry points.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Program {
     pub(crate) classes: Vec<Class>,
     pub(crate) fields: Vec<Field>,

@@ -1,0 +1,424 @@
+//! A dependency-free JSON value type, parser, and emitter.
+//!
+//! The workspace builds offline with zero registry dependencies (see
+//! DESIGN.md §5), so there is no serde anywhere. This crate is the one
+//! hand-rolled JSON implementation in-tree: the bench crate's
+//! `BENCH_solver.json` emitter/validator and the analysis server's
+//! line-delimited request/response protocol are both built on it.
+//!
+//! The parser is a ~150-line recursive descent over the JSON subset the
+//! in-tree emitters produce (objects, arrays, strings, finite numbers,
+//! booleans, `null`). It rejects duplicate object keys, non-finite
+//! numbers, and trailing garbage — a corrupted document fails fast
+//! instead of validating by accident.
+//!
+//! The emitter ([`Json::render`]) is *canonical*: no insignificant
+//! whitespace, object keys in insertion order, and numbers with a zero
+//! fractional part rendered as integers. Rendering the same value twice
+//! yields byte-identical text, which the server's golden-transcript and
+//! jobs-invariance tests lean on.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A parsed (or to-be-emitted) JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; the parser rejects non-finite values.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys rejected).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A string value (constructor shorthand).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integral number value (constructor shorthand).
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Renders the value as compact canonical JSON: no whitespace,
+    /// object keys in insertion order, integral numbers without a
+    /// fractional part. The output round-trips through [`parse_json`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // Integral values must not pick up a `.0` suffix (or
+                // exponent notation) — the protocol emits counters and
+                // the golden transcripts diff byte-exactly.
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("bad number `{text}`")))?;
+        if !n.is_finite() {
+            return Err(self.err(&format!("non-finite number `{text}`")));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (the subset the in-tree emitters produce).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_strings_escapes_and_nesting() {
+        let doc =
+            parse_json(r#"{"a": ["x\n\"y\"", {"b": -1.5e3}], "c": true, "d": null}"#).unwrap();
+        let Some(Json::Arr(items)) = doc.get("a") else {
+            panic!()
+        };
+        assert_eq!(items[0], Json::Str("x\n\"y\"".into()));
+        assert_eq!(items[1].get("b"), Some(&Json::Num(-1500.0)));
+        assert_eq!(doc.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_keys_and_trailing_garbage() {
+        assert!(parse_json(r#"{"a": 1, "a": 2}"#).is_err());
+        assert!(parse_json(r#"{"a": 1} extra"#).is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json(r#"{"a": 1"#).is_err());
+    }
+
+    #[test]
+    fn render_is_compact_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("type".into(), Json::str("ok")),
+            ("count".into(), Json::num(42)),
+            (
+                "items".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Null, Json::str("a\"b")]),
+            ),
+        ]);
+        let text = v.render();
+        assert_eq!(
+            text,
+            r#"{"type":"ok","count":42,"items":[true,null,"a\"b"]}"#
+        );
+        assert_eq!(parse_json(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn render_keeps_integers_integral() {
+        assert_eq!(Json::num(0).render(), "0");
+        assert_eq!(Json::num(123456789).render(), "123456789");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse_json(r#"{"s": "x", "n": 7, "b": false, "a": [1]}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! The cross-session solution cache.
+//!
+//! Keyed by `(program fingerprint, analysis, model mode)` — the full
+//! identity of a solve. Two sessions that load byte-identical programs
+//! (same feature table, same model) share cache entries, and a session
+//! whose edit is later reverted re-hits its old entry.
+//!
+//! Eviction is least-recently-used under two budgets: a maximum entry
+//! count and a maximum retained-byte estimate. The most recently
+//! inserted entry is never evicted, so a single oversized solution
+//! still caches (and simply evicts everything else).
+
+use crate::session::RenderedSolution;
+use std::rc::Rc;
+
+/// Cache key: `(program fingerprint, analysis name, mode string)`.
+pub type CacheKey = (u64, String, String);
+
+struct Entry {
+    key: CacheKey,
+    value: Rc<RenderedSolution>,
+    /// Logical access time; larger = more recent.
+    stamp: u64,
+}
+
+/// An LRU cache of rendered solutions with entry and byte budgets.
+pub struct SolutionCache {
+    entries: Vec<Entry>,
+    max_entries: usize,
+    max_bytes: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SolutionCache {
+    /// Creates a cache holding at most `max_entries` solutions totalling
+    /// at most `max_bytes` estimated bytes.
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        SolutionCache {
+            entries: Vec::new(),
+            max_entries: max_entries.max(1),
+            max_bytes,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. Counts the
+    /// access either way.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Rc<RenderedSolution>> {
+        self.stamp += 1;
+        match self.entries.iter_mut().find(|e| &e.key == key) {
+            Some(e) => {
+                e.stamp = self.stamp;
+                self.hits += 1;
+                Some(Rc::clone(&e.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries until both budgets hold. The entry just inserted is
+    /// exempt from eviction.
+    pub fn insert(&mut self, key: CacheKey, value: Rc<RenderedSolution>) {
+        self.stamp += 1;
+        self.entries.retain(|e| e.key != key);
+        self.entries.push(Entry {
+            key,
+            value,
+            stamp: self.stamp,
+        });
+        while self.entries.len() > 1
+            && (self.entries.len() > self.max_entries || self.total_bytes() > self.max_bytes)
+        {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.remove(lru);
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops every entry, counting each as an eviction. Returns how many
+    /// were dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.evictions += n as u64;
+        self.entries.clear();
+        n
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated retained bytes across all entries.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.value.bytes).sum()
+    }
+
+    /// `(hits, misses, evictions)` counters since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}

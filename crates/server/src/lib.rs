@@ -1,0 +1,606 @@
+//! The resident analysis server.
+//!
+//! SPLLIFT's pitch is "minutes instead of years" for one-shot analysis;
+//! this crate drops the per-invocation cost too. A [`Server`] stays
+//! resident, speaks a line-delimited JSON protocol on stdin/stdout
+//! (`spllift-cli serve`), and keeps loaded product lines warm:
+//!
+//! * **sessions** — parsed program + feature model + a session-private
+//!   BDD manager (thread-local, per DESIGN.md §6),
+//! * a **solution cache** keyed by `(program fingerprint, analysis,
+//!   model mode)` with an LRU entry/byte budget — repeated `analyze`
+//!   requests are answered with *zero* solver propagations,
+//! * **incremental re-analysis** — an `edit` that replaces one method
+//!   body dirties only that method and its transitive callers; the next
+//!   `analyze` reuses every clean method's jump functions and end
+//!   summaries ([`spllift_core::SolverMemo`]) and is bit-identical to a
+//!   cold solve,
+//! * a **worker pool** — batched `query` requests fan out over
+//!   [`spllift_spl::map_shards`] with deterministic shard order, so
+//!   responses are byte-identical for every `--jobs` value.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one per line out (blank lines are
+//! skipped). Responses are canonical compact JSON ([`Json::render`])
+//! and contain no wall-clock timings, so transcripts diff byte-exactly.
+//! A malformed or failing request yields `{"type":"error",...}` and the
+//! server keeps serving. Requests:
+//!
+//! | `type`     | fields |
+//! |------------|--------|
+//! | `load`     | `session`, one of `source`/`path`/`gen`, optional `model` |
+//! | `analyze`  | `session`, optional `analysis` (default `taint`), `mode` |
+//! | `query`    | `session`, `analysis`, `mode`, `queries: [...]` |
+//! | `edit`     | `session`, `method`, optional `locals`, `stmts: [...]` |
+//! | `stats`    | — |
+//! | `evict`    | — |
+//! | `shutdown` | — |
+//!
+//! Queries address statements as `<method>:<index>` where `<method>` is
+//! a method name (optionally `Class.name`-qualified) or a raw `m<N>`
+//! id, and facts by their `Debug` rendering (e.g. `Local(LocalId(1))`).
+//! A fact absent from the solution is not an error: its constraint is
+//! `false` (the paper's ⊥), and `holds_in` answers `false`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod session;
+
+use cache::SolutionCache;
+use session::{mode_str, parse_mode, RenderedSolution, Session, ANALYSES};
+use spllift_benchgen::{subject_by_name, synthetic_spec, GeneratedSpl, SubjectSpec};
+use spllift_core::ModelMode;
+use spllift_features::{parse_feature_model, Configuration, FeatureTable};
+use spllift_frontend::parse_source;
+use spllift_ide::IdeStats;
+use spllift_ir::{MethodId, Program};
+use spllift_json::{parse_json, Json};
+use spllift_spl::{default_jobs, map_shards};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::rc::Rc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads for batched queries (`--jobs`).
+    pub jobs: usize,
+    /// Solution-cache entry budget (`--cache-entries`).
+    pub cache_entries: usize,
+    /// Solution-cache byte budget (`--cache-bytes`).
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            jobs: default_jobs(),
+            cache_entries: 64,
+            cache_bytes: 16 << 20,
+        }
+    }
+}
+
+/// A statement/fact query, parsed and validated on the main thread so
+/// the worker pool only ever touches `Sync` data.
+enum ParsedQuery {
+    /// `constraint_of`: the feature constraint of `(stmt, fact)`.
+    Constraint { stmt: String, fact: String },
+    /// `reachability_of`: the constraint under which `stmt` executes.
+    Reach { stmt: String },
+    /// `holds_in`: does `(stmt, fact)` hold in one configuration?
+    Holds {
+        stmt: String,
+        fact: String,
+        config: Configuration,
+    },
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn hex16(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+fn req_str<'a>(req: &'a Json, key: &str) -> Result<&'a str, String> {
+    req.get(key)
+        .ok_or_else(|| format!("missing `{key}` field"))?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` must be a string"))
+}
+
+fn opt_str<'a>(req: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+fn parse_gen_spec(s: &str) -> Result<SubjectSpec, String> {
+    if let Some(rest) = s.strip_prefix("synthetic:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [features, loc, seed] = parts.as_slice() else {
+            return Err("gen `synthetic` takes synthetic:<features>:<loc>:<seed>".into());
+        };
+        let parse = |what: &str, v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("synthetic {what} must be an integer, got `{v}`"))
+        };
+        Ok(synthetic_spec(
+            parse("feature count", features)?,
+            parse("loc", loc)?,
+            parse("seed", seed)? as u64,
+        ))
+    } else {
+        subject_by_name(s).ok_or_else(|| {
+            format!(
+                "unknown generated subject `{s}` \
+                 (MM08|GPL|Lampiro|BerkeleyDB, or synthetic:<features>:<loc>:<seed>)"
+            )
+        })
+    }
+}
+
+/// Resolves a `<method>:<index>` key to the canonical `m<N>:<I>` form
+/// ([`spllift_ir::StmtRef`]'s `Display`), validating both parts.
+fn parse_stmt_key(program: &Program, s: &str) -> Result<String, String> {
+    let (mpart, ipart) = s
+        .rsplit_once(':')
+        .ok_or_else(|| format!("bad statement `{s}` (want `method:index`)"))?;
+    let index: u32 = ipart
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad statement index in `{s}`"))?;
+    let mid = resolve_method(program, mpart.trim())?;
+    let m = program.method(mid);
+    let n = m
+        .body
+        .as_ref()
+        .map(|b| b.stmts.len())
+        .ok_or_else(|| format!("method `{}` has no body", m.name))?;
+    if index as usize >= n {
+        return Err(format!(
+            "statement index {index} out of range for `{}` ({n} statements)",
+            m.name
+        ));
+    }
+    Ok(format!("m{}:{}", mid.0, index))
+}
+
+fn resolve_method(program: &Program, m: &str) -> Result<MethodId, String> {
+    if let Some(mid) = program.find_method(m) {
+        return Ok(mid);
+    }
+    // Fall back to the raw id form the server itself emits.
+    if let Some(n) = m.strip_prefix('m').and_then(|d| d.parse::<u32>().ok()) {
+        if (n as usize) < program.methods().len() {
+            return Ok(MethodId(n));
+        }
+    }
+    Err(format!("unknown method `{m}`"))
+}
+
+fn parse_query(program: &Program, table: &FeatureTable, q: &Json) -> Result<ParsedQuery, String> {
+    let kind = req_str(q, "kind")?;
+    match kind {
+        "constraint_of" => Ok(ParsedQuery::Constraint {
+            stmt: parse_stmt_key(program, req_str(q, "stmt")?)?,
+            fact: req_str(q, "fact")?.to_owned(),
+        }),
+        "reachability_of" => Ok(ParsedQuery::Reach {
+            stmt: parse_stmt_key(program, req_str(q, "stmt")?)?,
+        }),
+        "holds_in" => {
+            let entries = q
+                .get("config")
+                .and_then(Json::as_arr)
+                .ok_or("`config` must be an array of feature names")?;
+            let mut enabled = Vec::new();
+            for e in entries {
+                let fname = e
+                    .as_str()
+                    .ok_or_else(|| "`config` entries must be strings".to_owned())?;
+                enabled.push(
+                    table
+                        .get(fname)
+                        .ok_or_else(|| format!("unknown feature `{fname}`"))?,
+                );
+            }
+            Ok(ParsedQuery::Holds {
+                stmt: parse_stmt_key(program, req_str(q, "stmt")?)?,
+                fact: req_str(q, "fact")?.to_owned(),
+                config: Configuration::from_enabled(enabled),
+            })
+        }
+        other => Err(format!(
+            "unknown query kind `{other}` (constraint_of|reachability_of|holds_in)"
+        )),
+    }
+}
+
+/// Renders one query result. A missing row is the ⊥ constraint, not an
+/// error — the server cannot tell "fact never holds" from "no such
+/// fact", and the paper's semantics make both `false`.
+fn render_query(sol: &RenderedSolution, item: &Result<ParsedQuery, String>) -> Json {
+    let q = match item {
+        Ok(q) => q,
+        Err(msg) => return obj(vec![("error", Json::str(msg.clone()))]),
+    };
+    match q {
+        ParsedQuery::Constraint { stmt, fact } => {
+            let cube = sol
+                .fact_row(stmt, fact)
+                .map_or("false", |r| r.cube.as_str());
+            obj(vec![
+                ("kind", Json::str("constraint_of")),
+                ("stmt", Json::str(stmt.clone())),
+                ("fact", Json::str(fact.clone())),
+                ("constraint", Json::str(cube)),
+            ])
+        }
+        ParsedQuery::Reach { stmt } => {
+            let cube = sol.reach_row(stmt).map_or("false", |r| r.cube.as_str());
+            obj(vec![
+                ("kind", Json::str("reachability_of")),
+                ("stmt", Json::str(stmt.clone())),
+                ("constraint", Json::str(cube)),
+            ])
+        }
+        ParsedQuery::Holds { stmt, fact, config } => {
+            let holds = sol
+                .fact_row(stmt, fact)
+                .is_some_and(|r| config.satisfies(&r.expr));
+            obj(vec![
+                ("kind", Json::str("holds_in")),
+                ("stmt", Json::str(stmt.clone())),
+                ("fact", Json::str(fact.clone())),
+                ("holds", Json::Bool(holds)),
+            ])
+        }
+    }
+}
+
+fn stats_obj(stats: &IdeStats) -> Json {
+    obj(vec![
+        ("propagations", Json::num(stats.propagations)),
+        ("flow_evals", Json::num(stats.flow_evals)),
+        ("jump_fns", Json::num(stats.jump_fn_constructions)),
+        ("killed_early", Json::num(stats.killed_early)),
+        ("value_updates", Json::num(stats.value_updates)),
+    ])
+}
+
+/// The resident server: sessions, the solution cache, and the protocol
+/// dispatcher. Single-threaded except for query fan-out (the sessions'
+/// BDD managers must stay on this thread).
+pub struct Server {
+    opts: ServerOptions,
+    sessions: BTreeMap<String, Session>,
+    cache: SolutionCache,
+    last_solve: IdeStats,
+}
+
+impl Server {
+    /// Creates an empty server.
+    pub fn new(opts: ServerOptions) -> Self {
+        let cache = SolutionCache::new(opts.cache_entries, opts.cache_bytes);
+        Server {
+            opts,
+            sessions: BTreeMap::new(),
+            cache,
+            last_solve: IdeStats::default(),
+        }
+    }
+
+    /// Handles one request line; returns the rendered response and
+    /// whether the server should shut down afterwards.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        match self.dispatch(line) {
+            Ok((resp, shutdown)) => (resp.render(), shutdown),
+            Err(msg) => (
+                obj(vec![
+                    ("type", Json::str("error")),
+                    ("message", Json::str(msg)),
+                ])
+                .render(),
+                false,
+            ),
+        }
+    }
+
+    /// Serves line-delimited requests from `input` until EOF or a
+    /// `shutdown` request, flushing one response line each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors on the two streams; protocol-level failures
+    /// become `{"type":"error",...}` responses instead.
+    pub fn run(&mut self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, shutdown) = self.handle_line(&line);
+            writeln!(output, "{resp}")?;
+            output.flush()?;
+            if shutdown {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(Json, bool), String> {
+        let req = parse_json(line)?;
+        let ty = req_str(&req, "type")?;
+        let resp = match ty {
+            "load" => self.do_load(&req)?,
+            "analyze" => self.do_analyze(&req)?,
+            "query" => self.do_query(&req)?,
+            "edit" => self.do_edit(&req)?,
+            "stats" => self.do_stats(),
+            "evict" => {
+                let n = self.cache.clear();
+                obj(vec![
+                    ("type", Json::str("ok")),
+                    ("request", Json::str("evict")),
+                    ("evicted", Json::num(n as u64)),
+                ])
+            }
+            "shutdown" => {
+                return Ok((
+                    obj(vec![
+                        ("type", Json::str("ok")),
+                        ("request", Json::str("shutdown")),
+                    ]),
+                    true,
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "unknown request type `{other}` \
+                     (load|analyze|query|edit|stats|evict|shutdown)"
+                ))
+            }
+        };
+        Ok((resp, false))
+    }
+
+    fn session(&self, name: &str) -> Result<&Session, String> {
+        self.sessions
+            .get(name)
+            .ok_or_else(|| format!("unknown session `{name}` (send a `load` first)"))
+    }
+
+    fn session_mut(&mut self, name: &str) -> Result<&mut Session, String> {
+        self.sessions
+            .get_mut(name)
+            .ok_or_else(|| format!("unknown session `{name}` (send a `load` first)"))
+    }
+
+    fn do_load(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req_str(req, "session")?;
+        let source = opt_str(req, "source")?;
+        let path = opt_str(req, "path")?;
+        let gen = opt_str(req, "gen")?;
+        let model_text = opt_str(req, "model")?;
+        if [source.is_some(), path.is_some(), gen.is_some()]
+            .iter()
+            .filter(|b| **b)
+            .count()
+            != 1
+        {
+            return Err("load takes exactly one of `source`, `path`, `gen`".into());
+        }
+        let (program, table, model) = if let Some(spec) = gen {
+            if model_text.is_some() {
+                return Err(
+                    "`model` cannot be combined with `gen` (the generated feature model is used)"
+                        .into(),
+                );
+            }
+            let spl = GeneratedSpl::generate(parse_gen_spec(spec)?);
+            let model = Some(spl.model_expr());
+            let GeneratedSpl { program, table, .. } = spl;
+            (program, table, model)
+        } else {
+            let text = match (source, path) {
+                (Some(s), _) => s.to_owned(),
+                (_, Some(p)) => {
+                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?
+                }
+                _ => unreachable!("counted above"),
+            };
+            let mut table = FeatureTable::new();
+            let program = parse_source(&text, &mut table)?;
+            let model = match model_text {
+                None => None,
+                Some(mt) => Some(
+                    parse_feature_model(mt, &mut table)
+                        .map_err(|e| format!("model: {e}"))?
+                        .to_expr(),
+                ),
+            };
+            (program, table, model)
+        };
+        let sess = Session::new(program, table, model)?;
+        let resp = obj(vec![
+            ("type", Json::str("ok")),
+            ("request", Json::str("load")),
+            ("session", Json::str(name)),
+            ("fingerprint", Json::str(hex16(sess.fingerprint))),
+            ("methods", Json::num(sess.program.methods().len() as u64)),
+            ("stmts", Json::num(sess.program.stmt_count() as u64)),
+            ("features", Json::num(sess.table.len() as u64)),
+        ]);
+        self.sessions.insert(name.to_owned(), sess);
+        Ok(resp)
+    }
+
+    fn analysis_and_mode(req: &Json) -> Result<(&str, ModelMode), String> {
+        let analysis = opt_str(req, "analysis")?.unwrap_or("taint");
+        if !ANALYSES.contains(&analysis) {
+            return Err(format!(
+                "unknown analysis `{analysis}` (taint|types|reaching-defs|uninit)"
+            ));
+        }
+        let mode = parse_mode(opt_str(req, "mode")?.unwrap_or("on-edges"))?;
+        Ok((analysis, mode))
+    }
+
+    fn do_analyze(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req_str(req, "session")?.to_owned();
+        let (analysis, mode) = Self::analysis_and_mode(req)?;
+        let analysis = analysis.to_owned();
+        let sess = self
+            .sessions
+            .get_mut(&name)
+            .ok_or_else(|| format!("unknown session `{name}` (send a `load` first)"))?;
+        let key = (
+            sess.fingerprint,
+            analysis.clone(),
+            mode_str(mode).to_owned(),
+        );
+        let (solve, stats, solution) = match self.cache.get(&key) {
+            Some(cached) => {
+                sess.install_cached(&analysis, mode, Rc::clone(&cached))?;
+                ("cached", IdeStats::default(), cached)
+            }
+            None => {
+                let outcome = sess.analyze(&analysis, mode)?;
+                self.cache.insert(key, Rc::clone(&outcome.solution));
+                (outcome.solve, outcome.stats, outcome.solution)
+            }
+        };
+        self.last_solve = stats;
+        Ok(obj(vec![
+            ("type", Json::str("ok")),
+            ("request", Json::str("analyze")),
+            ("session", Json::str(name)),
+            ("analysis", Json::str(analysis)),
+            ("mode", Json::str(mode_str(mode))),
+            ("solve", Json::str(solve)),
+            ("propagations", Json::num(stats.propagations)),
+            ("flow_evals", Json::num(stats.flow_evals)),
+            ("jump_fns", Json::num(stats.jump_fn_constructions)),
+            ("value_updates", Json::num(stats.value_updates)),
+            ("facts", Json::num(solution.facts.len() as u64)),
+            ("digest", Json::str(hex16(solution.digest))),
+        ]))
+    }
+
+    fn do_query(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req_str(req, "session")?;
+        let (analysis, mode) = Self::analysis_and_mode(req)?;
+        let sess = self.session(name)?;
+        let solution = sess.current_solution(analysis, mode).ok_or_else(|| {
+            format!(
+                "no current solution for {analysis}/{} in session `{name}` \
+                 (send an `analyze` first, and after every `edit`)",
+                mode_str(mode)
+            )
+        })?;
+        let queries = req
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or("`queries` must be an array")?;
+        let parsed: Vec<Result<ParsedQuery, String>> = queries
+            .iter()
+            .map(|q| parse_query(&sess.program, &sess.table, q))
+            .collect();
+        // Fan out over the worker pool. Workers borrow the rendered
+        // solution (plain strings + feature expressions — no BDD handles
+        // leave this thread); contiguous ordered shards keep the result
+        // order, and thus the response bytes, independent of `jobs`.
+        let sol: &RenderedSolution = solution;
+        let (shards, _shard_stats, _jobs) = map_shards(&parsed, self.opts.jobs, |_, chunk| {
+            chunk
+                .iter()
+                .map(|item| render_query(sol, item))
+                .collect::<Vec<Json>>()
+        });
+        let results: Vec<Json> = shards.into_iter().flatten().collect();
+        Ok(obj(vec![
+            ("type", Json::str("ok")),
+            ("request", Json::str("query")),
+            ("session", Json::str(name)),
+            ("analysis", Json::str(analysis)),
+            ("mode", Json::str(mode_str(mode))),
+            ("count", Json::num(results.len() as u64)),
+            ("results", Json::Arr(results)),
+        ]))
+    }
+
+    fn do_edit(&mut self, req: &Json) -> Result<Json, String> {
+        let name = req_str(req, "session")?;
+        let method = req_str(req, "method")?;
+        let locals = opt_str(req, "locals")?.unwrap_or("");
+        let stmts = req
+            .get("stmts")
+            .and_then(Json::as_arr)
+            .ok_or("`stmts` must be an array of strings")?;
+        let mut lines = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            lines.push(
+                s.as_str()
+                    .ok_or_else(|| "`stmts` entries must be strings".to_owned())?,
+            );
+        }
+        let method = method.to_owned();
+        let locals = locals.to_owned();
+        let sess = self.session_mut(name)?;
+        let (_mid, n) = sess.edit(&method, &locals, &lines)?;
+        Ok(obj(vec![
+            ("type", Json::str("ok")),
+            ("request", Json::str("edit")),
+            ("session", Json::str(name)),
+            ("method", Json::str(method)),
+            ("fingerprint", Json::str(hex16(sess.fingerprint))),
+            ("stmts", Json::num(n as u64)),
+        ]))
+    }
+
+    fn do_stats(&mut self) -> Json {
+        let sessions: Vec<Json> = self
+            .sessions
+            .iter()
+            .map(|(name, s)| {
+                obj(vec![
+                    ("session", Json::str(name.clone())),
+                    ("fingerprint", Json::str(hex16(s.fingerprint))),
+                    ("methods", Json::num(s.program.methods().len() as u64)),
+                    ("stmts", Json::num(s.program.stmt_count() as u64)),
+                    (
+                        "analyses",
+                        Json::Arr(s.slot_keys().into_iter().map(Json::str).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let (hits, misses, evictions) = self.cache.counters();
+        obj(vec![
+            ("type", Json::str("ok")),
+            ("request", Json::str("stats")),
+            ("sessions", Json::Arr(sessions)),
+            (
+                "cache",
+                obj(vec![
+                    ("entries", Json::num(self.cache.len() as u64)),
+                    ("bytes", Json::num(self.cache.total_bytes() as u64)),
+                    ("hits", Json::num(hits)),
+                    ("misses", Json::num(misses)),
+                    ("evictions", Json::num(evictions)),
+                ]),
+            ),
+            ("last_solve", stats_obj(&self.last_solve)),
+        ])
+    }
+}

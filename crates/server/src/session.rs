@@ -1,0 +1,481 @@
+//! Analysis sessions: a parsed program, its feature universe, a
+//! session-private BDD context, and per-analysis incremental solver
+//! state.
+//!
+//! One [`Session`] corresponds to one loaded product line. The BDD
+//! manager inside [`BddConstraintContext`] is thread-local state
+//! (`Rc<RefCell<…>>`, see DESIGN.md §6): it lives on the server's main
+//! thread, and nothing holding a [`Bdd`] ever crosses into the query
+//! worker pool. Workers only see [`RenderedSolution`] — plain strings
+//! and [`FeatureExpr`]s, which are `Send + Sync`.
+//!
+//! Each `(analysis, model-mode)` pair owns an [`AnalysisSlot`] with the
+//! [`SolverMemo`] of its most recent solve. An `edit` records the edited
+//! method as a dirty root in every slot; the next `analyze` of a slot
+//! derives the dirty *set* as the transitive-caller closure of the
+//! accumulated roots ([`spllift_ir::transitive_callers`]) and re-solves
+//! incrementally, reusing the memo entries of every clean method.
+
+use spllift_analyses::{
+    DefFact, PossibleTypes, ReachingDefs, TaintAnalysis, TaintFact, TypeFact, UninitFact,
+    UninitVars,
+};
+use spllift_bdd::Bdd;
+use spllift_core::{ConstraintEdge, LiftedSolution, ModelMode, SolverMemo};
+use spllift_features::{BddConstraintContext, FeatureExpr, FeatureTable};
+use spllift_hash::{FastMap, FxHasher64};
+use spllift_ide::{IdeSolverOptions, IdeStats};
+use spllift_ifds::{Icfg, IfdsProblem};
+use spllift_ir::text::parse_body_edit;
+use spllift_ir::{fingerprint, transitive_callers, MethodId, Program, ProgramIcfg};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// One `(statement, fact)` result row of a rendered solution.
+#[derive(Debug, Clone)]
+pub struct FactRow {
+    /// Canonical statement key (`m<method>:<index>`).
+    pub stmt: String,
+    /// The fact, in its `Debug` rendering (e.g. `Local(LocalId(1))`).
+    pub fact: String,
+    /// Canonical sum-of-cubes constraint string.
+    pub cube: String,
+    /// The constraint as a manager-free feature expression, for
+    /// `holds_in` evaluation on worker threads.
+    pub expr: FeatureExpr,
+}
+
+/// The reachability row of one statement.
+#[derive(Debug, Clone)]
+pub struct ReachRow {
+    /// Canonical statement key.
+    pub stmt: String,
+    /// Reachability constraint (sum of cubes).
+    pub cube: String,
+    /// Manager-free form of the constraint.
+    pub expr: FeatureExpr,
+}
+
+/// A fully rendered, immutable solution of one `(program, analysis,
+/// mode)` triple: every constraint is materialized as a canonical cube
+/// string plus a manager-free [`FeatureExpr`].
+///
+/// This is the value the solution cache stores and the query worker
+/// pool reads — it is `Sync` by construction (no BDD handles), and its
+/// rendering is deterministic, so two solves of identical input produce
+/// identical `digest`s.
+#[derive(Debug)]
+pub struct RenderedSolution {
+    /// All satisfiable `(stmt, fact)` rows, sorted by statement then
+    /// fact (the analyses' fact `Ord`).
+    pub facts: Vec<FactRow>,
+    /// One row per statement of every entry-reachable method, in
+    /// method/index order; unreachable statements render as `false`.
+    pub reach: Vec<ReachRow>,
+    /// Counters of the solve that produced this solution.
+    pub stats: IdeStats,
+    /// Order-sensitive hash over every rendered row.
+    pub digest: u64,
+    /// Approximate retained size, for the cache's byte budget.
+    pub bytes: usize,
+    fact_index: FastMap<(String, String), usize>,
+    reach_index: FastMap<String, usize>,
+}
+
+impl RenderedSolution {
+    /// The row for `(stmt, fact)`, if its constraint is satisfiable.
+    pub fn fact_row(&self, stmt: &str, fact: &str) -> Option<&FactRow> {
+        self.fact_index
+            .get(&(stmt.to_owned(), fact.to_owned()))
+            .map(|&i| &self.facts[i])
+    }
+
+    /// The reachability row for `stmt`, if the statement belongs to an
+    /// entry-reachable method.
+    pub fn reach_row(&self, stmt: &str) -> Option<&ReachRow> {
+        self.reach_index.get(stmt).map(|&i| &self.reach[i])
+    }
+}
+
+fn render_solution<D>(
+    solution: &LiftedSolution<'_, ProgramIcfg<'_>, D, Bdd>,
+    icfg: &ProgramIcfg<'_>,
+    ctx: &BddConstraintContext,
+) -> RenderedSolution
+where
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug,
+{
+    let mut facts = Vec::new();
+    let mut reach = Vec::new();
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            let r = solution.reachability_of(s);
+            reach.push(ReachRow {
+                stmt: s.to_string(),
+                cube: r.to_cube_string(),
+                expr: ctx.to_expr(&r),
+            });
+            let mut rows: Vec<(D, Bdd)> = solution.results_at(s).into_iter().collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (d, c) in rows {
+                facts.push(FactRow {
+                    stmt: s.to_string(),
+                    fact: format!("{d:?}"),
+                    cube: c.to_cube_string(),
+                    expr: ctx.to_expr(&c),
+                });
+            }
+        }
+    }
+    let mut h = FxHasher64::default();
+    let mut bytes = 0usize;
+    for row in &facts {
+        row.stmt.hash(&mut h);
+        row.fact.hash(&mut h);
+        row.cube.hash(&mut h);
+        bytes += row.stmt.len() + row.fact.len() + row.cube.len() + 96;
+    }
+    for row in &reach {
+        row.stmt.hash(&mut h);
+        row.cube.hash(&mut h);
+        bytes += row.stmt.len() + row.cube.len() + 64;
+    }
+    let fact_index = facts
+        .iter()
+        .enumerate()
+        .map(|(i, r)| ((r.stmt.clone(), r.fact.clone()), i))
+        .collect();
+    let reach_index = reach
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.stmt.clone(), i))
+        .collect();
+    RenderedSolution {
+        facts,
+        reach,
+        stats: solution.stats(),
+        digest: h.finish(),
+        bytes,
+        fact_index,
+        reach_index,
+    }
+}
+
+/// Per-`(analysis, mode)` incremental solver state.
+pub struct SolvedState<D> {
+    memo: SolverMemo<MethodId, spllift_ir::StmtRef, D, ConstraintEdge<Bdd>>,
+    /// Fingerprint of the program state `memo` was computed on.
+    memo_fingerprint: Option<u64>,
+    /// Methods edited since `memo` was computed.
+    dirty_roots: BTreeSet<MethodId>,
+    /// The most recent solution for this slot, with the fingerprint it
+    /// belongs to.
+    last: Option<(u64, Rc<RenderedSolution>)>,
+}
+
+impl<D> Default for SolvedState<D> {
+    fn default() -> Self {
+        SolvedState {
+            memo: SolverMemo::default(),
+            memo_fingerprint: None,
+            dirty_roots: BTreeSet::new(),
+            last: None,
+        }
+    }
+}
+
+/// The outcome of one `analyze`.
+pub struct AnalyzeOutcome {
+    /// `"cold"` or `"incremental"` (the server adds `"cached"`).
+    pub solve: &'static str,
+    /// Counters of this solve.
+    pub stats: IdeStats,
+    /// The rendered solution.
+    pub solution: Rc<RenderedSolution>,
+}
+
+fn analyze_generic<P, D>(
+    problem: &P,
+    program: &Program,
+    ctx: &BddConstraintContext,
+    model: Option<&FeatureExpr>,
+    mode: ModelMode,
+    fp: u64,
+    state: &mut SolvedState<D>,
+) -> AnalyzeOutcome
+where
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug,
+{
+    let icfg = ProgramIcfg::new(program);
+    // Pick the clean set. The memo's soundness contract (SolverMemo)
+    // requires the dirty set to contain every transitive caller of every
+    // edited method. Computing the closure on the *current* program is
+    // sound because an edit can only replace a method body — signatures,
+    // classes, and the hierarchy are fixed — so call edges out of
+    // unchanged bodies are identical before and after the edit.
+    let (kind, clean): (&'static str, Box<dyn Fn(MethodId) -> bool>) = match state.memo_fingerprint
+    {
+        Some(mfp) if mfp == fp => ("incremental", Box::new(|_| true)),
+        Some(_) if !state.dirty_roots.is_empty() => {
+            let dirty = transitive_callers(program, icfg.hierarchy(), &state.dirty_roots);
+            ("incremental", Box::new(move |m| !dirty.contains(&m)))
+        }
+        _ => ("cold", Box::new(|_| false)),
+    };
+    let (solution, next_memo) = LiftedSolution::solve_memoized(
+        problem,
+        &icfg,
+        ctx,
+        model,
+        mode,
+        IdeSolverOptions::default(),
+        &state.memo,
+        &*clean,
+    );
+    let stats = solution.stats();
+    let rendered = Rc::new(render_solution(&solution, &icfg, ctx));
+    state.memo = next_memo;
+    state.memo_fingerprint = Some(fp);
+    state.dirty_roots.clear();
+    state.last = Some((fp, Rc::clone(&rendered)));
+    AnalyzeOutcome {
+        solve: kind,
+        stats,
+        solution: rendered,
+    }
+}
+
+/// One analysis slot: the incremental state of a single `(analysis,
+/// mode)` pair, monomorphized per fact domain.
+pub enum AnalysisSlot {
+    /// Taint analysis state.
+    Taint(SolvedState<TaintFact>),
+    /// Possible-types analysis state.
+    Types(SolvedState<TypeFact>),
+    /// Reaching-definitions analysis state.
+    Defs(SolvedState<DefFact>),
+    /// Uninitialized-variables analysis state.
+    Uninit(SolvedState<UninitFact>),
+}
+
+/// The analysis names `analyze`/`query` accept.
+pub const ANALYSES: [&str; 4] = ["taint", "types", "reaching-defs", "uninit"];
+
+impl AnalysisSlot {
+    fn new(analysis: &str) -> Result<AnalysisSlot, String> {
+        Ok(match analysis {
+            "taint" => AnalysisSlot::Taint(SolvedState::default()),
+            "types" => AnalysisSlot::Types(SolvedState::default()),
+            "reaching-defs" => AnalysisSlot::Defs(SolvedState::default()),
+            "uninit" => AnalysisSlot::Uninit(SolvedState::default()),
+            other => {
+                return Err(format!(
+                    "unknown analysis `{other}` (taint|types|reaching-defs|uninit)"
+                ))
+            }
+        })
+    }
+
+    fn mark_dirty(&mut self, m: MethodId) {
+        match self {
+            AnalysisSlot::Taint(s) => s.dirty_roots.insert(m),
+            AnalysisSlot::Types(s) => s.dirty_roots.insert(m),
+            AnalysisSlot::Defs(s) => s.dirty_roots.insert(m),
+            AnalysisSlot::Uninit(s) => s.dirty_roots.insert(m),
+        };
+    }
+
+    fn set_last(&mut self, fp: u64, solution: Rc<RenderedSolution>) {
+        match self {
+            AnalysisSlot::Taint(s) => s.last = Some((fp, solution)),
+            AnalysisSlot::Types(s) => s.last = Some((fp, solution)),
+            AnalysisSlot::Defs(s) => s.last = Some((fp, solution)),
+            AnalysisSlot::Uninit(s) => s.last = Some((fp, solution)),
+        }
+    }
+
+    fn last(&self) -> Option<&(u64, Rc<RenderedSolution>)> {
+        match self {
+            AnalysisSlot::Taint(s) => s.last.as_ref(),
+            AnalysisSlot::Types(s) => s.last.as_ref(),
+            AnalysisSlot::Defs(s) => s.last.as_ref(),
+            AnalysisSlot::Uninit(s) => s.last.as_ref(),
+        }
+    }
+}
+
+/// Parses a protocol model-mode string.
+pub fn parse_mode(s: &str) -> Result<ModelMode, String> {
+    match s {
+        "on-edges" => Ok(ModelMode::OnEdges),
+        "start-value" => Ok(ModelMode::AtStartValue),
+        "ignore" => Ok(ModelMode::Ignore),
+        other => Err(format!(
+            "unknown mode `{other}` (on-edges|start-value|ignore)"
+        )),
+    }
+}
+
+/// The protocol string of a model mode.
+pub fn mode_str(mode: ModelMode) -> &'static str {
+    match mode {
+        ModelMode::OnEdges => "on-edges",
+        ModelMode::AtStartValue => "start-value",
+        ModelMode::Ignore => "ignore",
+    }
+}
+
+fn slot_key(analysis: &str, mode: ModelMode) -> String {
+    format!("{analysis}/{}", mode_str(mode))
+}
+
+/// One loaded product line with its per-analysis incremental state.
+pub struct Session {
+    /// The program (mutated in place by `edit`).
+    pub program: Program,
+    /// The feature universe (fixed at load: edits cannot grow it).
+    pub table: FeatureTable,
+    /// The feature-model constraint, if any.
+    pub model: Option<FeatureExpr>,
+    /// Session-private BDD context (thread-local; never crosses threads).
+    pub ctx: BddConstraintContext,
+    /// Fingerprint of `(program, table, model)`; recomputed on edit.
+    pub fingerprint: u64,
+    slots: BTreeMap<String, AnalysisSlot>,
+}
+
+impl Session {
+    /// Creates a session over a checked program.
+    pub fn new(
+        program: Program,
+        table: FeatureTable,
+        model: Option<FeatureExpr>,
+    ) -> Result<Session, String> {
+        if program.entry_points().is_empty() {
+            return Err("no entry point: declare a method named `main`".into());
+        }
+        program
+            .check()
+            .map_err(|e| format!("invalid program: {e}"))?;
+        let ctx = BddConstraintContext::new(&table);
+        let fp = fingerprint(&program, &table, model.as_ref());
+        Ok(Session {
+            program,
+            table,
+            model,
+            ctx,
+            fingerprint: fp,
+            slots: BTreeMap::new(),
+        })
+    }
+
+    /// The slot keys that currently hold state, for `stats`.
+    pub fn slot_keys(&self) -> Vec<String> {
+        self.slots.keys().cloned().collect()
+    }
+
+    /// Replaces the body of `method` (resolved by name) with a body
+    /// parsed from repro-format text, marks the method dirty in every
+    /// analysis slot, and refreshes the fingerprint. Returns the method
+    /// id and the new statement count.
+    pub fn edit(
+        &mut self,
+        method: &str,
+        locals: &str,
+        stmt_lines: &[&str],
+    ) -> Result<(MethodId, usize), String> {
+        let mid = self
+            .program
+            .find_method(method)
+            .ok_or_else(|| format!("unknown method `{method}`"))?;
+        if self.program.method(mid).body.is_none() {
+            return Err(format!("method `{method}` has no body to edit"));
+        }
+        let new_body = parse_body_edit(&self.program, &self.table, mid, locals, stmt_lines)
+            .map_err(|e| format!("edit `{method}`: {e}"))?;
+        let old_body = self.program.body(mid).clone();
+        *self.program.body_mut(mid) = new_body;
+        if let Err(e) = self.program.check() {
+            *self.program.body_mut(mid) = old_body;
+            return Err(format!("edit `{method}` produces an invalid program: {e}"));
+        }
+        self.fingerprint = fingerprint(&self.program, &self.table, self.model.as_ref());
+        for slot in self.slots.values_mut() {
+            slot.mark_dirty(mid);
+        }
+        Ok((mid, self.program.body(mid).stmts.len()))
+    }
+
+    /// Runs (or incrementally re-runs) `analysis` under `mode`.
+    pub fn analyze(&mut self, analysis: &str, mode: ModelMode) -> Result<AnalyzeOutcome, String> {
+        let fresh = AnalysisSlot::new(analysis)?;
+        let slot = self.slots.entry(slot_key(analysis, mode)).or_insert(fresh);
+        let fp = self.fingerprint;
+        let model = self.model.as_ref();
+        Ok(match slot {
+            AnalysisSlot::Taint(state) => analyze_generic(
+                &TaintAnalysis::secret_to_print(),
+                &self.program,
+                &self.ctx,
+                model,
+                mode,
+                fp,
+                state,
+            ),
+            AnalysisSlot::Types(state) => analyze_generic(
+                &PossibleTypes::new(),
+                &self.program,
+                &self.ctx,
+                model,
+                mode,
+                fp,
+                state,
+            ),
+            AnalysisSlot::Defs(state) => analyze_generic(
+                &ReachingDefs::new(),
+                &self.program,
+                &self.ctx,
+                model,
+                mode,
+                fp,
+                state,
+            ),
+            AnalysisSlot::Uninit(state) => analyze_generic(
+                &UninitVars::new(),
+                &self.program,
+                &self.ctx,
+                model,
+                mode,
+                fp,
+                state,
+            ),
+        })
+    }
+
+    /// Installs a cache-hit solution as the slot's current one (so
+    /// queries work without a re-solve), creating the slot if needed.
+    pub fn install_cached(
+        &mut self,
+        analysis: &str,
+        mode: ModelMode,
+        solution: Rc<RenderedSolution>,
+    ) -> Result<(), String> {
+        let fresh = AnalysisSlot::new(analysis)?;
+        let slot = self.slots.entry(slot_key(analysis, mode)).or_insert(fresh);
+        slot.set_last(self.fingerprint, solution);
+        Ok(())
+    }
+
+    /// The current solution for `(analysis, mode)`, if one exists *and*
+    /// matches the session's present fingerprint (i.e. no edit since).
+    pub fn current_solution(
+        &self,
+        analysis: &str,
+        mode: ModelMode,
+    ) -> Option<&Rc<RenderedSolution>> {
+        let (fp, rc) = self.slots.get(&slot_key(analysis, mode))?.last()?;
+        (*fp == self.fingerprint).then_some(rc)
+    }
+}

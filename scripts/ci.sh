@@ -38,4 +38,15 @@ echo "== solver bench smoke (BENCH_solver.json) =="
     --out BENCH_solver.json
 ./target/release/solver_bench --validate BENCH_solver.json
 
+echo "== serve smoke (golden transcript, jobs-invariant) =="
+# Replays the committed request transcript through the resident analysis
+# server and diffs the responses byte-exactly — at two --jobs values, so
+# both the protocol itself and its jobs-invariance stay pinned. The
+# transcript covers a cache hit (zero propagations) and an incremental
+# re-analysis after an edit (same digest as the cold solve).
+for jobs in 2 1; do
+    ./target/release/spllift-cli serve --jobs "$jobs" \
+        < tests/serve/transcript.requests \
+        | diff -u tests/serve/transcript.expected -
+done
 echo "ci: all green"

@@ -72,6 +72,7 @@ use spllift::frontend::parse_spl;
 use spllift::ifds::IfdsProblem;
 use spllift::ir::{Program, ProgramIcfg};
 use spllift::lift::{report, LiftedIcfg, LiftedProblem, LiftedSolution, ModelMode};
+use spllift::server::{Server, ServerOptions};
 use spllift::spl::{
     a2_campaign_parallel, crosscheck_parallel, default_jobs, fuzz_campaign, CrosscheckOutcome,
     FuzzOptions, InjectedBug, ParallelOptions, ShardStats, DEFAULT_MAX_MISMATCHES,
@@ -79,11 +80,69 @@ use spllift::spl::{
 use std::hash::Hash;
 use std::process::ExitCode;
 
+/// Printed by `spllift-cli help` (and `--help`/`-h`), and to stderr on
+/// an unknown subcommand.
+const HELP: &str = "\
+spllift-cli — SPLLIFT product-line analysis
+
+USAGE
+  spllift-cli <INPUT> [options]         analyze a product line once
+  spllift-cli serve [options]           resident analysis server (JSON on stdin/stdout)
+  spllift-cli fuzz [options]            differential fuzzing campaign
+  spllift-cli reduce <INPUT> [options]  print or minimize a .repro subject
+  spllift-cli help                      this text (also --help, -h)
+
+INPUT
+  A product-line source file (mini-Java with #ifdef annotations), a
+  `# spllift repro v1` file, or a generated benchmark subject:
+    gen:MM08 | gen:GPL | gen:Lampiro | gen:BerkeleyDB
+    gen:synthetic:<features>:<loc>:<seed>
+
+ANALYZE OPTIONS
+  --analysis taint|types|reaching-defs|uninit    client analysis (default taint)
+  --model FILE            feature model in the spllift text format
+  --format table|dot|leaks|crosscheck|a2-bench   output (default table)
+  --jobs N                worker threads for crosscheck / a2-bench
+  --max-mismatches N      stop collecting crosscheck mismatches after N
+
+SERVE OPTIONS
+  --jobs N                worker threads for batched queries
+  --cache-entries N       solution-cache entry budget (default 64)
+  --cache-bytes N         solution-cache byte budget (default 16777216)
+  Line-delimited JSON requests on stdin, one response per line on stdout:
+  load, analyze, query, edit, stats, evict, shutdown.
+
+FUZZ OPTIONS
+  --seeds A..B  --jobs N  --nfeatures N  --nmethods N  --mutations N
+  --budget-secs S  --corpus-dir DIR  --inject-bug kill-call-to-return
+  --no-reduce
+
+REDUCE
+  reduce gen:<seed>:<nfeatures>:<nmethods>        print the repro text
+  reduce FILE.repro [--check CHECK] [--mutations N] [--inject-bug ...]
+";
+
+/// `true` for a first argument that reads as a subcommand word rather
+/// than an input path (`fig1.minijava`, `dir/file`, `gen:MM08`).
+fn looks_like_subcommand(arg: &str) -> bool {
+    !arg.starts_with('-') && !arg.contains('.') && !arg.contains('/') && !arg.starts_with("gen:")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
+        Some("help" | "--help" | "-h") => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("reduce") => run_reduce(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some(cmd) if looks_like_subcommand(cmd) => {
+            eprintln!("spllift-cli: unknown subcommand `{cmd}`\n");
+            eprint!("{HELP}");
+            return ExitCode::from(2);
+        }
         _ => run(&args),
     };
     match result {
@@ -95,6 +154,35 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut opts = ServerOptions::default();
+    let mut args = args.iter().cloned();
+    let positive = |flag: &str, v: Option<String>| -> Result<usize, String> {
+        let v = v.ok_or(format!("{flag} needs a value"))?;
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("{flag} needs a positive integer, got `{v}`"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => opts.jobs = positive("--jobs", args.next())?,
+            "--cache-entries" => opts.cache_entries = positive("--cache-entries", args.next())?,
+            "--cache-bytes" => opts.cache_bytes = positive("--cache-bytes", args.next())?,
+            other => {
+                return Err(format!(
+                    "unexpected serve argument `{other}` (try `spllift-cli help`)"
+                ))
+            }
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    Server::new(opts)
+        .run(stdin.lock(), stdout.lock())
+        .map_err(|e| format!("serve: {e}"))
+}
+
 struct Options {
     file: String,
     analysis: String,
@@ -104,7 +192,9 @@ struct Options {
     max_mismatches: usize,
 }
 
-fn parse_args(args: &[String]) -> Result<Options, String> {
+/// Parses the analyze-mode arguments; `Ok(None)` means `--help` was
+/// requested (the caller prints [`HELP`] and exits successfully).
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut args = args.iter().cloned();
     let mut file = None;
     let mut analysis = "taint".to_owned();
@@ -137,24 +227,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "--max-mismatches needs a positive integer, got `{v}`"
                 ))?;
             }
-            "--help" | "-h" => {
-                return Err("usage: spllift-cli <FILE|gen:SUBJECT> [--analysis taint|types|reaching-defs|uninit] [--model FILE] [--format table|dot|leaks|crosscheck|a2-bench] [--jobs N] [--max-mismatches N]\n       spllift-cli fuzz [--seeds A..B] [--jobs N] [--nfeatures N] [--nmethods N] [--mutations N] [--budget-secs S] [--corpus-dir DIR] [--inject-bug kill-call-to-return] [--no-reduce]\n       spllift-cli reduce <gen:SEED:NFEATURES:NMETHODS | FILE.repro> [--check CHECK] [--mutations N] [--inject-bug kill-call-to-return]"
-                    .into());
-            }
+            "--help" | "-h" => return Ok(None),
             other if !other.starts_with('-') && file.is_none() => {
                 file = Some(other.to_owned());
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    Ok(Options {
-        file: file.ok_or("missing input file (try --help)")?,
+    Ok(Some(Options {
+        file: file.ok_or("missing input file (try `spllift-cli help`)")?,
         analysis,
         model_file,
         format,
         jobs,
         max_mismatches,
-    })
+    }))
 }
 
 /// A fully loaded product line, whichever way it came in.
@@ -253,7 +340,10 @@ fn configurations(loaded: &Loaded) -> Result<Vec<Configuration>, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let opts = parse_args(args)?;
+    let Some(opts) = parse_args(args)? else {
+        print!("{HELP}");
+        return Ok(());
+    };
     let loaded = load(&opts)?;
     if loaded.program.entry_points().is_empty() {
         return Err("no entry point: declare a method named `main`".into());

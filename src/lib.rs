@@ -14,7 +14,9 @@
 //! * [`lift`] — the paper's contribution: automatic IFDS→IDE lifting,
 //! * [`analyses`] — four off-the-shelf IFDS client analyses,
 //! * [`spl`] — product derivation and the A1/A2 baselines,
-//! * [`benchgen`] — deterministic benchmark product-line generators.
+//! * [`benchgen`] — deterministic benchmark product-line generators,
+//! * [`json`] — the dependency-free JSON value/parser/emitter,
+//! * [`server`] — the resident analysis server (`spllift-cli serve`).
 //!
 //! # Quickstart
 //!
@@ -34,4 +36,6 @@ pub use spllift_frontend as frontend;
 pub use spllift_ide as ide;
 pub use spllift_ifds as ifds;
 pub use spllift_ir as ir;
+pub use spllift_json as json;
+pub use spllift_server as server;
 pub use spllift_spl as spl;

@@ -83,6 +83,42 @@ fn errors_are_reported() {
 }
 
 #[test]
+fn help_lists_subcommands_formats_and_gen_syntax() {
+    for invocation in [&["help"][..], &["--help"], &["-h"]] {
+        let out = cli().args(invocation).output().unwrap();
+        assert!(out.status.success(), "{invocation:?} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for needle in [
+            "serve",
+            "fuzz",
+            "reduce",
+            "table|dot|leaks|crosscheck|a2-bench",
+            "gen:synthetic:<features>:<loc>:<seed>",
+            "gen:MM08",
+        ] {
+            assert!(stdout.contains(needle), "{invocation:?} missing `{needle}`");
+        }
+    }
+    // `--help` after other analyze-mode arguments also prints it.
+    let out = cli()
+        .args(["examples_data/fig1.minijava", "--help"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_prints_help_to_stderr() {
+    let out = cli().args(["analyse"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand `analyse`"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
 fn leaks_format() {
     let out = cli()
         .args(["examples_data/fig1.minijava", "--format", "leaks"])
