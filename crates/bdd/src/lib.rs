@@ -31,7 +31,7 @@
 #![warn(missing_docs)]
 mod manager;
 
-pub use manager::{Bdd, BddManager, BddStats, VarId};
+pub use manager::{Bdd, BddBudget, BddError, BddManager, BddStats, BudgetResource, VarId};
 
 #[cfg(test)]
 mod tests;

@@ -45,6 +45,75 @@ pub struct BddStats {
     pub cache_entries: usize,
 }
 
+/// Which budgeted resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Nodes allocated since the budget was armed.
+    Nodes,
+    /// Memoized operation steps charged since the budget was armed.
+    Ops,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Nodes => f.write_str("nodes"),
+            BudgetResource::Ops => f.write_str("ops"),
+        }
+    }
+}
+
+/// Structured error returned when a [`BddBudget`] is exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BddError {
+    /// A resource budget was exceeded; the manager is *exhausted* until
+    /// the budget is re-armed or cleared, and every operation
+    /// short-circuits (returning arbitrary but valid handles) without
+    /// touching the memo caches.
+    BudgetExceeded {
+        /// The resource that ran out.
+        resource: BudgetResource,
+        /// The configured limit.
+        limit: u64,
+        /// The usage at the moment the limit was crossed.
+        used: u64,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+            } => write!(f, "bdd {resource} budget exceeded: {used} > {limit}"),
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+/// Resource limits for a [`BddManager`], metered from the moment the
+/// budget is armed with [`BddManager::set_budget`].
+///
+/// `None` means unlimited for that resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddBudget {
+    /// Maximum nodes allocated after arming.
+    pub max_nodes: Option<u64>,
+    /// Maximum operation steps charged after arming.
+    pub max_ops: Option<u64>,
+}
+
+impl BddBudget {
+    /// A budget with no limits (metering still runs).
+    pub const UNLIMITED: BddBudget = BddBudget {
+        max_nodes: None,
+        max_ops: None,
+    };
+}
+
 struct Store {
     nodes: Vec<Node>,
     unique: FastMap<Node, NodeId>,
@@ -52,6 +121,18 @@ struct Store {
     not_cache: FastMap<NodeId, NodeId>,
     restrict_cache: FastMap<(NodeId, u32, bool), NodeId>,
     var_names: Vec<String>,
+    /// `u64::MAX` when un-budgeted, so the hot-path checks stay a single
+    /// integer compare.
+    max_nodes: u64,
+    max_ops: u64,
+    /// Node count when the budget was last armed; the node budget meters
+    /// growth, not absolute store size.
+    baseline_nodes: u64,
+    ops: u64,
+    /// Once set, every operation short-circuits without caching: partial
+    /// results computed after exhaustion are garbage and must never be
+    /// memoized where a later (re-budgeted) solve could read them.
+    exhausted: Option<BddError>,
 }
 
 impl Store {
@@ -75,7 +156,31 @@ impl Store {
             not_cache: FastMap::default(),
             restrict_cache: FastMap::default(),
             var_names: Vec::new(),
+            max_nodes: u64::MAX,
+            max_ops: u64::MAX,
+            baseline_nodes: 2,
+            ops: 0,
+            exhausted: None,
         }
+    }
+
+    /// Charges one operation step; returns `true` if the store is (now)
+    /// exhausted and the caller must short-circuit without caching.
+    #[inline]
+    fn charge_op(&mut self) -> bool {
+        if self.exhausted.is_some() {
+            return true;
+        }
+        self.ops += 1;
+        if self.ops > self.max_ops {
+            self.exhausted = Some(BddError::BudgetExceeded {
+                resource: BudgetResource::Ops,
+                limit: self.max_ops,
+                used: self.ops,
+            });
+            return true;
+        }
+        false
     }
 
     fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
@@ -85,6 +190,17 @@ impl Store {
         let node = Node { var, low, high };
         if let Some(&id) = self.unique.get(&node) {
             return id;
+        }
+        let grown = (self.nodes.len() as u64).saturating_sub(self.baseline_nodes);
+        if grown >= self.max_nodes {
+            if self.exhausted.is_none() {
+                self.exhausted = Some(BddError::BudgetExceeded {
+                    resource: BudgetResource::Nodes,
+                    limit: self.max_nodes,
+                    used: grown + 1,
+                });
+            }
+            return low;
         }
         let id = self.nodes.len() as NodeId;
         self.nodes.push(node);
@@ -127,6 +243,9 @@ impl Store {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
+        if self.charge_op() {
+            return FALSE_ID;
+        }
         let v = self.node(f).var.min(self.node(g).var).min(self.node(h).var);
         debug_assert_ne!(v, TERMINAL_VAR);
         let (f0, f1) = (self.cofactor(f, v, false), self.cofactor(f, v, true));
@@ -134,7 +253,14 @@ impl Store {
         let (h0, h1) = (self.cofactor(h, v, false), self.cofactor(h, v, true));
         let low = self.ite(f0, g0, h0);
         let high = self.ite(f1, g1, h1);
+        if self.exhausted.is_some() {
+            // The sub-results are garbage; do not intern or memoize them.
+            return FALSE_ID;
+        }
         let r = self.mk(v, low, high);
+        if self.exhausted.is_some() {
+            return FALSE_ID;
+        }
         self.ite_cache.insert((f, g, h), r);
         r
     }
@@ -185,6 +311,9 @@ impl Store {
         }
         let mut stack = vec![f];
         while let Some(&id) = stack.last() {
+            if self.charge_op() {
+                return f;
+            }
             if resolved(self, id).is_some() {
                 stack.pop();
                 continue;
@@ -193,6 +322,9 @@ impl Store {
             match (resolved(self, n.low), resolved(self, n.high)) {
                 (Some(low), Some(high)) => {
                     let r = self.mk(n.var, low, high);
+                    if self.exhausted.is_some() {
+                        return f;
+                    }
                     self.not_cache.insert(id, r);
                     self.not_cache.insert(r, id);
                     stack.pop();
@@ -232,6 +364,9 @@ impl Store {
         }
         let mut stack = vec![f];
         while let Some(&id) = stack.last() {
+            if self.charge_op() {
+                return f;
+            }
             if resolved(self, id, var, value).is_some() {
                 stack.pop();
                 continue;
@@ -243,6 +378,9 @@ impl Store {
             ) {
                 (Some(low), Some(high)) => {
                     let r = self.mk(n.var, low, high);
+                    if self.exhausted.is_some() {
+                        return f;
+                    }
                     self.restrict_cache.insert((id, var, value), r);
                     stack.pop();
                 }
@@ -447,6 +585,69 @@ impl BddManager {
             vars: s.var_names.len(),
             cache_entries: s.ite_cache.len(),
         }
+    }
+
+    /// Arms (or re-arms) a resource budget: resets the op meter, takes the
+    /// current node count as the baseline for the node budget, and clears
+    /// any previous exhaustion.
+    ///
+    /// While a budget is exceeded the manager is *exhausted*: operations
+    /// return arbitrary but valid handles, never touch the memo caches,
+    /// and [`BddManager::budget_status`] reports the structured error.
+    /// Results produced while exhausted are meaningless and must be
+    /// discarded by the caller.
+    pub fn set_budget(&self, budget: BddBudget) {
+        let mut s = self.store.borrow_mut();
+        s.max_nodes = budget.max_nodes.unwrap_or(u64::MAX);
+        s.max_ops = budget.max_ops.unwrap_or(u64::MAX);
+        s.baseline_nodes = s.nodes.len() as u64;
+        s.ops = 0;
+        s.exhausted = None;
+    }
+
+    /// Removes any budget and clears exhaustion; operations run unbounded
+    /// again (e.g. for rendering results after a successful solve).
+    pub fn clear_budget(&self) {
+        self.set_budget(BddBudget::UNLIMITED);
+    }
+
+    /// `Ok(())` if no budget has been exceeded since the last arm,
+    /// otherwise the structured error describing which resource ran out.
+    pub fn budget_status(&self) -> Result<(), BddError> {
+        match self.store.borrow().exhausted {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Charges `n` operation steps against the op budget without doing any
+    /// work. This is the deterministic fault-injection hook: a chaos
+    /// harness can burn the budget down to force `BudgetExceeded` at an
+    /// exact, reproducible point.
+    pub fn charge_ops(&self, n: u64) {
+        let mut s = self.store.borrow_mut();
+        if s.exhausted.is_some() {
+            return;
+        }
+        s.ops = s.ops.saturating_add(n);
+        if s.ops > s.max_ops {
+            s.exhausted = Some(BddError::BudgetExceeded {
+                resource: BudgetResource::Ops,
+                limit: s.max_ops,
+                used: s.ops,
+            });
+        }
+    }
+
+    /// Operation steps charged since the budget was last armed.
+    pub fn ops_used(&self) -> u64 {
+        self.store.borrow().ops
+    }
+
+    /// Nodes allocated since the budget was last armed.
+    pub fn nodes_since_arm(&self) -> u64 {
+        let s = self.store.borrow();
+        (s.nodes.len() as u64).saturating_sub(s.baseline_nodes)
     }
 
     fn wrap(&self, id: NodeId) -> Bdd {

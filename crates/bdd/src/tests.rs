@@ -497,3 +497,114 @@ mod perf_overhaul {
         assert_eq!(mgr.stats().nodes, nodes_after_first);
     }
 }
+
+mod budget {
+    use crate::{BddBudget, BddError, BddManager, BudgetResource};
+
+    /// Builds a parity-style formula big enough to exceed small budgets.
+    fn big_formula(mgr: &BddManager, nvars: usize) -> crate::Bdd {
+        let vars: Vec<_> = (0..nvars).map(|i| mgr.var(format!("v{i}"))).collect();
+        vars.iter()
+            .fold(mgr.bottom(), |acc, v| acc.xor(v))
+            .or(&vars[0].and(&vars[nvars - 1]))
+    }
+
+    #[test]
+    fn node_budget_trips_and_reports() {
+        let mgr = BddManager::new();
+        mgr.set_budget(BddBudget {
+            max_nodes: Some(8),
+            max_ops: None,
+        });
+        let _ = big_formula(&mgr, 16);
+        match mgr.budget_status() {
+            Err(BddError::BudgetExceeded {
+                resource: BudgetResource::Nodes,
+                limit: 8,
+                used,
+            }) => assert!(used > 8),
+            other => panic!("expected node-budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn op_budget_trips_and_reports() {
+        let mgr = BddManager::new();
+        mgr.set_budget(BddBudget {
+            max_nodes: None,
+            max_ops: Some(4),
+        });
+        let _ = big_formula(&mgr, 16);
+        match mgr.budget_status() {
+            Err(BddError::BudgetExceeded {
+                resource: BudgetResource::Ops,
+                ..
+            }) => {}
+            other => panic!("expected op-budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn charge_ops_is_a_deterministic_fault_hook() {
+        let mgr = BddManager::new();
+        mgr.set_budget(BddBudget {
+            max_nodes: None,
+            max_ops: Some(100),
+        });
+        mgr.charge_ops(1_000);
+        assert!(mgr.budget_status().is_err());
+        assert!(mgr.ops_used() > 100);
+    }
+
+    #[test]
+    fn exhaustion_does_not_pollute_caches() {
+        // Compute a reference answer on an unbudgeted manager, then
+        // exhaust a second manager mid-formula, re-arm it, and check that
+        // the same computation now yields the correct (reference) truth
+        // table — i.e. no garbage survived in unique/op caches.
+        let clean = BddManager::new();
+        let reference = big_formula(&clean, 10);
+
+        let mgr = BddManager::new();
+        mgr.set_budget(BddBudget {
+            max_nodes: Some(4),
+            max_ops: None,
+        });
+        let _ = big_formula(&mgr, 10);
+        assert!(mgr.budget_status().is_err());
+
+        mgr.clear_budget();
+        assert!(mgr.budget_status().is_ok());
+        let vars: Vec<_> = (0..10).map(|i| mgr.var_bdd(crate::VarId(i))).collect();
+        let redo = vars
+            .iter()
+            .fold(mgr.bottom(), |acc, v| acc.xor(v))
+            .or(&vars[0].and(&vars[9]));
+        // Compare truth tables over all 1024 assignments.
+        for bits in 0u32..1024 {
+            let assign = |v: crate::VarId| bits >> v.0 & 1 == 1;
+            assert_eq!(redo.eval(assign), reference.eval(assign), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn rearming_resets_the_meters() {
+        let mgr = BddManager::new();
+        mgr.set_budget(BddBudget {
+            max_nodes: Some(4),
+            max_ops: None,
+        });
+        let _ = big_formula(&mgr, 12);
+        assert!(mgr.budget_status().is_err());
+        mgr.set_budget(BddBudget {
+            max_nodes: Some(1 << 20),
+            max_ops: Some(1 << 20),
+        });
+        assert!(mgr.budget_status().is_ok());
+        assert_eq!(mgr.ops_used(), 0);
+        assert_eq!(mgr.nodes_since_arm(), 0);
+        let f = big_formula(&mgr, 12);
+        assert!(mgr.budget_status().is_ok());
+        assert!(!f.is_false());
+    }
+}

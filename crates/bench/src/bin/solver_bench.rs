@@ -23,7 +23,7 @@
 use spllift_bench::harness::{BenchSink, Harness};
 use spllift_bench::json::{render_solver_bench, validate_solver_bench, SolverBenchEntry};
 use spllift_benchgen::{subject_by_name, synthetic_spec, GeneratedSpl};
-use spllift_core::{LiftedSolution, ModelMode};
+use spllift_core::{GovernorOptions, LiftedSolution, ModelMode, SolveOutcome};
 use spllift_features::{parse_feature_model, BddConstraintContext, FeatureExpr, FeatureTable};
 use spllift_frontend::parse_spl;
 use spllift_ide::IdeStats;
@@ -209,19 +209,33 @@ where
     let harness =
         Harness::new(format!("solver/{}", subject.name), samples).with_sink(BenchSink::Stderr);
     let ide_stats: RefCell<IdeStats> = RefCell::new(IdeStats::default());
+    let outcome: RefCell<SolveOutcome> = RefCell::new(SolveOutcome::Complete);
     let wall = harness.bench(label, || {
-        let solution = LiftedSolution::solve(
+        // The governed entry point with no limits armed, so the measured
+        // path is exactly the production server's — an unbudgeted run
+        // must record `complete`/`full`.
+        let (solution, o) = LiftedSolution::solve_governed(
             problem,
             icfg,
             &ctx,
             subject.model.as_ref(),
             ModelMode::OnEdges,
-        );
+            GovernorOptions::default(),
+        )
+        .expect("unlimited governed solve cannot abort");
         *ide_stats.borrow_mut() = solution.stats();
+        *outcome.borrow_mut() = o;
     });
+    let outcome = outcome.into_inner();
     SolverBenchEntry {
         subject: subject.name.clone(),
         analysis: label.to_owned(),
+        outcome: if outcome.is_degraded() {
+            "degraded".to_owned()
+        } else {
+            "complete".to_owned()
+        },
+        rung: outcome.rung().as_str().to_owned(),
         wall,
         ide: ide_stats.into_inner(),
         bdd: ctx.manager().stats(),

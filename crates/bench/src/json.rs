@@ -3,10 +3,10 @@
 //!
 //! The JSON value type, parser, and string escaping live in the shared
 //! [`spllift_json`] crate (also used by the analysis server's request
-//! protocol); this module keeps only the `spllift-bench-solver/v1`
+//! protocol); this module keeps only the `spllift-bench-solver/v2`
 //! schema layered on top.
 //!
-//! # Schema (`spllift-bench-solver/v1`)
+//! # Schema (`spllift-bench-solver/v2`)
 //!
 //! ```json
 //! {
@@ -16,6 +16,8 @@
 //!     {
 //!       "subject": "MM08",
 //!       "analysis": "R. Def.",
+//!       "outcome": "complete",
+//!       "rung": "full",
 //!       "wall_ns": {"mean": 1234, "min": 1200, "max": 1300},
 //!       "ide": {"propagations": 10, "flow_evals": 20,
 //!               "jump_fn_constructions": 8, "killed_early": 1,
@@ -29,6 +31,14 @@
 //! Every number is a non-negative integer (nanoseconds for the wall
 //! times); the validator additionally rejects any value that does not
 //! parse as a *finite* `f64`, so a corrupted emitter fails CI fast.
+//!
+//! v2 added the governance fields: `outcome` records whether the
+//! measured solve completed at full precision (`complete`) or degraded
+//! under a resource budget (`degraded`), and `rung` names the
+//! abstraction-ladder rung that produced the numbers (`full`,
+//! `no-model`, `constraint-true`) — benchmark runs are unbudgeted, so a
+//! committed document is expected to say `complete`/`full`, and the
+//! validator rejects anything else outside that vocabulary.
 
 use crate::harness::BenchStats;
 use spllift_bdd::BddStats;
@@ -36,7 +46,7 @@ use spllift_ide::IdeStats;
 pub use spllift_json::{escape, parse_json, Json};
 
 /// The schema identifier written to (and required in) the JSON file.
-pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v1";
+pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v2";
 
 /// One per-subject/per-analysis measurement destined for
 /// `BENCH_solver.json`.
@@ -46,6 +56,11 @@ pub struct SolverBenchEntry {
     pub subject: String,
     /// Analysis label (the paper's column label, e.g. `R. Def.`).
     pub analysis: String,
+    /// Governed-solve outcome (`complete` or `degraded`).
+    pub outcome: String,
+    /// Abstraction-ladder rung the numbers came from (`full`,
+    /// `no-model`, `constraint-true`).
+    pub rung: String,
     /// Wall-clock samples of the full lifted solve.
     pub wall: BenchStats,
     /// IDE solver counters from the last sample.
@@ -67,6 +82,11 @@ pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> Stri
         out.push_str(&format!(
             "      \"analysis\": \"{}\",\n",
             escape(&e.analysis)
+        ));
+        out.push_str(&format!(
+            "      \"outcome\": \"{}\",\n      \"rung\": \"{}\",\n",
+            escape(&e.outcome),
+            escape(&e.rung)
         ));
         out.push_str(&format!(
             "      \"wall_ns\": {{\"mean\": {}, \"min\": {}, \"max\": {}}},\n",
@@ -134,6 +154,20 @@ pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
                 _ => return Err(format!("{} must be a non-empty string", ctx(key))),
             }
         }
+        for (key, allowed) in [
+            ("outcome", &["complete", "degraded"][..]),
+            ("rung", &["full", "no-model", "constraint-true"][..]),
+        ] {
+            match e.get(key) {
+                Some(Json::Str(s)) if allowed.contains(&s.as_str()) => {}
+                other => {
+                    return Err(format!(
+                        "{} must be one of {allowed:?}, got {other:?}",
+                        ctx(key)
+                    ))
+                }
+            }
+        }
         let groups: [(&str, &[&str]); 3] = [
             ("wall_ns", &["mean", "min", "max"]),
             (
@@ -172,6 +206,8 @@ mod tests {
         SolverBenchEntry {
             subject: "MM08".into(),
             analysis: "R. Def.".into(),
+            outcome: "complete".into(),
+            rung: "full".into(),
             wall: BenchStats {
                 name: "solver/MM08/R. Def.".into(),
                 samples: 3,
@@ -239,5 +275,8 @@ mod tests {
         assert!(validate_solver_bench(&text)
             .unwrap_err()
             .contains("killed_early"));
+        // A governance value outside the vocabulary.
+        let text = render_solver_bench(3, &[entry()]).replace("\"full\"", "\"warp\"");
+        assert!(validate_solver_bench(&text).unwrap_err().contains("rung"));
     }
 }

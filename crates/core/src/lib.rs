@@ -37,8 +37,8 @@ pub mod report;
 
 pub use annotated::{AnnotatedIcfg, LiftedIcfg};
 pub use edge::ConstraintEdge;
-pub use lift::{LiftedProblem, LiftedSolution, ModelMode};
-pub use spllift_ide::SolverMemo;
+pub use lift::{GovernorOptions, LiftedProblem, LiftedSolution, ModelMode, Rung, SolveOutcome};
+pub use spllift_ide::{SolveAbort, SolverMemo};
 
 #[cfg(test)]
 mod tests;

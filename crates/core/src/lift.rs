@@ -3,8 +3,10 @@
 use crate::{AnnotatedIcfg, ConstraintEdge, LiftedIcfg};
 use spllift_features::{Configuration, Constraint, ConstraintContext, FeatureExpr};
 use spllift_hash::FastMap;
-use spllift_ide::{IdeProblem, IdeSolver, IdeSolverOptions, IdeStats, SolverMemo};
-use spllift_ifds::IfdsProblem;
+use spllift_ide::{IdeProblem, IdeSolver, IdeSolverOptions, IdeStats, SolveAbort, SolverMemo};
+use spllift_ifds::{IfdsProblem, SolveLimits};
+use std::fmt;
+use std::time::{Duration, Instant};
 
 /// How the product line's feature model is taken into account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +87,38 @@ where
             problem,
             ctx,
             model: model_c,
+            ann,
+        }
+    }
+
+    /// The maximally collapsed lifting (the ladder's A1-style bottom
+    /// rung, [`Rung::ConstraintTrue`]): every feature annotation is
+    /// abstracted to *unknown* — the annotated flow and the identity
+    /// fall-back both fire under the constraint `true` — and the feature
+    /// model is ignored.
+    ///
+    /// This is the variability join abstraction of Dimovski et al.: the
+    /// constraint lattice collapses to `{true, false}`, so the solve
+    /// performs no non-trivial constraint operations at all and cannot
+    /// exhaust a constraint budget. Every reported fact carries the
+    /// constraint `true`, which is entailed by any precise constraint —
+    /// a sound over-approximation of [`LiftedProblem::new`]'s answer.
+    pub fn collapsed(problem: &'a P, icfg: &G, ctx: &'a Ctx) -> Self {
+        let mut ann = FastMap::default();
+        for m in icfg.methods() {
+            for s in icfg.stmts_of(m) {
+                let (en, dis) = if icfg.annotation(s) == FeatureExpr::True {
+                    (ctx.tt(), ctx.ff())
+                } else {
+                    (ctx.tt(), ctx.tt())
+                };
+                ann.insert(s, (en, dis));
+            }
+        }
+        LiftedProblem {
+            problem,
+            ctx,
+            model: ctx.tt(),
             ann,
         }
     }
@@ -292,6 +326,114 @@ where
     fn initial_seeds(&self, icfg: &LiftedIcfg<'g, G>) -> Vec<(G::Stmt, P::Fact)> {
         self.problem.initial_seeds(icfg.inner())
     }
+
+    fn budget_check(&self) -> Result<(), String> {
+        self.ctx.budget_status()
+    }
+}
+
+/// A rung of the variability-abstraction ladder, most precise first.
+///
+/// When a governed solve runs out of resources at one rung, the governor
+/// re-solves at the next: each rung's constraints are weaker-or-equal
+/// (entailed by) the previous rung's, so descending the ladder trades
+/// precision for resources without losing soundness (Dimovski et al.,
+/// *Variability Abstractions*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Full SPLLIFT: feature annotations and the feature model.
+    Full,
+    /// Feature model ignored; per-statement annotations still precise.
+    /// `c ∧ m ⊨ c`, so every constraint only weakens.
+    NoModel,
+    /// All annotations treated as unknown ([`LiftedProblem::collapsed`]):
+    /// every fact's constraint is `true`. No constraint work at all.
+    ConstraintTrue,
+}
+
+impl Rung {
+    /// Stable machine-readable name (used in server responses and bench
+    /// JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rung::Full => "full",
+            Rung::NoModel => "no-model",
+            Rung::ConstraintTrue => "constraint-true",
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a governed solve ([`LiftedSolution::solve_governed`]) finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The precise solve fit the resource envelope.
+    Complete,
+    /// One or more rungs aborted; the answer comes from `rung` and every
+    /// reported constraint is weaker-or-equal to the precise one.
+    Degraded {
+        /// The rung that produced the returned solution.
+        rung: Rung,
+        /// Each abandoned attempt, in ladder order, with the abort reason.
+        attempts: Vec<(Rung, String)>,
+    },
+}
+
+impl SolveOutcome {
+    /// The rung the returned solution was computed at.
+    pub fn rung(&self) -> Rung {
+        match self {
+            SolveOutcome::Complete => Rung::Full,
+            SolveOutcome::Degraded { rung, .. } => *rung,
+        }
+    }
+
+    /// `true` iff the solution is degraded (not from the top rung).
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SolveOutcome::Degraded { .. })
+    }
+}
+
+/// Resource envelope for a governed solve. Every limit defaults to
+/// unlimited; with all limits off, [`LiftedSolution::solve_governed`] is
+/// exactly [`LiftedSolution::solve_with`] plus an `Ok(Complete)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorOptions {
+    /// BDD node budget per rung attempt (nodes allocated since arming).
+    pub max_bdd_nodes: Option<u64>,
+    /// BDD operation budget per rung attempt.
+    pub max_bdd_ops: Option<u64>,
+    /// Phase-1 propagation cap per rung attempt.
+    pub max_propagations: Option<u64>,
+    /// Wall-clock allowance per rung attempt (each rung gets a fresh
+    /// deadline — a rung that burns its allowance must not starve the
+    /// cheaper fallback below it).
+    pub timeout: Option<Duration>,
+    /// Base solver tuning (worklist dedup etc.); the governor overrides
+    /// the `limits`/`poll_budget` fields per attempt.
+    pub solver: IdeSolverOptions,
+}
+
+impl GovernorOptions {
+    fn arms_budget(&self) -> bool {
+        self.max_bdd_nodes.is_some() || self.max_bdd_ops.is_some()
+    }
+
+    fn solver_options(&self) -> IdeSolverOptions {
+        IdeSolverOptions {
+            limits: SolveLimits {
+                max_propagations: self.max_propagations,
+                deadline: self.timeout.map(|t| Instant::now() + t),
+            },
+            poll_budget: self.arms_budget(),
+            ..self.solver
+        }
+    }
 }
 
 /// The result of running SPLLIFT: for every (statement, fact) pair, the
@@ -399,6 +541,123 @@ where
         let lifted = LiftedProblem::new(problem, icfg, ctx, model, mode);
         let (solver, next) = IdeSolver::solve_seeded(&lifted, &lifted_icfg, options, memo, clean);
         (LiftedSolution { solver }, next)
+    }
+
+    /// Resource-governed SPLLIFT: solves under the `gov` envelope,
+    /// descending the abstraction ladder on exhaustion.
+    ///
+    /// The attempt order is [`Rung::Full`], then [`Rung::NoModel`] (only
+    /// when a feature model is actually in play), then
+    /// [`Rung::ConstraintTrue`]. Each attempt re-arms the constraint
+    /// budget and gets a fresh deadline; a successful attempt disarms the
+    /// budget (so result rendering runs unmetered) and reports which rung
+    /// answered via [`SolveOutcome`]. `Err` is returned only when even
+    /// the bottom rung aborted (e.g. a deadline too short for any solve).
+    pub fn solve_governed<P, Ctx>(
+        problem: &P,
+        icfg: &'g G,
+        ctx: &Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+        gov: GovernorOptions,
+    ) -> Result<(Self, SolveOutcome), SolveAbort>
+    where
+        P: IfdsProblem<G, Fact = D>,
+        Ctx: ConstraintContext<C = C>,
+    {
+        Self::solve_governed_memoized(
+            problem,
+            icfg,
+            ctx,
+            model,
+            mode,
+            gov,
+            &SolverMemo::default(),
+            &|_| false,
+        )
+        .map(|(solution, outcome, _)| (solution, outcome))
+    }
+
+    /// [`solve_governed`](Self::solve_governed) warm-started from a memo.
+    ///
+    /// The memo is only consulted by the [`Rung::Full`] attempt (retained
+    /// jump functions encode full-precision constraints, which would leak
+    /// stale precision into a degraded rung), and the returned memo is
+    /// non-empty only when that attempt completed — after a degraded
+    /// solve the next round starts cold.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn solve_governed_memoized<P, Ctx>(
+        problem: &P,
+        icfg: &'g G,
+        ctx: &Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+        gov: GovernorOptions,
+        memo: &SolverMemo<G::Method, G::Stmt, D, ConstraintEdge<C>>,
+        clean: &dyn Fn(G::Method) -> bool,
+    ) -> Result<
+        (
+            Self,
+            SolveOutcome,
+            SolverMemo<G::Method, G::Stmt, D, ConstraintEdge<C>>,
+        ),
+        SolveAbort,
+    >
+    where
+        P: IfdsProblem<G, Fact = D>,
+        Ctx: ConstraintContext<C = C>,
+    {
+        let lifted_icfg = LiftedIcfg::new(icfg);
+        let model_in_play = model.is_some() && mode != ModelMode::Ignore;
+        let mut rungs = vec![Rung::Full];
+        if model_in_play {
+            rungs.push(Rung::NoModel);
+        }
+        rungs.push(Rung::ConstraintTrue);
+
+        let mut attempts: Vec<(Rung, String)> = Vec::new();
+        let empty_memo = SolverMemo::default();
+        let mut last_abort = None;
+        for rung in rungs {
+            // Arm before *constructing* the problem: translating the
+            // annotations and the model runs constraint operations that
+            // can themselves blow up.
+            if gov.arms_budget() {
+                ctx.arm_budget(gov.max_bdd_nodes, gov.max_bdd_ops);
+            }
+            let options = gov.solver_options();
+            let lifted = match rung {
+                Rung::Full => LiftedProblem::new(problem, icfg, ctx, model, mode),
+                Rung::NoModel => LiftedProblem::new(problem, icfg, ctx, None, ModelMode::Ignore),
+                Rung::ConstraintTrue => LiftedProblem::collapsed(problem, icfg, ctx),
+            };
+            let rung_memo = if rung == Rung::Full {
+                memo
+            } else {
+                &empty_memo
+            };
+            match IdeSolver::try_solve_seeded(&lifted, &lifted_icfg, options, rung_memo, clean) {
+                Ok((solver, next_memo)) => {
+                    ctx.disarm_budget();
+                    let solution = LiftedSolution { solver };
+                    return Ok(if rung == Rung::Full {
+                        (solution, SolveOutcome::Complete, next_memo)
+                    } else {
+                        (
+                            solution,
+                            SolveOutcome::Degraded { rung, attempts },
+                            SolverMemo::default(),
+                        )
+                    });
+                }
+                Err(abort) => {
+                    attempts.push((rung, abort.to_string()));
+                    last_abort = Some(abort);
+                }
+            }
+        }
+        ctx.disarm_budget();
+        Err(last_abort.expect("ladder has at least one rung"))
     }
 
     /// The constraint under which `fact` may hold at `stmt`

@@ -51,6 +51,23 @@ pub trait ConstraintContext {
     /// `true` iff `config` satisfies `c`.
     fn satisfied_by(&self, c: &Self::C, config: &Configuration) -> bool;
 
+    /// Arms a resource budget on the underlying constraint engine, if it
+    /// supports one. `None` means unlimited for that resource. The
+    /// default implementation (for unbudgetable representations) is a
+    /// no-op.
+    fn arm_budget(&self, _max_nodes: Option<u64>, _max_ops: Option<u64>) {}
+
+    /// Removes any armed budget, e.g. before rendering the results of a
+    /// solve that completed within budget.
+    fn disarm_budget(&self) {}
+
+    /// `Ok(())` if no armed budget has been exceeded, otherwise a
+    /// human-readable description of the exhausted resource. Solvers
+    /// poll this to abort instead of computing with garbage constraints.
+    fn budget_status(&self) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Translates a feature expression to a constraint.
     fn of_expr(&self, e: &FeatureExpr) -> Self::C {
         match e {
@@ -251,5 +268,18 @@ impl ConstraintContext for BddConstraintContext {
                 .get(v.0 as usize)
                 .is_some_and(|f| config.is_enabled(*f))
         })
+    }
+
+    fn arm_budget(&self, max_nodes: Option<u64>, max_ops: Option<u64>) {
+        self.mgr
+            .set_budget(spllift_bdd::BddBudget { max_nodes, max_ops });
+    }
+
+    fn disarm_budget(&self) {
+        self.mgr.clear_budget();
+    }
+
+    fn budget_status(&self) -> Result<(), String> {
+        self.mgr.budget_status().map_err(|e| e.to_string())
     }
 }

@@ -28,6 +28,7 @@ mod solver;
 pub use edge_fn::EdgeFn;
 pub use problem::IdeProblem;
 pub use solver::{IdeSolver, IdeSolverOptions, IdeStats, SolverMemo};
+pub use spllift_ifds::{SolveAbort, SolveLimits};
 
 #[cfg(test)]
 mod tests;

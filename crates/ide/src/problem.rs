@@ -85,4 +85,15 @@ pub trait IdeProblem<G: Icfg> {
             .map(|m| (icfg.start_point_of(m), self.zero()))
             .collect()
     }
+
+    /// Reports whether the problem's value domain has exhausted a
+    /// resource budget. Governed solves
+    /// ([`IdeSolverOptions::poll_budget`](crate::IdeSolverOptions)) poll
+    /// this between propagations and abort with
+    /// [`SolveAbort::Budget`](spllift_ifds::SolveAbort) on `Err`; results
+    /// computed while a budget is exhausted are garbage, so the solver
+    /// must stop rather than tabulate with them. Default: always `Ok`.
+    fn budget_check(&self) -> Result<(), String> {
+        Ok(())
+    }
 }

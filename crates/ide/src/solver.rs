@@ -9,7 +9,7 @@
 
 use crate::{EdgeFn, IdeProblem};
 use spllift_hash::{FastMap, FastSet};
-use spllift_ifds::Icfg;
+use spllift_ifds::{Icfg, SolveAbort, SolveLimits};
 use std::collections::VecDeque;
 
 /// Counters collected during an IDE solver run.
@@ -45,12 +45,26 @@ pub struct IdeSolverOptions {
     /// jump function when it is popped, so the fixpoint is unchanged but
     /// [`IdeStats::propagations`] drops.
     pub worklist_dedup: bool,
+    /// Propagation cap and wall-clock deadline. When any bound is set,
+    /// the `try_solve*` entry points abort with the matching
+    /// [`SolveAbort`]; the infallible entry points panic. Unlimited by
+    /// default, in which case the per-iteration checks are skipped and
+    /// the hot path is byte-for-byte the ungoverned one.
+    pub limits: SolveLimits,
+    /// Poll [`IdeProblem::budget_check`] between propagations and abort
+    /// with [`SolveAbort::Budget`] when the value domain's resource
+    /// budget is exhausted. Off by default (the poll costs a virtual
+    /// call per propagation); governed solves that arm a constraint
+    /// budget must turn it on.
+    pub poll_budget: bool,
 }
 
 impl Default for IdeSolverOptions {
     fn default() -> Self {
         IdeSolverOptions {
             worklist_dedup: true,
+            limits: SolveLimits::default(),
+            poll_budget: false,
         }
     }
 }
@@ -141,6 +155,22 @@ where
         Self::solve_seeded(problem, icfg, options, &SolverMemo::default(), &|_| false).0
     }
 
+    /// Governed [`solve_with`](Self::solve_with): aborts with a
+    /// [`SolveAbort`] when an [`IdeSolverOptions::limits`] bound is hit
+    /// or (with [`IdeSolverOptions::poll_budget`]) the problem reports
+    /// budget exhaustion. The partial tabulation is discarded on abort.
+    pub fn try_solve_with<P>(
+        problem: &P,
+        icfg: &G,
+        options: IdeSolverOptions,
+    ) -> Result<Self, SolveAbort>
+    where
+        P: IdeProblem<G, Fact = D, Value = V>,
+    {
+        Self::try_solve_seeded(problem, icfg, options, &SolverMemo::default(), &|_| false)
+            .map(|(solver, _)| solver)
+    }
+
     /// Incremental solve: warm-starts Phase 1 from `memo`, keeping the
     /// retained jump functions and end summaries of every method `m`
     /// with `clean(m)`, and re-tabulating everything else. Returns the
@@ -158,6 +188,22 @@ where
         memo: &SolverMemo<G::Method, G::Stmt, D, P::EF>,
         clean: &dyn Fn(G::Method) -> bool,
     ) -> (Self, SolverMemo<G::Method, G::Stmt, D, P::EF>)
+    where
+        P: IdeProblem<G, Fact = D, Value = V>,
+    {
+        Self::try_solve_seeded(problem, icfg, options, memo, clean)
+            .expect("governed solve aborted; use try_solve_seeded to handle SolveAbort")
+    }
+
+    /// Governed [`solve_seeded`](Self::solve_seeded); see
+    /// [`try_solve_with`](Self::try_solve_with) for the abort contract.
+    pub fn try_solve_seeded<P>(
+        problem: &P,
+        icfg: &G,
+        options: IdeSolverOptions,
+        memo: &SolverMemo<G::Method, G::Stmt, D, P::EF>,
+        clean: &dyn Fn(G::Method) -> bool,
+    ) -> Result<(Self, SolverMemo<G::Method, G::Stmt, D, P::EF>), SolveAbort>
     where
         P: IdeProblem<G, Fact = D, Value = V>,
     {
@@ -196,9 +242,9 @@ where
             sealed,
             stats: IdeStats::default(),
         };
-        phase1.run(problem, icfg);
+        phase1.run(problem, icfg, &options)?;
         let stats = phase1.stats;
-        let (values, stats) = phase2(problem, icfg, &phase1.jump, stats);
+        let (values, stats) = phase2(problem, icfg, &phase1.jump, stats, &options)?;
         let next_memo = SolverMemo {
             jump: phase1
                 .jump
@@ -207,7 +253,7 @@ where
                 .collect(),
             end_summary: phase1.end_summary,
         };
-        (
+        Ok((
             IdeSolver {
                 values,
                 top: problem.top(),
@@ -215,7 +261,7 @@ where
                 stats,
             },
             next_memo,
-        )
+        ))
     }
 
     /// The value computed for `fact` at `stmt` (⊤ if never reached).
@@ -341,12 +387,16 @@ where
         Some(f.clone())
     }
 
-    fn run(&mut self, problem: &P, icfg: &G) {
+    fn run(&mut self, problem: &P, icfg: &G, options: &IdeSolverOptions) -> Result<(), SolveAbort> {
+        let governed = options.limits.armed() || options.poll_budget;
         for (sp, fact) in problem.initial_seeds(icfg) {
             self.propagate(fact.clone(), sp, fact, problem.id_edge());
         }
         while let Some((d1, n, d2)) = self.worklist.pop_front() {
             self.stats.propagations += 1;
+            if governed {
+                governance_check(options, self.stats.propagations, problem)?;
+            }
             // Snapshot of the (current) jump function for this triple;
             // clears its pending flag.
             let Some(f) = self.take_jump(n, &d1, &d2) else {
@@ -371,6 +421,7 @@ where
                 }
             }
         }
+        Ok(())
     }
 
     fn process_call(
@@ -490,6 +541,24 @@ where
     }
 }
 
+/// The per-propagation governance probe: bounds first (cheap integer /
+/// clock tests), then the value-domain budget poll.
+fn governance_check<G, P>(
+    options: &IdeSolverOptions,
+    propagations: u64,
+    problem: &P,
+) -> Result<(), SolveAbort>
+where
+    G: Icfg,
+    P: IdeProblem<G>,
+{
+    options.limits.check(propagations)?;
+    if options.poll_budget {
+        problem.budget_check().map_err(SolveAbort::Budget)?;
+    }
+    Ok(())
+}
+
 /// Phase 2: propagate concrete values to all procedure entries, then
 /// evaluate every jump function once.
 fn phase2<G, P>(
@@ -497,11 +566,13 @@ fn phase2<G, P>(
     icfg: &G,
     jump: &FastMap<(G::Stmt, P::Fact), FastMap<P::Fact, JumpEntry<P::EF>>>,
     mut stats: IdeStats,
-) -> (FastMap<G::Stmt, FastMap<P::Fact, P::Value>>, IdeStats)
+    options: &IdeSolverOptions,
+) -> Result<(FastMap<G::Stmt, FastMap<P::Fact, P::Value>>, IdeStats), SolveAbort>
 where
     G: Icfg,
     P: IdeProblem<G>,
 {
+    let governed = options.limits.armed() || options.poll_budget;
     let mut values: FastMap<G::Stmt, FastMap<P::Fact, P::Value>> = FastMap::default();
     let mut worklist: VecDeque<(G::Method, P::Fact)> = VecDeque::new();
     let top = problem.top();
@@ -541,6 +612,9 @@ where
 
     // Inter-procedural value propagation between procedure entries.
     while let Some((m, d1)) = worklist.pop_front() {
+        if governed {
+            governance_check(options, stats.propagations, problem)?;
+        }
         let sp = icfg.start_point_of(m);
         let v = values
             .get(&sp)
@@ -583,6 +657,9 @@ where
         }
     }
     for (sp, d1, v) in entry_values {
+        if governed {
+            governance_check(options, stats.propagations, problem)?;
+        }
         let m = icfg.method_of(sp);
         for n in icfg.stmts_of(m) {
             let Some(fns) = jump.get(&(n, d1.clone())) else {
@@ -598,5 +675,12 @@ where
         }
     }
 
-    (values, stats)
+    // Value application itself runs constraint operations; a budget can
+    // therefore first trip here, after phase 1 fit. Catch it before the
+    // garbage values escape.
+    if governed {
+        governance_check(options, stats.propagations, problem)?;
+    }
+
+    Ok((values, stats))
 }

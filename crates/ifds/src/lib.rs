@@ -53,7 +53,7 @@ pub mod supergraph;
 pub use icfg::Icfg;
 pub use problem::IfdsProblem;
 pub use simple_graph::{SimpleGraph, StmtKind};
-pub use solver::{IfdsSolver, SolverStats};
+pub use solver::{IfdsSolver, SolveAbort, SolveLimits, SolverStats};
 
 #[cfg(test)]
 mod tests;

@@ -333,6 +333,11 @@ fn parse_method_header(line: &str) -> Result<MethodHeader, String> {
         .ok_or("expected `method` header")?;
     let open = rest.find('(').ok_or("expected `(` in method header")?;
     let close = rest.rfind(')').ok_or("expected `)` in method header")?;
+    if close < open {
+        return Err(format!(
+            "mismatched parentheses in method header `{rest}`: `)` before `(`"
+        ));
+    }
     let name = rest[..open].trim().to_owned();
     if name.is_empty() {
         return Err("empty method name".into());
@@ -693,6 +698,11 @@ fn parse_stmt_kind(
         let callee_name = rest[..open].trim();
         // `v = a + b` never contains `(`, so this is a call.
         let close = rest.rfind(')').ok_or("expected `)` in call")?;
+        if close < open {
+            return Err(format!(
+                "mismatched parentheses in call `{rest}`: `)` before `(`"
+            ));
+        }
         let callee = find_method(callee_name)
             .ok_or_else(|| format!("call to unknown method `{callee_name}`"))?;
         let args_text = rest[open + 1..close].trim();
@@ -805,6 +815,28 @@ mod tests {
         let err = parse_repro(bad).unwrap_err();
         assert_eq!(err.line, 7, "{err}");
         assert!(parse_repro("nonsense").is_err());
+    }
+
+    /// `)` before `(` in a method header or a call used to slice with
+    /// `begin > end` and panic; both sites must answer a diagnostic.
+    #[test]
+    fn mismatched_parentheses_are_diagnosed_not_panics() {
+        let bad_header =
+            "# spllift repro v1\nfeatures F\n\nmethod f)x(: int\n  locals\n    0: return\n";
+        let err = parse_repro(bad_header).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("mismatched parentheses in method header"),
+            "{err}"
+        );
+        assert!(err.line > 0, "{err}");
+        let bad_call = "# spllift repro v1\nfeatures F\n\nmethod main()\n  locals\n    0: )f(\n    1: return\nentry main\n";
+        let err = parse_repro(bad_call).unwrap_err();
+        assert!(
+            err.to_string().contains("mismatched parentheses in call"),
+            "{err}"
+        );
+        assert!(err.line > 0, "{err}");
     }
 
     #[test]

@@ -49,18 +49,33 @@ pub mod cache;
 pub mod session;
 
 use cache::SolutionCache;
-use session::{mode_str, parse_mode, RenderedSolution, Session, ANALYSES};
+use session::{mode_str, parse_mode, ChaosSpec, RenderedSolution, Session, ANALYSES};
 use spllift_benchgen::{subject_by_name, synthetic_spec, GeneratedSpl, SubjectSpec};
-use spllift_core::ModelMode;
+use spllift_core::{GovernorOptions, ModelMode, SolveOutcome};
 use spllift_features::{parse_feature_model, Configuration, FeatureTable};
 use spllift_frontend::parse_source;
 use spllift_ide::IdeStats;
 use spllift_ir::{MethodId, Program};
 use spllift_json::{parse_json, Json};
-use spllift_spl::{default_jobs, map_shards};
+use spllift_spl::{default_jobs, map_shards, FaultKind, FaultPlan};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::time::Duration;
+
+/// Implicit per-rung operation budget armed for a `bdd-blowup` fault
+/// when no `--bdd-op-budget` is configured — the injected blowout must
+/// have a meter to trip.
+const FAULT_OP_BUDGET: u64 = 1 << 32;
+
+/// Implicit per-rung deadline armed for a `slow-edge` fault when no
+/// `--solve-timeout-ms` is configured.
+const FAULT_TIMEOUT_MS: u64 = 250;
+
+/// How much longer than the per-rung deadline an injected `slow-edge`
+/// stall sleeps, so the deadline check after it always trips.
+const FAULT_STALL_MARGIN_MS: u64 = 1000;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +86,18 @@ pub struct ServerOptions {
     pub cache_entries: usize,
     /// Solution-cache byte budget (`--cache-bytes`).
     pub cache_bytes: usize,
+    /// Default per-rung wall-clock allowance for every solve
+    /// (`--solve-timeout-ms`); per-request `timeout_ms` overrides it.
+    pub solve_timeout_ms: Option<u64>,
+    /// Default per-rung BDD node budget (`--bdd-node-budget`).
+    pub bdd_node_budget: Option<u64>,
+    /// Default per-rung BDD operation budget (`--bdd-op-budget`).
+    pub bdd_op_budget: Option<u64>,
+    /// Default per-rung phase-1 propagation cap (`--max-propagations`).
+    pub max_propagations: Option<u64>,
+    /// Deterministic fault injection (`--inject-fault kind@n`): sabotage
+    /// the `n`-th `analyze` request's solve. Testing harness only.
+    pub inject_fault: Option<FaultPlan>,
 }
 
 impl Default for ServerOptions {
@@ -79,6 +106,11 @@ impl Default for ServerOptions {
             jobs: default_jobs(),
             cache_entries: 64,
             cache_bytes: 16 << 20,
+            solve_timeout_ms: None,
+            bdd_node_budget: None,
+            bdd_op_budget: None,
+            max_propagations: None,
+            inject_fault: None,
         }
     }
 }
@@ -120,6 +152,32 @@ fn opt_str<'a>(req: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
             .as_str()
             .map(Some)
             .ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+/// Optional unsigned integer field. Rejects non-numbers, negatives,
+/// fractions, and values outside `u64` with a structured error instead
+/// of truncating or panicking.
+fn opt_u64(req: &Json, key: &str) -> Result<Option<u64>, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            format!(
+                "`{key}` must be a non-negative integer (got {})",
+                v.render()
+            )
+        }),
+    }
+}
+
+/// Like [`opt_u64`] but additionally rejects zero (every governance
+/// knob is a budget; a zero budget can never admit a solve) and falls
+/// back to the server-wide default.
+fn governance_u64(req: &Json, key: &str, default: Option<u64>) -> Result<Option<u64>, String> {
+    match opt_u64(req, key)? {
+        None => Ok(default),
+        Some(0) => Err(format!("`{key}` must be >= 1")),
+        some => Ok(some),
     }
 }
 
@@ -233,38 +291,44 @@ fn render_query(sol: &RenderedSolution, item: &Result<ParsedQuery, String>) -> J
         Ok(q) => q,
         Err(msg) => return obj(vec![("error", Json::str(msg.clone()))]),
     };
-    match q {
+    let mut fields = match q {
         ParsedQuery::Constraint { stmt, fact } => {
             let cube = sol
                 .fact_row(stmt, fact)
                 .map_or("false", |r| r.cube.as_str());
-            obj(vec![
+            vec![
                 ("kind", Json::str("constraint_of")),
                 ("stmt", Json::str(stmt.clone())),
                 ("fact", Json::str(fact.clone())),
                 ("constraint", Json::str(cube)),
-            ])
+            ]
         }
         ParsedQuery::Reach { stmt } => {
             let cube = sol.reach_row(stmt).map_or("false", |r| r.cube.as_str());
-            obj(vec![
+            vec![
                 ("kind", Json::str("reachability_of")),
                 ("stmt", Json::str(stmt.clone())),
                 ("constraint", Json::str(cube)),
-            ])
+            ]
         }
         ParsedQuery::Holds { stmt, fact, config } => {
             let holds = sol
                 .fact_row(stmt, fact)
                 .is_some_and(|r| config.satisfies(&r.expr));
-            obj(vec![
+            vec![
                 ("kind", Json::str("holds_in")),
                 ("stmt", Json::str(stmt.clone())),
                 ("fact", Json::str(fact.clone())),
                 ("holds", Json::Bool(holds)),
-            ])
+            ]
         }
+    };
+    // Degraded solutions answer with weaker-or-equal constraints (and
+    // thus possibly-spurious `holds`); flag every answer drawn from one.
+    if sol.degraded {
+        fields.push(("degraded", Json::Bool(true)));
     }
+    obj(fields)
 }
 
 fn stats_obj(stats: &IdeStats) -> Json {
@@ -277,14 +341,45 @@ fn stats_obj(stats: &IdeStats) -> Json {
     ])
 }
 
+/// Governance counters: how often the server had to intervene. Exposed
+/// in the `stats` response so degraded numbers are never silent.
+#[derive(Debug, Clone, Copy, Default)]
+struct GovCounters {
+    /// `analyze` requests seen (the fault plan's trigger counts these).
+    analyze_requests: u64,
+    /// Panics caught by the per-request isolation barrier.
+    panics_isolated: u64,
+    /// Solves answered from a ladder rung below full precision.
+    degraded_solves: u64,
+    /// Solves where every ladder rung aborted.
+    solve_failures: u64,
+    /// Faults actually injected by `--inject-fault`.
+    faults_injected: u64,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// The resident server: sessions, the solution cache, and the protocol
 /// dispatcher. Single-threaded except for query fan-out (the sessions'
 /// BDD managers must stay on this thread).
 pub struct Server {
     opts: ServerOptions,
     sessions: BTreeMap<String, Session>,
+    /// Sessions destroyed by a caught panic, with the panic message.
+    /// Requests against them get a structured error until a fresh `load`
+    /// replaces them; every other session keeps serving normally.
+    quarantined: BTreeMap<String, String>,
     cache: SolutionCache,
     last_solve: IdeStats,
+    gov: GovCounters,
 }
 
 impl Server {
@@ -294,17 +389,28 @@ impl Server {
         Server {
             opts,
             sessions: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
             cache,
             last_solve: IdeStats::default(),
+            gov: GovCounters::default(),
         }
     }
 
     /// Handles one request line; returns the rendered response and
     /// whether the server should shut down afterwards.
+    ///
+    /// The dispatch runs behind a panic-isolation barrier: a panic
+    /// escaping any handler (a solver bug, a client-analysis bug, an
+    /// injected fault) is caught here, the session it was operating on
+    /// is torn down and quarantined, and the caller gets a structured
+    /// error — the server itself keeps serving. `AssertUnwindSafe` is
+    /// justified because the only state the panicking handler could have
+    /// left half-updated is the session, which is discarded wholesale.
     pub fn handle_line(&mut self, line: &str) -> (String, bool) {
-        match self.dispatch(line) {
-            Ok((resp, shutdown)) => (resp.render(), shutdown),
-            Err(msg) => (
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(line)));
+        match outcome {
+            Ok(Ok((resp, shutdown))) => (resp.render(), shutdown),
+            Ok(Err(msg)) => (
                 obj(vec![
                     ("type", Json::str("error")),
                     ("message", Json::str(msg)),
@@ -312,7 +418,34 @@ impl Server {
                 .render(),
                 false,
             ),
+            Err(payload) => (self.isolate_panic(line, &*payload).render(), false),
         }
+    }
+
+    /// Quarantines the session a panicking request addressed (best
+    /// effort: re-parses the request line) and renders the structured
+    /// panic error.
+    fn isolate_panic(&mut self, line: &str, payload: &(dyn std::any::Any + Send)) -> Json {
+        self.gov.panics_isolated += 1;
+        let message = panic_message(payload);
+        let req = parse_json(line).ok();
+        let session = req
+            .as_ref()
+            .and_then(|r| r.get("session"))
+            .and_then(Json::as_str)
+            .map(str::to_owned);
+        let mut fields = vec![
+            ("type", Json::str("error")),
+            ("error", Json::str("panic")),
+            ("message", Json::str(message.clone())),
+        ];
+        if let Some(name) = session {
+            self.sessions.remove(&name);
+            self.quarantined.insert(name.clone(), message);
+            fields.push(("session", Json::str(name)));
+            fields.push(("quarantined", Json::Bool(true)));
+        }
+        obj(fields)
     }
 
     /// Serves line-delimited requests from `input` until EOF or a
@@ -341,6 +474,18 @@ impl Server {
     fn dispatch(&mut self, line: &str) -> Result<(Json, bool), String> {
         let req = parse_json(line)?;
         let ty = req_str(&req, "type")?;
+        // Quarantined sessions answer structured errors for everything
+        // except a fresh `load`, which replaces them.
+        if ty != "load" {
+            if let Some(name) = req.get("session").and_then(Json::as_str) {
+                if let Some(reason) = self.quarantined.get(name) {
+                    return Err(format!(
+                        "session `{name}` is quarantined after a panic ({reason}); \
+                         send a `load` to replace it"
+                    ));
+                }
+            }
+        }
         let resp = match ty {
             "load" => self.do_load(&req)?,
             "analyze" => self.do_analyze(&req)?,
@@ -441,6 +586,7 @@ impl Server {
             ("stmts", Json::num(sess.program.stmt_count() as u64)),
             ("features", Json::num(sess.table.len() as u64)),
         ]);
+        self.quarantined.remove(name);
         self.sessions.insert(name.to_owned(), sess);
         Ok(resp)
     }
@@ -456,10 +602,56 @@ impl Server {
         Ok((analysis, mode))
     }
 
+    /// Builds this request's resource envelope: per-request knobs
+    /// (`timeout_ms`, `bdd_node_budget`, `bdd_op_budget`,
+    /// `max_propagations`) override the server-wide defaults — the
+    /// retry-after-degrade path: re-send the same `analyze` with a
+    /// bigger budget and the (uncached) degraded slot re-solves fully.
+    fn request_governor(&self, req: &Json) -> Result<GovernorOptions, String> {
+        Ok(GovernorOptions {
+            max_bdd_nodes: governance_u64(req, "bdd_node_budget", self.opts.bdd_node_budget)?,
+            max_bdd_ops: governance_u64(req, "bdd_op_budget", self.opts.bdd_op_budget)?,
+            max_propagations: governance_u64(req, "max_propagations", self.opts.max_propagations)?,
+            timeout: governance_u64(req, "timeout_ms", self.opts.solve_timeout_ms)?
+                .map(Duration::from_millis),
+            ..GovernorOptions::default()
+        })
+    }
+
+    /// Arms the injected fault for this request if the plan's trigger
+    /// matches, patching implicit budgets so the fault class has a
+    /// meter to trip (a blowup needs an op budget, a stall a deadline).
+    fn armed_fault(&mut self, seq: u64, gov: &mut GovernorOptions) -> Option<ChaosSpec> {
+        let plan = self.opts.inject_fault.filter(|p| p.trigger == seq)?;
+        match plan.kind {
+            FaultKind::BddBlowup => {
+                gov.max_bdd_ops = gov.max_bdd_ops.or(Some(FAULT_OP_BUDGET));
+            }
+            FaultKind::SlowEdge => {
+                gov.timeout = gov
+                    .timeout
+                    .or(Some(Duration::from_millis(FAULT_TIMEOUT_MS)));
+            }
+            FaultKind::PanicInFlow => {}
+        }
+        self.gov.faults_injected += 1;
+        let allowance = gov
+            .timeout
+            .unwrap_or(Duration::from_millis(FAULT_TIMEOUT_MS));
+        Some(ChaosSpec {
+            kind: plan.kind,
+            slow_for: allowance + Duration::from_millis(FAULT_STALL_MARGIN_MS),
+        })
+    }
+
     fn do_analyze(&mut self, req: &Json) -> Result<Json, String> {
+        self.gov.analyze_requests += 1;
+        let seq = self.gov.analyze_requests;
         let name = req_str(req, "session")?.to_owned();
         let (analysis, mode) = Self::analysis_and_mode(req)?;
         let analysis = analysis.to_owned();
+        let mut gov = self.request_governor(req)?;
+        let chaos = self.armed_fault(seq, &mut gov);
         let sess = self
             .sessions
             .get_mut(&name)
@@ -469,32 +661,77 @@ impl Server {
             analysis.clone(),
             mode_str(mode).to_owned(),
         );
-        let (solve, stats, solution) = match self.cache.get(&key) {
+        let (solve, stats, outcome, solution) = match self.cache.get(&key) {
             Some(cached) => {
                 sess.install_cached(&analysis, mode, Rc::clone(&cached))?;
-                ("cached", IdeStats::default(), cached)
+                (
+                    "cached",
+                    IdeStats::default(),
+                    SolveOutcome::Complete,
+                    cached,
+                )
             }
             None => {
-                let outcome = sess.analyze(&analysis, mode)?;
-                self.cache.insert(key, Rc::clone(&outcome.solution));
-                (outcome.solve, outcome.stats, outcome.solution)
+                let out = match sess.analyze(&analysis, mode, gov, chaos.as_ref()) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        self.gov.solve_failures += 1;
+                        return Err(e);
+                    }
+                };
+                // Only full-precision solutions enter the cache: a
+                // degraded answer must not shadow a later, better-funded
+                // solve of the same fingerprint.
+                if out.outcome.is_degraded() {
+                    self.gov.degraded_solves += 1;
+                } else {
+                    self.cache.insert(key, Rc::clone(&out.solution));
+                }
+                (out.solve, out.stats, out.outcome, out.solution)
             }
         };
         self.last_solve = stats;
-        Ok(obj(vec![
+        let mut fields = vec![
             ("type", Json::str("ok")),
             ("request", Json::str("analyze")),
             ("session", Json::str(name)),
             ("analysis", Json::str(analysis)),
             ("mode", Json::str(mode_str(mode))),
             ("solve", Json::str(solve)),
+            (
+                "outcome",
+                Json::str(if outcome.is_degraded() {
+                    "degraded"
+                } else {
+                    "complete"
+                }),
+            ),
+            ("rung", Json::str(solution.rung)),
             ("propagations", Json::num(stats.propagations)),
             ("flow_evals", Json::num(stats.flow_evals)),
             ("jump_fns", Json::num(stats.jump_fn_constructions)),
             ("value_updates", Json::num(stats.value_updates)),
             ("facts", Json::num(solution.facts.len() as u64)),
             ("digest", Json::str(hex16(solution.digest))),
-        ]))
+        ];
+        if let SolveOutcome::Degraded { attempts, .. } = &outcome {
+            fields.push((
+                "attempts",
+                Json::Arr(
+                    attempts
+                        .iter()
+                        .map(|(rung, reason)| {
+                            obj(vec![
+                                ("rung", Json::str(rung.as_str())),
+                                ("reason", Json::str(reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push(("degraded_facts", Json::num(solution.facts.len() as u64)));
+        }
+        Ok(obj(fields))
     }
 
     fn do_query(&mut self, req: &Json) -> Result<Json, String> {
@@ -598,6 +835,25 @@ impl Server {
                     ("hits", Json::num(hits)),
                     ("misses", Json::num(misses)),
                     ("evictions", Json::num(evictions)),
+                ]),
+            ),
+            (
+                "governance",
+                obj(vec![
+                    ("analyze_requests", Json::num(self.gov.analyze_requests)),
+                    ("panics_isolated", Json::num(self.gov.panics_isolated)),
+                    ("degraded_solves", Json::num(self.gov.degraded_solves)),
+                    ("solve_failures", Json::num(self.gov.solve_failures)),
+                    ("faults_injected", Json::num(self.gov.faults_injected)),
+                    (
+                        "quarantined",
+                        Json::Arr(
+                            self.quarantined
+                                .keys()
+                                .map(|n| Json::str(n.clone()))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             ("last_solve", stats_obj(&self.last_solve)),

@@ -21,16 +21,20 @@ use spllift_analyses::{
     UninitVars,
 };
 use spllift_bdd::Bdd;
-use spllift_core::{ConstraintEdge, LiftedSolution, ModelMode, SolverMemo};
+use spllift_core::{
+    ConstraintEdge, GovernorOptions, LiftedSolution, ModelMode, Rung, SolveOutcome, SolverMemo,
+};
 use spllift_features::{BddConstraintContext, FeatureExpr, FeatureTable};
 use spllift_hash::{FastMap, FxHasher64};
-use spllift_ide::{IdeSolverOptions, IdeStats};
+use spllift_ide::IdeStats;
 use spllift_ifds::{Icfg, IfdsProblem};
 use spllift_ir::text::parse_body_edit;
 use spllift_ir::{fingerprint, transitive_callers, MethodId, Program, ProgramIcfg};
+use spllift_spl::{ChaosWrapper, FaultKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+use std::time::Duration;
 
 /// One `(statement, fact)` result row of a rendered solution.
 #[derive(Debug, Clone)]
@@ -44,6 +48,10 @@ pub struct FactRow {
     /// The constraint as a manager-free feature expression, for
     /// `holds_in` evaluation on worker threads.
     pub expr: FeatureExpr,
+    /// `true` when the constraint comes from a degraded (non-top-rung)
+    /// solve — it is then weaker-or-equal to the precise one, and query
+    /// responses flag it so reports stay honest.
+    pub degraded: bool,
 }
 
 /// The reachability row of one statement.
@@ -55,6 +63,8 @@ pub struct ReachRow {
     pub cube: String,
     /// Manager-free form of the constraint.
     pub expr: FeatureExpr,
+    /// See [`FactRow::degraded`].
+    pub degraded: bool,
 }
 
 /// A fully rendered, immutable solution of one `(program, analysis,
@@ -75,7 +85,12 @@ pub struct RenderedSolution {
     pub reach: Vec<ReachRow>,
     /// Counters of the solve that produced this solution.
     pub stats: IdeStats,
-    /// Order-sensitive hash over every rendered row.
+    /// The abstraction-ladder rung that produced this solution
+    /// (`"full"` unless the solve degraded under resource pressure).
+    pub rung: &'static str,
+    /// `true` iff `rung` is not the top of the ladder.
+    pub degraded: bool,
+    /// Order-sensitive hash over every rendered row (and the rung).
     pub digest: u64,
     /// Approximate retained size, for the cache's byte budget.
     pub bytes: usize,
@@ -102,10 +117,12 @@ fn render_solution<D>(
     solution: &LiftedSolution<'_, ProgramIcfg<'_>, D, Bdd>,
     icfg: &ProgramIcfg<'_>,
     ctx: &BddConstraintContext,
+    rung: Rung,
 ) -> RenderedSolution
 where
     D: Clone + Eq + Ord + Hash + std::fmt::Debug,
 {
+    let degraded = rung != Rung::Full;
     let mut facts = Vec::new();
     let mut reach = Vec::new();
     for m in icfg.methods() {
@@ -115,6 +132,7 @@ where
                 stmt: s.to_string(),
                 cube: r.to_cube_string(),
                 expr: ctx.to_expr(&r),
+                degraded,
             });
             let mut rows: Vec<(D, Bdd)> = solution.results_at(s).into_iter().collect();
             rows.sort_by(|a, b| a.0.cmp(&b.0));
@@ -124,11 +142,13 @@ where
                     fact: format!("{d:?}"),
                     cube: c.to_cube_string(),
                     expr: ctx.to_expr(&c),
+                    degraded,
                 });
             }
         }
     }
     let mut h = FxHasher64::default();
+    rung.as_str().hash(&mut h);
     let mut bytes = 0usize;
     for row in &facts {
         row.stmt.hash(&mut h);
@@ -155,6 +175,8 @@ where
         facts,
         reach,
         stats: solution.stats(),
+        rung: rung.as_str(),
+        degraded,
         digest: h.finish(),
         bytes,
         fact_index,
@@ -191,8 +213,22 @@ pub struct AnalyzeOutcome {
     pub solve: &'static str,
     /// Counters of this solve.
     pub stats: IdeStats,
+    /// How the governed solve finished (which ladder rung answered, and
+    /// every abandoned attempt with its abort reason).
+    pub outcome: SolveOutcome,
     /// The rendered solution.
     pub solution: Rc<RenderedSolution>,
+}
+
+/// A one-shot fault to inject into the next solve (the server's
+/// `--inject-fault` hook). The wrapper carries a single charge, so the
+/// first ladder rung absorbs the fault and the fallback runs clean.
+pub struct ChaosSpec {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// How long a [`FaultKind::SlowEdge`] evaluation stalls; must exceed
+    /// the governor's per-rung deadline to be observed.
+    pub slow_for: Duration,
 }
 
 fn analyze_generic<P, D>(
@@ -202,8 +238,10 @@ fn analyze_generic<P, D>(
     model: Option<&FeatureExpr>,
     mode: ModelMode,
     fp: u64,
+    gov: GovernorOptions,
+    chaos: Option<&ChaosSpec>,
     state: &mut SolvedState<D>,
-) -> AnalyzeOutcome
+) -> Result<AnalyzeOutcome, String>
 where
     P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
     D: Clone + Eq + Ord + Hash + std::fmt::Debug,
@@ -224,27 +262,59 @@ where
         }
         _ => ("cold", Box::new(|_| false)),
     };
-    let (solution, next_memo) = LiftedSolution::solve_memoized(
-        problem,
-        &icfg,
-        ctx,
-        model,
-        mode,
-        IdeSolverOptions::default(),
-        &state.memo,
-        &*clean,
-    );
+    let result = match chaos {
+        None => LiftedSolution::solve_governed_memoized(
+            problem,
+            &icfg,
+            ctx,
+            model,
+            mode,
+            gov,
+            &state.memo,
+            &*clean,
+        ),
+        Some(spec) => {
+            let wrapped = ChaosWrapper::new(
+                problem,
+                spec.kind,
+                1,
+                spec.slow_for,
+                Box::new(|| ctx.manager().charge_ops(u64::MAX)),
+            );
+            LiftedSolution::solve_governed_memoized(
+                &wrapped,
+                &icfg,
+                ctx,
+                model,
+                mode,
+                gov,
+                &state.memo,
+                &*clean,
+            )
+        }
+    };
+    let (solution, outcome, next_memo) =
+        result.map_err(|abort| format!("solve aborted at every ladder rung: {abort}"))?;
     let stats = solution.stats();
-    let rendered = Rc::new(render_solution(&solution, &icfg, ctx));
-    state.memo = next_memo;
-    state.memo_fingerprint = Some(fp);
+    let rendered = Rc::new(render_solution(&solution, &icfg, ctx, outcome.rung()));
+    if outcome.is_degraded() {
+        // A degraded solve's jump functions are weaker than full
+        // precision; keeping them would leak the degradation into the
+        // next (possibly re-budgeted) round. Start that round cold.
+        state.memo = SolverMemo::default();
+        state.memo_fingerprint = None;
+    } else {
+        state.memo = next_memo;
+        state.memo_fingerprint = Some(fp);
+    }
     state.dirty_roots.clear();
     state.last = Some((fp, Rc::clone(&rendered)));
-    AnalyzeOutcome {
+    Ok(AnalyzeOutcome {
         solve: kind,
         stats,
+        outcome,
         solution: rendered,
-    }
+    })
 }
 
 /// One analysis slot: the incremental state of a single `(analysis,
@@ -408,13 +478,22 @@ impl Session {
         Ok((mid, self.program.body(mid).stmts.len()))
     }
 
-    /// Runs (or incrementally re-runs) `analysis` under `mode`.
-    pub fn analyze(&mut self, analysis: &str, mode: ModelMode) -> Result<AnalyzeOutcome, String> {
+    /// Runs (or incrementally re-runs) `analysis` under `mode`, governed
+    /// by the `gov` resource envelope (all-unlimited for the classic
+    /// ungoverned behavior). `chaos` injects a one-shot fault into this
+    /// solve — the fault-injection harness only; `None` in production.
+    pub fn analyze(
+        &mut self,
+        analysis: &str,
+        mode: ModelMode,
+        gov: GovernorOptions,
+        chaos: Option<&ChaosSpec>,
+    ) -> Result<AnalyzeOutcome, String> {
         let fresh = AnalysisSlot::new(analysis)?;
         let slot = self.slots.entry(slot_key(analysis, mode)).or_insert(fresh);
         let fp = self.fingerprint;
         let model = self.model.as_ref();
-        Ok(match slot {
+        match slot {
             AnalysisSlot::Taint(state) => analyze_generic(
                 &TaintAnalysis::secret_to_print(),
                 &self.program,
@@ -422,6 +501,8 @@ impl Session {
                 model,
                 mode,
                 fp,
+                gov,
+                chaos,
                 state,
             ),
             AnalysisSlot::Types(state) => analyze_generic(
@@ -431,6 +512,8 @@ impl Session {
                 model,
                 mode,
                 fp,
+                gov,
+                chaos,
                 state,
             ),
             AnalysisSlot::Defs(state) => analyze_generic(
@@ -440,6 +523,8 @@ impl Session {
                 model,
                 mode,
                 fp,
+                gov,
+                chaos,
                 state,
             ),
             AnalysisSlot::Uninit(state) => analyze_generic(
@@ -449,9 +534,11 @@ impl Session {
                 model,
                 mode,
                 fp,
+                gov,
+                chaos,
                 state,
             ),
-        })
+        }
     }
 
     /// Installs a cache-hit solution as the slot's current one (so

@@ -404,6 +404,7 @@ fn cache_evicts_least_recently_used_under_entry_budget() {
         jobs: 1,
         cache_entries: 1,
         cache_bytes: 1 << 30,
+        ..ServerOptions::default()
     });
     assert_ok(&send(&mut srv, &load_req("s")));
     assert_ok(&send(&mut srv, &analyze_req("s")));

@@ -481,6 +481,7 @@ mod perf_invariance {
             ModelMode::OnEdges,
             IdeSolverOptions {
                 worklist_dedup: false,
+                ..IdeSolverOptions::default()
             },
         );
         let dedup = LiftedSolution::solve_with(
@@ -491,6 +492,7 @@ mod perf_invariance {
             ModelMode::OnEdges,
             IdeSolverOptions {
                 worklist_dedup: true,
+                ..IdeSolverOptions::default()
             },
         );
         // Both runs share `ctx`, so equal constraints are the same
@@ -673,6 +675,7 @@ fn probe_dedup_counts() {
                     spllift_core::ModelMode::OnEdges,
                     IdeSolverOptions {
                         worklist_dedup: false,
+                        ..IdeSolverOptions::default()
                     },
                 );
                 let on = LiftedSolution::solve_with(
@@ -683,6 +686,7 @@ fn probe_dedup_counts() {
                     spllift_core::ModelMode::OnEdges,
                     IdeSolverOptions {
                         worklist_dedup: true,
+                        ..IdeSolverOptions::default()
                     },
                 );
                 eprintln!(

@@ -49,4 +49,17 @@ for jobs in 2 1; do
         < tests/serve/transcript.requests \
         | diff -u tests/serve/transcript.expected -
 done
+
+echo "== chaos smoke (fault injection, golden per fault class) =="
+# Replays the two-session chaos transcript with each deterministic
+# injected fault class and diffs the full response stream against the
+# committed golden: the victim session must be quarantined (panic) or
+# degraded down the abstraction ladder (budget/deadline), the healthy
+# session must be byte-identical to a fault-free run, and a re-load must
+# recover the victim at full precision.
+for fault in panic-in-flow bdd-blowup slow-edge; do
+    ./target/release/spllift-cli serve --jobs 1 --inject-fault "$fault@2" \
+        < tests/serve/chaos.requests \
+        | diff -u "tests/serve/chaos-$fault.expected" -
+done
 echo "ci: all green"

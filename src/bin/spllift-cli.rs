@@ -75,7 +75,7 @@ use spllift::lift::{report, LiftedIcfg, LiftedProblem, LiftedSolution, ModelMode
 use spllift::server::{Server, ServerOptions};
 use spllift::spl::{
     a2_campaign_parallel, crosscheck_parallel, default_jobs, fuzz_campaign, CrosscheckOutcome,
-    FuzzOptions, InjectedBug, ParallelOptions, ShardStats, DEFAULT_MAX_MISMATCHES,
+    FaultPlan, FuzzOptions, InjectedBug, ParallelOptions, ShardStats, DEFAULT_MAX_MISMATCHES,
 };
 use std::hash::Hash;
 use std::process::ExitCode;
@@ -109,8 +109,16 @@ SERVE OPTIONS
   --jobs N                worker threads for batched queries
   --cache-entries N       solution-cache entry budget (default 64)
   --cache-bytes N         solution-cache byte budget (default 16777216)
+  --solve-timeout-ms N    per-rung wall-clock allowance per solve
+  --bdd-node-budget N     per-rung BDD node budget per solve
+  --bdd-op-budget N       per-rung BDD operation budget per solve
+  --max-propagations N    per-rung phase-1 propagation cap per solve
+  --inject-fault K[@N]    chaos harness: sabotage the N-th analyze (default 1)
+                          with K = panic-in-flow | bdd-blowup | slow-edge
   Line-delimited JSON requests on stdin, one response per line on stdout:
-  load, analyze, query, edit, stats, evict, shutdown.
+  load, analyze, query, edit, stats, evict, shutdown. When a solve
+  exhausts its budget the server degrades down the abstraction ladder
+  (full -> no-model -> constraint-true) and flags the weaker answers.
 
 FUZZ OPTIONS
   --seeds A..B  --jobs N  --nfeatures N  --nmethods N  --mutations N
@@ -164,11 +172,35 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             .filter(|&n| n >= 1)
             .ok_or(format!("{flag} needs a positive integer, got `{v}`"))
     };
+    let positive_u64 = |flag: &str, v: Option<String>| -> Result<u64, String> {
+        let v = v.ok_or(format!("{flag} needs a value"))?;
+        v.parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("{flag} needs a positive integer, got `{v}`"))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => opts.jobs = positive("--jobs", args.next())?,
             "--cache-entries" => opts.cache_entries = positive("--cache-entries", args.next())?,
             "--cache-bytes" => opts.cache_bytes = positive("--cache-bytes", args.next())?,
+            "--solve-timeout-ms" => {
+                opts.solve_timeout_ms = Some(positive_u64("--solve-timeout-ms", args.next())?)
+            }
+            "--bdd-node-budget" => {
+                opts.bdd_node_budget = Some(positive_u64("--bdd-node-budget", args.next())?)
+            }
+            "--bdd-op-budget" => {
+                opts.bdd_op_budget = Some(positive_u64("--bdd-op-budget", args.next())?)
+            }
+            "--max-propagations" => {
+                opts.max_propagations = Some(positive_u64("--max-propagations", args.next())?)
+            }
+            "--inject-fault" => {
+                let v = args.next().ok_or("--inject-fault needs a value")?;
+                opts.inject_fault =
+                    Some(FaultPlan::parse(&v).map_err(|e| format!("--inject-fault: {e}"))?);
+            }
             other => {
                 return Err(format!(
                     "unexpected serve argument `{other}` (try `spllift-cli help`)"

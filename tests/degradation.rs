@@ -1,0 +1,149 @@
+//! Soundness of the governed solver's abstraction ladder: every rung
+//! answers with constraints that are weaker-or-equal (entailed by) the
+//! full-precision ones, so degrading under resource pressure can only
+//! over-approximate — it never loses a fact.
+
+use spllift::analyses::TaintAnalysis;
+use spllift::benchgen::{synthetic_spec, GeneratedSpl};
+use spllift::features::BddConstraintContext;
+use spllift::ifds::SolveAbort;
+use spllift::ir::ProgramIcfg;
+use spllift::lift::{GovernorOptions, LiftedSolution, ModelMode, Rung, SolveOutcome};
+
+fn subject() -> GeneratedSpl {
+    GeneratedSpl::generate(synthetic_spec(4, 160, 11))
+}
+
+/// Rung 2 differential: dropping the feature model (`NoModel`) weakens
+/// every constraint (`c ∧ m ⊨ c`), for facts and reachability alike.
+#[test]
+fn no_model_rung_is_weaker_or_equal_than_full() {
+    let spl = subject();
+    let icfg = ProgramIcfg::new(&spl.program);
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let analysis = TaintAnalysis::secret_to_print();
+    let full = LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
+    let no_model = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let mut checked = 0usize;
+    for (stmt, fact, c) in full.all_results() {
+        assert!(
+            c.entails(&no_model.constraint_of(stmt, fact)),
+            "no-model constraint at {stmt:?}/{fact:?} is not weaker-or-equal"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > 50,
+        "subject too small to be meaningful: {checked}"
+    );
+}
+
+/// Rung 3 differential, forced through the governor: a node budget too
+/// small for any constraint work sends the ladder to `ConstraintTrue`,
+/// which still completes and reports every full-precision fact — under
+/// the trivially weaker constraint `true`.
+#[test]
+fn blowup_subject_completes_under_node_budget_via_the_ladder() {
+    let spl = subject();
+    let icfg = ProgramIcfg::new(&spl.program);
+    // Fresh context: with a warm unique table (from an earlier solve of
+    // the same product line) the full rung needs no *new* nodes and
+    // legitimately completes under any node budget. The blowup scenario
+    // is a cold manager.
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let analysis = TaintAnalysis::secret_to_print();
+    let gov = GovernorOptions {
+        max_bdd_nodes: Some(2),
+        ..GovernorOptions::default()
+    };
+    let (degraded, outcome) = LiftedSolution::solve_governed(
+        &analysis,
+        &icfg,
+        &ctx,
+        Some(&model),
+        ModelMode::OnEdges,
+        gov,
+    )
+    .expect("bottom rung needs no constraint nodes and must complete");
+    assert_eq!(outcome.rung(), Rung::ConstraintTrue);
+    let SolveOutcome::Degraded { attempts, .. } = &outcome else {
+        panic!("expected a degraded outcome, got {outcome:?}");
+    };
+    let tried: Vec<Rung> = attempts.iter().map(|(r, _)| *r).collect();
+    assert_eq!(tried, [Rung::Full, Rung::NoModel]);
+    for (_, reason) in attempts {
+        assert!(
+            reason.contains("budget exhausted") && reason.contains("nodes"),
+            "unexpected abort reason: {reason}"
+        );
+    }
+    // Sound over-approximation: every fact the precise solve reports is
+    // reported by the degraded one, with the weaker constraint `true`.
+    // (The full solve runs second, on the now-unbudgeted manager.)
+    let full = LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
+    for (stmt, fact, c) in full.all_results() {
+        let weak = degraded.constraint_of(stmt, fact);
+        assert!(
+            weak.is_true(),
+            "constraint-true rung reported {} at {stmt:?}/{fact:?}",
+            weak.to_cube_string()
+        );
+        assert!(c.entails(&weak));
+    }
+}
+
+/// With no limits armed, the governed entry point is exactly the plain
+/// solver plus `Complete`.
+#[test]
+fn ungoverned_solve_is_unchanged() {
+    let spl = subject();
+    let icfg = ProgramIcfg::new(&spl.program);
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let analysis = TaintAnalysis::secret_to_print();
+    let plain = LiftedSolution::solve(&analysis, &icfg, &ctx, Some(&model), ModelMode::OnEdges);
+    let (governed, outcome) = LiftedSolution::solve_governed(
+        &analysis,
+        &icfg,
+        &ctx,
+        Some(&model),
+        ModelMode::OnEdges,
+        GovernorOptions::default(),
+    )
+    .expect("unlimited governed solve cannot abort");
+    assert_eq!(outcome, SolveOutcome::Complete);
+    let mut rows = 0usize;
+    for (stmt, fact, c) in plain.all_results() {
+        assert_eq!(*c, governed.constraint_of(stmt, fact));
+        rows += 1;
+    }
+    assert!(rows > 0);
+}
+
+/// A limit that no rung can satisfy (the propagation count does not
+/// shrink down the ladder) surfaces as a structured abort, not a hang
+/// or a panic.
+#[test]
+fn impossible_limit_aborts_every_rung_with_a_structured_error() {
+    let spl = subject();
+    let icfg = ProgramIcfg::new(&spl.program);
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let analysis = TaintAnalysis::secret_to_print();
+    let gov = GovernorOptions {
+        max_propagations: Some(1),
+        ..GovernorOptions::default()
+    };
+    let err = LiftedSolution::solve_governed(
+        &analysis,
+        &icfg,
+        &ctx,
+        Some(&model),
+        ModelMode::OnEdges,
+        gov,
+    )
+    .expect_err("1 propagation cannot finish any rung");
+    assert_eq!(err, SolveAbort::PropagationLimit(1));
+}

@@ -1,0 +1,91 @@
+//! Solution-cache eviction under a byte budget: with a budget that fits
+//! roughly one rendered solution, analyzing several subjects in
+//! rotation must evict (visible in the `stats` counters), and a
+//! re-analyze after eviction must be a genuine cold solve whose digest
+//! is bit-identical to the original — eviction costs time, never
+//! correctness.
+
+use spllift::json::{parse_json, Json};
+use spllift::server::{Server, ServerOptions};
+
+fn drive(server: &mut Server, line: &str) -> Json {
+    let (resp, _shutdown) = server.handle_line(line);
+    parse_json(&resp).expect("server responses are valid json")
+}
+
+fn field<'a>(resp: &'a Json, key: &str) -> &'a Json {
+    resp.get(key)
+        .unwrap_or_else(|| panic!("response missing `{key}`: {resp:?}"))
+}
+
+fn analyze(server: &mut Server, session: &str) -> (String, String) {
+    let resp = drive(
+        server,
+        &format!("{{\"type\":\"analyze\",\"session\":\"{session}\"}}"),
+    );
+    assert_eq!(field(&resp, "type").as_str(), Some("ok"), "{resp:?}");
+    (
+        field(&resp, "solve").as_str().unwrap().to_owned(),
+        field(&resp, "digest").as_str().unwrap().to_owned(),
+    )
+}
+
+#[test]
+fn eviction_under_byte_budget_keeps_solves_bit_identical() {
+    // ~8 KiB fits one rendered solution of these subjects, not three.
+    let mut server = Server::new(ServerOptions {
+        cache_bytes: 8 << 10,
+        ..ServerOptions::default()
+    });
+    let subjects = [
+        ("a", "synthetic:3:80:1"),
+        ("b", "synthetic:3:80:2"),
+        ("c", "synthetic:3:80:3"),
+    ];
+    for (name, spec) in subjects {
+        let resp = drive(
+            &mut server,
+            &format!("{{\"type\":\"load\",\"session\":\"{name}\",\"gen\":\"{spec}\"}}"),
+        );
+        assert_eq!(field(&resp, "type").as_str(), Some("ok"), "{resp:?}");
+    }
+
+    // First pass: three cold solves, whose digests we pin.
+    let mut cold = Vec::new();
+    for (name, _) in subjects {
+        let (solve, digest) = analyze(&mut server, name);
+        assert_eq!(solve, "cold");
+        cold.push(digest);
+    }
+
+    // The byte budget cannot hold all three: evictions must be counted.
+    let stats = drive(&mut server, "{\"type\":\"stats\"}");
+    let cache = field(&stats, "cache");
+    let evictions = field(cache, "evictions").as_u64().unwrap();
+    let entries = field(cache, "entries").as_u64().unwrap();
+    assert!(evictions >= 2, "no evictions under 8 KiB budget: {stats:?}");
+    // The newest entry is always retained, even when it alone exceeds
+    // the byte budget; everything older must have been evicted.
+    assert_eq!(entries, 1, "{stats:?}");
+
+    // Second pass: the evicted subjects re-solve (cold — their sessions'
+    // memos are intact but the rotation also proves the cache path), and
+    // every digest is bit-identical to the first pass.
+    let mut hits = 0;
+    for ((name, _), expected) in subjects.iter().zip(&cold) {
+        let (solve, digest) = analyze(&mut server, name);
+        assert_eq!(
+            &digest, expected,
+            "re-analyze of `{name}` after eviction diverged"
+        );
+        if solve == "cached" {
+            hits += 1;
+        }
+    }
+    assert!(hits < 3, "nothing was evicted, test is vacuous");
+
+    let stats = drive(&mut server, "{\"type\":\"stats\"}");
+    let cache = field(&stats, "cache");
+    assert!(field(cache, "evictions").as_u64().unwrap() >= evictions);
+    assert!(field(cache, "misses").as_u64().unwrap() >= 4);
+}
