@@ -1,4 +1,17 @@
 //! The BDD node store, hash-consing unique table, and operation caches.
+//!
+//! A manager is shared by cloning: [`BddManager`] wraps its state in
+//! `Rc<RefCell<…>>`, which makes it deliberately **`!Send` and
+//! `!Sync`** — every constraint handle is meaningful only relative to
+//! its manager's unique table, so letting handles cross threads would
+//! turn node identity (what hash-consing buys) into a data race. The
+//! compiler enforces the thread-confinement rule stated in DESIGN.md
+//! §6: parallel drivers give each worker its own manager, and the
+//! analysis server pins each session's manager to one executor shard
+//! thread (DESIGN.md §9). Anything that must cross threads — cached
+//! solutions, protocol responses — is *rendered* first (constraint
+//! strings and manager-free expression trees), never shipped as live
+//! node handles.
 
 use spllift_hash::{FastMap, FastSet};
 use std::cell::RefCell;

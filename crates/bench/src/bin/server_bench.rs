@@ -1,0 +1,331 @@
+//! `server_bench` — the concurrent-server load benchmark.
+//!
+//! Spawns an in-process [`spllift_server::SocketServer`] and drives it
+//! with N concurrent TCP clients (one session per connection), each
+//! replaying a fixed request script: `load` a generated subject,
+//! `analyze` it, `query` a statement, `analyze` again (answered from
+//! the cross-session solution cache). Client-observed per-request
+//! latency and whole-level throughput land in `BENCH_server.json`
+//! (schema `spllift-bench-server/v1`, see `spllift_bench::json`).
+//!
+//! ```text
+//! cargo run --release -p spllift-bench --bin server_bench -- \
+//!     [--levels 16,64,256] [--shards N] [--out PATH|-]
+//! cargo run --release -p spllift-bench --bin server_bench -- --validate PATH
+//! cargo run --release -p spllift-bench --bin server_bench -- --smoke DIR
+//! ```
+//!
+//! `--validate` schema-checks an existing document (used by CI).
+//! `--smoke DIR` is the CI socket smoke test: three concurrent scripted
+//! clients replay `DIR/socket-client{1,2,3}.requests` over one server
+//! and their response streams must match the committed
+//! `DIR/socket-client{1,2,3}.expected` byte-for-byte.
+
+use spllift_bench::json::{render_server_bench, validate_server_bench, ServerBenchLevel};
+use spllift_server::{ServerOptions, SocketServer};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const DEFAULT_LEVELS: &str = "16,64,256";
+const DEFAULT_OUT: &str = "BENCH_server.json";
+const SMOKE_CLIENTS: usize = 3;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("server_bench: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut levels = DEFAULT_LEVELS.to_owned();
+    let mut shards: Option<usize> = None;
+    let mut out = DEFAULT_OUT.to_owned();
+    let mut args_iter = args.iter().cloned();
+    while let Some(arg) = args_iter.next() {
+        match arg.as_str() {
+            "--validate" => {
+                let path = args_iter.next().ok_or("--validate needs a file path")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let n = validate_server_bench(&text).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("server_bench: {path} is valid ({n} concurrency levels)");
+                return Ok(());
+            }
+            "--smoke" => {
+                let dir = args_iter
+                    .next()
+                    .ok_or("--smoke needs a fixture directory")?;
+                return smoke(&dir);
+            }
+            "--levels" => {
+                levels = args_iter.next().ok_or("--levels needs a list")?;
+            }
+            "--shards" => {
+                let v = args_iter.next().ok_or("--shards needs a count")?;
+                shards = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&s| s >= 1)
+                        .ok_or(format!("--shards needs a positive integer, got `{v}`"))?,
+                );
+            }
+            "--out" => {
+                out = args_iter.next().ok_or("--out needs a path")?;
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: server_bench [--levels A,B,..] [--shards N] [--out PATH|-]\n       server_bench --validate PATH\n       server_bench --smoke DIR\n(default levels: {DEFAULT_LEVELS}; default out: {DEFAULT_OUT})"
+                ));
+            }
+            other => return Err(format!("unexpected argument `{other}` (try --help)")),
+        }
+    }
+
+    let levels: Vec<usize> = levels
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|v| {
+            v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or(format!(
+                "--levels entries must be positive integers, got `{v}`"
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    if levels.len() < 3 {
+        return Err("need at least 3 concurrency levels (the schema requires them)".into());
+    }
+
+    let opts = || {
+        let mut o = ServerOptions::default();
+        if let Some(s) = shards {
+            o.shards = s;
+        }
+        // The load script fans out far past the default cache budget at
+        // 256 sessions; keep every solution resident so the second
+        // `analyze` per session measures the cache hit path.
+        o.cache_entries = 1024;
+        o.cache_bytes = 256 << 20;
+        o
+    };
+    let shards_used = opts().shards;
+
+    let mut measured = Vec::new();
+    for &sessions in &levels {
+        let level = run_level(opts(), sessions)?;
+        eprintln!(
+            "server_bench: {:>4} sessions  {:>6} req  {:>10.1} req/s  p50 {:>8}ns  p99 {:>8}ns",
+            level.sessions, level.requests, level.throughput_rps, level.p50_ns, level.p99_ns
+        );
+        measured.push(level);
+    }
+
+    let doc = render_server_bench(shards_used, SCRIPT_LEN, &measured);
+    // Sanity-check our own output before writing, so a malformed
+    // document can never land on disk.
+    validate_server_bench(&doc).map_err(|e| format!("internal emitter error: {e}"))?;
+    if out == "-" {
+        print!("{doc}");
+    } else {
+        std::fs::write(&out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!(
+            "server_bench: wrote {} concurrency levels to {out}",
+            measured.len()
+        );
+    }
+    Ok(())
+}
+
+/// Requests each session sends (see [`session_script`]).
+const SCRIPT_LEN: usize = 4;
+
+/// The per-session request script. Sessions cycle through eight
+/// distinct generated subjects, so the solution cache sees both misses
+/// (first `analyze` of each subject) and cross-session hits.
+fn session_script(i: usize) -> [String; SCRIPT_LEN] {
+    let seed = i % 8;
+    [
+        format!(r#"{{"type":"load","session":"s{i}","gen":"synthetic:3:60:{seed}"}}"#),
+        format!(r#"{{"type":"analyze","session":"s{i}","analysis":"taint"}}"#),
+        format!(
+            r#"{{"type":"query","session":"s{i}","analysis":"taint","queries":[{{"kind":"reachability_of","stmt":"m0:0"}}]}}"#
+        ),
+        format!(r#"{{"type":"analyze","session":"s{i}","analysis":"taint"}}"#),
+    ]
+}
+
+/// One client request over an established connection, returning the
+/// response line and the client-observed wall latency in nanoseconds.
+fn roundtrip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    req: &str,
+) -> Result<(String, u128), String> {
+    let start = Instant::now();
+    writeln!(writer, "{req}").map_err(|e| format!("write: {e}"))?;
+    writer.flush().map_err(|e| format!("flush: {e}"))?;
+    let mut resp = String::new();
+    let n = reader
+        .read_line(&mut resp)
+        .map_err(|e| format!("read: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection mid-script".into());
+    }
+    let latency = start.elapsed().as_nanos();
+    Ok((resp.trim_end().to_owned(), latency))
+}
+
+fn connect(addr: std::net::SocketAddr) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    Ok((stream, reader))
+}
+
+/// Runs one concurrency level against a fresh server: `sessions`
+/// connections, each replaying [`session_script`] for its own session,
+/// all in flight at once.
+fn run_level(opts: ServerOptions, sessions: usize) -> Result<ServerBenchLevel, String> {
+    let server = SocketServer::spawn(opts, "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let mut clients = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        clients.push(
+            std::thread::Builder::new()
+                .name(format!("bench-client-{i}"))
+                .spawn(move || -> Result<(Vec<u128>, usize), String> {
+                    let (mut writer, mut reader) = connect(addr)?;
+                    let mut latencies = Vec::with_capacity(SCRIPT_LEN);
+                    let mut errors = 0usize;
+                    for req in session_script(i) {
+                        let (resp, ns) = roundtrip(&mut writer, &mut reader, &req)?;
+                        if resp.starts_with(r#"{"type":"error""#) {
+                            eprintln!("server_bench: client {i} got error: {resp}");
+                            errors += 1;
+                        }
+                        latencies.push(ns);
+                    }
+                    Ok((latencies, errors))
+                })
+                .map_err(|e| format!("spawn client {i}: {e}"))?,
+        );
+    }
+    let mut latencies = Vec::with_capacity(sessions * SCRIPT_LEN);
+    let mut errors = 0usize;
+    for (i, c) in clients.into_iter().enumerate() {
+        let (l, e) = c
+            .join()
+            .map_err(|_| format!("client {i} panicked"))?
+            .map_err(|e| format!("client {i}: {e}"))?;
+        latencies.extend(l);
+        errors += e;
+    }
+    let wall_ns = start.elapsed().as_nanos();
+
+    // Shut the server down (outside the measured window) so its shard
+    // workers and accept loop exit before the next level binds.
+    let (mut writer, mut reader) = connect(addr)?;
+    roundtrip(&mut writer, &mut reader, r#"{"type":"shutdown"}"#)?;
+    server.join();
+
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    // Nearest-rank percentile over the sorted latencies: the smallest
+    // value covering at least P percent of the samples.
+    let rank = |p: usize| latencies[(p * requests).div_ceil(100).clamp(1, requests) - 1];
+    Ok(ServerBenchLevel {
+        sessions,
+        requests,
+        errors,
+        wall_ns,
+        throughput_rps: requests as f64 / (wall_ns as f64 / 1e9),
+        p50_ns: rank(50),
+        p90_ns: rank(90),
+        p99_ns: rank(99),
+        max_ns: latencies[requests - 1],
+    })
+}
+
+/// The CI socket smoke test: three concurrent scripted clients against
+/// one server, each response stream compared byte-for-byte with its
+/// committed golden transcript.
+fn smoke(dir: &str) -> Result<(), String> {
+    let read = |name: &str| -> Result<String, String> {
+        let path = format!("{dir}/{name}");
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let scripts: Vec<(String, String)> = (1..=SMOKE_CLIENTS)
+        .map(|n| {
+            Ok((
+                read(&format!("socket-client{n}.requests"))?,
+                read(&format!("socket-client{n}.expected"))?,
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let server = SocketServer::spawn(ServerOptions::default(), "127.0.0.1:0")
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    let mut clients = Vec::new();
+    for (n, (requests, _)) in scripts.iter().enumerate() {
+        let requests = requests.clone();
+        clients.push(
+            std::thread::Builder::new()
+                .name(format!("smoke-client-{n}"))
+                .spawn(move || -> Result<String, String> {
+                    let (mut writer, mut reader) = connect(addr)?;
+                    let mut got = String::new();
+                    for req in requests.lines().filter(|l| !l.trim().is_empty()) {
+                        let (resp, _) = roundtrip(&mut writer, &mut reader, req)?;
+                        got.push_str(&resp);
+                        got.push('\n');
+                    }
+                    Ok(got)
+                })
+                .map_err(|e| format!("spawn smoke client: {e}"))?,
+        );
+    }
+    let mut failed = false;
+    for (n, (c, (_, expected))) in clients.into_iter().zip(&scripts).enumerate() {
+        let got = c
+            .join()
+            .map_err(|_| format!("smoke client {} panicked", n + 1))?
+            .map_err(|e| format!("smoke client {}: {e}", n + 1))?;
+        if got != *expected {
+            failed = true;
+            eprintln!(
+                "server_bench: smoke client {} response stream differs from {dir}/socket-client{}.expected",
+                n + 1,
+                n + 1
+            );
+            for (line, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
+                if g != e {
+                    eprintln!("  first difference at response {}:", line + 1);
+                    eprintln!("    expected: {e}");
+                    eprintln!("    got:      {g}");
+                    break;
+                }
+            }
+            if got.lines().count() != expected.lines().count() {
+                eprintln!(
+                    "  response count differs: expected {}, got {}",
+                    expected.lines().count(),
+                    got.lines().count()
+                );
+            }
+        }
+    }
+    let (mut writer, mut reader) = connect(addr)?;
+    roundtrip(&mut writer, &mut reader, r#"{"type":"shutdown"}"#)?;
+    server.join();
+    if failed {
+        return Err("socket smoke test failed".into());
+    }
+    eprintln!("server_bench: socket smoke passed ({SMOKE_CLIENTS} concurrent clients)");
+    Ok(())
+}

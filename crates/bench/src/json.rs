@@ -1,10 +1,11 @@
-//! Machine-readable benchmark output: the `BENCH_solver.json` emitter and
-//! the schema validator CI runs against the emitted file.
+//! Machine-readable benchmark output: the `BENCH_solver.json` and
+//! `BENCH_server.json` emitters and the schema validators CI runs
+//! against the emitted files.
 //!
 //! The JSON value type, parser, and string escaping live in the shared
 //! [`spllift_json`] crate (also used by the analysis server's request
-//! protocol); this module keeps only the `spllift-bench-solver/v2`
-//! schema layered on top.
+//! protocol); this module keeps only the `spllift-bench-solver/v2` and
+//! `spllift-bench-server/v1` schemas layered on top.
 //!
 //! # Schema (`spllift-bench-solver/v2`)
 //!
@@ -47,6 +48,135 @@ pub use spllift_json::{escape, parse_json, Json};
 
 /// The schema identifier written to (and required in) the JSON file.
 pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v2";
+
+/// The schema identifier of `BENCH_server.json` (the concurrent-server
+/// load benchmark emitted by the `server_bench` bin).
+pub const SERVER_BENCH_SCHEMA: &str = "spllift-bench-server/v1";
+
+/// One concurrency level of the server load benchmark: `sessions`
+/// concurrent connections, each driving its own session through a fixed
+/// request script against one shared server.
+#[derive(Debug, Clone)]
+pub struct ServerBenchLevel {
+    /// Concurrent sessions (== connections; one session per connection).
+    pub sessions: usize,
+    /// Total requests answered across all sessions.
+    pub requests: usize,
+    /// Responses with `"type":"error"` (must be zero in a committed
+    /// document — the script only sends valid requests).
+    pub errors: usize,
+    /// Wall-clock of the whole level, nanoseconds.
+    pub wall_ns: u128,
+    /// Requests per second over the level's wall-clock.
+    pub throughput_rps: f64,
+    /// Client-observed per-request latency percentiles (nearest-rank)
+    /// and maximum, nanoseconds.
+    pub p50_ns: u128,
+    /// 90th percentile latency, nanoseconds.
+    pub p90_ns: u128,
+    /// 99th percentile latency, nanoseconds.
+    pub p99_ns: u128,
+    /// Maximum latency, nanoseconds.
+    pub max_ns: u128,
+}
+
+/// Renders the full `BENCH_server.json` document.
+pub fn render_server_bench(
+    shards: usize,
+    requests_per_session: usize,
+    levels: &[ServerBenchLevel],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SERVER_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!(
+        "  \"requests_per_session\": {requests_per_session},\n"
+    ));
+    out.push_str("  \"levels\": [\n");
+    for (i, l) in levels.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"sessions\": {}, \"requests\": {}, \"errors\": {},\n",
+            l.sessions, l.requests, l.errors
+        ));
+        out.push_str(&format!(
+            "      \"wall_ns\": {}, \"throughput_rps\": {:.3},\n",
+            l.wall_ns, l.throughput_rps
+        ));
+        out.push_str(&format!(
+            "      \"latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}\n",
+            l.p50_ns, l.p90_ns, l.p99_ns, l.max_ns
+        ));
+        out.push_str(if i + 1 == levels.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `BENCH_server.json` document against the
+/// [`SERVER_BENCH_SCHEMA`] shape: schema id, at least three concurrency
+/// levels, every number finite and non-negative, zero errors, positive
+/// throughput, and monotone latency percentiles (p50 ≤ p90 ≤ p99 ≤
+/// max). Returns the level count.
+pub fn validate_server_bench(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let schema = doc.get("schema").ok_or("missing `schema` key")?.clone();
+    if schema != Json::Str(SERVER_BENCH_SCHEMA.into()) {
+        return Err(format!(
+            "schema mismatch: expected \"{SERVER_BENCH_SCHEMA}\", got {schema:?}"
+        ));
+    }
+    let finite = |v: Option<&Json>, what: &str| -> Result<f64, String> {
+        v.and_then(Json::as_f64)
+            .filter(|n| *n >= 0.0)
+            .ok_or_else(|| format!("`{what}` must be a finite non-negative number"))
+    };
+    finite(doc.get("shards"), "shards")?;
+    finite(doc.get("requests_per_session"), "requests_per_session")?;
+    let Some(Json::Arr(levels)) = doc.get("levels") else {
+        return Err("missing or non-array `levels`".into());
+    };
+    if levels.len() < 3 {
+        return Err(format!(
+            "`levels` must cover at least 3 concurrency levels, got {}",
+            levels.len()
+        ));
+    }
+    for (i, l) in levels.iter().enumerate() {
+        let ctx = |k: &str| format!("levels[{i}].{k}");
+        for key in ["sessions", "requests", "wall_ns"] {
+            if finite(l.get(key), &ctx(key))? <= 0.0 {
+                return Err(format!("{} must be positive", ctx(key)));
+            }
+        }
+        if finite(l.get("errors"), &ctx("errors"))? != 0.0 {
+            return Err(format!("{} must be zero", ctx("errors")));
+        }
+        if finite(l.get("throughput_rps"), &ctx("throughput_rps"))? <= 0.0 {
+            return Err(format!("{} must be positive", ctx("throughput_rps")));
+        }
+        let lat = l
+            .get("latency_ns")
+            .ok_or_else(|| format!("missing {}", ctx("latency_ns")))?;
+        let mut prev = 0.0;
+        for key in ["p50", "p90", "p99", "max"] {
+            let v = finite(lat.get(key), &format!("{}.{key}", ctx("latency_ns")))?;
+            if v < prev {
+                return Err(format!(
+                    "{} percentiles must be monotone ({key} dropped)",
+                    ctx("latency_ns")
+                ));
+            }
+            prev = v;
+        }
+    }
+    Ok(levels.len())
+}
 
 /// One per-subject/per-analysis measurement destined for
 /// `BENCH_solver.json`.
@@ -254,6 +384,46 @@ mod tests {
             entries[0].get("ide").unwrap().get("jump_fn_constructions"),
             Some(&Json::Num(8.0))
         );
+    }
+
+    fn level(sessions: usize) -> ServerBenchLevel {
+        ServerBenchLevel {
+            sessions,
+            requests: sessions * 7,
+            errors: 0,
+            wall_ns: 5_000_000,
+            throughput_rps: 1234.5,
+            p50_ns: 1000,
+            p90_ns: 2000,
+            p99_ns: 3000,
+            max_ns: 4000,
+        }
+    }
+
+    #[test]
+    fn server_bench_document_validates() {
+        let text = render_server_bench(4, 7, &[level(16), level(64), level(256)]);
+        assert_eq!(validate_server_bench(&text), Ok(3));
+    }
+
+    #[test]
+    fn server_bench_validator_rejects_bad_documents() {
+        assert!(validate_server_bench("{}").is_err());
+        // Fewer than three concurrency levels.
+        let short = render_server_bench(4, 7, &[level(16), level(64)]);
+        assert!(validate_server_bench(&short)
+            .unwrap_err()
+            .contains("3 concurrency levels"));
+        // A non-zero error count.
+        let errs = render_server_bench(4, 7, &[level(16), level(64), level(256)])
+            .replace("\"errors\": 0", "\"errors\": 2");
+        assert!(validate_server_bench(&errs).unwrap_err().contains("zero"));
+        // Non-monotone percentiles.
+        let bad = render_server_bench(4, 7, &[level(16), level(64), level(256)])
+            .replace("\"p99\": 3000", "\"p99\": 1");
+        assert!(validate_server_bench(&bad)
+            .unwrap_err()
+            .contains("monotone"));
     }
 
     #[test]

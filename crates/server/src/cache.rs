@@ -10,15 +10,15 @@
 //! inserted entry is never evicted, so a single oversized solution
 //! still caches (and simply evicts everything else).
 
-use crate::session::RenderedSolution;
-use std::rc::Rc;
+use crate::store::RenderedSolution;
+use std::sync::Arc;
 
 /// Cache key: `(program fingerprint, analysis name, mode string)`.
 pub type CacheKey = (u64, String, String);
 
 struct Entry {
     key: CacheKey,
-    value: Rc<RenderedSolution>,
+    value: Arc<RenderedSolution>,
     /// Logical access time; larger = more recent.
     stamp: u64,
 }
@@ -51,13 +51,13 @@ impl SolutionCache {
 
     /// Looks up `key`, refreshing its recency on a hit. Counts the
     /// access either way.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Rc<RenderedSolution>> {
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<RenderedSolution>> {
         self.stamp += 1;
         match self.entries.iter_mut().find(|e| &e.key == key) {
             Some(e) => {
                 e.stamp = self.stamp;
                 self.hits += 1;
-                Some(Rc::clone(&e.value))
+                Some(Arc::clone(&e.value))
             }
             None => {
                 self.misses += 1;
@@ -69,7 +69,7 @@ impl SolutionCache {
     /// Inserts (or replaces) `key`, then evicts least-recently-used
     /// entries until both budgets hold. The entry just inserted is
     /// exempt from eviction.
-    pub fn insert(&mut self, key: CacheKey, value: Rc<RenderedSolution>) {
+    pub fn insert(&mut self, key: CacheKey, value: Arc<RenderedSolution>) {
         self.stamp += 1;
         self.entries.retain(|e| e.key != key);
         self.entries.push(Entry {

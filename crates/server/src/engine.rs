@@ -1,0 +1,188 @@
+//! The shared, immutable half of the server: the [`Engine`].
+//!
+//! Following the wasmtime `Engine`/`Store` split, everything that is
+//! safe to share between concurrent sessions lives here behind `Arc` +
+//! fine-grained locking:
+//!
+//! * **loaded artifacts** — fingerprinted parsed programs + feature
+//!   models ([`LoadedSpl`]), interned so N sessions that load the same
+//!   product line retain one copy,
+//! * the **cross-session solution cache** — LRU over
+//!   [`RenderedSolution`]s keyed by `(fingerprint, analysis, mode)`;
+//!   rendered solutions are manager-free (strings + `FeatureExpr`), so
+//!   they are `Send + Sync` by construction and one `Arc` can serve
+//!   every shard,
+//! * **governance counters** — plain atomics, and
+//! * the **last-solve statistics** published by `stats`.
+//!
+//! Everything *mutable per session* — the BDD manager, `SolverMemo`,
+//! dirty-root sets — lives in [`crate::store::Store`], which is
+//! deliberately `!Send` and confined to one executor shard (DESIGN.md
+//! §6: no constraint crosses a thread). The `Engine` is the line the
+//! future `Arc`-based thread-safe BDD store will slot into: anything
+//! already behind the `Engine` is proven shareable.
+
+use crate::cache::{CacheKey, SolutionCache};
+use crate::store::RenderedSolution;
+use crate::ServerOptions;
+use spllift_features::{FeatureExpr, FeatureTable};
+use spllift_hash::FastMap;
+use spllift_ide::IdeStats;
+use spllift_ir::{fingerprint, Program};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One loaded product line: the parsed program, its feature universe,
+/// the optional feature-model constraint, and the fingerprint over all
+/// three. Plain data — no BDD handles — so it is `Send + Sync` and can
+/// be shared (`Arc`) across every shard and with the engine's intern
+/// table. Edits copy-on-write ([`Arc::make_mut`] in the store), so a
+/// shared artifact is immutable for as long as it is shared.
+#[derive(Debug, Clone)]
+pub struct LoadedSpl {
+    /// The checked program.
+    pub program: Program,
+    /// The feature universe (fixed at load: edits cannot grow it).
+    pub table: FeatureTable,
+    /// The feature-model constraint, if any.
+    pub model: Option<FeatureExpr>,
+    /// Fingerprint of `(program, table, model)`.
+    pub fingerprint: u64,
+}
+
+impl LoadedSpl {
+    /// Validates and fingerprints a freshly parsed product line.
+    pub fn new(
+        program: Program,
+        table: FeatureTable,
+        model: Option<FeatureExpr>,
+    ) -> Result<LoadedSpl, String> {
+        if program.entry_points().is_empty() {
+            return Err("no entry point: declare a method named `main`".into());
+        }
+        program
+            .check()
+            .map_err(|e| format!("invalid program: {e}"))?;
+        let fp = fingerprint(&program, &table, model.as_ref());
+        Ok(LoadedSpl {
+            program,
+            table,
+            model,
+            fingerprint: fp,
+        })
+    }
+
+    /// Recomputes the fingerprint after an in-place program mutation
+    /// (only reachable through a store's private, copy-on-write copy).
+    pub fn refresh_fingerprint(&mut self) {
+        self.fingerprint = fingerprint(&self.program, &self.table, self.model.as_ref());
+    }
+}
+
+/// Cross-shard governance counters (the `stats` response's
+/// `governance` object, minus the per-shard quarantine lists).
+#[derive(Debug, Default)]
+pub struct GovCounters {
+    /// `analyze` requests seen (the global fault trigger counts these).
+    pub analyze_requests: AtomicU64,
+    /// Panics caught by the per-request isolation barrier.
+    pub panics_isolated: AtomicU64,
+    /// Solves answered from a ladder rung below full precision.
+    pub degraded_solves: AtomicU64,
+    /// Solves where every ladder rung aborted.
+    pub solve_failures: AtomicU64,
+    /// Faults actually injected by `--inject-fault`.
+    pub faults_injected: AtomicU64,
+}
+
+impl GovCounters {
+    /// Increments `analyze_requests` and returns the new (1-based)
+    /// ordinal — the global fault trigger sequence.
+    pub fn bump_analyze(&self) -> u64 {
+        self.analyze_requests.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+/// The shared immutable engine. One per server process; every shard and
+/// every connection holds the same `Arc<Engine>`.
+pub struct Engine {
+    /// Server-wide configuration (immutable after startup).
+    pub opts: ServerOptions,
+    /// Governance counters.
+    pub gov: GovCounters,
+    cache: Mutex<SolutionCache>,
+    artifacts: Mutex<FastMap<u64, Arc<LoadedSpl>>>,
+    last_solve: Mutex<IdeStats>,
+}
+
+impl Engine {
+    /// Creates an engine with an empty cache and intern table.
+    pub fn new(opts: ServerOptions) -> Engine {
+        let cache = SolutionCache::new(opts.cache_entries, opts.cache_bytes);
+        Engine {
+            opts,
+            gov: GovCounters::default(),
+            cache: Mutex::new(cache),
+            artifacts: Mutex::new(FastMap::default()),
+            last_solve: Mutex::new(IdeStats::default()),
+        }
+    }
+
+    /// Interns a loaded artifact by fingerprint: if an identical product
+    /// line is already resident (another session loaded the same bytes),
+    /// the existing `Arc` is returned and the fresh copy is dropped.
+    pub fn intern(&self, spl: LoadedSpl) -> Arc<LoadedSpl> {
+        let mut artifacts = self.artifacts.lock().expect("artifact lock");
+        Arc::clone(
+            artifacts
+                .entry(spl.fingerprint)
+                .or_insert_with(|| Arc::new(spl)),
+        )
+    }
+
+    /// Cache lookup (counts a hit or miss).
+    pub fn cache_get(&self, key: &CacheKey) -> Option<Arc<RenderedSolution>> {
+        self.cache.lock().expect("cache lock").get(key)
+    }
+
+    /// Caches a full-precision solution.
+    pub fn cache_insert(&self, key: CacheKey, solution: Arc<RenderedSolution>) {
+        self.cache.lock().expect("cache lock").insert(key, solution);
+    }
+
+    /// Cache snapshot for `stats`: `(entries, bytes, hits, misses,
+    /// evictions)` under one lock acquisition, so the numbers are
+    /// mutually consistent.
+    pub fn cache_stats(&self) -> (usize, usize, u64, u64, u64) {
+        let cache = self.cache.lock().expect("cache lock");
+        let (hits, misses, evictions) = cache.counters();
+        (cache.len(), cache.total_bytes(), hits, misses, evictions)
+    }
+
+    /// Clears the solution cache (returns the number of entries
+    /// dropped, for the `evict` response) and the artifact intern table
+    /// — sessions keep their own `Arc`s, so nothing in use is freed.
+    pub fn evict(&self) -> usize {
+        self.artifacts.lock().expect("artifact lock").clear();
+        self.cache.lock().expect("cache lock").clear()
+    }
+
+    /// Publishes the statistics of the most recent solve.
+    pub fn set_last_solve(&self, stats: IdeStats) {
+        *self.last_solve.lock().expect("last_solve lock") = stats;
+    }
+
+    /// The statistics of the most recent solve.
+    pub fn last_solve(&self) -> IdeStats {
+        *self.last_solve.lock().expect("last_solve lock")
+    }
+}
+
+// The whole point of the engine: it is shareable. Compile-time proof
+// that no `Rc`/`RefCell`/BDD handle snuck in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<LoadedSpl>();
+    assert_send_sync::<RenderedSolution>();
+};

@@ -1,29 +1,36 @@
 //! The resident analysis server.
 //!
 //! SPLLIFT's pitch is "minutes instead of years" for one-shot analysis;
-//! this crate drops the per-invocation cost too. A [`Server`] stays
-//! resident, speaks a line-delimited JSON protocol on stdin/stdout
-//! (`spllift-cli serve`), and keeps loaded product lines warm:
+//! this crate drops the per-invocation cost too — and serves many
+//! clients at once. Following the wasmtime `Engine`/`Store` split, the
+//! server is built from:
 //!
-//! * **sessions** — parsed program + feature model + a session-private
-//!   BDD manager (thread-local, per DESIGN.md §6),
-//! * a **solution cache** keyed by `(program fingerprint, analysis,
-//!   model mode)` with an LRU entry/byte budget — repeated `analyze`
-//!   requests are answered with *zero* solver propagations,
-//! * **incremental re-analysis** — an `edit` that replaces one method
-//!   body dirties only that method and its transitive callers; the next
-//!   `analyze` reuses every clean method's jump functions and end
-//!   summaries ([`spllift_core::SolverMemo`]) and is bit-identical to a
-//!   cold solve,
-//! * a **worker pool** — batched `query` requests fan out over
-//!   [`spllift_spl::map_shards`] with deterministic shard order, so
-//!   responses are byte-identical for every `--jobs` value.
+//! * an [`Engine`] — the shared immutable half: interned fingerprinted
+//!   programs + feature models ([`LoadedSpl`]), the cross-session LRU
+//!   **solution cache** keyed by `(program fingerprint, analysis, model
+//!   mode)` (repeated `analyze` requests are answered with *zero*
+//!   solver propagations, from any session on any connection), and the
+//!   governance counters — all behind `Arc` + fine-grained locking;
+//! * per-session [`Store`](store::Store)s — the cheap mutable half: a
+//!   session-private BDD manager (thread-confined, per DESIGN.md §6),
+//!   the [`spllift_core::SolverMemo`] for **incremental re-analysis**
+//!   (an `edit` dirties only the edited method and its transitive
+//!   callers), and per-request governance budgets;
+//! * a session-sharded [`Executor`] — session names hash to shards, one
+//!   worker thread per shard, so concurrent sessions analyze in
+//!   parallel while each session's stream stays deterministic, with
+//!   **admission control** (per-shard in-flight bound) riding the
+//!   budget/quarantine machinery;
+//! * two transports: classic stdin/stdout (`spllift-cli serve`) and a
+//!   TCP socket ([`SocketServer`], `spllift-cli serve --listen`) with
+//!   graceful drain on `shutdown`.
 //!
 //! # Protocol
 //!
 //! One JSON object per line in, one per line out (blank lines are
-//! skipped). Responses are canonical compact JSON ([`Json::render`])
-//! and contain no wall-clock timings, so transcripts diff byte-exactly.
+//! skipped). Responses are canonical compact JSON
+//! ([`spllift_json::Json::render`]) and contain no wall-clock timings,
+//! so transcripts diff byte-exactly.
 //! A malformed or failing request yields `{"type":"error",...}` and the
 //! server keeps serving. Requests:
 //!
@@ -37,6 +44,10 @@
 //! | `evict`    | — |
 //! | `shutdown` | — |
 //!
+//! The complete wire contract — every request/response shape, error
+//! codes, quarantine semantics, budget overrides, versioning rules —
+//! is specified in `docs/PROTOCOL.md` at the repository root.
+//!
 //! Queries address statements as `<method>:<index>` where `<method>` is
 //! a method name (optionally `Class.name`-qualified) or a raw `m<N>`
 //! id, and facts by their `Debug` rendering (e.g. `Local(LocalId(1))`).
@@ -46,42 +57,39 @@
 #![warn(missing_docs)]
 
 pub mod cache;
-pub mod session;
+pub mod engine;
+pub mod exec;
+mod handler;
+pub mod store;
+pub mod transport;
 
-use cache::SolutionCache;
-use session::{mode_str, parse_mode, ChaosSpec, RenderedSolution, Session, ANALYSES};
-use spllift_benchgen::{subject_by_name, synthetic_spec, GeneratedSpl, SubjectSpec};
-use spllift_core::{GovernorOptions, ModelMode, SolveOutcome};
-use spllift_features::{parse_feature_model, Configuration, FeatureTable};
-use spllift_frontend::parse_source;
-use spllift_ide::IdeStats;
-use spllift_ir::{MethodId, Program};
-use spllift_json::{parse_json, Json};
-use spllift_spl::{default_jobs, map_shards, FaultKind, FaultPlan};
-use std::collections::BTreeMap;
+pub use engine::{Engine, LoadedSpl};
+pub use exec::{Executor, Submitted};
+pub use transport::SocketServer;
+
+use spllift_spl::{default_jobs, FaultPlan};
 use std::io::{BufRead, Write};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
-use std::time::Duration;
+use std::sync::Arc;
 
-/// Implicit per-rung operation budget armed for a `bdd-blowup` fault
-/// when no `--bdd-op-budget` is configured — the injected blowout must
-/// have a meter to trip.
-const FAULT_OP_BUDGET: u64 = 1 << 32;
-
-/// Implicit per-rung deadline armed for a `slow-edge` fault when no
-/// `--solve-timeout-ms` is configured.
-const FAULT_TIMEOUT_MS: u64 = 250;
-
-/// How much longer than the per-rung deadline an injected `slow-edge`
-/// stall sleeps, so the deadline check after it always trips.
-const FAULT_STALL_MARGIN_MS: u64 = 1000;
+/// Every request `type` the router accepts, in the order the protocol
+/// documentation lists them. The unknown-type error message and the
+/// `docs/PROTOCOL.md` conformance test both derive from this list.
+pub const REQUEST_TYPES: [&str; 7] = [
+    "load", "analyze", "query", "edit", "stats", "evict", "shutdown",
+];
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Worker threads for batched queries (`--jobs`).
     pub jobs: usize,
+    /// Executor shards — concurrently analyzing session groups
+    /// (`--shards`). Sessions hash to shards; shard count never changes
+    /// response bytes, only parallelism.
+    pub shards: usize,
+    /// Per-shard in-flight request bound (`--max-inflight`): beyond it,
+    /// `submit` answers an `overloaded` error instead of queueing.
+    pub max_inflight: usize,
     /// Solution-cache entry budget (`--cache-entries`).
     pub cache_entries: usize,
     /// Solution-cache byte budget (`--cache-bytes`).
@@ -98,12 +106,19 @@ pub struct ServerOptions {
     /// Deterministic fault injection (`--inject-fault kind@n`): sabotage
     /// the `n`-th `analyze` request's solve. Testing harness only.
     pub inject_fault: Option<FaultPlan>,
+    /// Scope the fault trigger to one session's own `analyze` ordinal
+    /// (`--inject-fault-session`): under concurrency the *global*
+    /// ordinal depends on request interleaving, but the victim
+    /// session's own counter does not. Testing harness only.
+    pub fault_session: Option<String>,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
         ServerOptions {
             jobs: default_jobs(),
+            shards: default_jobs(),
+            max_inflight: 256,
             cache_entries: 64,
             cache_bytes: 16 << 20,
             solve_timeout_ms: None,
@@ -111,341 +126,36 @@ impl Default for ServerOptions {
             bdd_op_budget: None,
             max_propagations: None,
             inject_fault: None,
+            fault_session: None,
         }
     }
 }
 
-/// A statement/fact query, parsed and validated on the main thread so
-/// the worker pool only ever touches `Sync` data.
-enum ParsedQuery {
-    /// `constraint_of`: the feature constraint of `(stmt, fact)`.
-    Constraint { stmt: String, fact: String },
-    /// `reachability_of`: the constraint under which `stmt` executes.
-    Reach { stmt: String },
-    /// `holds_in`: does `(stmt, fact)` hold in one configuration?
-    Holds {
-        stmt: String,
-        fact: String,
-        config: Configuration,
-    },
-}
-
-fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-}
-
-fn hex16(fp: u64) -> String {
-    format!("{fp:016x}")
-}
-
-fn req_str<'a>(req: &'a Json, key: &str) -> Result<&'a str, String> {
-    req.get(key)
-        .ok_or_else(|| format!("missing `{key}` field"))?
-        .as_str()
-        .ok_or_else(|| format!("`{key}` must be a string"))
-}
-
-fn opt_str<'a>(req: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_str()
-            .map(Some)
-            .ok_or_else(|| format!("`{key}` must be a string")),
-    }
-}
-
-/// Optional unsigned integer field. Rejects non-numbers, negatives,
-/// fractions, and values outside `u64` with a structured error instead
-/// of truncating or panicking.
-fn opt_u64(req: &Json, key: &str) -> Result<Option<u64>, String> {
-    match req.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
-            format!(
-                "`{key}` must be a non-negative integer (got {})",
-                v.render()
-            )
-        }),
-    }
-}
-
-/// Like [`opt_u64`] but additionally rejects zero (every governance
-/// knob is a budget; a zero budget can never admit a solve) and falls
-/// back to the server-wide default.
-fn governance_u64(req: &Json, key: &str, default: Option<u64>) -> Result<Option<u64>, String> {
-    match opt_u64(req, key)? {
-        None => Ok(default),
-        Some(0) => Err(format!("`{key}` must be >= 1")),
-        some => Ok(some),
-    }
-}
-
-fn parse_gen_spec(s: &str) -> Result<SubjectSpec, String> {
-    if let Some(rest) = s.strip_prefix("synthetic:") {
-        let parts: Vec<&str> = rest.split(':').collect();
-        let [features, loc, seed] = parts.as_slice() else {
-            return Err("gen `synthetic` takes synthetic:<features>:<loc>:<seed>".into());
-        };
-        let parse = |what: &str, v: &str| -> Result<usize, String> {
-            v.parse()
-                .map_err(|_| format!("synthetic {what} must be an integer, got `{v}`"))
-        };
-        Ok(synthetic_spec(
-            parse("feature count", features)?,
-            parse("loc", loc)?,
-            parse("seed", seed)? as u64,
-        ))
-    } else {
-        subject_by_name(s).ok_or_else(|| {
-            format!(
-                "unknown generated subject `{s}` \
-                 (MM08|GPL|Lampiro|BerkeleyDB, or synthetic:<features>:<loc>:<seed>)"
-            )
-        })
-    }
-}
-
-/// Resolves a `<method>:<index>` key to the canonical `m<N>:<I>` form
-/// ([`spllift_ir::StmtRef`]'s `Display`), validating both parts.
-fn parse_stmt_key(program: &Program, s: &str) -> Result<String, String> {
-    let (mpart, ipart) = s
-        .rsplit_once(':')
-        .ok_or_else(|| format!("bad statement `{s}` (want `method:index`)"))?;
-    let index: u32 = ipart
-        .trim()
-        .parse()
-        .map_err(|_| format!("bad statement index in `{s}`"))?;
-    let mid = resolve_method(program, mpart.trim())?;
-    let m = program.method(mid);
-    let n = m
-        .body
-        .as_ref()
-        .map(|b| b.stmts.len())
-        .ok_or_else(|| format!("method `{}` has no body", m.name))?;
-    if index as usize >= n {
-        return Err(format!(
-            "statement index {index} out of range for `{}` ({n} statements)",
-            m.name
-        ));
-    }
-    Ok(format!("m{}:{}", mid.0, index))
-}
-
-fn resolve_method(program: &Program, m: &str) -> Result<MethodId, String> {
-    if let Some(mid) = program.find_method(m) {
-        return Ok(mid);
-    }
-    // Fall back to the raw id form the server itself emits.
-    if let Some(n) = m.strip_prefix('m').and_then(|d| d.parse::<u32>().ok()) {
-        if (n as usize) < program.methods().len() {
-            return Ok(MethodId(n));
-        }
-    }
-    Err(format!("unknown method `{m}`"))
-}
-
-fn parse_query(program: &Program, table: &FeatureTable, q: &Json) -> Result<ParsedQuery, String> {
-    let kind = req_str(q, "kind")?;
-    match kind {
-        "constraint_of" => Ok(ParsedQuery::Constraint {
-            stmt: parse_stmt_key(program, req_str(q, "stmt")?)?,
-            fact: req_str(q, "fact")?.to_owned(),
-        }),
-        "reachability_of" => Ok(ParsedQuery::Reach {
-            stmt: parse_stmt_key(program, req_str(q, "stmt")?)?,
-        }),
-        "holds_in" => {
-            let entries = q
-                .get("config")
-                .and_then(Json::as_arr)
-                .ok_or("`config` must be an array of feature names")?;
-            let mut enabled = Vec::new();
-            for e in entries {
-                let fname = e
-                    .as_str()
-                    .ok_or_else(|| "`config` entries must be strings".to_owned())?;
-                enabled.push(
-                    table
-                        .get(fname)
-                        .ok_or_else(|| format!("unknown feature `{fname}`"))?,
-                );
-            }
-            Ok(ParsedQuery::Holds {
-                stmt: parse_stmt_key(program, req_str(q, "stmt")?)?,
-                fact: req_str(q, "fact")?.to_owned(),
-                config: Configuration::from_enabled(enabled),
-            })
-        }
-        other => Err(format!(
-            "unknown query kind `{other}` (constraint_of|reachability_of|holds_in)"
-        )),
-    }
-}
-
-/// Renders one query result. A missing row is the ⊥ constraint, not an
-/// error — the server cannot tell "fact never holds" from "no such
-/// fact", and the paper's semantics make both `false`.
-fn render_query(sol: &RenderedSolution, item: &Result<ParsedQuery, String>) -> Json {
-    let q = match item {
-        Ok(q) => q,
-        Err(msg) => return obj(vec![("error", Json::str(msg.clone()))]),
-    };
-    let mut fields = match q {
-        ParsedQuery::Constraint { stmt, fact } => {
-            let cube = sol
-                .fact_row(stmt, fact)
-                .map_or("false", |r| r.cube.as_str());
-            vec![
-                ("kind", Json::str("constraint_of")),
-                ("stmt", Json::str(stmt.clone())),
-                ("fact", Json::str(fact.clone())),
-                ("constraint", Json::str(cube)),
-            ]
-        }
-        ParsedQuery::Reach { stmt } => {
-            let cube = sol.reach_row(stmt).map_or("false", |r| r.cube.as_str());
-            vec![
-                ("kind", Json::str("reachability_of")),
-                ("stmt", Json::str(stmt.clone())),
-                ("constraint", Json::str(cube)),
-            ]
-        }
-        ParsedQuery::Holds { stmt, fact, config } => {
-            let holds = sol
-                .fact_row(stmt, fact)
-                .is_some_and(|r| config.satisfies(&r.expr));
-            vec![
-                ("kind", Json::str("holds_in")),
-                ("stmt", Json::str(stmt.clone())),
-                ("fact", Json::str(fact.clone())),
-                ("holds", Json::Bool(holds)),
-            ]
-        }
-    };
-    // Degraded solutions answer with weaker-or-equal constraints (and
-    // thus possibly-spurious `holds`); flag every answer drawn from one.
-    if sol.degraded {
-        fields.push(("degraded", Json::Bool(true)));
-    }
-    obj(fields)
-}
-
-fn stats_obj(stats: &IdeStats) -> Json {
-    obj(vec![
-        ("propagations", Json::num(stats.propagations)),
-        ("flow_evals", Json::num(stats.flow_evals)),
-        ("jump_fns", Json::num(stats.jump_fn_constructions)),
-        ("killed_early", Json::num(stats.killed_early)),
-        ("value_updates", Json::num(stats.value_updates)),
-    ])
-}
-
-/// Governance counters: how often the server had to intervene. Exposed
-/// in the `stats` response so degraded numbers are never silent.
-#[derive(Debug, Clone, Copy, Default)]
-struct GovCounters {
-    /// `analyze` requests seen (the fault plan's trigger counts these).
-    analyze_requests: u64,
-    /// Panics caught by the per-request isolation barrier.
-    panics_isolated: u64,
-    /// Solves answered from a ladder rung below full precision.
-    degraded_solves: u64,
-    /// Solves where every ladder rung aborted.
-    solve_failures: u64,
-    /// Faults actually injected by `--inject-fault`.
-    faults_injected: u64,
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
-}
-
-/// The resident server: sessions, the solution cache, and the protocol
-/// dispatcher. Single-threaded except for query fan-out (the sessions'
-/// BDD managers must stay on this thread).
+/// The classic single-client facade over the sharded executor: one
+/// request in, one response out, strictly in order. `spllift-cli serve`
+/// without `--listen` runs this over stdin/stdout; tests drive
+/// [`Server::handle_line`] directly. Responses are byte-identical to
+/// the socket transport's per-session streams.
 pub struct Server {
-    opts: ServerOptions,
-    sessions: BTreeMap<String, Session>,
-    /// Sessions destroyed by a caught panic, with the panic message.
-    /// Requests against them get a structured error until a fresh `load`
-    /// replaces them; every other session keeps serving normally.
-    quarantined: BTreeMap<String, String>,
-    cache: SolutionCache,
-    last_solve: IdeStats,
-    gov: GovCounters,
+    exec: Executor,
 }
 
 impl Server {
-    /// Creates an empty server.
+    /// Creates an empty server (spawns the executor's shard workers).
     pub fn new(opts: ServerOptions) -> Self {
-        let cache = SolutionCache::new(opts.cache_entries, opts.cache_bytes);
         Server {
-            opts,
-            sessions: BTreeMap::new(),
-            quarantined: BTreeMap::new(),
-            cache,
-            last_solve: IdeStats::default(),
-            gov: GovCounters::default(),
+            exec: Executor::new(Arc::new(Engine::new(opts))),
         }
     }
 
     /// Handles one request line; returns the rendered response and
     /// whether the server should shut down afterwards.
-    ///
-    /// The dispatch runs behind a panic-isolation barrier: a panic
-    /// escaping any handler (a solver bug, a client-analysis bug, an
-    /// injected fault) is caught here, the session it was operating on
-    /// is torn down and quarantined, and the caller gets a structured
-    /// error — the server itself keeps serving. `AssertUnwindSafe` is
-    /// justified because the only state the panicking handler could have
-    /// left half-updated is the session, which is discarded wholesale.
     pub fn handle_line(&mut self, line: &str) -> (String, bool) {
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(line)));
-        match outcome {
-            Ok(Ok((resp, shutdown))) => (resp.render(), shutdown),
-            Ok(Err(msg)) => (
-                obj(vec![
-                    ("type", Json::str("error")),
-                    ("message", Json::str(msg)),
-                ])
-                .render(),
-                false,
-            ),
-            Err(payload) => (self.isolate_panic(line, &*payload).render(), false),
+        match self.exec.submit(line) {
+            Submitted::Ready(resp) => (resp, false),
+            Submitted::Pending(rx) => (rx.recv().unwrap_or_else(|_| exec::internal_error()), false),
+            Submitted::Shutdown(resp) => (resp, true),
         }
-    }
-
-    /// Quarantines the session a panicking request addressed (best
-    /// effort: re-parses the request line) and renders the structured
-    /// panic error.
-    fn isolate_panic(&mut self, line: &str, payload: &(dyn std::any::Any + Send)) -> Json {
-        self.gov.panics_isolated += 1;
-        let message = panic_message(payload);
-        let req = parse_json(line).ok();
-        let session = req
-            .as_ref()
-            .and_then(|r| r.get("session"))
-            .and_then(Json::as_str)
-            .map(str::to_owned);
-        let mut fields = vec![
-            ("type", Json::str("error")),
-            ("error", Json::str("panic")),
-            ("message", Json::str(message.clone())),
-        ];
-        if let Some(name) = session {
-            self.sessions.remove(&name);
-            self.quarantined.insert(name.clone(), message);
-            fields.push(("session", Json::str(name)));
-            fields.push(("quarantined", Json::Bool(true)));
-        }
-        obj(fields)
     }
 
     /// Serves line-delimited requests from `input` until EOF or a
@@ -469,394 +179,5 @@ impl Server {
             }
         }
         Ok(())
-    }
-
-    fn dispatch(&mut self, line: &str) -> Result<(Json, bool), String> {
-        let req = parse_json(line)?;
-        let ty = req_str(&req, "type")?;
-        // Quarantined sessions answer structured errors for everything
-        // except a fresh `load`, which replaces them.
-        if ty != "load" {
-            if let Some(name) = req.get("session").and_then(Json::as_str) {
-                if let Some(reason) = self.quarantined.get(name) {
-                    return Err(format!(
-                        "session `{name}` is quarantined after a panic ({reason}); \
-                         send a `load` to replace it"
-                    ));
-                }
-            }
-        }
-        let resp = match ty {
-            "load" => self.do_load(&req)?,
-            "analyze" => self.do_analyze(&req)?,
-            "query" => self.do_query(&req)?,
-            "edit" => self.do_edit(&req)?,
-            "stats" => self.do_stats(),
-            "evict" => {
-                let n = self.cache.clear();
-                obj(vec![
-                    ("type", Json::str("ok")),
-                    ("request", Json::str("evict")),
-                    ("evicted", Json::num(n as u64)),
-                ])
-            }
-            "shutdown" => {
-                return Ok((
-                    obj(vec![
-                        ("type", Json::str("ok")),
-                        ("request", Json::str("shutdown")),
-                    ]),
-                    true,
-                ))
-            }
-            other => {
-                return Err(format!(
-                    "unknown request type `{other}` \
-                     (load|analyze|query|edit|stats|evict|shutdown)"
-                ))
-            }
-        };
-        Ok((resp, false))
-    }
-
-    fn session(&self, name: &str) -> Result<&Session, String> {
-        self.sessions
-            .get(name)
-            .ok_or_else(|| format!("unknown session `{name}` (send a `load` first)"))
-    }
-
-    fn session_mut(&mut self, name: &str) -> Result<&mut Session, String> {
-        self.sessions
-            .get_mut(name)
-            .ok_or_else(|| format!("unknown session `{name}` (send a `load` first)"))
-    }
-
-    fn do_load(&mut self, req: &Json) -> Result<Json, String> {
-        let name = req_str(req, "session")?;
-        let source = opt_str(req, "source")?;
-        let path = opt_str(req, "path")?;
-        let gen = opt_str(req, "gen")?;
-        let model_text = opt_str(req, "model")?;
-        if [source.is_some(), path.is_some(), gen.is_some()]
-            .iter()
-            .filter(|b| **b)
-            .count()
-            != 1
-        {
-            return Err("load takes exactly one of `source`, `path`, `gen`".into());
-        }
-        let (program, table, model) = if let Some(spec) = gen {
-            if model_text.is_some() {
-                return Err(
-                    "`model` cannot be combined with `gen` (the generated feature model is used)"
-                        .into(),
-                );
-            }
-            let spl = GeneratedSpl::generate(parse_gen_spec(spec)?);
-            let model = Some(spl.model_expr());
-            let GeneratedSpl { program, table, .. } = spl;
-            (program, table, model)
-        } else {
-            let text = match (source, path) {
-                (Some(s), _) => s.to_owned(),
-                (_, Some(p)) => {
-                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?
-                }
-                _ => unreachable!("counted above"),
-            };
-            let mut table = FeatureTable::new();
-            let program = parse_source(&text, &mut table)?;
-            let model = match model_text {
-                None => None,
-                Some(mt) => Some(
-                    parse_feature_model(mt, &mut table)
-                        .map_err(|e| format!("model: {e}"))?
-                        .to_expr(),
-                ),
-            };
-            (program, table, model)
-        };
-        let sess = Session::new(program, table, model)?;
-        let resp = obj(vec![
-            ("type", Json::str("ok")),
-            ("request", Json::str("load")),
-            ("session", Json::str(name)),
-            ("fingerprint", Json::str(hex16(sess.fingerprint))),
-            ("methods", Json::num(sess.program.methods().len() as u64)),
-            ("stmts", Json::num(sess.program.stmt_count() as u64)),
-            ("features", Json::num(sess.table.len() as u64)),
-        ]);
-        self.quarantined.remove(name);
-        self.sessions.insert(name.to_owned(), sess);
-        Ok(resp)
-    }
-
-    fn analysis_and_mode(req: &Json) -> Result<(&str, ModelMode), String> {
-        let analysis = opt_str(req, "analysis")?.unwrap_or("taint");
-        if !ANALYSES.contains(&analysis) {
-            return Err(format!(
-                "unknown analysis `{analysis}` (taint|types|reaching-defs|uninit)"
-            ));
-        }
-        let mode = parse_mode(opt_str(req, "mode")?.unwrap_or("on-edges"))?;
-        Ok((analysis, mode))
-    }
-
-    /// Builds this request's resource envelope: per-request knobs
-    /// (`timeout_ms`, `bdd_node_budget`, `bdd_op_budget`,
-    /// `max_propagations`) override the server-wide defaults — the
-    /// retry-after-degrade path: re-send the same `analyze` with a
-    /// bigger budget and the (uncached) degraded slot re-solves fully.
-    fn request_governor(&self, req: &Json) -> Result<GovernorOptions, String> {
-        Ok(GovernorOptions {
-            max_bdd_nodes: governance_u64(req, "bdd_node_budget", self.opts.bdd_node_budget)?,
-            max_bdd_ops: governance_u64(req, "bdd_op_budget", self.opts.bdd_op_budget)?,
-            max_propagations: governance_u64(req, "max_propagations", self.opts.max_propagations)?,
-            timeout: governance_u64(req, "timeout_ms", self.opts.solve_timeout_ms)?
-                .map(Duration::from_millis),
-            ..GovernorOptions::default()
-        })
-    }
-
-    /// Arms the injected fault for this request if the plan's trigger
-    /// matches, patching implicit budgets so the fault class has a
-    /// meter to trip (a blowup needs an op budget, a stall a deadline).
-    fn armed_fault(&mut self, seq: u64, gov: &mut GovernorOptions) -> Option<ChaosSpec> {
-        let plan = self.opts.inject_fault.filter(|p| p.trigger == seq)?;
-        match plan.kind {
-            FaultKind::BddBlowup => {
-                gov.max_bdd_ops = gov.max_bdd_ops.or(Some(FAULT_OP_BUDGET));
-            }
-            FaultKind::SlowEdge => {
-                gov.timeout = gov
-                    .timeout
-                    .or(Some(Duration::from_millis(FAULT_TIMEOUT_MS)));
-            }
-            FaultKind::PanicInFlow => {}
-        }
-        self.gov.faults_injected += 1;
-        let allowance = gov
-            .timeout
-            .unwrap_or(Duration::from_millis(FAULT_TIMEOUT_MS));
-        Some(ChaosSpec {
-            kind: plan.kind,
-            slow_for: allowance + Duration::from_millis(FAULT_STALL_MARGIN_MS),
-        })
-    }
-
-    fn do_analyze(&mut self, req: &Json) -> Result<Json, String> {
-        self.gov.analyze_requests += 1;
-        let seq = self.gov.analyze_requests;
-        let name = req_str(req, "session")?.to_owned();
-        let (analysis, mode) = Self::analysis_and_mode(req)?;
-        let analysis = analysis.to_owned();
-        let mut gov = self.request_governor(req)?;
-        let chaos = self.armed_fault(seq, &mut gov);
-        let sess = self
-            .sessions
-            .get_mut(&name)
-            .ok_or_else(|| format!("unknown session `{name}` (send a `load` first)"))?;
-        let key = (
-            sess.fingerprint,
-            analysis.clone(),
-            mode_str(mode).to_owned(),
-        );
-        let (solve, stats, outcome, solution) = match self.cache.get(&key) {
-            Some(cached) => {
-                sess.install_cached(&analysis, mode, Rc::clone(&cached))?;
-                (
-                    "cached",
-                    IdeStats::default(),
-                    SolveOutcome::Complete,
-                    cached,
-                )
-            }
-            None => {
-                let out = match sess.analyze(&analysis, mode, gov, chaos.as_ref()) {
-                    Ok(out) => out,
-                    Err(e) => {
-                        self.gov.solve_failures += 1;
-                        return Err(e);
-                    }
-                };
-                // Only full-precision solutions enter the cache: a
-                // degraded answer must not shadow a later, better-funded
-                // solve of the same fingerprint.
-                if out.outcome.is_degraded() {
-                    self.gov.degraded_solves += 1;
-                } else {
-                    self.cache.insert(key, Rc::clone(&out.solution));
-                }
-                (out.solve, out.stats, out.outcome, out.solution)
-            }
-        };
-        self.last_solve = stats;
-        let mut fields = vec![
-            ("type", Json::str("ok")),
-            ("request", Json::str("analyze")),
-            ("session", Json::str(name)),
-            ("analysis", Json::str(analysis)),
-            ("mode", Json::str(mode_str(mode))),
-            ("solve", Json::str(solve)),
-            (
-                "outcome",
-                Json::str(if outcome.is_degraded() {
-                    "degraded"
-                } else {
-                    "complete"
-                }),
-            ),
-            ("rung", Json::str(solution.rung)),
-            ("propagations", Json::num(stats.propagations)),
-            ("flow_evals", Json::num(stats.flow_evals)),
-            ("jump_fns", Json::num(stats.jump_fn_constructions)),
-            ("value_updates", Json::num(stats.value_updates)),
-            ("facts", Json::num(solution.facts.len() as u64)),
-            ("digest", Json::str(hex16(solution.digest))),
-        ];
-        if let SolveOutcome::Degraded { attempts, .. } = &outcome {
-            fields.push((
-                "attempts",
-                Json::Arr(
-                    attempts
-                        .iter()
-                        .map(|(rung, reason)| {
-                            obj(vec![
-                                ("rung", Json::str(rung.as_str())),
-                                ("reason", Json::str(reason.clone())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ));
-            fields.push(("degraded_facts", Json::num(solution.facts.len() as u64)));
-        }
-        Ok(obj(fields))
-    }
-
-    fn do_query(&mut self, req: &Json) -> Result<Json, String> {
-        let name = req_str(req, "session")?;
-        let (analysis, mode) = Self::analysis_and_mode(req)?;
-        let sess = self.session(name)?;
-        let solution = sess.current_solution(analysis, mode).ok_or_else(|| {
-            format!(
-                "no current solution for {analysis}/{} in session `{name}` \
-                 (send an `analyze` first, and after every `edit`)",
-                mode_str(mode)
-            )
-        })?;
-        let queries = req
-            .get("queries")
-            .and_then(Json::as_arr)
-            .ok_or("`queries` must be an array")?;
-        let parsed: Vec<Result<ParsedQuery, String>> = queries
-            .iter()
-            .map(|q| parse_query(&sess.program, &sess.table, q))
-            .collect();
-        // Fan out over the worker pool. Workers borrow the rendered
-        // solution (plain strings + feature expressions — no BDD handles
-        // leave this thread); contiguous ordered shards keep the result
-        // order, and thus the response bytes, independent of `jobs`.
-        let sol: &RenderedSolution = solution;
-        let (shards, _shard_stats, _jobs) = map_shards(&parsed, self.opts.jobs, |_, chunk| {
-            chunk
-                .iter()
-                .map(|item| render_query(sol, item))
-                .collect::<Vec<Json>>()
-        });
-        let results: Vec<Json> = shards.into_iter().flatten().collect();
-        Ok(obj(vec![
-            ("type", Json::str("ok")),
-            ("request", Json::str("query")),
-            ("session", Json::str(name)),
-            ("analysis", Json::str(analysis)),
-            ("mode", Json::str(mode_str(mode))),
-            ("count", Json::num(results.len() as u64)),
-            ("results", Json::Arr(results)),
-        ]))
-    }
-
-    fn do_edit(&mut self, req: &Json) -> Result<Json, String> {
-        let name = req_str(req, "session")?;
-        let method = req_str(req, "method")?;
-        let locals = opt_str(req, "locals")?.unwrap_or("");
-        let stmts = req
-            .get("stmts")
-            .and_then(Json::as_arr)
-            .ok_or("`stmts` must be an array of strings")?;
-        let mut lines = Vec::with_capacity(stmts.len());
-        for s in stmts {
-            lines.push(
-                s.as_str()
-                    .ok_or_else(|| "`stmts` entries must be strings".to_owned())?,
-            );
-        }
-        let method = method.to_owned();
-        let locals = locals.to_owned();
-        let sess = self.session_mut(name)?;
-        let (_mid, n) = sess.edit(&method, &locals, &lines)?;
-        Ok(obj(vec![
-            ("type", Json::str("ok")),
-            ("request", Json::str("edit")),
-            ("session", Json::str(name)),
-            ("method", Json::str(method)),
-            ("fingerprint", Json::str(hex16(sess.fingerprint))),
-            ("stmts", Json::num(n as u64)),
-        ]))
-    }
-
-    fn do_stats(&mut self) -> Json {
-        let sessions: Vec<Json> = self
-            .sessions
-            .iter()
-            .map(|(name, s)| {
-                obj(vec![
-                    ("session", Json::str(name.clone())),
-                    ("fingerprint", Json::str(hex16(s.fingerprint))),
-                    ("methods", Json::num(s.program.methods().len() as u64)),
-                    ("stmts", Json::num(s.program.stmt_count() as u64)),
-                    (
-                        "analyses",
-                        Json::Arr(s.slot_keys().into_iter().map(Json::str).collect()),
-                    ),
-                ])
-            })
-            .collect();
-        let (hits, misses, evictions) = self.cache.counters();
-        obj(vec![
-            ("type", Json::str("ok")),
-            ("request", Json::str("stats")),
-            ("sessions", Json::Arr(sessions)),
-            (
-                "cache",
-                obj(vec![
-                    ("entries", Json::num(self.cache.len() as u64)),
-                    ("bytes", Json::num(self.cache.total_bytes() as u64)),
-                    ("hits", Json::num(hits)),
-                    ("misses", Json::num(misses)),
-                    ("evictions", Json::num(evictions)),
-                ]),
-            ),
-            (
-                "governance",
-                obj(vec![
-                    ("analyze_requests", Json::num(self.gov.analyze_requests)),
-                    ("panics_isolated", Json::num(self.gov.panics_isolated)),
-                    ("degraded_solves", Json::num(self.gov.degraded_solves)),
-                    ("solve_failures", Json::num(self.gov.solve_failures)),
-                    ("faults_injected", Json::num(self.gov.faults_injected)),
-                    (
-                        "quarantined",
-                        Json::Arr(
-                            self.quarantined
-                                .keys()
-                                .map(|n| Json::str(n.clone()))
-                                .collect(),
-                        ),
-                    ),
-                ]),
-            ),
-            ("last_solve", stats_obj(&self.last_solve)),
-        ])
     }
 }

@@ -1,13 +1,17 @@
-//! Analysis sessions: a parsed program, its feature universe, a
-//! session-private BDD context, and per-analysis incremental solver
-//! state.
+//! Per-session mutable state: the [`Store`].
 //!
-//! One [`Session`] corresponds to one loaded product line. The BDD
-//! manager inside [`BddConstraintContext`] is thread-local state
-//! (`Rc<RefCell<…>>`, see DESIGN.md §6): it lives on the server's main
-//! thread, and nothing holding a [`Bdd`] ever crosses into the query
-//! worker pool. Workers only see [`RenderedSolution`] — plain strings
-//! and [`FeatureExpr`]s, which are `Send + Sync`.
+//! One [`Store`] corresponds to one client session over one loaded
+//! product line. It is the cheap, session-private half of the
+//! engine/store split: a shared [`crate::engine::LoadedSpl`] artifact
+//! (copy-on-write on edit), a session-private BDD context, and
+//! per-analysis incremental solver state.
+//!
+//! The BDD manager inside [`BddConstraintContext`] is thread-local
+//! state (`Rc<RefCell<…>>`, see DESIGN.md §6): a `Store` is therefore
+//! deliberately `!Send` and lives its whole life on the executor shard
+//! that created it — nothing holding a [`Bdd`] ever crosses a thread.
+//! Other threads only ever see [`RenderedSolution`] — plain strings and
+//! [`FeatureExpr`]s, which are `Send + Sync`.
 //!
 //! Each `(analysis, model-mode)` pair owns an [`AnalysisSlot`] with the
 //! [`SolverMemo`] of its most recent solve. An `edit` records the edited
@@ -16,6 +20,7 @@
 //! accumulated roots ([`spllift_ir::transitive_callers`]) and re-solves
 //! incrementally, reusing the memo entries of every clean method.
 
+use crate::engine::LoadedSpl;
 use spllift_analyses::{
     DefFact, PossibleTypes, ReachingDefs, TaintAnalysis, TaintFact, TypeFact, UninitFact,
     UninitVars,
@@ -24,16 +29,16 @@ use spllift_bdd::Bdd;
 use spllift_core::{
     ConstraintEdge, GovernorOptions, LiftedSolution, ModelMode, Rung, SolveOutcome, SolverMemo,
 };
-use spllift_features::{BddConstraintContext, FeatureExpr, FeatureTable};
+use spllift_features::{BddConstraintContext, FeatureExpr};
 use spllift_hash::{FastMap, FxHasher64};
 use spllift_ide::IdeStats;
 use spllift_ifds::{Icfg, IfdsProblem};
 use spllift_ir::text::parse_body_edit;
-use spllift_ir::{fingerprint, transitive_callers, MethodId, Program, ProgramIcfg};
+use spllift_ir::{transitive_callers, MethodId, Program, ProgramIcfg};
 use spllift_spl::{ChaosWrapper, FaultKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One `(statement, fact)` result row of a rendered solution.
@@ -71,10 +76,10 @@ pub struct ReachRow {
 /// mode)` triple: every constraint is materialized as a canonical cube
 /// string plus a manager-free [`FeatureExpr`].
 ///
-/// This is the value the solution cache stores and the query worker
-/// pool reads — it is `Sync` by construction (no BDD handles), and its
-/// rendering is deterministic, so two solves of identical input produce
-/// identical `digest`s.
+/// This is the value the engine's solution cache stores and the query
+/// worker pool reads — it is `Send + Sync` by construction (no BDD
+/// handles), and its rendering is deterministic, so two solves of
+/// identical input produce identical `digest`s.
 #[derive(Debug)]
 pub struct RenderedSolution {
     /// All satisfiable `(stmt, fact)` rows, sorted by statement then
@@ -193,7 +198,7 @@ pub struct SolvedState<D> {
     dirty_roots: BTreeSet<MethodId>,
     /// The most recent solution for this slot, with the fingerprint it
     /// belongs to.
-    last: Option<(u64, Rc<RenderedSolution>)>,
+    last: Option<(u64, Arc<RenderedSolution>)>,
 }
 
 impl<D> Default for SolvedState<D> {
@@ -217,7 +222,7 @@ pub struct AnalyzeOutcome {
     /// every abandoned attempt with its abort reason).
     pub outcome: SolveOutcome,
     /// The rendered solution.
-    pub solution: Rc<RenderedSolution>,
+    pub solution: Arc<RenderedSolution>,
 }
 
 /// A one-shot fault to inject into the next solve (the server's
@@ -296,7 +301,7 @@ where
     let (solution, outcome, next_memo) =
         result.map_err(|abort| format!("solve aborted at every ladder rung: {abort}"))?;
     let stats = solution.stats();
-    let rendered = Rc::new(render_solution(&solution, &icfg, ctx, outcome.rung()));
+    let rendered = Arc::new(render_solution(&solution, &icfg, ctx, outcome.rung()));
     if outcome.is_degraded() {
         // A degraded solve's jump functions are weaker than full
         // precision; keeping them would leak the degradation into the
@@ -308,7 +313,7 @@ where
         state.memo_fingerprint = Some(fp);
     }
     state.dirty_roots.clear();
-    state.last = Some((fp, Rc::clone(&rendered)));
+    state.last = Some((fp, Arc::clone(&rendered)));
     Ok(AnalyzeOutcome {
         solve: kind,
         stats,
@@ -357,7 +362,7 @@ impl AnalysisSlot {
         };
     }
 
-    fn set_last(&mut self, fp: u64, solution: Rc<RenderedSolution>) {
+    fn set_last(&mut self, fp: u64, solution: Arc<RenderedSolution>) {
         match self {
             AnalysisSlot::Taint(s) => s.last = Some((fp, solution)),
             AnalysisSlot::Types(s) => s.last = Some((fp, solution)),
@@ -366,7 +371,7 @@ impl AnalysisSlot {
         }
     }
 
-    fn last(&self) -> Option<&(u64, Rc<RenderedSolution>)> {
+    fn last(&self) -> Option<&(u64, Arc<RenderedSolution>)> {
         match self {
             AnalysisSlot::Taint(s) => s.last.as_ref(),
             AnalysisSlot::Types(s) => s.last.as_ref(),
@@ -401,44 +406,36 @@ fn slot_key(analysis: &str, mode: ModelMode) -> String {
     format!("{analysis}/{}", mode_str(mode))
 }
 
-/// One loaded product line with its per-analysis incremental state.
-pub struct Session {
-    /// The program (mutated in place by `edit`).
-    pub program: Program,
-    /// The feature universe (fixed at load: edits cannot grow it).
-    pub table: FeatureTable,
-    /// The feature-model constraint, if any.
-    pub model: Option<FeatureExpr>,
+/// One session's private state: a shared artifact (copy-on-write), a
+/// session-private BDD context, and per-analysis incremental state.
+/// `!Send` by construction — it never leaves its executor shard.
+pub struct Store {
+    /// The loaded product line, shared with the engine's intern table
+    /// and any other session of the same fingerprint until edited.
+    pub spl: Arc<LoadedSpl>,
     /// Session-private BDD context (thread-local; never crosses threads).
     pub ctx: BddConstraintContext,
-    /// Fingerprint of `(program, table, model)`; recomputed on edit.
-    pub fingerprint: u64,
+    /// `analyze` requests this session has served — the per-session
+    /// fault trigger sequence (`--inject-fault-session`).
+    pub analyze_seq: u64,
     slots: BTreeMap<String, AnalysisSlot>,
 }
 
-impl Session {
-    /// Creates a session over a checked program.
-    pub fn new(
-        program: Program,
-        table: FeatureTable,
-        model: Option<FeatureExpr>,
-    ) -> Result<Session, String> {
-        if program.entry_points().is_empty() {
-            return Err("no entry point: declare a method named `main`".into());
-        }
-        program
-            .check()
-            .map_err(|e| format!("invalid program: {e}"))?;
-        let ctx = BddConstraintContext::new(&table);
-        let fp = fingerprint(&program, &table, model.as_ref());
-        Ok(Session {
-            program,
-            table,
-            model,
+impl Store {
+    /// Creates a store over an already-validated artifact.
+    pub fn new(spl: Arc<LoadedSpl>) -> Store {
+        let ctx = BddConstraintContext::new(&spl.table);
+        Store {
+            spl,
             ctx,
-            fingerprint: fp,
+            analyze_seq: 0,
             slots: BTreeMap::new(),
-        })
+        }
+    }
+
+    /// The session's current program fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.spl.fingerprint
     }
 
     /// The slot keys that currently hold state, for `stats`.
@@ -450,6 +447,11 @@ impl Session {
     /// parsed from repro-format text, marks the method dirty in every
     /// analysis slot, and refreshes the fingerprint. Returns the method
     /// id and the new statement count.
+    ///
+    /// The artifact is copy-on-write: the first edit detaches this
+    /// session's `LoadedSpl` from the engine's shared copy
+    /// ([`Arc::make_mut`]); other sessions of the same fingerprint are
+    /// unaffected.
     pub fn edit(
         &mut self,
         method: &str,
@@ -457,25 +459,27 @@ impl Session {
         stmt_lines: &[&str],
     ) -> Result<(MethodId, usize), String> {
         let mid = self
+            .spl
             .program
             .find_method(method)
             .ok_or_else(|| format!("unknown method `{method}`"))?;
-        if self.program.method(mid).body.is_none() {
+        if self.spl.program.method(mid).body.is_none() {
             return Err(format!("method `{method}` has no body to edit"));
         }
-        let new_body = parse_body_edit(&self.program, &self.table, mid, locals, stmt_lines)
+        let new_body = parse_body_edit(&self.spl.program, &self.spl.table, mid, locals, stmt_lines)
             .map_err(|e| format!("edit `{method}`: {e}"))?;
-        let old_body = self.program.body(mid).clone();
-        *self.program.body_mut(mid) = new_body;
-        if let Err(e) = self.program.check() {
-            *self.program.body_mut(mid) = old_body;
+        let spl = Arc::make_mut(&mut self.spl);
+        let old_body = spl.program.body(mid).clone();
+        *spl.program.body_mut(mid) = new_body;
+        if let Err(e) = spl.program.check() {
+            *spl.program.body_mut(mid) = old_body;
             return Err(format!("edit `{method}` produces an invalid program: {e}"));
         }
-        self.fingerprint = fingerprint(&self.program, &self.table, self.model.as_ref());
+        spl.refresh_fingerprint();
         for slot in self.slots.values_mut() {
             slot.mark_dirty(mid);
         }
-        Ok((mid, self.program.body(mid).stmts.len()))
+        Ok((mid, self.spl.program.body(mid).stmts.len()))
     }
 
     /// Runs (or incrementally re-runs) `analysis` under `mode`, governed
@@ -491,12 +495,13 @@ impl Session {
     ) -> Result<AnalyzeOutcome, String> {
         let fresh = AnalysisSlot::new(analysis)?;
         let slot = self.slots.entry(slot_key(analysis, mode)).or_insert(fresh);
-        let fp = self.fingerprint;
-        let model = self.model.as_ref();
+        let fp = self.spl.fingerprint;
+        let spl = &self.spl;
+        let model = spl.model.as_ref();
         match slot {
             AnalysisSlot::Taint(state) => analyze_generic(
                 &TaintAnalysis::secret_to_print(),
-                &self.program,
+                &spl.program,
                 &self.ctx,
                 model,
                 mode,
@@ -507,7 +512,7 @@ impl Session {
             ),
             AnalysisSlot::Types(state) => analyze_generic(
                 &PossibleTypes::new(),
-                &self.program,
+                &spl.program,
                 &self.ctx,
                 model,
                 mode,
@@ -518,7 +523,7 @@ impl Session {
             ),
             AnalysisSlot::Defs(state) => analyze_generic(
                 &ReachingDefs::new(),
-                &self.program,
+                &spl.program,
                 &self.ctx,
                 model,
                 mode,
@@ -529,7 +534,7 @@ impl Session {
             ),
             AnalysisSlot::Uninit(state) => analyze_generic(
                 &UninitVars::new(),
-                &self.program,
+                &spl.program,
                 &self.ctx,
                 model,
                 mode,
@@ -547,11 +552,11 @@ impl Session {
         &mut self,
         analysis: &str,
         mode: ModelMode,
-        solution: Rc<RenderedSolution>,
+        solution: Arc<RenderedSolution>,
     ) -> Result<(), String> {
         let fresh = AnalysisSlot::new(analysis)?;
         let slot = self.slots.entry(slot_key(analysis, mode)).or_insert(fresh);
-        slot.set_last(self.fingerprint, solution);
+        slot.set_last(self.spl.fingerprint, solution);
         Ok(())
     }
 
@@ -561,8 +566,8 @@ impl Session {
         &self,
         analysis: &str,
         mode: ModelMode,
-    ) -> Option<&Rc<RenderedSolution>> {
+    ) -> Option<&Arc<RenderedSolution>> {
         let (fp, rc) = self.slots.get(&slot_key(analysis, mode))?.last()?;
-        (*fp == self.fingerprint).then_some(rc)
+        (*fp == self.spl.fingerprint).then_some(rc)
     }
 }

@@ -62,4 +62,22 @@ for fault in panic-in-flow bdd-blowup slow-edge; do
         < tests/serve/chaos.requests \
         | diff -u "tests/serve/chaos-$fault.expected" -
 done
+
+echo "== socket smoke (3 concurrent clients, golden transcripts) =="
+# Serves the protocol over TCP (`--listen`-style in-process server) and
+# replays three scripted clients concurrently — each on its own
+# connection and session. Every client's response stream must be
+# byte-identical to its committed golden, which pins the documented
+# per-session determinism of the sharded executor under real
+# concurrency (docs/PROTOCOL.md, DESIGN.md §9).
+./target/release/server_bench --smoke tests/serve
+
+echo "== server bench document (BENCH_server.json schema) =="
+# Schema-validates the committed concurrent-load benchmark document
+# (schema `spllift-bench-server/v1`): at least three concurrency
+# levels, zero protocol errors, monotone latency percentiles.
+# Regenerating the numbers is a manual step (see EXPERIMENTS.md §BENCH
+# server) — CI only proves the committed document and the validator
+# stay wired.
+./target/release/server_bench --validate BENCH_server.json
 echo "ci: all green"

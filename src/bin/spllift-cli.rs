@@ -106,7 +106,12 @@ ANALYZE OPTIONS
   --max-mismatches N      stop collecting crosscheck mismatches after N
 
 SERVE OPTIONS
+  --listen ADDR           serve the protocol on a TCP socket (e.g.
+                          127.0.0.1:7077; port 0 picks one) instead of
+                          stdin/stdout; many concurrent connections
   --jobs N                worker threads for batched queries
+  --shards N              executor shards (concurrent session groups)
+  --max-inflight N        per-shard in-flight request bound (default 256)
   --cache-entries N       solution-cache entry budget (default 64)
   --cache-bytes N         solution-cache byte budget (default 16777216)
   --solve-timeout-ms N    per-rung wall-clock allowance per solve
@@ -115,10 +120,13 @@ SERVE OPTIONS
   --max-propagations N    per-rung phase-1 propagation cap per solve
   --inject-fault K[@N]    chaos harness: sabotage the N-th analyze (default 1)
                           with K = panic-in-flow | bdd-blowup | slow-edge
-  Line-delimited JSON requests on stdin, one response per line on stdout:
-  load, analyze, query, edit, stats, evict, shutdown. When a solve
-  exhausts its budget the server degrades down the abstraction ladder
-  (full -> no-model -> constraint-true) and flags the weaker answers.
+  --inject-fault-session NAME  scope the fault trigger to NAME's own
+                          analyze ordinal (deterministic under concurrency)
+  Line-delimited JSON requests on stdin, one response per line on stdout
+  (or per connection under --listen): load, analyze, query, edit, stats,
+  evict, shutdown. When a solve exhausts its budget the server degrades
+  down the abstraction ladder (full -> no-model -> constraint-true) and
+  flags the weaker answers. The wire contract lives in docs/PROTOCOL.md.
 
 FUZZ OPTIONS
   --seeds A..B  --jobs N  --nfeatures N  --nmethods N  --mutations N
@@ -164,6 +172,7 @@ fn main() -> ExitCode {
 
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut opts = ServerOptions::default();
+    let mut listen: Option<String> = None;
     let mut args = args.iter().cloned();
     let positive = |flag: &str, v: Option<String>| -> Result<usize, String> {
         let v = v.ok_or(format!("{flag} needs a value"))?;
@@ -181,7 +190,10 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--listen" => listen = Some(args.next().ok_or("--listen needs an address")?),
             "--jobs" => opts.jobs = positive("--jobs", args.next())?,
+            "--shards" => opts.shards = positive("--shards", args.next())?,
+            "--max-inflight" => opts.max_inflight = positive("--max-inflight", args.next())?,
             "--cache-entries" => opts.cache_entries = positive("--cache-entries", args.next())?,
             "--cache-bytes" => opts.cache_bytes = positive("--cache-bytes", args.next())?,
             "--solve-timeout-ms" => {
@@ -201,12 +213,23 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 opts.inject_fault =
                     Some(FaultPlan::parse(&v).map_err(|e| format!("--inject-fault: {e}"))?);
             }
+            "--inject-fault-session" => {
+                opts.fault_session =
+                    Some(args.next().ok_or("--inject-fault-session needs a name")?);
+            }
             other => {
                 return Err(format!(
                     "unexpected serve argument `{other}` (try `spllift-cli help`)"
                 ))
             }
         }
+    }
+    if let Some(addr) = listen {
+        let server = spllift::server::SocketServer::spawn(opts, &addr)
+            .map_err(|e| format!("serve --listen {addr}: {e}"))?;
+        eprintln!("serve: listening on {}", server.addr());
+        server.join();
+        return Ok(());
     }
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();

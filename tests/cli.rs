@@ -108,6 +108,60 @@ fn help_lists_subcommands_formats_and_gen_syntax() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
 
+/// Every serve flag, exactly as the `serve` arg parser spells it. The
+/// test below keeps `help`, the README flags table, and the parser
+/// reconciled: a flag added to one place must be added to all three.
+const SERVE_FLAGS: [&str; 12] = [
+    "--listen",
+    "--jobs",
+    "--shards",
+    "--max-inflight",
+    "--cache-entries",
+    "--cache-bytes",
+    "--solve-timeout-ms",
+    "--bdd-node-budget",
+    "--bdd-op-budget",
+    "--max-propagations",
+    "--inject-fault",
+    "--inject-fault-session",
+];
+
+#[test]
+fn serve_help_readme_and_parser_agree_on_the_flag_set() {
+    let help = cli().args(["help"]).output().unwrap();
+    assert!(help.status.success());
+    let help = String::from_utf8_lossy(&help.stdout).into_owned();
+    let readme = std::fs::read_to_string("README.md").unwrap();
+    for flag in SERVE_FLAGS {
+        assert!(help.contains(flag), "help output missing `{flag}`");
+        assert!(
+            readme.contains(&format!("`{flag}")),
+            "README flags table missing `{flag}`"
+        );
+        // The parser knows the flag: every serve flag takes a value, so
+        // a trailing flag must die with a "needs" diagnostic naming it
+        // (and not with "unknown argument") before the server starts.
+        let out = cli().args(["serve", flag]).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "serve {flag} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag) && stderr.contains("needs"),
+            "serve {flag} without a value: expected a `needs ...` \
+             diagnostic naming the flag, got: {stderr}"
+        );
+    }
+    // The help's serve section points at the full wire contract.
+    assert!(
+        help.contains("docs/PROTOCOL.md"),
+        "help must reference docs/PROTOCOL.md"
+    );
+    // No serve flag exists in the parser without being listed here:
+    // probing an undeclared spelling must be rejected as unknown.
+    let out = cli().args(["serve", "--no-such-flag"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected serve argument"));
+}
+
 #[test]
 fn unknown_subcommand_prints_help_to_stderr() {
     let out = cli().args(["analyse"]).output().unwrap();

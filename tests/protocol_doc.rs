@@ -1,0 +1,85 @@
+//! Conformance between the router and `docs/PROTOCOL.md`: every
+//! request type the server accepts is documented, and the document
+//! describes no request type the server does not accept. Also pins the
+//! documented error kinds and budget-override fields to the
+//! implementation's strings, so the spec cannot rot silently.
+
+use spllift::server::REQUEST_TYPES;
+
+fn protocol_doc() -> String {
+    std::fs::read_to_string("docs/PROTOCOL.md").expect("docs/PROTOCOL.md exists")
+}
+
+/// The request-type headings (`### `type``) of the Requests section.
+fn documented_types(doc: &str) -> Vec<String> {
+    doc.lines()
+        .filter_map(|l| l.strip_prefix("### `"))
+        .filter_map(|rest| rest.strip_suffix('`'))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn every_request_type_is_documented_and_vice_versa() {
+    let doc = protocol_doc();
+    let documented = documented_types(&doc);
+    for ty in REQUEST_TYPES {
+        assert!(
+            documented.iter().any(|d| d == ty),
+            "request type `{ty}` (accepted by the router) has no \
+             `### \\`{ty}\\`` section in docs/PROTOCOL.md"
+        );
+    }
+    for d in &documented {
+        assert!(
+            REQUEST_TYPES.contains(&d.as_str()),
+            "docs/PROTOCOL.md documents `{d}`, which the router does not accept"
+        );
+    }
+    // The unknown-type error message enumerates the same list, in the
+    // same order the document introduces the sections.
+    assert_eq!(
+        documented,
+        REQUEST_TYPES.to_vec(),
+        "PROTOCOL.md sections must appear in the canonical REQUEST_TYPES order"
+    );
+}
+
+#[test]
+fn documented_error_kinds_and_budget_fields_match_the_implementation() {
+    let doc = protocol_doc();
+    // Flagged error kinds the executor/handler emit.
+    for kind in ["panic", "overloaded", "shutting-down", "internal"] {
+        assert!(
+            doc.contains(&format!("`{kind}`")),
+            "error kind `{kind}` missing from docs/PROTOCOL.md"
+        );
+    }
+    // Per-request budget overrides accepted by `analyze`.
+    for field in [
+        "timeout_ms",
+        "bdd_node_budget",
+        "bdd_op_budget",
+        "max_propagations",
+    ] {
+        assert!(
+            doc.contains(&format!("`{field}`")),
+            "budget field `{field}` missing from docs/PROTOCOL.md"
+        );
+    }
+    // Core vocabulary that responses use.
+    for needle in [
+        "\"cold\"",
+        "\"incremental\"",
+        "\"cached\"",
+        "\"full\"",
+        "\"no-model\"",
+        "\"constraint-true\"",
+        "quarantined",
+    ] {
+        assert!(
+            doc.contains(needle),
+            "`{needle}` missing from docs/PROTOCOL.md"
+        );
+    }
+}
