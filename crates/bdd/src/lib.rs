@@ -13,6 +13,12 @@
 //! constraint pairs from both directions constantly, and without the
 //! normalization every symmetric pair would be computed twice.
 //!
+//! The store is **thread-safe**: managers clone cheaply (`Arc`), handles
+//! are `Send + Sync`, and the unique table and op caches are sharded
+//! behind fine-grained locks so the parallel Phase-1 worklist and the
+//! server's shared per-program BDD space can build formulas
+//! concurrently. See `manager` module docs and DESIGN.md §12.
+//!
 //! # Example
 //!
 //! ```
@@ -33,5 +39,7 @@ mod manager;
 
 pub use manager::{Bdd, BddBudget, BddError, BddManager, BddStats, BudgetResource, VarId};
 
+#[cfg(test)]
+mod concurrency_tests;
 #[cfg(test)]
 mod tests;

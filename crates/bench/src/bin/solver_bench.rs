@@ -1,13 +1,17 @@
 //! `solver_bench` — the machine-readable solver benchmark.
 //!
 //! Measures the full SPLLIFT hot path (lifting + both IDE phases) per
-//! subject × analysis and writes the results as `BENCH_solver.json`
-//! (schema `spllift-bench-solver/v1`, see `spllift_bench::json`), so
-//! every PR can record before/after numbers against the same schema.
+//! subject × analysis × thread count and writes the results as
+//! `BENCH_solver.json` (schema `spllift-bench-solver/v3`, see
+//! `spllift_bench::json`), so every PR can record before/after numbers
+//! against the same schema. Every cell records a digest of the rendered
+//! solution; the validator requires the digest to be identical across
+//! an entry's thread counts, so each run re-proves that `--threads`
+//! never changes results.
 //!
 //! ```text
 //! cargo run --release -p spllift-bench --bin solver_bench -- \
-//!     [--samples N] [--subjects fig1,chat,MM08,...] [--out PATH]
+//!     [--samples N] [--subjects fig1,chat,MM08,...] [--threads 1,2,4,8] [--out PATH]
 //! cargo run --release -p spllift-bench --bin solver_bench -- --validate PATH
 //! ```
 //!
@@ -21,19 +25,23 @@
 //! (`--validate`) without stream-corruption worries.
 
 use spllift_bench::harness::{BenchSink, Harness};
-use spllift_bench::json::{render_solver_bench, validate_solver_bench, SolverBenchEntry};
+use spllift_bench::json::{
+    render_solver_bench, validate_solver_bench, SolverBenchEntry, ThreadCell,
+};
 use spllift_benchgen::{subject_by_name, synthetic_spec, GeneratedSpl};
 use spllift_core::{GovernorOptions, LiftedSolution, ModelMode, SolveOutcome};
 use spllift_features::{parse_feature_model, BddConstraintContext, FeatureExpr, FeatureTable};
 use spllift_frontend::parse_spl;
-use spllift_ide::IdeStats;
-use spllift_ifds::IfdsProblem;
+use spllift_hash::FxHasher64;
+use spllift_ide::{IdeSolverOptions, IdeStats};
+use spllift_ifds::{Icfg, IfdsProblem};
 use spllift_ir::{Program, ProgramIcfg};
 use std::cell::RefCell;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::process::ExitCode;
 
 const DEFAULT_SUBJECTS: &str = "fig1,chat,MM08,GPL,Lampiro";
+const DEFAULT_THREADS: &str = "1,2,4,8";
 const DEFAULT_OUT: &str = "BENCH_solver.json";
 
 fn main() -> ExitCode {
@@ -49,6 +57,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut samples = 3usize;
     let mut subjects = DEFAULT_SUBJECTS.to_owned();
+    let mut threads_list = DEFAULT_THREADS.to_owned();
     let mut out = DEFAULT_OUT.to_owned();
     let mut args_iter = args.iter().cloned();
     while let Some(arg) = args_iter.next() {
@@ -72,22 +81,41 @@ fn run(args: &[String]) -> Result<(), String> {
             "--subjects" => {
                 subjects = args_iter.next().ok_or("--subjects needs a list")?;
             }
+            "--threads" => {
+                threads_list = args_iter.next().ok_or("--threads needs a list")?;
+            }
             "--out" => {
                 out = args_iter.next().ok_or("--out needs a path")?;
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: solver_bench [--samples N] [--subjects A,B,..] [--out PATH|-]\n       solver_bench --validate PATH\n(default subjects: {DEFAULT_SUBJECTS}; default out: {DEFAULT_OUT})"
+                    "usage: solver_bench [--samples N] [--subjects A,B,..] [--threads N,M,..] [--out PATH|-]\n       solver_bench --validate PATH\n(default subjects: {DEFAULT_SUBJECTS}; default threads: {DEFAULT_THREADS}; default out: {DEFAULT_OUT})"
                 ));
             }
             other => return Err(format!("unexpected argument `{other}` (try --help)")),
         }
     }
 
+    let mut thread_counts = Vec::new();
+    for t in threads_list.split(',').filter(|s| !s.is_empty()) {
+        let n: usize = t.parse().ok().filter(|&n| n >= 1).ok_or(format!(
+            "--threads entries must be positive integers, got `{t}`"
+        ))?;
+        if thread_counts.last().is_some_and(|&last| n <= last) {
+            return Err(format!(
+                "--threads must be strictly ascending, got `{threads_list}`"
+            ));
+        }
+        thread_counts.push(n);
+    }
+    if thread_counts.is_empty() {
+        return Err("--threads needs at least one count".into());
+    }
+
     let mut entries = Vec::new();
     for name in subjects.split(',').filter(|s| !s.is_empty()) {
         let subject = load_subject(name)?;
-        entries.extend(measure_subject(&subject, samples));
+        entries.extend(measure_subject(&subject, samples, &thread_counts));
     }
     let doc = render_solver_bench(samples, &entries);
     // The emitter owns stdout; sanity-check our own output before
@@ -176,13 +204,24 @@ fn load_subject(name: &str) -> Result<Subject, String> {
     })
 }
 
-fn measure_subject(subject: &Subject, samples: usize) -> Vec<SolverBenchEntry> {
+fn measure_subject(
+    subject: &Subject,
+    samples: usize,
+    thread_counts: &[usize],
+) -> Vec<SolverBenchEntry> {
     let icfg = ProgramIcfg::new(&subject.program);
     let mut entries = Vec::new();
     macro_rules! go {
         ($label:expr, $problem:expr) => {{
             let p = $problem;
-            entries.push(measure_one(subject, &icfg, $label, &p, samples));
+            entries.push(measure_one(
+                subject,
+                &icfg,
+                $label,
+                &p,
+                samples,
+                thread_counts,
+            ));
         }};
     }
     go!("Taint", spllift_analyses::TaintAnalysis::secret_to_print());
@@ -192,40 +231,93 @@ fn measure_subject(subject: &Subject, samples: usize) -> Vec<SolverBenchEntry> {
     entries
 }
 
+/// Order-sensitive `FxHasher64` digest over the canonically rendered
+/// solution (per-statement reachability cube + fact rows in fact
+/// order), 16 hex digits. Cube strings are canonical per BDD, so equal
+/// digests mean semantically identical solutions — the cross-thread
+/// determinism check the v3 validator enforces per entry.
+fn results_digest<D>(
+    icfg: &ProgramIcfg<'_>,
+    ctx: &BddConstraintContext,
+    solution: &LiftedSolution<'_, ProgramIcfg<'_>, D, spllift_bdd::Bdd>,
+) -> String
+where
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug,
+{
+    let _ = ctx;
+    let mut h = FxHasher64::default();
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            s.to_string().hash(&mut h);
+            solution.reachability_of(s).to_cube_string().hash(&mut h);
+            let mut rows: Vec<(D, spllift_bdd::Bdd)> = solution.results_at(s).into_iter().collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (d, c) in rows {
+                format!("{d:?}").hash(&mut h);
+                c.to_cube_string().hash(&mut h);
+            }
+        }
+    }
+    format!("{:016x}", h.finish())
+}
+
 fn measure_one<P, D>(
     subject: &Subject,
     icfg: &ProgramIcfg<'_>,
     label: &str,
     problem: &P,
     samples: usize,
+    thread_counts: &[usize],
 ) -> SolverBenchEntry
 where
-    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
-    D: Clone + Eq + Hash + std::fmt::Debug,
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D> + Sync,
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug + Send + Sync,
 {
-    // One manager per subject × analysis: samples share the unique
-    // table and op caches, exactly like repeated solves in production.
+    // One manager per subject × analysis: samples and thread counts
+    // share the unique table and op caches, exactly like repeated
+    // solves in production.
     let ctx = BddConstraintContext::new(&subject.table);
     let harness =
         Harness::new(format!("solver/{}", subject.name), samples).with_sink(BenchSink::Stderr);
     let ide_stats: RefCell<IdeStats> = RefCell::new(IdeStats::default());
     let outcome: RefCell<SolveOutcome> = RefCell::new(SolveOutcome::Complete);
-    let wall = harness.bench(label, || {
-        // The governed entry point with no limits armed, so the measured
-        // path is exactly the production server's — an unbudgeted run
-        // must record `complete`/`full`.
-        let (solution, o) = LiftedSolution::solve_governed(
-            problem,
-            icfg,
-            &ctx,
-            subject.model.as_ref(),
-            ModelMode::OnEdges,
-            GovernorOptions::default(),
-        )
-        .expect("unlimited governed solve cannot abort");
-        *ide_stats.borrow_mut() = solution.stats();
-        *outcome.borrow_mut() = o;
-    });
+    let mut cells = Vec::with_capacity(thread_counts.len());
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        let digest: RefCell<String> = RefCell::new(String::new());
+        let gov = GovernorOptions {
+            solver: IdeSolverOptions {
+                threads,
+                ..IdeSolverOptions::default()
+            },
+            ..GovernorOptions::default()
+        };
+        let wall = harness.bench(&format!("{label}@t{threads}"), || {
+            // The governed entry point with no limits armed, so the
+            // measured path is exactly the production server's — an
+            // unbudgeted run must record `complete`/`full`.
+            let (solution, o) = LiftedSolution::solve_governed(
+                problem,
+                icfg,
+                &ctx,
+                subject.model.as_ref(),
+                ModelMode::OnEdges,
+                gov.clone(),
+            )
+            .expect("unlimited governed solve cannot abort");
+            // IDE counters come from the first (sequential) cell only:
+            // scheduling counters are deterministic at one thread.
+            if i == 0 {
+                *ide_stats.borrow_mut() = solution.stats();
+            }
+            *outcome.borrow_mut() = o;
+            *digest.borrow_mut() = results_digest(icfg, &ctx, &solution);
+        });
+        cells.push(ThreadCell {
+            threads,
+            wall,
+            results_digest: digest.into_inner(),
+        });
+    }
     let outcome = outcome.into_inner();
     SolverBenchEntry {
         subject: subject.name.clone(),
@@ -236,8 +328,8 @@ where
             "complete".to_owned()
         },
         rung: outcome.rung().as_str().to_owned(),
-        wall,
         ide: ide_stats.into_inner(),
         bdd: ctx.manager().stats(),
+        threads: cells,
     }
 }

@@ -4,14 +4,14 @@
 //!
 //! The JSON value type, parser, and string escaping live in the shared
 //! [`spllift_json`] crate (also used by the analysis server's request
-//! protocol); this module keeps only the `spllift-bench-solver/v2` and
+//! protocol); this module keeps only the `spllift-bench-solver/v3` and
 //! `spllift-bench-server/v1` schemas layered on top.
 //!
-//! # Schema (`spllift-bench-solver/v2`)
+//! # Schema (`spllift-bench-solver/v3`)
 //!
 //! ```json
 //! {
-//!   "schema": "spllift-bench-solver/v1",
+//!   "schema": "spllift-bench-solver/v3",
 //!   "samples": 3,
 //!   "entries": [
 //!     {
@@ -19,11 +19,18 @@
 //!       "analysis": "R. Def.",
 //!       "outcome": "complete",
 //!       "rung": "full",
-//!       "wall_ns": {"mean": 1234, "min": 1200, "max": 1300},
 //!       "ide": {"propagations": 10, "flow_evals": 20,
 //!               "jump_fn_constructions": 8, "killed_early": 1,
 //!               "value_updates": 5},
-//!       "bdd": {"nodes": 40, "vars": 9, "cache_entries": 100}
+//!       "bdd": {"nodes": 40, "vars": 9, "cache_entries": 100},
+//!       "threads": [
+//!         {"threads": 1,
+//!          "wall_ns": {"mean": 1234, "min": 1200, "max": 1300},
+//!          "results_digest": "a633e32ce4db1594"},
+//!         {"threads": 2,
+//!          "wall_ns": {"mean": 700, "min": 690, "max": 720},
+//!          "results_digest": "a633e32ce4db1594"}
+//!       ]
 //!     }
 //!   ]
 //! }
@@ -40,6 +47,17 @@
 //! `no-model`, `constraint-true`) — benchmark runs are unbudgeted, so a
 //! committed document is expected to say `complete`/`full`, and the
 //! validator rejects anything else outside that vocabulary.
+//!
+//! v3 turned the single wall-clock measurement into a **threads
+//! dimension**: each entry is benched per phase-1 worker count (the
+//! solver's `--threads`), one cell per count, carrying that cell's
+//! wall-clock stats and a `results_digest` over the canonically
+//! rendered solution. The validator requires every cell of an entry to
+//! carry the *same* digest — the determinism contract (results are
+//! byte-identical at every thread count) is checked on every committed
+//! document, not just in the test battery. The `ide` counters are
+//! taken from the sequential cell: scheduling counters are only
+//! deterministic at one thread.
 
 use crate::harness::BenchStats;
 use spllift_bdd::BddStats;
@@ -47,7 +65,7 @@ use spllift_ide::IdeStats;
 pub use spllift_json::{escape, parse_json, Json};
 
 /// The schema identifier written to (and required in) the JSON file.
-pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v2";
+pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v3";
 
 /// The schema identifier of `BENCH_server.json` (the concurrent-server
 /// load benchmark emitted by the `server_bench` bin).
@@ -178,6 +196,20 @@ pub fn validate_server_bench(text: &str) -> Result<usize, String> {
     Ok(levels.len())
 }
 
+/// One thread-count cell of a [`SolverBenchEntry`]: the wall-clock
+/// stats of solving with `threads` phase-1 workers, plus the digest of
+/// the canonically rendered solution (identical across an entry's
+/// cells, or the validator rejects the document).
+#[derive(Debug, Clone)]
+pub struct ThreadCell {
+    /// Phase-1 worker threads this cell was benched at.
+    pub threads: usize,
+    /// Wall-clock samples of the full lifted solve at this count.
+    pub wall: BenchStats,
+    /// `FxHasher64` digest (16 hex digits) over the rendered solution.
+    pub results_digest: String,
+}
+
 /// One per-subject/per-analysis measurement destined for
 /// `BENCH_solver.json`.
 #[derive(Debug, Clone)]
@@ -191,12 +223,13 @@ pub struct SolverBenchEntry {
     /// Abstraction-ladder rung the numbers came from (`full`,
     /// `no-model`, `constraint-true`).
     pub rung: String,
-    /// Wall-clock samples of the full lifted solve.
-    pub wall: BenchStats,
-    /// IDE solver counters from the last sample.
+    /// IDE solver counters from the sequential (`threads == 1`) cell —
+    /// scheduling counters are only deterministic at one thread.
     pub ide: IdeStats,
     /// BDD manager counters after all samples (shared manager).
     pub bdd: BddStats,
+    /// Per-thread-count measurements, in ascending thread order.
+    pub threads: Vec<ThreadCell>,
 }
 
 /// Renders the full `BENCH_solver.json` document.
@@ -219,12 +252,6 @@ pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> Stri
             escape(&e.rung)
         ));
         out.push_str(&format!(
-            "      \"wall_ns\": {{\"mean\": {}, \"min\": {}, \"max\": {}}},\n",
-            e.wall.mean.as_nanos(),
-            e.wall.min.as_nanos(),
-            e.wall.max.as_nanos()
-        ));
-        out.push_str(&format!(
             "      \"ide\": {{\"propagations\": {}, \"flow_evals\": {}, \"jump_fn_constructions\": {}, \"killed_early\": {}, \"value_updates\": {}}},\n",
             e.ide.propagations,
             e.ide.flow_evals,
@@ -233,9 +260,22 @@ pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> Stri
             e.ide.value_updates
         ));
         out.push_str(&format!(
-            "      \"bdd\": {{\"nodes\": {}, \"vars\": {}, \"cache_entries\": {}}}\n",
+            "      \"bdd\": {{\"nodes\": {}, \"vars\": {}, \"cache_entries\": {}}},\n",
             e.bdd.nodes, e.bdd.vars, e.bdd.cache_entries
         ));
+        out.push_str("      \"threads\": [\n");
+        for (j, c) in e.threads.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"threads\": {}, \"wall_ns\": {{\"mean\": {}, \"min\": {}, \"max\": {}}}, \"results_digest\": \"{}\"}}{}\n",
+                c.threads,
+                c.wall.mean.as_nanos(),
+                c.wall.min.as_nanos(),
+                c.wall.max.as_nanos(),
+                escape(&c.results_digest),
+                if j + 1 == e.threads.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
         out.push_str(if i + 1 == entries.len() {
             "    }\n"
         } else {
@@ -248,8 +288,9 @@ pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> Stri
 
 /// Validates a `BENCH_solver.json` document against the
 /// [`SOLVER_BENCH_SCHEMA`] shape: schema id, non-empty `entries`, every
-/// required key present, every number finite and non-negative. Returns
-/// the entry count.
+/// required key present, every number finite and non-negative, and —
+/// the determinism contract — every thread cell of an entry carrying
+/// the same `results_digest`. Returns the entry count.
 pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
     let doc = parse_json(text)?;
     let schema = doc.get("schema").ok_or("missing `schema` key")?.clone();
@@ -298,8 +339,7 @@ pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
                 }
             }
         }
-        let groups: [(&str, &[&str]); 3] = [
-            ("wall_ns", &["mean", "min", "max"]),
+        let groups: [(&str, &[&str]); 2] = [
             (
                 "ide",
                 &[
@@ -323,6 +363,63 @@ pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
                 num(v, &format!("{}.{key}", ctx(group)))?;
             }
         }
+        let Some(Json::Arr(cells)) = e.get("threads") else {
+            return Err(format!("missing or non-array {}", ctx("threads")));
+        };
+        if cells.is_empty() {
+            return Err(format!("{} is empty", ctx("threads")));
+        }
+        let mut digest: Option<&str> = None;
+        let mut prev_threads = 0.0;
+        for (j, c) in cells.iter().enumerate() {
+            let cctx = |k: &str| format!("entries[{i}].threads[{j}].{k}");
+            let t = num(
+                c.get("threads")
+                    .ok_or_else(|| format!("missing {}", cctx("threads")))?,
+                &cctx("threads"),
+            )?;
+            if t < 1.0 {
+                return Err(format!("{} must be >= 1", cctx("threads")));
+            }
+            if t <= prev_threads {
+                return Err(format!(
+                    "{} must be in strictly ascending thread order",
+                    ctx("threads")
+                ));
+            }
+            prev_threads = t;
+            let wall = c
+                .get("wall_ns")
+                .ok_or_else(|| format!("missing {}", cctx("wall_ns")))?;
+            for key in ["mean", "min", "max"] {
+                let v = wall
+                    .get(key)
+                    .ok_or_else(|| format!("missing {}.{key}", cctx("wall_ns")))?;
+                num(v, &format!("{}.{key}", cctx("wall_ns")))?;
+            }
+            match c.get("results_digest") {
+                Some(Json::Str(d)) if !d.is_empty() => {
+                    // The determinism contract: every cell of this
+                    // entry must have rendered the exact same solution.
+                    match digest {
+                        None => digest = Some(d),
+                        Some(first) if first == d => {}
+                        Some(first) => {
+                            return Err(format!(
+                                "{}: results_digest \"{d}\" differs from the entry's first cell \"{first}\" — solves are not thread-count invariant",
+                                cctx("results_digest")
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "{} must be a non-empty string",
+                        cctx("results_digest")
+                    ))
+                }
+            }
+        }
     }
     Ok(entries.len())
 }
@@ -332,19 +429,26 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    fn cell(threads: usize, mean_ns: u64) -> ThreadCell {
+        ThreadCell {
+            threads,
+            wall: BenchStats {
+                name: format!("solver/MM08/R. Def.@t{threads}"),
+                samples: 3,
+                mean: Duration::from_nanos(mean_ns),
+                min: Duration::from_nanos(mean_ns.saturating_sub(500)),
+                max: Duration::from_nanos(mean_ns + 500),
+            },
+            results_digest: "a633e32ce4db1594".into(),
+        }
+    }
+
     fn entry() -> SolverBenchEntry {
         SolverBenchEntry {
             subject: "MM08".into(),
             analysis: "R. Def.".into(),
             outcome: "complete".into(),
             rung: "full".into(),
-            wall: BenchStats {
-                name: "solver/MM08/R. Def.".into(),
-                samples: 3,
-                mean: Duration::from_nanos(1500),
-                min: Duration::from_nanos(1000),
-                max: Duration::from_nanos(2000),
-            },
             ide: IdeStats {
                 propagations: 10,
                 flow_evals: 20,
@@ -357,6 +461,7 @@ mod tests {
                 vars: 9,
                 cache_entries: 100,
             },
+            threads: vec![cell(1, 1500), cell(2, 900), cell(4, 700)],
         }
     }
 
@@ -378,8 +483,17 @@ mod tests {
             panic!("entries missing");
         };
         assert_eq!(entries.len(), 2);
-        let wall = entries[0].get("wall_ns").unwrap();
+        let Some(Json::Arr(cells)) = entries[0].get("threads") else {
+            panic!("threads cells missing");
+        };
+        assert_eq!(cells.len(), 3);
+        let wall = cells[0].get("wall_ns").unwrap();
         assert_eq!(wall.get("mean"), Some(&Json::Num(1500.0)));
+        assert_eq!(cells[1].get("threads"), Some(&Json::Num(2.0)));
+        assert_eq!(
+            cells[2].get("results_digest"),
+            Some(&Json::Str("a633e32ce4db1594".into()))
+        );
         assert_eq!(
             entries[0].get("ide").unwrap().get("jump_fn_constructions"),
             Some(&Json::Num(8.0))
@@ -448,5 +562,34 @@ mod tests {
         // A governance value outside the vocabulary.
         let text = render_solver_bench(3, &[entry()]).replace("\"full\"", "\"warp\"");
         assert!(validate_solver_bench(&text).unwrap_err().contains("rung"));
+    }
+
+    #[test]
+    fn validator_rejects_thread_dimension_violations() {
+        // A digest mismatch between an entry's cells: the thread-count
+        // determinism contract is enforced on the document itself.
+        let mut broken = entry();
+        broken.threads[2].results_digest = "deadbeefdeadbeef".into();
+        let text = render_solver_bench(3, &[broken]);
+        assert!(validate_solver_bench(&text)
+            .unwrap_err()
+            .contains("not thread-count invariant"));
+        // Cells out of thread order.
+        let mut disordered = entry();
+        disordered.threads.swap(0, 1);
+        let text = render_solver_bench(3, &[disordered]);
+        assert!(validate_solver_bench(&text)
+            .unwrap_err()
+            .contains("ascending"));
+        // No cells at all.
+        let mut hollow = entry();
+        hollow.threads.clear();
+        let text = render_solver_bench(3, &[hollow]);
+        assert!(validate_solver_bench(&text).unwrap_err().contains("empty"));
+        // A zero thread count.
+        let mut zero = entry();
+        zero.threads[0].threads = 0;
+        let text = render_solver_bench(3, &[zero]);
+        assert!(validate_solver_bench(&text).unwrap_err().contains(">= 1"));
     }
 }

@@ -141,8 +141,8 @@ pub fn time_spllift<P, D>(
     mode: ModelMode,
 ) -> SplliftMeasurement
 where
-    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
-    D: Clone + Eq + Hash + std::fmt::Debug,
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D> + Sync,
+    D: Clone + Eq + Hash + std::fmt::Debug + Send + Sync,
 {
     let ctx = BddConstraintContext::new(&spl.table);
     let model = spl.model_expr();

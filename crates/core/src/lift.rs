@@ -484,8 +484,13 @@ where
         mode: ModelMode,
     ) -> Self
     where
-        P: IfdsProblem<G, Fact = D>,
-        Ctx: ConstraintContext<C = C>,
+        P: IfdsProblem<G, Fact = D> + Sync,
+        Ctx: ConstraintContext<C = C> + Sync,
+        G: Sync,
+        G::Stmt: Send + Sync,
+        G::Method: Send + Sync,
+        D: Send + Sync,
+        C: Send + Sync,
     {
         Self::solve_with(problem, icfg, ctx, model, mode, IdeSolverOptions::default())
     }
@@ -502,8 +507,13 @@ where
         options: IdeSolverOptions,
     ) -> Self
     where
-        P: IfdsProblem<G, Fact = D>,
-        Ctx: ConstraintContext<C = C>,
+        P: IfdsProblem<G, Fact = D> + Sync,
+        Ctx: ConstraintContext<C = C> + Sync,
+        G: Sync,
+        G::Stmt: Send + Sync,
+        G::Method: Send + Sync,
+        D: Send + Sync,
+        C: Send + Sync,
     {
         let lifted_icfg = LiftedIcfg::new(icfg);
         let lifted = LiftedProblem::new(problem, icfg, ctx, model, mode);
@@ -534,8 +544,13 @@ where
         clean: &dyn Fn(G::Method) -> bool,
     ) -> (Self, SolverMemo<G::Method, G::Stmt, D, ConstraintEdge<C>>)
     where
-        P: IfdsProblem<G, Fact = D>,
-        Ctx: ConstraintContext<C = C>,
+        P: IfdsProblem<G, Fact = D> + Sync,
+        Ctx: ConstraintContext<C = C> + Sync,
+        G: Sync,
+        G::Stmt: Send + Sync,
+        G::Method: Send + Sync,
+        D: Send + Sync,
+        C: Send + Sync,
     {
         let lifted_icfg = LiftedIcfg::new(icfg);
         let lifted = LiftedProblem::new(problem, icfg, ctx, model, mode);
@@ -562,8 +577,13 @@ where
         gov: GovernorOptions,
     ) -> Result<(Self, SolveOutcome), SolveAbort>
     where
-        P: IfdsProblem<G, Fact = D>,
-        Ctx: ConstraintContext<C = C>,
+        P: IfdsProblem<G, Fact = D> + Sync,
+        Ctx: ConstraintContext<C = C> + Sync,
+        G: Sync,
+        G::Stmt: Send + Sync,
+        G::Method: Send + Sync,
+        D: Send + Sync,
+        C: Send + Sync,
     {
         Self::solve_governed_memoized(
             problem,
@@ -604,8 +624,13 @@ where
         SolveAbort,
     >
     where
-        P: IfdsProblem<G, Fact = D>,
-        Ctx: ConstraintContext<C = C>,
+        P: IfdsProblem<G, Fact = D> + Sync,
+        Ctx: ConstraintContext<C = C> + Sync,
+        G: Sync,
+        G::Stmt: Send + Sync,
+        G::Method: Send + Sync,
+        D: Send + Sync,
+        C: Send + Sync,
     {
         let lifted_icfg = LiftedIcfg::new(icfg);
         let model_in_play = model.is_some() && mode != ModelMode::Ignore;

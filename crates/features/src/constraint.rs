@@ -209,7 +209,7 @@ impl BddConstraintContext {
     /// canonical); it lets constraint-valued analysis results be
     /// re-evaluated against [`Configuration`]s without the manager, e.g.
     /// for the analysis server's `holds_in` queries on worker threads
-    /// (the manager is thread-local, a `FeatureExpr` is `Send + Sync`).
+    /// (a `FeatureExpr` is plain data — no node store behind it).
     pub fn to_expr(&self, c: &Bdd) -> FeatureExpr {
         if c.is_true() {
             return FeatureExpr::True;

@@ -15,29 +15,59 @@
 //! * **governance counters** — plain atomics, and
 //! * the **last-solve statistics** published by `stats`.
 //!
-//! Everything *mutable per session* — the BDD manager, `SolverMemo`,
-//! dirty-root sets — lives in [`crate::store::Store`], which is
-//! deliberately `!Send` and confined to one executor shard (DESIGN.md
-//! §6: no constraint crosses a thread). The `Engine` is the line the
-//! future `Arc`-based thread-safe BDD store will slot into: anything
-//! already behind the `Engine` is proven shareable.
+//! Since the BDD store went thread-safe (sharded hash-consing behind
+//! `Arc`, DESIGN.md §12), the **BDD space is shared too**: every
+//! session of one interned artifact holds the same [`SharedBddSpace`],
+//! so N sessions that load the same product line build their
+//! constraints in one hash-consed node store instead of N. Governed
+//! solves serialize on the space's solve lock — resource budgets arm
+//! per-manager baselines, so two concurrently *armed* solves on one
+//! space would meter each other's allocations. Sessions over different
+//! programs still solve fully concurrently.
+//!
+//! Everything *mutable per session* — `SolverMemo`, dirty-root sets —
+//! lives in [`crate::store::Store`], which stays confined to one
+//! executor shard so each session's response stream keeps its
+//! submission order.
 
 use crate::cache::{CacheKey, SolutionCache};
 use crate::store::RenderedSolution;
 use crate::ServerOptions;
-use spllift_features::{FeatureExpr, FeatureTable};
+use spllift_features::{BddConstraintContext, FeatureExpr, FeatureTable};
 use spllift_hash::FastMap;
 use spllift_ide::IdeStats;
 use spllift_ir::{fingerprint, Program};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// The BDD space shared by every session of one interned artifact: one
+/// constraint context (one BDD variable per feature, in table order)
+/// over the thread-safe hash-consed store, plus the lock that
+/// serializes governed solves on it.
+///
+/// The lock exists because resource budgets arm *per-manager*
+/// baselines ([`spllift_bdd::BddManager::set_budget`]): two
+/// concurrently armed solves on one manager would charge each other's
+/// allocations and could latch each other's exhaustion. Un-governed
+/// constraint construction (queries, rendering) needs no lock — the
+/// store itself is thread-safe.
+#[derive(Debug)]
+pub struct SharedBddSpace {
+    /// The shared constraint context.
+    pub ctx: BddConstraintContext,
+    /// Serializes budget-armed solves on this space.
+    pub solve_lock: Mutex<()>,
+}
+
 /// One loaded product line: the parsed program, its feature universe,
-/// the optional feature-model constraint, and the fingerprint over all
-/// three. Plain data — no BDD handles — so it is `Send + Sync` and can
-/// be shared (`Arc`) across every shard and with the engine's intern
-/// table. Edits copy-on-write ([`Arc::make_mut`] in the store), so a
-/// shared artifact is immutable for as long as it is shared.
+/// the optional feature-model constraint, the fingerprint over all
+/// three, and the shared BDD space every session of this artifact
+/// builds its constraints in. It is `Send + Sync` and shared (`Arc`)
+/// across every shard through the engine's intern table. Edits
+/// copy-on-write ([`Arc::make_mut`] in the store); the clone keeps the
+/// same `space` handle — the feature universe is fixed at load, so an
+/// edited session can keep hash-consing into the nodes it already
+/// built.
 #[derive(Debug, Clone)]
 pub struct LoadedSpl {
     /// The checked program.
@@ -48,6 +78,8 @@ pub struct LoadedSpl {
     pub model: Option<FeatureExpr>,
     /// Fingerprint of `(program, table, model)`.
     pub fingerprint: u64,
+    /// The shared BDD space (same handle across COW clones).
+    pub space: Arc<SharedBddSpace>,
 }
 
 impl LoadedSpl {
@@ -64,11 +96,16 @@ impl LoadedSpl {
             .check()
             .map_err(|e| format!("invalid program: {e}"))?;
         let fp = fingerprint(&program, &table, model.as_ref());
+        let space = Arc::new(SharedBddSpace {
+            ctx: BddConstraintContext::new(&table),
+            solve_lock: Mutex::new(()),
+        });
         Ok(LoadedSpl {
             program,
             table,
             model,
             fingerprint: fp,
+            space,
         })
     }
 
@@ -179,10 +216,12 @@ impl Engine {
 }
 
 // The whole point of the engine: it is shareable. Compile-time proof
-// that no `Rc`/`RefCell`/BDD handle snuck in.
+// that nothing thread-confined snuck in (the BDD manager inside
+// `SharedBddSpace` is the `Arc`-based thread-safe store).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Engine>();
     assert_send_sync::<LoadedSpl>();
+    assert_send_sync::<SharedBddSpace>();
     assert_send_sync::<RenderedSolution>();
 };

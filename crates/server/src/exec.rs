@@ -12,8 +12,8 @@
 //! * **session-scoped requests** (`load`/`analyze`/`query`/`edit`) hash
 //!   the session name to pick a shard and enqueue the job there.
 //!
-//! One shard is one worker thread owning the [`ShardState`] (and thus
-//! the `!Send` BDD managers) of every session that hashes to it. A
+//! One shard is one worker thread owning the [`ShardState`] (sessions'
+//! slots, memos, and dirty sets) of every session that hashes to it. A
 //! session's requests execute on its shard in submission order, so each
 //! session's response stream is deterministic — byte-identical to a
 //! single-client server run — regardless of shard count or how many

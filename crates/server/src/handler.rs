@@ -462,19 +462,29 @@ impl ShardState {
 
     /// Builds this request's resource envelope: per-request knobs
     /// (`timeout_ms`, `bdd_node_budget`, `bdd_op_budget`,
-    /// `max_propagations`) override the server-wide defaults — the
-    /// retry-after-degrade path: re-send the same `analyze` with a
-    /// bigger budget and the (uncached) degraded slot re-solves fully.
+    /// `max_propagations`, `threads`) override the server-wide
+    /// defaults — the retry-after-degrade path: re-send the same
+    /// `analyze` with a bigger budget and the (uncached) degraded slot
+    /// re-solves fully. `threads` only changes how fast the solve
+    /// runs, never its bytes, so cached slots stay valid across
+    /// requests with different thread counts.
     fn request_governor(&self, req: &Json) -> Result<GovernorOptions, String> {
         let opts = &self.engine.opts;
-        Ok(GovernorOptions {
+        let threads = match opt_u64(req, "threads")? {
+            None => opts.threads,
+            Some(0) => return Err("`threads` must be >= 1".into()),
+            Some(n) => usize::try_from(n).map_err(|_| "`threads` is out of range".to_owned())?,
+        };
+        let mut gov = GovernorOptions {
             max_bdd_nodes: governance_u64(req, "bdd_node_budget", opts.bdd_node_budget)?,
             max_bdd_ops: governance_u64(req, "bdd_op_budget", opts.bdd_op_budget)?,
             max_propagations: governance_u64(req, "max_propagations", opts.max_propagations)?,
             timeout: governance_u64(req, "timeout_ms", opts.solve_timeout_ms)?
                 .map(Duration::from_millis),
             ..GovernorOptions::default()
-        })
+        };
+        gov.solver.threads = threads;
+        Ok(gov)
     }
 
     /// Arms the injected fault for this request if the plan's trigger

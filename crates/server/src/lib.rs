@@ -111,6 +111,10 @@ pub struct ServerOptions {
     /// ordinal depends on request interleaving, but the victim
     /// session's own counter does not. Testing harness only.
     pub fault_session: Option<String>,
+    /// Default phase-1 solver threads per solve (`--threads`); a
+    /// request's `threads` field overrides it. Results are
+    /// byte-identical at every value.
+    pub threads: usize,
 }
 
 impl Default for ServerOptions {
@@ -127,6 +131,7 @@ impl Default for ServerOptions {
             max_propagations: None,
             inject_fault: None,
             fault_session: None,
+            threads: 1,
         }
     }
 }

@@ -3,15 +3,19 @@
 //! One [`Store`] corresponds to one client session over one loaded
 //! product line. It is the cheap, session-private half of the
 //! engine/store split: a shared [`crate::engine::LoadedSpl`] artifact
-//! (copy-on-write on edit), a session-private BDD context, and
-//! per-analysis incremental solver state.
+//! (copy-on-write on edit), a handle to that artifact's shared BDD
+//! space, and per-analysis incremental solver state.
 //!
-//! The BDD manager inside [`BddConstraintContext`] is thread-local
-//! state (`Rc<RefCell<…>>`, see DESIGN.md §6): a `Store` is therefore
-//! deliberately `!Send` and lives its whole life on the executor shard
-//! that created it — nothing holding a [`Bdd`] ever crosses a thread.
-//! Other threads only ever see [`RenderedSolution`] — plain strings and
-//! [`FeatureExpr`]s, which are `Send + Sync`.
+//! The BDD manager is the thread-safe hash-consed store (DESIGN.md
+//! §12), so the context handle here is a cheap clone of the artifact's
+//! [`crate::engine::SharedBddSpace`]: every session of the same
+//! interned product line builds constraints in one shared node store.
+//! A `Store` still lives its whole life on the executor shard that
+//! created it — shard confinement is what keeps each session's
+//! response stream in submission order — and governed solves serialize
+//! on the space's solve lock (budgets arm per-manager baselines).
+//! Worker threads outside the shard only ever see [`RenderedSolution`]
+//! — plain strings and [`FeatureExpr`]s.
 //!
 //! Each `(analysis, model-mode)` pair owns an [`AnalysisSlot`] with the
 //! [`SolverMemo`] of its most recent solve. An `edit` records the edited
@@ -248,8 +252,8 @@ fn analyze_generic<P, D>(
     state: &mut SolvedState<D>,
 ) -> Result<AnalyzeOutcome, String>
 where
-    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
-    D: Clone + Eq + Ord + Hash + std::fmt::Debug,
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D> + Sync,
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug + Send + Sync,
 {
     let icfg = ProgramIcfg::new(program);
     // Pick the clean set. The memo's soundness contract (SolverMemo)
@@ -407,13 +411,15 @@ fn slot_key(analysis: &str, mode: ModelMode) -> String {
 }
 
 /// One session's private state: a shared artifact (copy-on-write), a
-/// session-private BDD context, and per-analysis incremental state.
-/// `!Send` by construction — it never leaves its executor shard.
+/// handle to its shared BDD space, and per-analysis incremental state.
+/// Confined to one executor shard so the session's responses keep
+/// their submission order.
 pub struct Store {
     /// The loaded product line, shared with the engine's intern table
     /// and any other session of the same fingerprint until edited.
     pub spl: Arc<LoadedSpl>,
-    /// Session-private BDD context (thread-local; never crosses threads).
+    /// Cheap handle to the artifact's shared BDD space: sessions of
+    /// the same interned product line hash-cons into one node store.
     pub ctx: BddConstraintContext,
     /// `analyze` requests this session has served — the per-session
     /// fault trigger sequence (`--inject-fault-session`).
@@ -422,9 +428,10 @@ pub struct Store {
 }
 
 impl Store {
-    /// Creates a store over an already-validated artifact.
+    /// Creates a store over an already-validated artifact, joining the
+    /// artifact's shared BDD space.
     pub fn new(spl: Arc<LoadedSpl>) -> Store {
-        let ctx = BddConstraintContext::new(&spl.table);
+        let ctx = spl.space.ctx.clone();
         Store {
             spl,
             ctx,
@@ -498,6 +505,20 @@ impl Store {
         let fp = self.spl.fingerprint;
         let spl = &self.spl;
         let model = spl.model.as_ref();
+        // Serialize governed solves on the shared BDD space: budgets
+        // arm per-manager baselines, so a concurrently armed solve in
+        // another session of the same artifact would meter (and could
+        // exhaust) this one. Sessions over different product lines hold
+        // different locks and proceed concurrently. A solve that
+        // panicked (chaos, quarantine) poisons the lock but not the
+        // store — hash-consing is append-only and budgets latch
+        // separately — so poison is recovered, or a re-loaded session
+        // could never solve its program again.
+        let _armed = spl
+            .space
+            .solve_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         match slot {
             AnalysisSlot::Taint(state) => analyze_generic(
                 &TaintAnalysis::secret_to_print(),

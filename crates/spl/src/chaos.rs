@@ -17,8 +17,8 @@
 //! for both the victim and every healthy session.
 
 use spllift_ifds::{Icfg, IfdsProblem};
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// The fault classes the harness can inject.
@@ -126,7 +126,9 @@ pub const PANIC_IN_FLOW_MESSAGE: &str = "injected fault: panic-in-flow";
 pub struct ChaosWrapper<'a, P> {
     inner: &'a P,
     kind: FaultKind,
-    charges: Cell<u64>,
+    /// Atomic so a charge is claimed exactly once even when the parallel
+    /// Phase-1 workers race through flow evaluations.
+    charges: AtomicU64,
     /// How long a [`FaultKind::SlowEdge`] evaluation stalls. Must exceed
     /// the governor's per-rung allowance for the fault to be observed.
     slow_for: Duration,
@@ -134,7 +136,7 @@ pub struct ChaosWrapper<'a, P> {
     /// Injected by the harness because the wrapper itself is
     /// representation-agnostic (the server passes a closure charging the
     /// session's BDD manager).
-    on_blowup: Box<dyn Fn() + 'a>,
+    on_blowup: Box<dyn Fn() + Sync + 'a>,
 }
 
 impl<'a, P> ChaosWrapper<'a, P> {
@@ -147,12 +149,12 @@ impl<'a, P> ChaosWrapper<'a, P> {
         kind: FaultKind,
         charges: u64,
         slow_for: Duration,
-        on_blowup: Box<dyn Fn() + 'a>,
+        on_blowup: Box<dyn Fn() + Sync + 'a>,
     ) -> Self {
         ChaosWrapper {
             inner,
             kind,
-            charges: Cell::new(charges),
+            charges: AtomicU64::new(charges),
             slow_for,
             on_blowup,
         }
@@ -160,14 +162,20 @@ impl<'a, P> ChaosWrapper<'a, P> {
 
     /// Charges left (0 = transparent from now on).
     pub fn charges_left(&self) -> u64 {
-        self.charges.get()
+        self.charges.load(Ordering::Acquire)
     }
 
     fn trip(&self) {
-        if self.charges.get() == 0 {
+        // Claim a charge atomically: with a multi-threaded Phase 1,
+        // racing evaluations must fire the fault exactly `charges`
+        // times, not once per racer.
+        let claimed = self
+            .charges
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| c.checked_sub(1))
+            .is_ok();
+        if !claimed {
             return;
         }
-        self.charges.set(self.charges.get() - 1);
         match self.kind {
             FaultKind::PanicInFlow => panic!("{}", PANIC_IN_FLOW_MESSAGE),
             FaultKind::BddBlowup => (self.on_blowup)(),

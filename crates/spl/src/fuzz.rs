@@ -12,7 +12,11 @@
 //!    by A2;
 //! 2. **interpreter soundness** — every dynamic leak / uninitialized
 //!    read the concrete interpreter observes in a derived product must
-//!    be predicted by the corresponding lifted analysis.
+//!    be predicted by the corresponding lifted analysis;
+//! 3. with [`FuzzOptions::threads`] `> 1`, **threaded ≡ sequential** —
+//!    the lifted solve under test runs on the parallel phase-1
+//!    worklist and must render byte-identical to a sequential solve of
+//!    the same instance.
 //!
 //! Seeds are sharded across `jobs` worker threads with the same
 //! contiguous-ordered rule as the configuration shards
@@ -179,6 +183,11 @@ pub struct FuzzOptions {
     pub bug: InjectedBug,
     /// Run the ddmin reducer on every failing seed.
     pub reduce_failures: bool,
+    /// Phase-1 solver threads for the *lifted* solve under test. When
+    /// greater than one, every seed additionally pins the threaded
+    /// solve byte-identical to the sequential one (the crosscheck's A2
+    /// exhaustive baseline stays sequential either way).
+    pub threads: usize,
 }
 
 impl Default for FuzzOptions {
@@ -194,6 +203,7 @@ impl Default for FuzzOptions {
             budget: None,
             bug: InjectedBug::None,
             reduce_failures: true,
+            threads: 1,
         }
     }
 }
@@ -358,9 +368,42 @@ pub fn subject_for_seed(seed: u64, opts: &FuzzOptions) -> RandomSpl {
     spl
 }
 
+/// Canonical rendering of a lifted solution: every statement's
+/// reachability cube plus its sorted `(fact, cube)` rows, in ICFG
+/// order. Cube strings are canonical per BDD, so two renderings are
+/// equal iff the solutions are semantically identical — the yardstick
+/// for the threaded ≡ sequential differential below.
+fn solution_rendering<'p, D>(
+    icfg: &ProgramIcfg<'p>,
+    solution: &LiftedSolution<'_, ProgramIcfg<'p>, D, spllift_bdd::Bdd>,
+) -> String
+where
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug,
+{
+    let mut out = String::new();
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            let _ = writeln!(
+                out,
+                "{s} reach {}",
+                solution.reachability_of(s).to_cube_string()
+            );
+            let mut rows: Vec<(D, spllift_bdd::Bdd)> = solution.results_at(s).into_iter().collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (d, c) in rows {
+                let _ = writeln!(out, "{s} {d:?} {}", c.to_cube_string());
+            }
+        }
+    }
+    out
+}
+
 /// Cross-checks one analysis on one program: SPLLIFT (with the bug
 /// wrapper applied) against the *raw* problem's A2 oracle, over
-/// `configs`, both directions.
+/// `configs`, both directions. With `threads > 1` the lifted solve
+/// under test runs on the parallel phase-1 worklist and is additionally
+/// pinned byte-identical to a sequential solve — the campaign-wide
+/// threaded ≡ sequential differential.
 fn crosscheck_analysis<'p, P>(
     icfg: &ProgramIcfg<'p>,
     problem: &P,
@@ -368,14 +411,33 @@ fn crosscheck_analysis<'p, P>(
     configs: &[Configuration],
     bug: InjectedBug,
     max_mismatches: usize,
+    threads: usize,
 ) -> Vec<Mismatch>
 where
-    P: IfdsProblem<ProgramIcfg<'p>>,
-    P::Fact: Ord + Hash,
+    P: IfdsProblem<ProgramIcfg<'p>> + Sync,
+    P::Fact: Ord + Hash + Send + Sync,
 {
     let ctx = BddConstraintContext::new(table);
     let wrapped = BugWrapper::new(problem, bug);
-    let lifted = LiftedSolution::solve(&wrapped, icfg, &ctx, None, ModelMode::OnEdges);
+    let lifted = LiftedSolution::solve_with(
+        &wrapped,
+        icfg,
+        &ctx,
+        None,
+        ModelMode::OnEdges,
+        spllift_ide::IdeSolverOptions {
+            threads,
+            ..spllift_ide::IdeSolverOptions::default()
+        },
+    );
+    if threads > 1 {
+        let sequential = LiftedSolution::solve(&wrapped, icfg, &ctx, None, ModelMode::OnEdges);
+        assert_eq!(
+            solution_rendering(icfg, &lifted),
+            solution_rendering(icfg, &sequential),
+            "threaded solve (threads = {threads}) diverged from the sequential solve"
+        );
+    }
     let lifted_icfg = LiftedIcfg::new(icfg);
     let mut out = Vec::new();
     check_shard(
@@ -398,6 +460,7 @@ fn crosscheck_all<'p>(
     configs: &[Configuration],
     bug: InjectedBug,
     cap: usize,
+    threads: usize,
 ) -> Vec<AnalysisVerdict> {
     // Typestate tracks a class that classless random programs never
     // allocate — the protocol lattice stays empty, but the full lifted
@@ -414,23 +477,48 @@ fn crosscheck_all<'p>(
                 configs,
                 bug,
                 cap,
+                threads,
             ),
         },
         AnalysisVerdict {
             analysis: ANALYSES[1],
-            mismatches: crosscheck_analysis(icfg, &PossibleTypes::new(), table, configs, bug, cap),
+            mismatches: crosscheck_analysis(
+                icfg,
+                &PossibleTypes::new(),
+                table,
+                configs,
+                bug,
+                cap,
+                threads,
+            ),
         },
         AnalysisVerdict {
             analysis: ANALYSES[2],
-            mismatches: crosscheck_analysis(icfg, &ReachingDefs::new(), table, configs, bug, cap),
+            mismatches: crosscheck_analysis(
+                icfg,
+                &ReachingDefs::new(),
+                table,
+                configs,
+                bug,
+                cap,
+                threads,
+            ),
         },
         AnalysisVerdict {
             analysis: ANALYSES[3],
-            mismatches: crosscheck_analysis(icfg, &UninitVars::new(), table, configs, bug, cap),
+            mismatches: crosscheck_analysis(
+                icfg,
+                &UninitVars::new(),
+                table,
+                configs,
+                bug,
+                cap,
+                threads,
+            ),
         },
         AnalysisVerdict {
             analysis: ANALYSES[4],
-            mismatches: crosscheck_analysis(icfg, &typestate, table, configs, bug, cap),
+            mismatches: crosscheck_analysis(icfg, &typestate, table, configs, bug, cap, threads),
         },
     ]
 }
@@ -510,10 +598,11 @@ pub fn check_program(
     features: &[FeatureId],
     bug: InjectedBug,
     max_mismatches: usize,
+    threads: usize,
 ) -> (Vec<AnalysisVerdict>, Vec<UnpredictedEvent>) {
     let configs: Vec<Configuration> = all_configurations(features).collect();
     let icfg = ProgramIcfg::new(program);
-    let analyses = crosscheck_all(&icfg, table, &configs, bug, max_mismatches);
+    let analyses = crosscheck_all(&icfg, table, &configs, bug, max_mismatches, threads);
     let unpredicted = interp_soundness(program, table, &configs, bug);
     (analyses, unpredicted)
 }
@@ -527,6 +616,7 @@ fn check_seed(seed: u64, opts: &FuzzOptions) -> SeedVerdict {
         &spl.features,
         opts.bug,
         opts.max_mismatches,
+        opts.threads,
     );
     SeedVerdict {
         seed,
@@ -558,8 +648,9 @@ pub fn failure_persists(
             .any(|u| u.analysis == analysis);
     }
     let icfg = ProgramIcfg::new(program);
-    // One mismatch suffices for the verdict — the oracle must be cheap.
-    let verdicts = crosscheck_all(&icfg, table, &configs, bug, 1);
+    // One mismatch suffices for the verdict — the oracle must be cheap,
+    // so the reducer always re-checks on the sequential solver.
+    let verdicts = crosscheck_all(&icfg, table, &configs, bug, 1, 1);
     verdicts
         .iter()
         .any(|v| v.analysis == analysis && !v.mismatches.is_empty())
@@ -710,6 +801,25 @@ mod tests {
             failure.analysis,
             failure.dynamic,
         ));
+    }
+
+    #[test]
+    fn threaded_campaign_matches_sequential_report() {
+        // The `--threads` differential: with threads > 1 every seed's
+        // lifted solve runs on the parallel worklist (and is internally
+        // pinned against the sequential solve); the rendered report
+        // must come out byte-identical to a pure sequential campaign.
+        let sequential = fuzz_campaign(&FuzzOptions {
+            jobs: 1,
+            ..quick(6, InjectedBug::None, false)
+        });
+        assert!(sequential.ok(), "{}", sequential.render());
+        let threaded = fuzz_campaign(&FuzzOptions {
+            jobs: 1,
+            threads: 4,
+            ..quick(6, InjectedBug::None, false)
+        });
+        assert_eq!(threaded.render(), sequential.render());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //!
 //! Configuration-specific solving is embarrassingly parallel — every A2
 //! run reads the shared program and writes only its own results — so a
-//! production-scale baseline should use every core. The constraint is
-//! that BDD handles are reference-counted into a thread-local store
-//! (`Rc<RefCell<…>>` in `spllift-bdd`), so nothing holding a constraint
-//! may cross a thread boundary. The driver therefore:
+//! production-scale baseline should use every core. The BDD store is
+//! thread-safe nowadays, but per-worker constraint contexts are still
+//! the right shape here: each A2 shard's scratch constraints are
+//! garbage to every other shard, so sharing a node store would only
+//! contend. The driver therefore:
 //!
 //! 1. partitions the configuration slice into contiguous, ordered shards
 //!    ([`spllift_features::partition_configurations`]),
@@ -93,8 +94,8 @@ pub struct ShardStats {
 /// Because shards are contiguous and merged in order, concatenating the
 /// per-shard results reproduces the sequential item order for every
 /// `jobs` value — the invariant all determinism tests in this workspace
-/// lean on. `work` receives the shard index and its slice; anything
-/// thread-local (constraint contexts, lifted solutions) must be built
+/// lean on. `work` receives the shard index and its slice; per-worker
+/// scratch (constraint contexts, lifted solutions) should be built
 /// *inside* `work`.
 pub fn map_shards<T, R, F>(items: &[T], jobs: usize, work: F) -> (Vec<R>, Vec<ShardStats>, usize)
 where
@@ -168,13 +169,12 @@ pub struct A2CampaignOutcome {
 /// Runs the §6.1 bidirectional cross-check with configurations sharded
 /// across `opts.jobs` scoped threads.
 ///
-/// `make_ctx` is called once per worker: constraint contexts (and the
-/// lifted solutions built from them) hold thread-local BDD state and
-/// must never be shared across threads. Each worker solves its own
-/// lifted instance — that repeats the cheap single-pass SPLLIFT solve
-/// per worker, but the A2 oracle (one full IFDS solve *per
-/// configuration*) dominates, which is the point of sharding by
-/// configuration.
+/// `make_ctx` is called once per worker: giving each worker a private
+/// constraint context keeps its scratch BDD nodes out of everyone
+/// else's unique-table shards. Each worker solves its own lifted
+/// instance — that repeats the cheap single-pass SPLLIFT solve per
+/// worker, but the A2 oracle (one full IFDS solve *per configuration*)
+/// dominates, which is the point of sharding by configuration.
 ///
 /// The merged mismatch vector is byte-identical to
 /// [`crate::crosscheck_with`] with the same `max_mismatches`, for every
@@ -189,8 +189,9 @@ pub fn crosscheck_parallel<'p, P, Ctx, F>(
 ) -> CrosscheckOutcome
 where
     P: IfdsProblem<ProgramIcfg<'p>> + Sync,
-    P::Fact: Ord + Hash,
-    Ctx: ConstraintContext,
+    P::Fact: Ord + Hash + Send + Sync,
+    Ctx: ConstraintContext + Sync,
+    Ctx::C: Send + Sync,
     F: Fn() -> Ctx + Sync,
 {
     let start = Instant::now();

@@ -28,14 +28,18 @@ echo "== fuzz smoke (deterministic seed range, sharded) =="
 # deterministic; --jobs 2 also exercises the sharded driver.
 ./target/release/spllift-cli fuzz --seeds 0..32 --jobs 2
 
-echo "== solver bench smoke (BENCH_solver.json) =="
+echo "== solver bench smoke (BENCH_solver.json, threads 1,2) =="
 # Regenerates the machine-readable benchmark document (schema
-# `spllift-bench-solver/v1`) on the small subjects and schema-validates
+# `spllift-bench-solver/v3`) on the small subjects and schema-validates
 # it, so the emitter, the parser, and the measured hot path all stay
-# wired. Full-subject numbers for EXPERIMENTS.md are produced with the
-# default arguments instead (see EXPERIMENTS.md §BENCH).
+# wired. `--threads 1,2` exercises the threads dimension: the validator
+# rejects the document unless every entry's results digest is identical
+# across thread counts, so this smoke also re-proves solver determinism
+# under the parallel phase-1 worklist. Full-subject numbers for
+# EXPERIMENTS.md are produced with the default arguments instead (see
+# EXPERIMENTS.md §BENCH).
 ./target/release/solver_bench --samples 1 --subjects fig1,chat,MM08 \
-    --out BENCH_solver.json
+    --threads 1,2 --out BENCH_solver.json
 ./target/release/solver_bench --validate BENCH_solver.json
 
 echo "== serve smoke (golden transcript, jobs-invariant) =="

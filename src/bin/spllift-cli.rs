@@ -69,6 +69,7 @@ use spllift::features::{
     parse_feature_model, BddConstraintContext, Configuration, FeatureExpr, FeatureTable,
 };
 use spllift::frontend::parse_spl;
+use spllift::ide::IdeSolverOptions;
 use spllift::ifds::IfdsProblem;
 use spllift::ir::{Program, ProgramIcfg};
 use spllift::lift::{report, LiftedIcfg, LiftedProblem, LiftedSolution, ModelMode};
@@ -103,6 +104,8 @@ ANALYZE OPTIONS
   --model FILE            feature model in the spllift text format
   --format table|dot|leaks|crosscheck|a2-bench   output (default table)
   --jobs N                worker threads for crosscheck / a2-bench
+  --threads N             phase-1 solver worker threads (default 1);
+                          results are byte-identical at every N
   --max-mismatches N      stop collecting crosscheck mismatches after N
 
 SERVE OPTIONS
@@ -110,6 +113,8 @@ SERVE OPTIONS
                           127.0.0.1:7077; port 0 picks one) instead of
                           stdin/stdout; many concurrent connections
   --jobs N                worker threads for batched queries
+  --threads N             default phase-1 solver threads per solve
+                          (requests may override with \"threads\")
   --shards N              executor shards (concurrent session groups)
   --max-inflight N        per-shard in-flight request bound (default 256)
   --cache-entries N       solution-cache entry budget (default 64)
@@ -129,8 +134,9 @@ SERVE OPTIONS
   flags the weaker answers. The wire contract lives in docs/PROTOCOL.md.
 
 FUZZ OPTIONS
-  --seeds A..B  --jobs N  --nfeatures N  --nmethods N  --mutations N
-  --budget-secs S  --corpus-dir DIR  --inject-bug kill-call-to-return
+  --seeds A..B  --jobs N  --threads N  --nfeatures N  --nmethods N
+  --mutations N  --budget-secs S  --corpus-dir DIR
+  --inject-bug kill-call-to-return
   --no-reduce
 
 REDUCE
@@ -192,6 +198,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--listen" => listen = Some(args.next().ok_or("--listen needs an address")?),
             "--jobs" => opts.jobs = positive("--jobs", args.next())?,
+            "--threads" => opts.threads = positive("--threads", args.next())?,
             "--shards" => opts.shards = positive("--shards", args.next())?,
             "--max-inflight" => opts.max_inflight = positive("--max-inflight", args.next())?,
             "--cache-entries" => opts.cache_entries = positive("--cache-entries", args.next())?,
@@ -244,6 +251,7 @@ struct Options {
     model_file: Option<String>,
     format: String,
     jobs: usize,
+    threads: usize,
     max_mismatches: usize,
 }
 
@@ -256,6 +264,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut model_file = None;
     let mut format = "table".to_owned();
     let mut jobs = default_jobs();
+    let mut threads = 1usize;
     let mut max_mismatches = DEFAULT_MAX_MISMATCHES;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -276,6 +285,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .filter(|&j| j >= 1)
                     .ok_or(format!("--jobs needs a positive integer, got `{v}`"))?;
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a thread count")?;
+                threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or(format!("--threads needs a positive integer, got `{v}`"))?;
+            }
             "--max-mismatches" => {
                 let v = args.next().ok_or("--max-mismatches needs a count")?;
                 max_mismatches = v.parse::<usize>().ok().filter(|&m| m >= 1).ok_or(format!(
@@ -295,6 +312,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         model_file,
         format,
         jobs,
+        threads,
         max_mismatches,
     }))
 }
@@ -574,10 +592,21 @@ fn emit<P, D>(
     model: &Option<FeatureExpr>,
 ) -> Result<(), String>
 where
-    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D>,
-    D: Clone + Eq + Ord + Hash + std::fmt::Debug,
+    P: for<'p> IfdsProblem<ProgramIcfg<'p>, Fact = D> + Sync,
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug + Send + Sync,
 {
-    let solution = LiftedSolution::solve(problem, icfg, ctx, model.as_ref(), ModelMode::OnEdges);
+    let solver_options = IdeSolverOptions {
+        threads: opts.threads,
+        ..IdeSolverOptions::default()
+    };
+    let solution = LiftedSolution::solve_with(
+        problem,
+        icfg,
+        ctx,
+        model.as_ref(),
+        ModelMode::OnEdges,
+        solver_options,
+    );
     match opts.format.as_str() {
         "table" => {
             print!(
@@ -688,6 +717,7 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
                 (opts.seed_start, opts.seed_end) = parse_seed_range(&v)?;
             }
             "--jobs" => opts.jobs = int_flag("--jobs")?.max(1),
+            "--threads" => opts.threads = int_flag("--threads")?.max(1),
             "--nfeatures" => opts.nfeatures = int_flag("--nfeatures")?,
             "--nmethods" => opts.nmethods = int_flag("--nmethods")?,
             "--mutations" => opts.mutations = int_flag("--mutations")?,
@@ -804,7 +834,7 @@ fn run_reduce(args: &[String]) -> Result<(), String> {
         Some(name) => (name.to_owned(), false),
         None => {
             // No check named: pick the first failing one.
-            let (verdicts, unpredicted) = check_program(&program, &table, &features, bug, 1);
+            let (verdicts, unpredicted) = check_program(&program, &table, &features, bug, 1, 1);
             if let Some(v) = verdicts.iter().find(|v| !v.mismatches.is_empty()) {
                 (v.analysis.to_owned(), false)
             } else if let Some(u) = unpredicted.first() {

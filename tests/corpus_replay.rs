@@ -37,8 +37,10 @@ fn corpus_is_present_and_replays_clean() {
             .check()
             .unwrap_or_else(|e| panic!("{}: ill-formed IR: {e:?}", path.display()));
         let features: Vec<FeatureId> = table.iter().map(|(f, _)| f).collect();
+        // `threads: 2` makes every corpus replay also pin the threaded
+        // solve byte-identical to the sequential one.
         let (verdicts, unpredicted) =
-            check_program(&program, &table, &features, InjectedBug::None, 100);
+            check_program(&program, &table, &features, InjectedBug::None, 100, 2);
         for v in &verdicts {
             assert!(
                 v.mismatches.is_empty(),

@@ -55,12 +55,13 @@ fn documented_error_kinds_and_budget_fields_match_the_implementation() {
             "error kind `{kind}` missing from docs/PROTOCOL.md"
         );
     }
-    // Per-request budget overrides accepted by `analyze`.
+    // Per-request budget/tuning overrides accepted by `analyze`.
     for field in [
         "timeout_ms",
         "bdd_node_budget",
         "bdd_op_budget",
         "max_propagations",
+        "threads",
     ] {
         assert!(
             doc.contains(&format!("`{field}`")),

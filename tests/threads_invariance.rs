@@ -1,0 +1,160 @@
+//! The parallel phase-1 differential battery: solving with `threads`
+//! 1/2/4/8 must produce *byte-identical* results for every analysis on
+//! every benchmark subject.
+//!
+//! The parallel worklist (DESIGN.md §12) relies on the IDE fixpoint
+//! being order-independent: jump/summary maps grow monotonically under
+//! a commutative, associative, idempotent join, and BDD constraints
+//! are canonical per manager, so any propagation schedule converges to
+//! the same maps. These tests pin that argument end to end — each
+//! solution is rendered to a canonical string (per-statement
+//! reachability cube plus sorted `(fact, cube)` rows) and compared
+//! across thread counts — and additionally run the §6.1 A2 crosscheck
+//! with the threaded solver, so the parallel schedule is also checked
+//! against the exhaustive per-configuration oracle.
+
+use spllift::analyses::{PossibleTypes, ReachingDefs, TaintAnalysis, Typestate, UninitVars};
+use spllift::benchgen::{subject_by_name, GeneratedSpl};
+use spllift::features::{BddConstraintContext, FeatureExpr};
+use spllift::ide::IdeSolverOptions;
+use spllift::ifds::{Icfg, IfdsProblem};
+use spllift::ir::{ClassId, ProgramIcfg};
+use spllift::lift::{LiftedSolution, ModelMode};
+use spllift::spl::crosscheck_with_options;
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SUBJECTS: [&str; 3] = ["MM08", "GPL", "Lampiro"];
+
+fn options(threads: usize) -> IdeSolverOptions {
+    IdeSolverOptions {
+        threads,
+        ..IdeSolverOptions::default()
+    }
+}
+
+/// Solves and renders canonically: one line per statement with its
+/// reachability cube, plus one line per `(fact, constraint-cube)` row
+/// in fact order. Cube strings are canonical per BDD, so equal
+/// renderings mean semantically identical solutions.
+fn solve_rendered<'p, P, D>(
+    icfg: &ProgramIcfg<'p>,
+    problem: &P,
+    ctx: &BddConstraintContext,
+    model: Option<&FeatureExpr>,
+    threads: usize,
+) -> String
+where
+    P: IfdsProblem<ProgramIcfg<'p>, Fact = D> + Sync,
+    D: Clone + Eq + Ord + Hash + std::fmt::Debug + Send + Sync,
+{
+    let solution = LiftedSolution::solve_with(
+        problem,
+        icfg,
+        ctx,
+        model,
+        ModelMode::OnEdges,
+        options(threads),
+    );
+    let mut out = String::new();
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            let _ = writeln!(
+                out,
+                "{s} reach {}",
+                solution.reachability_of(s).to_cube_string()
+            );
+            let mut rows: Vec<(D, spllift::bdd::Bdd)> =
+                solution.results_at(s).into_iter().collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (d, c) in rows {
+                let _ = writeln!(out, "{s} {d:?} {}", c.to_cube_string());
+            }
+        }
+    }
+    out
+}
+
+/// Renders all five liftable analyses at `threads` and asserts each one
+/// byte-identical to the `reference` produced at `threads == 1`.
+fn check_subject(name: &str) {
+    let spl = GeneratedSpl::generate(subject_by_name(name).expect("known subject"));
+    let icfg = spl.icfg();
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+    let model = Some(&model);
+    // The typestate protocol from the fuzz campaign: the lattice may
+    // stay empty on generated subjects, but the full lifted pipeline
+    // still runs and must stay schedule-independent.
+    let typestate = Typestate::new(ClassId(0), ["open"], ["close"], ["read"]);
+
+    macro_rules! check {
+        ($label:expr, $problem:expr) => {{
+            let p = $problem;
+            let reference = solve_rendered(&icfg, &p, &ctx, model, 1);
+            assert!(!reference.is_empty(), "{name}/{}: empty rendering", $label);
+            for threads in THREAD_COUNTS {
+                let rendered = solve_rendered(&icfg, &p, &ctx, model, threads);
+                assert_eq!(
+                    rendered, reference,
+                    "{name}/{}: threads = {threads} diverged from sequential",
+                    $label
+                );
+            }
+        }};
+    }
+    check!("taint", TaintAnalysis::secret_to_print());
+    check!("types", PossibleTypes::new());
+    check!("reaching-defs", ReachingDefs::new());
+    check!("uninit", UninitVars::new());
+    check!("typestate", typestate);
+}
+
+#[test]
+fn mm08_all_analyses_thread_invariant() {
+    check_subject(SUBJECTS[0]);
+}
+
+#[test]
+fn gpl_all_analyses_thread_invariant() {
+    check_subject(SUBJECTS[1]);
+}
+
+#[test]
+fn lampiro_all_analyses_thread_invariant() {
+    check_subject(SUBJECTS[2]);
+}
+
+/// The §6.1 bidirectional A2 crosscheck with the *threaded* solver:
+/// beyond schedule-invariance, the parallel solve must agree with the
+/// exhaustive configuration-by-configuration oracle in both directions
+/// on every valid MM08 configuration.
+#[test]
+fn mm08_a2_crosscheck_with_threaded_solver() {
+    let spl = GeneratedSpl::generate(subject_by_name("MM08").expect("known subject"));
+    let configs = spl.valid_configurations();
+    assert_eq!(configs.len(), 26);
+    let icfg = spl.icfg();
+    let ctx = BddConstraintContext::new(&spl.table);
+    let model = spl.model_expr();
+
+    macro_rules! crosscheck_threaded {
+        ($label:expr, $problem:expr) => {{
+            let m = crosscheck_with_options(
+                &icfg,
+                &$problem,
+                &ctx,
+                Some(&model),
+                &configs,
+                100,
+                options(4),
+            );
+            assert!(m.is_empty(), "{} (threads = 4): {m:?}", $label);
+        }};
+    }
+    crosscheck_threaded!("taint", TaintAnalysis::secret_to_print());
+    crosscheck_threaded!("types", PossibleTypes::new());
+    crosscheck_threaded!("reaching-defs", ReachingDefs::new());
+    crosscheck_threaded!("uninit", UninitVars::new());
+}
