@@ -608,3 +608,51 @@ mod budget {
         assert!(!f.is_false());
     }
 }
+
+#[test]
+fn semantic_digest_is_function_of_the_function() {
+    let (mgr, a, b, c) = three_vars();
+    // Equal functions, built along different op paths, digest equally.
+    let f1 = a.and(&b).or(&c);
+    let f2 = c.or(&b.and(&a));
+    assert_eq!(f1.semantic_digest(), f2.semantic_digest());
+    // Different functions digest differently.
+    assert_ne!(f1.semantic_digest(), a.or(&b).semantic_digest());
+    assert_ne!(a.semantic_digest(), b.semantic_digest());
+    // Branch asymmetry: x and !x must differ.
+    assert_ne!(a.semantic_digest(), a.not().semantic_digest());
+    // Terminals are distinct constants.
+    assert_ne!(mgr.top().semantic_digest(), mgr.bottom().semantic_digest());
+}
+
+#[test]
+fn semantic_digest_is_independent_of_build_order_across_managers() {
+    // Two fresh managers, same variable order, different construction
+    // order (hence different node ids): digests must agree.
+    let m1 = BddManager::new();
+    let (a1, b1, c1) = (m1.var("A"), m1.var("B"), m1.var("C"));
+    let junk = c1.xor(&b1); // shift node ids in m1
+    let f1 = a1.implies(&b1).and(&c1);
+    let m2 = BddManager::new();
+    let (a2, b2, c2) = (m2.var("A"), m2.var("B"), m2.var("C"));
+    let f2 = a2.implies(&b2).and(&c2);
+    assert_eq!(f1.semantic_digest(), f2.semantic_digest());
+    drop(junk);
+}
+
+#[test]
+fn semantic_digest_survives_deep_chains() {
+    // Linear in diagram size and iterative: a ~60k-deep conjunction
+    // chain must neither overflow the stack nor take superlinear time.
+    // Built bottom-up (highest variable first) so each `and` recurses
+    // O(1) deep while the resulting diagram is a ~60k-deep chain.
+    let mgr = BddManager::new();
+    let vars: Vec<VarId> = (0..60_000).map(|i| mgr.new_var(format!("x{i}"))).collect();
+    let mut f = mgr.top();
+    for &v in vars.iter().rev() {
+        f = mgr.var_bdd(v).and(&f);
+    }
+    let d1 = f.semantic_digest();
+    assert_eq!(d1, f.semantic_digest());
+    assert_ne!(d1, mgr.top().semantic_digest());
+}

@@ -6,13 +6,15 @@
 //! `analyze` it, `query` a statement, `analyze` again (answered from
 //! the cross-session solution cache). Client-observed per-request
 //! latency and whole-level throughput land in `BENCH_server.json`
-//! (schema `spllift-bench-server/v1`, see `spllift_bench::json`).
+//! (schema `spllift-bench-server/v2`, see `spllift_bench::json`).
 //!
 //! ```text
 //! cargo run --release -p spllift-bench --bin server_bench -- \
 //!     [--levels 16,64,256] [--shards N] [--out PATH|-]
 //! cargo run --release -p spllift-bench --bin server_bench -- --validate PATH
 //! cargo run --release -p spllift-bench --bin server_bench -- --smoke DIR
+//! cargo run --release -p spllift-bench --bin server_bench -- \
+//!     --check BASELINE [--tolerance F]
 //! ```
 //!
 //! `--validate` schema-checks an existing document (used by CI).
@@ -20,8 +22,20 @@
 //! clients replay `DIR/socket-client{1,2,3}.requests` over one server
 //! and their response streams must match the committed
 //! `DIR/socket-client{1,2,3}.expected` byte-for-byte.
+//! `--check BASELINE` is the regression gate: it re-runs the baseline's
+//! concurrency levels and fails when any level's median latency slows
+//! past `--tolerance` (default 0.25 = +25%); see
+//! `spllift_bench::regress`.
+//!
+//! A level whose requests come back as protocol errors is reported as a
+//! structured error naming the level and counts — never a panic, and
+//! never a silently-written document (the schema requires zero errors).
 
-use spllift_bench::json::{render_server_bench, validate_server_bench, ServerBenchLevel};
+use spllift_bench::harness::LatencySummary;
+use spllift_bench::json::{
+    render_server_bench, validate_server_bench, MachineInfo, ServerBenchLevel,
+};
+use spllift_bench::regress::{self, RegressOptions, DEFAULT_TOLERANCE};
 use spllift_server::{ServerOptions, SocketServer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -44,11 +58,27 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut levels = DEFAULT_LEVELS.to_owned();
+    let mut levels_given = false;
     let mut shards: Option<usize> = None;
     let mut out = DEFAULT_OUT.to_owned();
+    let mut check: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
     let mut args_iter = args.iter().cloned();
     while let Some(arg) = args_iter.next() {
         match arg.as_str() {
+            "--check" => {
+                check = Some(args_iter.next().ok_or("--check needs a baseline path")?);
+            }
+            "--tolerance" => {
+                let v = args_iter.next().ok_or("--tolerance needs a fraction")?;
+                tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or(format!(
+                        "--tolerance needs a non-negative fraction (0.25 = +25%), got `{v}`"
+                    ))?;
+            }
             "--validate" => {
                 let path = args_iter.next().ok_or("--validate needs a file path")?;
                 let text = std::fs::read_to_string(&path)
@@ -65,6 +95,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--levels" => {
                 levels = args_iter.next().ok_or("--levels needs a list")?;
+                levels_given = true;
             }
             "--shards" => {
                 let v = args_iter.next().ok_or("--shards needs a count")?;
@@ -80,12 +111,32 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: server_bench [--levels A,B,..] [--shards N] [--out PATH|-]\n       server_bench --validate PATH\n       server_bench --smoke DIR\n(default levels: {DEFAULT_LEVELS}; default out: {DEFAULT_OUT})"
+                    "usage: server_bench [--levels A,B,..] [--shards N] [--out PATH|-]\n       server_bench --validate PATH\n       server_bench --smoke DIR\n       server_bench --check BASELINE [--tolerance F] [--levels A,..]\n(default levels: {DEFAULT_LEVELS}; default out: {DEFAULT_OUT})"
                 ));
             }
             other => return Err(format!("unexpected argument `{other}` (try --help)")),
         }
     }
+
+    let baseline = match &check {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let doc = regress::server_doc(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+            // Replay the baseline's own concurrency levels unless the
+            // caller restricted them.
+            if !levels_given {
+                levels = doc
+                    .cells
+                    .iter()
+                    .filter_map(|c| c.key.strip_prefix("sessions="))
+                    .collect::<Vec<_>>()
+                    .join(",");
+            }
+            Some(doc)
+        }
+        None => None,
+    };
 
     let levels: Vec<usize> = levels
         .split(',')
@@ -124,10 +175,39 @@ fn run(args: &[String]) -> Result<(), String> {
         measured.push(level);
     }
 
-    let doc = render_server_bench(shards_used, SCRIPT_LEN, &measured);
+    let doc = render_server_bench(shards_used, SCRIPT_LEN, &MachineInfo::current(), &measured);
     // Sanity-check our own output before writing, so a malformed
     // document can never land on disk.
     validate_server_bench(&doc).map_err(|e| format!("internal emitter error: {e}"))?;
+
+    if let Some(baseline) = baseline {
+        let fresh = regress::server_doc(&doc).map_err(|e| format!("fresh run: {e}"))?;
+        let report = regress::compare(
+            &baseline,
+            &fresh,
+            RegressOptions {
+                tolerance,
+                subset: levels_given,
+                ..RegressOptions::default()
+            },
+        );
+        eprint!("{}", report.render());
+        if !report.passed() {
+            return Err(format!(
+                "regression gate failed: {} of {} compared levels regressed past +{:.0}% (see report above)",
+                report.failures.len(),
+                report.compared,
+                tolerance * 100.0
+            ));
+        }
+        eprintln!(
+            "server_bench: regression gate passed ({} levels within +{:.0}%)",
+            report.compared,
+            tolerance * 100.0
+        );
+        return Ok(());
+    }
+
     if out == "-" {
         print!("{doc}");
     } else {
@@ -233,22 +313,51 @@ fn run_level(opts: ServerOptions, sessions: usize) -> Result<ServerBenchLevel, S
     roundtrip(&mut writer, &mut reader, r#"{"type":"shutdown"}"#)?;
     server.join();
 
-    latencies.sort_unstable();
+    // A level where requests failed (including all of them) must come
+    // back as a structured error, not a panic: the old inline
+    // percentile closure computed `clamp(1, 0)` on an empty latency set
+    // (panicking with `min > max`) and then indexed `[len - 1]` out of
+    // bounds. `summarize_level` never indexes: an empty set summarizes
+    // to a zeroed latency block, and the error check below names the
+    // level instead of letting the schema validator reject the
+    // document later with a confusing message.
+    let level = summarize_level(sessions, latencies, errors, wall_ns);
+    if level.errors > 0 {
+        return Err(format!(
+            "{} of {} requests at {} sessions came back as protocol errors (first error logged above); refusing to emit a benchmark document",
+            level.errors, level.requests, sessions
+        ));
+    }
+    Ok(level)
+}
+
+/// Folds one level's raw client observations into its document row.
+/// Total-error levels (no successful latency samples) yield a zeroed
+/// latency block — the caller turns a non-zero error count into a
+/// structured error before the row can reach a document.
+fn summarize_level(
+    sessions: usize,
+    mut latencies: Vec<u128>,
+    errors: usize,
+    wall_ns: u128,
+) -> ServerBenchLevel {
     let requests = latencies.len();
-    // Nearest-rank percentile over the sorted latencies: the smallest
-    // value covering at least P percent of the samples.
-    let rank = |p: usize| latencies[(p * requests).div_ceil(100).clamp(1, requests) - 1];
-    Ok(ServerBenchLevel {
+    let lat = LatencySummary::from_samples(&mut latencies);
+    ServerBenchLevel {
         sessions,
         requests,
         errors,
         wall_ns,
-        throughput_rps: requests as f64 / (wall_ns as f64 / 1e9),
-        p50_ns: rank(50),
-        p90_ns: rank(90),
-        p99_ns: rank(99),
-        max_ns: latencies[requests - 1],
-    })
+        throughput_rps: if wall_ns == 0 {
+            0.0
+        } else {
+            requests as f64 / (wall_ns as f64 / 1e9)
+        },
+        p50_ns: lat.p50_ns,
+        p90_ns: lat.p90_ns,
+        p99_ns: lat.p99_ns,
+        max_ns: lat.max_ns,
+    }
 }
 
 /// The CI socket smoke test: three concurrent scripted clients against
@@ -328,4 +437,43 @@ fn smoke(dir: &str) -> Result<(), String> {
     }
     eprintln!("server_bench: socket smoke passed ({SMOKE_CLIENTS} concurrent clients)");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_level_summarizes_to_zeros_instead_of_panicking() {
+        // Regression: the pre-v2 percentile closure panicked on an
+        // empty latency set (`clamp(1, 0)`) and indexed `[0 - 1]`.
+        let level = summarize_level(16, Vec::new(), 64, 0);
+        assert_eq!(level.requests, 0);
+        assert_eq!(level.errors, 64);
+        assert_eq!(
+            (level.p50_ns, level.p90_ns, level.p99_ns, level.max_ns),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(level.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn single_sample_level_summarizes_to_that_sample() {
+        let level = summarize_level(1, vec![500], 0, 1_000_000_000);
+        assert_eq!(level.requests, 1);
+        assert_eq!(
+            (level.p50_ns, level.p90_ns, level.p99_ns, level.max_ns),
+            (500, 500, 500, 500)
+        );
+        assert_eq!(level.throughput_rps, 1.0);
+    }
+
+    #[test]
+    fn summarized_percentiles_are_monotone_and_sorted() {
+        let level = summarize_level(4, vec![900, 100, 500, 300, 700], 0, 1_000);
+        assert!(level.p50_ns <= level.p90_ns);
+        assert!(level.p90_ns <= level.p99_ns);
+        assert!(level.p99_ns <= level.max_ns);
+        assert_eq!(level.max_ns, 900);
+    }
 }

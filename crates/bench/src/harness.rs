@@ -107,12 +107,34 @@ impl Harness {
     /// Times `f`: one untimed warmup call, then `samples` timed calls.
     /// Emits the summary line to the configured [`BenchSink`]
     /// (stdout by default) and returns it.
-    pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) -> BenchStats {
+    pub fn bench<F: FnMut()>(&self, name: &str, f: F) -> BenchStats {
+        self.bench_adaptive(name, None, f)
+    }
+
+    /// Like [`bench`](Self::bench), but the warmup pass also decides the
+    /// sample count: when the warmup call takes `budget` or longer, only
+    /// one timed sample follows (slow cells would otherwise multiply a
+    /// long run by the sample count). The returned
+    /// [`BenchStats::samples`] records the count actually taken, so a
+    /// downstream document always knows how trustworthy its `min` is.
+    pub fn bench_adaptive<F: FnMut()>(
+        &self,
+        name: &str,
+        budget: Option<Duration>,
+        mut f: F,
+    ) -> BenchStats {
+        let warmup_start = Instant::now();
         f();
+        let warmup = warmup_start.elapsed();
+        let samples = if budget.is_some_and(|b| warmup >= b) {
+            1
+        } else {
+            self.samples
+        };
         let mut total = Duration::ZERO;
         let mut min = Duration::MAX;
         let mut max = Duration::ZERO;
-        for _ in 0..self.samples {
+        for _ in 0..samples {
             let start = Instant::now();
             f();
             let t = start.elapsed();
@@ -122,13 +144,54 @@ impl Harness {
         }
         let stats = BenchStats {
             name: format!("{}/{name}", self.group),
-            samples: self.samples,
-            mean: total / self.samples as u32,
+            samples,
+            mean: total / samples as u32,
             min,
             max,
         };
         self.sink.emit(&stats.to_string());
         stats
+    }
+}
+
+/// Nearest-rank percentile over ascending-sorted samples: the smallest
+/// value covering at least `percent` percent of them. Zero on an empty
+/// slice — callers summarizing a level that produced no successful
+/// samples get a zeroed block instead of an out-of-bounds panic.
+pub fn nearest_rank_ns(sorted: &[u128], percent: usize) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (percent * sorted.len())
+        .div_ceil(100)
+        .clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The p50/p90/p99/max latency block of a benchmark document, built
+/// with [`nearest_rank_ns`]. All-zero when there were no samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median latency, nanoseconds.
+    pub p50_ns: u128,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u128,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u128,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u128,
+}
+
+impl LatencySummary {
+    /// Summarizes a batch of latency samples (sorts them in place).
+    pub fn from_samples(samples: &mut [u128]) -> LatencySummary {
+        samples.sort_unstable();
+        LatencySummary {
+            p50_ns: nearest_rank_ns(samples, 50),
+            p90_ns: nearest_rank_ns(samples, 90),
+            p99_ns: nearest_rank_ns(samples, 99),
+            max_ns: samples.last().copied().unwrap_or(0),
+        }
     }
 }
 
@@ -191,5 +254,86 @@ mod tests {
         let mut calls = 0;
         let _ = h.bench("x", || calls += 1);
         assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn adaptive_budget_cuts_slow_cells_to_one_sample() {
+        let h = Harness::new("t", 5).with_sink(BenchSink::Quiet);
+        // Warmup slower than the budget: 1 warmup + 1 sample.
+        let mut calls = 0;
+        let stats = h.bench_adaptive("slow", Some(Duration::ZERO), || calls += 1);
+        assert_eq!(calls, 2);
+        assert_eq!(stats.samples, 1);
+        // A budget no warmup can exceed: the full sample count.
+        let mut calls = 0;
+        let stats = h.bench_adaptive("fast", Some(Duration::from_secs(3600)), || calls += 1);
+        assert_eq!(calls, 6);
+        assert_eq!(stats.samples, 5);
+    }
+
+    #[test]
+    fn nearest_rank_of_single_sample_is_that_sample() {
+        let one = [42u128];
+        for p in [0, 1, 50, 90, 99, 100] {
+            assert_eq!(nearest_rank_ns(&one, p), 42, "p{p}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_of_empty_is_zero_not_a_panic() {
+        // Regression for the all-error `server_bench` level: an empty
+        // sample set must summarize to a zeroed block, not index out of
+        // bounds (the old inline closure computed `clamp(1, 0)`, which
+        // panics with `min > max`).
+        for p in [0, 50, 99, 100] {
+            assert_eq!(nearest_rank_ns(&[], p), 0, "p{p}");
+        }
+        assert_eq!(
+            LatencySummary::from_samples(&mut []),
+            LatencySummary {
+                p50_ns: 0,
+                p90_ns: 0,
+                p99_ns: 0,
+                max_ns: 0
+            }
+        );
+    }
+
+    #[test]
+    fn nearest_rank_at_the_rank_boundaries() {
+        // 100 samples 1..=100: rank arithmetic is exact — pN is the
+        // N-th smallest.
+        let hundred: Vec<u128> = (1..=100).collect();
+        assert_eq!(nearest_rank_ns(&hundred, 50), 50);
+        assert_eq!(nearest_rank_ns(&hundred, 90), 90);
+        assert_eq!(nearest_rank_ns(&hundred, 99), 99);
+        assert_eq!(nearest_rank_ns(&hundred, 100), 100);
+        // 99 samples: ceil(p·99/100) — p50 → 50th, p99 → 99th (= max).
+        let ninety_nine: Vec<u128> = (1..=99).collect();
+        assert_eq!(nearest_rank_ns(&ninety_nine, 50), 50);
+        assert_eq!(nearest_rank_ns(&ninety_nine, 99), 99);
+        assert_eq!(nearest_rank_ns(&ninety_nine, 100), 99);
+        // 101 samples: ceil(50·101/100) = 51 — the true median.
+        let hundred_one: Vec<u128> = (1..=101).collect();
+        assert_eq!(nearest_rank_ns(&hundred_one, 50), 51);
+        assert_eq!(nearest_rank_ns(&hundred_one, 99), 100);
+        assert_eq!(nearest_rank_ns(&hundred_one, 100), 101);
+        // p0 clamps to the first sample, never below.
+        assert_eq!(nearest_rank_ns(&hundred_one, 0), 1);
+    }
+
+    #[test]
+    fn latency_summary_is_monotone() {
+        // Deterministic scrambled sample sets of several sizes: the
+        // summary must always order p50 ≤ p90 ≤ p99 ≤ max.
+        for n in [1usize, 2, 7, 99, 100, 101, 1000] {
+            let mut samples: Vec<u128> = (0..n).map(|i| ((i * 7919 + 13) % 1000) as u128).collect();
+            let s = LatencySummary::from_samples(&mut samples);
+            assert!(
+                s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns && s.p99_ns <= s.max_ns,
+                "n={n}: {s:?}"
+            );
+            assert_eq!(s.max_ns, samples.iter().copied().max().unwrap());
+        }
     }
 }

@@ -4,15 +4,18 @@
 //!
 //! The JSON value type, parser, and string escaping live in the shared
 //! [`spllift_json`] crate (also used by the analysis server's request
-//! protocol); this module keeps only the `spllift-bench-solver/v3` and
-//! `spllift-bench-server/v1` schemas layered on top.
+//! protocol); this module keeps only the `spllift-bench-solver/v4` and
+//! `spllift-bench-server/v2` schemas layered on top.
 //!
-//! # Schema (`spllift-bench-solver/v3`)
+//! # Schema (`spllift-bench-solver/v4`)
 //!
 //! ```json
 //! {
-//!   "schema": "spllift-bench-solver/v3",
+//!   "schema": "spllift-bench-solver/v4",
 //!   "samples": 3,
+//!   "machine": {"os": "linux", "arch": "x86_64", "cpus": 8},
+//!   "provenance": {"bin": "solver_bench",
+//!                  "subjects": "fig1,chat,MM08", "threads": "1,2"},
 //!   "entries": [
 //!     {
 //!       "subject": "MM08",
@@ -24,10 +27,10 @@
 //!               "value_updates": 5},
 //!       "bdd": {"nodes": 40, "vars": 9, "cache_entries": 100},
 //!       "threads": [
-//!         {"threads": 1,
+//!         {"threads": 1, "samples": 3,
 //!          "wall_ns": {"mean": 1234, "min": 1200, "max": 1300},
 //!          "results_digest": "a633e32ce4db1594"},
-//!         {"threads": 2,
+//!         {"threads": 2, "samples": 3,
 //!          "wall_ns": {"mean": 700, "min": 690, "max": 720},
 //!          "results_digest": "a633e32ce4db1594"}
 //!       ]
@@ -58,6 +61,16 @@
 //! document, not just in the test battery. The `ide` counters are
 //! taken from the sequential cell: scheduling counters are only
 //! deterministic at one thread.
+//!
+//! v4 (and server v2) made the documents **comparable across runs** for
+//! the regression gate (`crate::regress`): a top-level `machine` block
+//! (`os`/`arch`/`cpus` — the gate warns when two documents come from
+//! different machines), a solver `provenance` block recording the bin
+//! and the exact subject/thread lists (so `--check` can re-run the same
+//! matrix without re-stating it), and a per-cell `samples` count — the
+//! emitter sizes sampling adaptively, so each cell must say how many
+//! samples its `min` was taken over. The validator rejects v4 cells
+//! lacking any comparator field (`samples`, `wall_ns.min`).
 
 use crate::harness::BenchStats;
 use spllift_bdd::BddStats;
@@ -65,11 +78,91 @@ use spllift_ide::IdeStats;
 pub use spllift_json::{escape, parse_json, Json};
 
 /// The schema identifier written to (and required in) the JSON file.
-pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v3";
+pub const SOLVER_BENCH_SCHEMA: &str = "spllift-bench-solver/v4";
 
 /// The schema identifier of `BENCH_server.json` (the concurrent-server
 /// load benchmark emitted by the `server_bench` bin).
-pub const SERVER_BENCH_SCHEMA: &str = "spllift-bench-server/v1";
+pub const SERVER_BENCH_SCHEMA: &str = "spllift-bench-server/v2";
+
+/// The `machine` block both schemas carry: where the numbers were
+/// measured. The regression gate never *fails* over a machine change,
+/// but it does warn — cross-machine wall-clock ratios are not
+/// regressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available parallelism at measurement time.
+    pub cpus: usize,
+}
+
+impl MachineInfo {
+    /// The block describing the machine this process runs on.
+    pub fn current() -> MachineInfo {
+        MachineInfo {
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}}",
+            escape(&self.os),
+            escape(&self.arch),
+            self.cpus
+        )
+    }
+
+    /// Reads the `machine` block out of a parsed benchmark document
+    /// (`None` when absent or malformed — the caller decides whether
+    /// that is an error; the validators make it one).
+    pub fn from_doc(doc: &Json) -> Option<MachineInfo> {
+        let m = doc.get("machine")?;
+        Some(MachineInfo {
+            os: m.get("os")?.as_str()?.to_owned(),
+            arch: m.get("arch")?.as_str()?.to_owned(),
+            cpus: m.get("cpus")?.as_f64().filter(|c| *c >= 1.0)? as usize,
+        })
+    }
+}
+
+/// The solver document's `provenance` block: which bin produced it and
+/// the exact subject/thread matrix it measured, so `--check` can replay
+/// the same matrix from the baseline alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Emitting binary (`solver_bench`).
+    pub bin: String,
+    /// The `--subjects` list as given.
+    pub subjects: String,
+    /// The `--threads` list as given.
+    pub threads: String,
+}
+
+impl Provenance {
+    fn render(&self) -> String {
+        format!(
+            "{{\"bin\": \"{}\", \"subjects\": \"{}\", \"threads\": \"{}\"}}",
+            escape(&self.bin),
+            escape(&self.subjects),
+            escape(&self.threads)
+        )
+    }
+
+    /// Reads the `provenance` block out of a parsed solver document.
+    pub fn from_doc(doc: &Json) -> Option<Provenance> {
+        let p = doc.get("provenance")?;
+        Some(Provenance {
+            bin: p.get("bin")?.as_str()?.to_owned(),
+            subjects: p.get("subjects")?.as_str()?.to_owned(),
+            threads: p.get("threads")?.as_str()?.to_owned(),
+        })
+    }
+}
 
 /// One concurrency level of the server load benchmark: `sessions`
 /// concurrent connections, each driving its own session through a fixed
@@ -102,11 +195,13 @@ pub struct ServerBenchLevel {
 pub fn render_server_bench(
     shards: usize,
     requests_per_session: usize,
+    machine: &MachineInfo,
     levels: &[ServerBenchLevel],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{SERVER_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"machine\": {},\n", machine.render()));
     out.push_str(&format!("  \"shards\": {shards},\n"));
     out.push_str(&format!(
         "  \"requests_per_session\": {requests_per_session},\n"
@@ -137,10 +232,10 @@ pub fn render_server_bench(
 }
 
 /// Validates a `BENCH_server.json` document against the
-/// [`SERVER_BENCH_SCHEMA`] shape: schema id, at least three concurrency
-/// levels, every number finite and non-negative, zero errors, positive
-/// throughput, and monotone latency percentiles (p50 ≤ p90 ≤ p99 ≤
-/// max). Returns the level count.
+/// [`SERVER_BENCH_SCHEMA`] shape: schema id, a well-formed `machine`
+/// block, at least three concurrency levels, every number finite and
+/// non-negative, zero errors, positive throughput, and monotone latency
+/// percentiles (p50 ≤ p90 ≤ p99 ≤ max). Returns the level count.
 pub fn validate_server_bench(text: &str) -> Result<usize, String> {
     let doc = parse_json(text)?;
     let schema = doc.get("schema").ok_or("missing `schema` key")?.clone();
@@ -149,6 +244,8 @@ pub fn validate_server_bench(text: &str) -> Result<usize, String> {
             "schema mismatch: expected \"{SERVER_BENCH_SCHEMA}\", got {schema:?}"
         ));
     }
+    MachineInfo::from_doc(&doc)
+        .ok_or("missing or malformed `machine` block (os/arch strings, cpus >= 1)")?;
     let finite = |v: Option<&Json>, what: &str| -> Result<f64, String> {
         v.and_then(Json::as_f64)
             .filter(|n| *n >= 0.0)
@@ -232,12 +329,21 @@ pub struct SolverBenchEntry {
     pub threads: Vec<ThreadCell>,
 }
 
-/// Renders the full `BENCH_solver.json` document.
-pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> String {
+/// Renders the full `BENCH_solver.json` document. `samples` is the
+/// *requested* sample count; each cell records the count actually taken
+/// (adaptive sampling reduces slow cells to one).
+pub fn render_solver_bench(
+    samples: usize,
+    machine: &MachineInfo,
+    provenance: &Provenance,
+    entries: &[SolverBenchEntry],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{SOLVER_BENCH_SCHEMA}\",\n"));
     out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str(&format!("  \"machine\": {},\n", machine.render()));
+    out.push_str(&format!("  \"provenance\": {},\n", provenance.render()));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str("    {\n");
@@ -266,8 +372,9 @@ pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> Stri
         out.push_str("      \"threads\": [\n");
         for (j, c) in e.threads.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"threads\": {}, \"wall_ns\": {{\"mean\": {}, \"min\": {}, \"max\": {}}}, \"results_digest\": \"{}\"}}{}\n",
+                "        {{\"threads\": {}, \"samples\": {}, \"wall_ns\": {{\"mean\": {}, \"min\": {}, \"max\": {}}}, \"results_digest\": \"{}\"}}{}\n",
                 c.threads,
+                c.wall.samples,
                 c.wall.mean.as_nanos(),
                 c.wall.min.as_nanos(),
                 c.wall.max.as_nanos(),
@@ -287,10 +394,12 @@ pub fn render_solver_bench(samples: usize, entries: &[SolverBenchEntry]) -> Stri
 }
 
 /// Validates a `BENCH_solver.json` document against the
-/// [`SOLVER_BENCH_SCHEMA`] shape: schema id, non-empty `entries`, every
-/// required key present, every number finite and non-negative, and —
-/// the determinism contract — every thread cell of an entry carrying
-/// the same `results_digest`. Returns the entry count.
+/// [`SOLVER_BENCH_SCHEMA`] shape: schema id, well-formed `machine` and
+/// `provenance` blocks, non-empty `entries`, every required key present
+/// (including the per-cell comparator fields `samples` and `wall_ns`),
+/// every number finite and non-negative, and — the determinism contract
+/// — every thread cell of an entry carrying the same `results_digest`.
+/// Returns the entry count.
 pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
     let doc = parse_json(text)?;
     let schema = doc.get("schema").ok_or("missing `schema` key")?.clone();
@@ -299,6 +408,10 @@ pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
             "schema mismatch: expected \"{SOLVER_BENCH_SCHEMA}\", got {schema:?}"
         ));
     }
+    MachineInfo::from_doc(&doc)
+        .ok_or("missing or malformed `machine` block (os/arch strings, cpus >= 1)")?;
+    Provenance::from_doc(&doc)
+        .ok_or("missing or malformed `provenance` block (bin/subjects/threads strings)")?;
     let num = |v: &Json, what: &str| -> Result<f64, String> {
         match v {
             Json::Num(n) if n.is_finite() && *n >= 0.0 => Ok(*n),
@@ -388,9 +501,20 @@ pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
                 ));
             }
             prev_threads = t;
+            // The comparator fields the regression gate reads: how many
+            // samples this cell took (adaptive sampling makes it
+            // per-cell) and the wall-clock block its min lives in.
+            let s = num(
+                c.get("samples")
+                    .ok_or_else(|| format!("missing {} (comparator field)", cctx("samples")))?,
+                &cctx("samples"),
+            )?;
+            if s < 1.0 {
+                return Err(format!("{} must be >= 1", cctx("samples")));
+            }
             let wall = c
                 .get("wall_ns")
-                .ok_or_else(|| format!("missing {}", cctx("wall_ns")))?;
+                .ok_or_else(|| format!("missing {} (comparator field)", cctx("wall_ns")))?;
             for key in ["mean", "min", "max"] {
                 let v = wall
                     .get(key)
@@ -428,6 +552,26 @@ pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    fn machine() -> MachineInfo {
+        MachineInfo {
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpus: 8,
+        }
+    }
+
+    fn provenance() -> Provenance {
+        Provenance {
+            bin: "solver_bench".into(),
+            subjects: "MM08".into(),
+            threads: "1,2,4".into(),
+        }
+    }
+
+    fn render(samples: usize, entries: &[SolverBenchEntry]) -> String {
+        render_solver_bench(samples, &machine(), &provenance(), entries)
+    }
 
     fn cell(threads: usize, mean_ns: u64) -> ThreadCell {
         ThreadCell {
@@ -467,13 +611,13 @@ mod tests {
 
     #[test]
     fn emitted_document_validates() {
-        let text = render_solver_bench(3, &[entry()]);
+        let text = render(3, &[entry()]);
         assert_eq!(validate_solver_bench(&text), Ok(1));
     }
 
     #[test]
     fn emitted_document_round_trips() {
-        let text = render_solver_bench(3, &[entry(), entry()]);
+        let text = render(3, &[entry(), entry()]);
         let doc = parse_json(&text).unwrap();
         assert_eq!(
             doc.get("schema"),
@@ -516,7 +660,7 @@ mod tests {
 
     #[test]
     fn server_bench_document_validates() {
-        let text = render_server_bench(4, 7, &[level(16), level(64), level(256)]);
+        let text = render_server_bench(4, 7, &machine(), &[level(16), level(64), level(256)]);
         assert_eq!(validate_server_bench(&text), Ok(3));
     }
 
@@ -524,16 +668,16 @@ mod tests {
     fn server_bench_validator_rejects_bad_documents() {
         assert!(validate_server_bench("{}").is_err());
         // Fewer than three concurrency levels.
-        let short = render_server_bench(4, 7, &[level(16), level(64)]);
+        let short = render_server_bench(4, 7, &machine(), &[level(16), level(64)]);
         assert!(validate_server_bench(&short)
             .unwrap_err()
             .contains("3 concurrency levels"));
         // A non-zero error count.
-        let errs = render_server_bench(4, 7, &[level(16), level(64), level(256)])
+        let errs = render_server_bench(4, 7, &machine(), &[level(16), level(64), level(256)])
             .replace("\"errors\": 0", "\"errors\": 2");
         assert!(validate_server_bench(&errs).unwrap_err().contains("zero"));
         // Non-monotone percentiles.
-        let bad = render_server_bench(4, 7, &[level(16), level(64), level(256)])
+        let bad = render_server_bench(4, 7, &machine(), &[level(16), level(64), level(256)])
             .replace("\"p99\": 3000", "\"p99\": 1");
         assert!(validate_server_bench(&bad)
             .unwrap_err()
@@ -548,20 +692,57 @@ mod tests {
         assert!(validate_solver_bench(wrong_schema)
             .unwrap_err()
             .contains("schema mismatch"));
-        let empty =
-            format!(r#"{{"schema": "{SOLVER_BENCH_SCHEMA}", "samples": 1, "entries": []}}"#);
+        let empty = format!(
+            r#"{{"schema": "{SOLVER_BENCH_SCHEMA}", "samples": 1,
+                 "machine": {{"os": "linux", "arch": "x86_64", "cpus": 8}},
+                 "provenance": {{"bin": "solver_bench", "subjects": "x", "threads": "1"}},
+                 "entries": []}}"#
+        );
         assert!(validate_solver_bench(&empty).unwrap_err().contains("empty"));
         // A key present but non-finite (parser rejects before shape check).
-        let text = render_solver_bench(3, &[entry()]).replace("1500", "1e999");
+        let text = render(3, &[entry()]).replace("1500", "1e999");
         assert!(validate_solver_bench(&text).is_err());
         // A missing ide counter.
-        let text = render_solver_bench(3, &[entry()]).replace("\"killed_early\"", "\"other\"");
+        let text = render(3, &[entry()]).replace("\"killed_early\"", "\"other\"");
         assert!(validate_solver_bench(&text)
             .unwrap_err()
             .contains("killed_early"));
         // A governance value outside the vocabulary.
-        let text = render_solver_bench(3, &[entry()]).replace("\"full\"", "\"warp\"");
+        let text = render(3, &[entry()]).replace("\"full\"", "\"warp\"");
         assert!(validate_solver_bench(&text).unwrap_err().contains("rung"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_v4_blocks_and_comparator_fields() {
+        // No machine block.
+        let text = render(3, &[entry()]).replace("\"machine\"", "\"mach\"");
+        assert!(validate_solver_bench(&text)
+            .unwrap_err()
+            .contains("machine"));
+        // No provenance block.
+        let text = render(3, &[entry()]).replace("\"provenance\"", "\"prov\"");
+        assert!(validate_solver_bench(&text)
+            .unwrap_err()
+            .contains("provenance"));
+        // A cell without its per-cell sample count (a v3-era cell): the
+        // regression gate cannot weigh its min, so the document is
+        // rejected outright.
+        let text = render(3, &[entry()]).replace("\"samples\": 3, \"wall_ns\"", "\"wall_ns\"");
+        let err = validate_solver_bench(&text).unwrap_err();
+        assert!(
+            err.contains("samples") && err.contains("comparator"),
+            "{err}"
+        );
+        // A zero sample count.
+        let text = render(3, &[entry()])
+            .replace("\"samples\": 3, \"wall_ns\"", "\"samples\": 0, \"wall_ns\"");
+        assert!(validate_solver_bench(&text).unwrap_err().contains(">= 1"));
+        // Server documents need the machine block too.
+        let text = render_server_bench(4, 7, &machine(), &[level(16), level(64), level(256)])
+            .replace("\"machine\"", "\"mach\"");
+        assert!(validate_server_bench(&text)
+            .unwrap_err()
+            .contains("machine"));
     }
 
     #[test]
@@ -570,26 +751,26 @@ mod tests {
         // determinism contract is enforced on the document itself.
         let mut broken = entry();
         broken.threads[2].results_digest = "deadbeefdeadbeef".into();
-        let text = render_solver_bench(3, &[broken]);
+        let text = render(3, &[broken]);
         assert!(validate_solver_bench(&text)
             .unwrap_err()
             .contains("not thread-count invariant"));
         // Cells out of thread order.
         let mut disordered = entry();
         disordered.threads.swap(0, 1);
-        let text = render_solver_bench(3, &[disordered]);
+        let text = render(3, &[disordered]);
         assert!(validate_solver_bench(&text)
             .unwrap_err()
             .contains("ascending"));
         // No cells at all.
         let mut hollow = entry();
         hollow.threads.clear();
-        let text = render_solver_bench(3, &[hollow]);
+        let text = render(3, &[hollow]);
         assert!(validate_solver_bench(&text).unwrap_err().contains("empty"));
         // A zero thread count.
         let mut zero = entry();
         zero.threads[0].threads = 0;
-        let text = render_solver_bench(3, &[zero]);
+        let text = render(3, &[zero]);
         assert!(validate_solver_bench(&text).unwrap_err().contains(">= 1"));
     }
 }

@@ -1,0 +1,496 @@
+//! The perf regression gate: cell-by-cell comparison of a fresh
+//! benchmark run against a committed baseline document.
+//!
+//! Both bench bins grow a `--check BASELINE` mode built on this module:
+//! they re-measure, render the fresh document, and diff it against the
+//! committed one **per cell** — a solver cell is one
+//! `subject × analysis × threads` measurement, a server cell one
+//! concurrency level. Whole-document aggregates would let one subject's
+//! regression hide behind another's improvement; per-cell keys cannot.
+//!
+//! The comparison is deliberately conservative about noise:
+//!
+//! - It compares the **minimum** wall time of each cell's samples, not
+//!   the mean. The min is the least noisy location statistic for
+//!   wall-clock benchmarking — every slowdown mechanism (scheduling,
+//!   page cache, turbo state) only ever adds time.
+//! - A cell fails only when the fresh min exceeds the baseline min by
+//!   more than a relative `tolerance` (default 25%) **and** by more
+//!   than an absolute noise floor (default 1 ms): the worked examples
+//!   solve in tens of microseconds, where a +50% "regression" is a
+//!   single scheduler preemption. Sub-floor cells report their delta
+//!   but cannot fail the gate.
+//! - A baseline and fresh document from **different machines** produce
+//!   a warning, never a failure: cross-machine ratios are not
+//!   regressions.
+//!
+//! Missing cells are failures by default — silently dropping the
+//! slowest subject is the easiest way to "fix" a regression — but a
+//! restricted smoke run (CI re-measures a small sub-matrix) downgrades
+//! them to skips via [`RegressOptions::subset`].
+
+use crate::json::{parse_json, Json, MachineInfo};
+
+/// Default relative tolerance: a cell fails when its fresh min wall
+/// time exceeds the baseline's by more than 25%.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Default absolute noise floor: a cell additionally needs more than
+/// 1 ms of absolute slowdown to fail. Microsecond-scale cells (the
+/// worked examples) cannot be meaningfully gated by a relative
+/// threshold on a shared machine.
+pub const DEFAULT_MIN_DELTA_NS: u128 = 1_000_000;
+
+/// One comparable measurement extracted from a benchmark document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSample {
+    /// Stable cell key (`subject/analysis@tN` or `sessions=N`).
+    pub key: String,
+    /// The cell's comparator value, nanoseconds (min wall time for
+    /// solver cells, median latency for server levels).
+    pub best_ns: u128,
+    /// How many samples the value was taken over.
+    pub samples: usize,
+}
+
+/// Everything the comparator needs from one document.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// The machine block, for the cross-machine warning.
+    pub machine: MachineInfo,
+    /// All comparable cells, in document order.
+    pub cells: Vec<CellSample>,
+}
+
+impl BenchDoc {
+    /// Folds a re-measurement pass into this document: a cell present
+    /// in both keeps the smaller value (min across passes, consistent
+    /// with min-of-N within a pass) and the summed sample count; cells
+    /// only in `retry` are appended. Callers use this to absorb a
+    /// second measurement of cells that failed the first comparison —
+    /// a transient stall (scheduler preemption, host CPU contention)
+    /// won't reproduce, a genuine regression will.
+    pub fn merge_min(&mut self, retry: &BenchDoc) {
+        for r in &retry.cells {
+            match self.cells.iter_mut().find(|c| c.key == r.key) {
+                Some(c) => {
+                    c.best_ns = c.best_ns.min(r.best_ns);
+                    c.samples += r.samples;
+                }
+                None => self.cells.push(r.clone()),
+            }
+        }
+    }
+}
+
+/// Knobs of one comparison run.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressOptions {
+    /// Maximum tolerated relative slowdown per cell (0.25 = +25%).
+    pub tolerance: f64,
+    /// Minimum absolute slowdown (ns) a cell needs to fail. Both this
+    /// and `tolerance` must be exceeded.
+    pub min_delta_ns: u128,
+    /// `true` when the fresh run deliberately measured only a subset of
+    /// the baseline matrix (CI smoke mode): baseline cells absent from
+    /// the fresh document become skips instead of failures.
+    pub subset: bool,
+}
+
+impl Default for RegressOptions {
+    fn default() -> Self {
+        RegressOptions {
+            tolerance: DEFAULT_TOLERANCE,
+            min_delta_ns: DEFAULT_MIN_DELTA_NS,
+            subset: false,
+        }
+    }
+}
+
+/// The outcome of one comparison: per-cell verdict lines, bucketed.
+#[derive(Debug, Clone, Default)]
+pub struct RegressReport {
+    /// Cells past tolerance, or required cells missing from the fresh
+    /// run. Any entry here means the gate fails.
+    pub failures: Vec<String>,
+    /// Suspicious-but-not-failing observations (machine mismatch).
+    pub warnings: Vec<String>,
+    /// Context lines: cells within tolerance, new cells, skips.
+    pub infos: Vec<String>,
+    /// How many cells were actually compared value-against-value.
+    pub compared: usize,
+    /// Keys of the cells that regressed past tolerance (the
+    /// value-comparison failures only, not missing cells) — the
+    /// callers' retry pass re-measures exactly these.
+    pub failed_keys: Vec<String>,
+}
+
+impl RegressReport {
+    /// `true` when no cell regressed past tolerance.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The human-readable report, one verdict per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.failures {
+            out.push_str("FAIL  ");
+            out.push_str(f);
+            out.push('\n');
+        }
+        for w in &self.warnings {
+            out.push_str("WARN  ");
+            out.push_str(w);
+            out.push('\n');
+        }
+        for i in &self.infos {
+            out.push_str("  ok  ");
+            out.push_str(i);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}: {} cells compared, {} regressed, {} warnings\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.compared,
+            self.failures.len(),
+            self.warnings.len()
+        ));
+        out
+    }
+}
+
+fn doc_machine(doc: &Json) -> Result<MachineInfo, String> {
+    MachineInfo::from_doc(doc).ok_or_else(|| "missing or malformed `machine` block".into())
+}
+
+fn cell_u128(v: Option<&Json>, what: &str) -> Result<u128, String> {
+    v.and_then(Json::as_f64)
+        .filter(|n| *n >= 0.0)
+        .map(|n| n as u128)
+        .ok_or_else(|| format!("`{what}` must be a non-negative number"))
+}
+
+/// Extracts the comparable cells of a (pre-validated) solver document:
+/// one per `subject × analysis × threads`, valued at the cell's
+/// minimum wall time.
+pub fn solver_doc(text: &str) -> Result<BenchDoc, String> {
+    crate::json::validate_solver_bench(text)?;
+    let doc = parse_json(text)?;
+    let machine = doc_machine(&doc)?;
+    let mut cells = Vec::new();
+    let Some(Json::Arr(entries)) = doc.get("entries") else {
+        return Err("missing `entries`".into());
+    };
+    for e in entries {
+        let subject = e.get("subject").and_then(Json::as_str).unwrap_or("?");
+        let analysis = e.get("analysis").and_then(Json::as_str).unwrap_or("?");
+        let Some(Json::Arr(tcells)) = e.get("threads") else {
+            continue;
+        };
+        for c in tcells {
+            let threads = cell_u128(c.get("threads"), "threads")?;
+            let key = format!("{subject}/{analysis}@t{threads}");
+            cells.push(CellSample {
+                best_ns: cell_u128(
+                    c.get("wall_ns").and_then(|w| w.get("min")),
+                    &format!("{key}: wall_ns.min"),
+                )?,
+                samples: cell_u128(c.get("samples"), &format!("{key}: samples"))? as usize,
+                key,
+            });
+        }
+    }
+    Ok(BenchDoc { machine, cells })
+}
+
+/// Extracts the comparable cells of a (pre-validated) server document:
+/// one per concurrency level, valued at the level's median latency.
+/// The median, not the max: one straggler connection at 256 sessions is
+/// load-test noise, a moved median is a server regression.
+pub fn server_doc(text: &str) -> Result<BenchDoc, String> {
+    crate::json::validate_server_bench(text)?;
+    let doc = parse_json(text)?;
+    let machine = doc_machine(&doc)?;
+    let mut cells = Vec::new();
+    let Some(Json::Arr(levels)) = doc.get("levels") else {
+        return Err("missing `levels`".into());
+    };
+    for l in levels {
+        let sessions = cell_u128(l.get("sessions"), "sessions")?;
+        let key = format!("sessions={sessions}");
+        cells.push(CellSample {
+            best_ns: cell_u128(
+                l.get("latency_ns").and_then(|x| x.get("p50")),
+                &format!("{key}: latency_ns.p50"),
+            )?,
+            samples: cell_u128(l.get("requests"), &format!("{key}: requests"))? as usize,
+            key,
+        });
+    }
+    Ok(BenchDoc { machine, cells })
+}
+
+/// Diffs a fresh document against the baseline, cell by cell.
+pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, opts: RegressOptions) -> RegressReport {
+    let mut report = RegressReport::default();
+    if baseline.machine != fresh.machine {
+        report.warnings.push(format!(
+            "machine changed: baseline {}/{}/{} cpus vs fresh {}/{}/{} cpus — wall-clock ratios are not comparable",
+            baseline.machine.os, baseline.machine.arch, baseline.machine.cpus,
+            fresh.machine.os, fresh.machine.arch, fresh.machine.cpus
+        ));
+    }
+    let fresh_by_key: std::collections::BTreeMap<&str, &CellSample> =
+        fresh.cells.iter().map(|c| (c.key.as_str(), c)).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for base in &baseline.cells {
+        seen.insert(base.key.as_str());
+        let Some(new) = fresh_by_key.get(base.key.as_str()) else {
+            if opts.subset {
+                report
+                    .infos
+                    .push(format!("{}: not re-measured (subset mode)", base.key));
+            } else {
+                report.failures.push(format!(
+                    "{}: present in baseline but missing from the fresh run",
+                    base.key
+                ));
+            }
+            continue;
+        };
+        report.compared += 1;
+        // Relative change of the min-of-N wall time. Baseline 0 (a
+        // sub-ns cell, or a corrupt document that still validated)
+        // cannot produce a meaningful ratio; treat any fresh value as
+        // within tolerance rather than dividing by zero.
+        let delta = if base.best_ns == 0 {
+            0.0
+        } else {
+            new.best_ns as f64 / base.best_ns as f64 - 1.0
+        };
+        let abs_delta = new.best_ns.saturating_sub(base.best_ns);
+        let mut line = format!(
+            "{}: min {} -> {} ns ({}{:.1}%, tolerance +{:.0}%, n={}/{})",
+            base.key,
+            base.best_ns,
+            new.best_ns,
+            if delta >= 0.0 { "+" } else { "" },
+            delta * 100.0,
+            opts.tolerance * 100.0,
+            base.samples,
+            new.samples,
+        );
+        if delta > opts.tolerance {
+            if abs_delta > opts.min_delta_ns {
+                report.failed_keys.push(base.key.clone());
+                report.failures.push(line);
+            } else {
+                line.push_str(&format!(
+                    " — under the {} ns noise floor, not a failure",
+                    opts.min_delta_ns
+                ));
+                report.infos.push(line);
+            }
+        } else {
+            report.infos.push(line);
+        }
+    }
+    for c in &fresh.cells {
+        if !seen.contains(c.key.as_str()) {
+            report.infos.push(format!(
+                "{}: new cell (not in baseline, nothing to compare)",
+                c.key
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal valid v4 solver document with one entry and the given
+    /// per-thread (threads, min_ns) cells.
+    fn solver_text(subject: &str, cells: &[(usize, u64)]) -> String {
+        let cells_json: Vec<String> = cells
+            .iter()
+            .map(|(t, min)| {
+                format!(
+                    r#"{{"threads": {t}, "samples": 3, "wall_ns": {{"mean": {m}, "min": {min}, "max": {m}}}, "results_digest": "a633e32ce4db1594"}}"#,
+                    m = min + 100
+                )
+            })
+            .collect();
+        format!(
+            r#"{{
+  "schema": "spllift-bench-solver/v4",
+  "samples": 3,
+  "machine": {{"os": "linux", "arch": "x86_64", "cpus": 8}},
+  "provenance": {{"bin": "solver_bench", "subjects": "{subject}", "threads": "1"}},
+  "entries": [
+    {{"subject": "{subject}", "analysis": "Taint", "outcome": "complete", "rung": "full",
+      "ide": {{"propagations": 1, "flow_evals": 1, "jump_fn_constructions": 1, "killed_early": 0, "value_updates": 1}},
+      "bdd": {{"nodes": 1, "vars": 1, "cache_entries": 1}},
+      "threads": [{}]}}
+  ]
+}}"#,
+            cells_json.join(", ")
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let text = solver_text("MM08", &[(1, 1_000_000), (2, 800_000)]);
+        let doc = solver_doc(&text).unwrap();
+        let report = compare(&doc, &doc, RegressOptions::default());
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.compared, 2);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn slowdown_past_tolerance_fails_that_cell_only() {
+        let base = solver_doc(&solver_text("MM08", &[(1, 100_000_000), (2, 80_000_000)])).unwrap();
+        // t1 slowed 2x, t2 within tolerance.
+        let fresh = solver_doc(&solver_text("MM08", &[(1, 200_000_000), (2, 81_000_000)])).unwrap();
+        let report = compare(&base, &fresh, RegressOptions::default());
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("MM08/Taint@t1"), "per-cell key");
+        assert!(report.failures[0].contains("+100.0%"), "relative delta");
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let base = solver_doc(&solver_text("MM08", &[(1, 100_000_000)])).unwrap();
+        let fresh = solver_doc(&solver_text("MM08", &[(1, 120_000_000)])).unwrap();
+        let report = compare(&base, &fresh, RegressOptions::default());
+        assert!(report.passed(), "{}", report.render());
+        // A tighter tolerance flips the same pair to a failure.
+        let tight = compare(
+            &base,
+            &fresh,
+            RegressOptions {
+                tolerance: 0.1,
+                ..RegressOptions::default()
+            },
+        );
+        assert!(!tight.passed());
+    }
+
+    #[test]
+    fn micro_cell_noise_cannot_fail_the_gate() {
+        // +400% relative, but the absolute delta (40 µs) is far under
+        // the 1 ms noise floor — a microsecond-scale worked example
+        // being preempted once must not flip the gate.
+        let base = solver_doc(&solver_text("fig1", &[(1, 10_000)])).unwrap();
+        let fresh = solver_doc(&solver_text("fig1", &[(1, 50_000)])).unwrap();
+        let report = compare(&base, &fresh, RegressOptions::default());
+        assert!(report.passed(), "{}", report.render());
+        assert!(
+            report.infos.iter().any(|i| i.contains("noise floor")),
+            "{}",
+            report.render()
+        );
+        // Dropping the floor to zero exposes the same delta as a failure.
+        let no_floor = compare(
+            &base,
+            &fresh,
+            RegressOptions {
+                min_delta_ns: 0,
+                ..RegressOptions::default()
+            },
+        );
+        assert!(!no_floor.passed());
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let base = solver_doc(&solver_text("MM08", &[(1, 1_000_000)])).unwrap();
+        let fresh = solver_doc(&solver_text("MM08", &[(1, 10)])).unwrap();
+        let report = compare(&base, &fresh, RegressOptions::default());
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_cell_fails_unless_subset() {
+        let base = solver_doc(&solver_text("MM08", &[(1, 1_000_000), (2, 800_000)])).unwrap();
+        let fresh = solver_doc(&solver_text("MM08", &[(1, 1_000_000)])).unwrap();
+        let strict = compare(&base, &fresh, RegressOptions::default());
+        assert!(!strict.passed());
+        assert!(strict.failures[0].contains("missing from the fresh run"));
+        let smoke = compare(
+            &base,
+            &fresh,
+            RegressOptions {
+                subset: true,
+                ..RegressOptions::default()
+            },
+        );
+        assert!(smoke.passed(), "{}", smoke.render());
+        assert_eq!(smoke.compared, 1);
+    }
+
+    #[test]
+    fn new_cells_are_informational() {
+        let base = solver_doc(&solver_text("MM08", &[(1, 1_000_000)])).unwrap();
+        let fresh = solver_doc(&solver_text("MM08", &[(1, 1_000_000), (2, 800_000)])).unwrap();
+        let report = compare(&base, &fresh, RegressOptions::default());
+        assert!(report.passed());
+        assert!(report.infos.iter().any(|i| i.contains("new cell")));
+    }
+
+    #[test]
+    fn machine_change_warns_but_does_not_fail() {
+        let base_text = solver_text("MM08", &[(1, 1_000_000)]);
+        let fresh_text = base_text.replace("\"cpus\": 8", "\"cpus\": 64");
+        let base = solver_doc(&base_text).unwrap();
+        let fresh = solver_doc(&fresh_text).unwrap();
+        let report = compare(&base, &fresh, RegressOptions::default());
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].contains("machine changed"));
+    }
+
+    #[test]
+    fn solver_doc_requires_a_valid_document() {
+        assert!(solver_doc("{}").is_err());
+        // A v3-era cell without `samples` is rejected by the validator.
+        let text =
+            solver_text("MM08", &[(1, 1_000_000)]).replace("\"samples\": 3, \"wall", "\"wall");
+        assert!(solver_doc(&text).unwrap_err().contains("samples"));
+    }
+
+    #[test]
+    fn retry_merge_takes_the_min_and_clears_transient_failures() {
+        let base = solver_doc(&solver_text("MM08", &[(1, 100_000_000)])).unwrap();
+        // First pass hit a transient stall: +100%.
+        let mut fresh = solver_doc(&solver_text("MM08", &[(1, 200_000_000)])).unwrap();
+        let first = compare(&base, &fresh, RegressOptions::default());
+        assert_eq!(first.failed_keys, vec!["MM08/Taint@t1".to_owned()]);
+        // The retry pass measures a sane value; the merged doc keeps
+        // the min of both passes and the verdict flips to pass.
+        let retry = solver_doc(&solver_text("MM08", &[(1, 105_000_000)])).unwrap();
+        fresh.merge_min(&retry);
+        assert_eq!(fresh.cells[0].best_ns, 105_000_000);
+        assert_eq!(fresh.cells[0].samples, 6, "sample counts accumulate");
+        let second = compare(&base, &fresh, RegressOptions::default());
+        assert!(second.passed(), "{}", second.render());
+        // A reproducible regression stays a failure after the merge.
+        let mut still_slow = solver_doc(&solver_text("MM08", &[(1, 200_000_000)])).unwrap();
+        still_slow.merge_min(&solver_doc(&solver_text("MM08", &[(1, 190_000_000)])).unwrap());
+        assert!(!compare(&base, &still_slow, RegressOptions::default()).passed());
+    }
+
+    #[test]
+    fn report_renders_verdict_lines() {
+        let base = solver_doc(&solver_text("MM08", &[(1, 1_000_000)])).unwrap();
+        let fresh = solver_doc(&solver_text("MM08", &[(1, 5_000_000)])).unwrap();
+        let r = compare(&base, &fresh, RegressOptions::default()).render();
+        assert!(r.starts_with("FAIL  MM08/Taint@t1"), "{r}");
+        assert!(r.contains("1 regressed"), "{r}");
+    }
+}

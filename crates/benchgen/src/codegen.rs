@@ -14,6 +14,11 @@ pub struct CodegenParams {
     pub stmts_per_helper: usize,
     /// Probability (percent) that a statement group is `#ifdef`-wrapped.
     pub ifdef_percent: u32,
+    /// Length of the explicit `D0 → D1 → …` call chain appended after
+    /// the module classes (0 = none). Overridden per subject by
+    /// [`SubjectSpec::call_depth`](crate::SubjectSpec::call_depth); this
+    /// is the scaled-subject *call-graph depth* shaping knob.
+    pub call_chain_depth: usize,
 }
 
 impl Default for CodegenParams {
@@ -22,6 +27,7 @@ impl Default for CodegenParams {
             helpers_per_class: 6,
             stmts_per_helper: 9,
             ifdef_percent: 30,
+            call_chain_depth: 0,
         }
     }
 }
@@ -49,9 +55,11 @@ pub(crate) fn generate_source(
     );
     g.emit_runtime();
 
+    let chain_depth = spec.call_depth.unwrap_or(params.call_chain_depth);
+
     // Module classes until the LOC target is reached (Main + dead code
-    // add a known tail, so stop a bit early).
-    let tail_estimate = 10 + 4 * unreachable.len();
+    // + the call chain add a known tail, so stop a bit early).
+    let tail_estimate = 10 + 4 * unreachable.len() + 8 * chain_depth;
     let mut classes = Vec::new();
     let mut k = 0;
     while count_lines(&g.out) + tail_estimate < spec.loc_target {
@@ -67,11 +75,33 @@ pub(crate) fn generate_source(
         k += 1;
     }
 
+    // The explicit call chain (`depth=` shaping): D0.step → D1.step →
+    // … → D{n-1}.step, entered from Main, so the call graph is at least
+    // `chain_depth + 1` methods deep. Each link carries one
+    // `#ifdef`-guarded statement for feature texture; the link calls
+    // themselves are unconditional so the depth is guaranteed in every
+    // configuration.
+    for d in 0..chain_depth {
+        let cond = g.feature_cond();
+        let _ = writeln!(g.out, "class D{d} {{\n    static int step(int a) {{");
+        let _ = writeln!(g.out, "        a = a + {d};");
+        let _ = writeln!(g.out, "        #ifdef {cond}");
+        let _ = writeln!(g.out, "        a = a * 2;");
+        let _ = writeln!(g.out, "        #endif");
+        if d + 1 < chain_depth {
+            let _ = writeln!(g.out, "        a = D{}.step(a);", d + 1);
+        }
+        let _ = writeln!(g.out, "        return a;\n    }}\n}}");
+    }
+
     // Driver (the paper wrote driver classes for its subjects, §6.2).
     g.out.push_str("class Main {\n    static void main() {\n");
     g.out.push_str("        int acc = Util.source();\n");
     for &k in &classes {
         let _ = writeln!(g.out, "        acc = M{k}.run(acc);");
+    }
+    if chain_depth > 0 {
+        g.out.push_str("        acc = D0.step(acc);\n");
     }
     g.out.push_str("        Util.sink(acc);\n    }\n}\n");
 

@@ -38,6 +38,50 @@ pub use reduce::{payload_stmt_count, reduce, Oracle, ReduceOptions, ReduceOutcom
 use spllift_features::{Configuration, FeatureExpr, FeatureId, FeatureModel, FeatureTable};
 use spllift_ir::{Program, ProgramIcfg};
 
+/// Shape of the feature model generated for `Synthetic` subjects — the
+/// model-side half of *scaled-subject shaping* (the code-side half is
+/// [`SubjectSpec::call_depth`]). The four named subjects keep their
+/// Table 1 models regardless of this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelShape {
+    /// Every feature optional and unconstrained: exactly `2^n` valid
+    /// configurations (the worst case for product-based baselines) and
+    /// a trivial model constraint.
+    #[default]
+    Free,
+    /// An implication chain `f1 → f0, f2 → f1, …`: exactly `n + 1`
+    /// valid configurations, and a model BDD that stays *linear* in the
+    /// feature count — large feature universes without BDD blowup.
+    Chain,
+    /// BerkeleyDB-like structure: OR-groups of three, implication
+    /// pairs, a mandatory core, and a free tail. Structurally rich
+    /// per-edge constraints; the valid-configuration count is computed
+    /// (not closed-form), so [`SubjectSpec::paper_valid_configs`] is
+    /// `None`.
+    Groups,
+}
+
+impl ModelShape {
+    /// The grammar keyword (`model=<keyword>` in synthetic spec names).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ModelShape::Free => "free",
+            ModelShape::Chain => "chain",
+            ModelShape::Groups => "groups",
+        }
+    }
+
+    /// Parses a grammar keyword.
+    pub fn from_keyword(s: &str) -> Option<ModelShape> {
+        match s {
+            "free" => Some(ModelShape::Free),
+            "chain" => Some(ModelShape::Chain),
+            "groups" => Some(ModelShape::Groups),
+            _ => None,
+        }
+    }
+}
+
 /// Static description of one benchmark subject.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubjectSpec {
@@ -54,6 +98,38 @@ pub struct SubjectSpec {
     pub paper_valid_configs: Option<u128>,
     /// RNG seed (fixed → bit-identical subjects on every run).
     pub seed: u64,
+    /// Feature-model shape (`Synthetic` subjects only).
+    pub model_shape: ModelShape,
+    /// Minimum interprocedural call-chain depth: the generator appends
+    /// a `D0 → D1 → … → D{n-1}` call chain reached from `main`, so the
+    /// call graph is at least this deep. `None` = generator default
+    /// (no explicit chain).
+    pub call_depth: Option<usize>,
+}
+
+impl SubjectSpec {
+    /// The same spec with an explicit feature-model shape.
+    #[must_use]
+    pub fn with_model_shape(mut self, shape: ModelShape) -> Self {
+        self.model_shape = shape;
+        // Only `Synthetic` models are shaped; the named subjects keep
+        // their Table 1 models and counts.
+        if self.name == "Synthetic" {
+            self.paper_valid_configs = match shape {
+                ModelShape::Free => Some(1u128 << self.total_features.min(127)),
+                ModelShape::Chain => Some(self.total_features as u128 + 1),
+                ModelShape::Groups => None,
+            };
+        }
+        self
+    }
+
+    /// The same spec with an explicit call-chain depth.
+    #[must_use]
+    pub fn with_call_depth(mut self, depth: usize) -> Self {
+        self.call_depth = Some(depth);
+        self
+    }
 }
 
 /// The four subjects of Table 1, scaled as documented in the crate docs.
@@ -66,6 +142,8 @@ pub fn subjects() -> [SubjectSpec; 4] {
             reachable_features: 39,
             paper_valid_configs: None,
             seed: 0xBE11,
+            model_shape: ModelShape::Free,
+            call_depth: None,
         },
         SubjectSpec {
             name: "GPL",
@@ -74,6 +152,8 @@ pub fn subjects() -> [SubjectSpec; 4] {
             reachable_features: 19,
             paper_valid_configs: Some(1872),
             seed: 0x09B1,
+            model_shape: ModelShape::Free,
+            call_depth: None,
         },
         SubjectSpec {
             name: "Lampiro",
@@ -82,6 +162,8 @@ pub fn subjects() -> [SubjectSpec; 4] {
             reachable_features: 2,
             paper_valid_configs: Some(4),
             seed: 0x1A3B,
+            model_shape: ModelShape::Free,
+            call_depth: None,
         },
         SubjectSpec {
             name: "MM08",
@@ -90,6 +172,8 @@ pub fn subjects() -> [SubjectSpec; 4] {
             reachable_features: 9,
             paper_valid_configs: Some(26),
             seed: 0x3308,
+            model_shape: ModelShape::Free,
+            call_depth: None,
         },
     ]
 }
@@ -114,7 +198,80 @@ pub fn synthetic_spec(features: usize, loc: usize, seed: u64) -> SubjectSpec {
         reachable_features: features,
         paper_valid_configs: Some(1u128 << features),
         seed,
+        model_shape: ModelShape::Free,
+        call_depth: None,
     }
+}
+
+/// The one-line grammar every front end (CLI `gen:` inputs, the server
+/// `load` request, the bench bins) accepts for generated subjects —
+/// kept here so there is exactly one parser:
+///
+/// ```text
+/// MM08 | GPL | Lampiro | BerkeleyDB
+/// synthetic:<features>:<loc>:<seed>[:model=free|chain|groups][:depth=N]
+/// ```
+///
+/// The optional trailing `model=`/`depth=` clauses are the
+/// *scaled-subject shaping* knobs: `model=` picks the [`ModelShape`]
+/// (default `free`), `depth=` forces an interprocedural call chain of
+/// at least `N` methods ([`SubjectSpec::call_depth`]). Clauses may
+/// appear in either order, each at most once.
+pub const SUBJECT_GRAMMAR: &str =
+    "MM08|GPL|Lampiro|BerkeleyDB, or synthetic:<features>:<loc>:<seed>[:model=free|chain|groups][:depth=N]";
+
+/// Parses a subject name per [`SUBJECT_GRAMMAR`] — either a Table 1
+/// subject (case-insensitive) or a `synthetic:` spec with optional
+/// shaping clauses.
+pub fn parse_subject_spec(name: &str) -> Result<SubjectSpec, String> {
+    let Some(rest) = name.strip_prefix("synthetic:") else {
+        return subject_by_name(name)
+            .ok_or_else(|| format!("unknown generated subject `{name}` ({SUBJECT_GRAMMAR})"));
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    if parts.len() < 3 {
+        return Err(format!("synthetic takes {SUBJECT_GRAMMAR}"));
+    }
+    let parse = |what: &str, v: &str| -> Result<usize, String> {
+        v.parse()
+            .map_err(|_| format!("synthetic {what} must be an integer, got `{v}`"))
+    };
+    let features = parse("feature count", parts[0])?;
+    if features == 0 || features > 127 {
+        return Err(format!(
+            "synthetic feature count must be in 1..=127, got `{features}`"
+        ));
+    }
+    let mut spec = synthetic_spec(
+        features,
+        parse("loc", parts[1])?,
+        parse("seed", parts[2])? as u64,
+    );
+    let (mut saw_model, mut saw_depth) = (false, false);
+    for clause in &parts[3..] {
+        if let Some(kw) = clause.strip_prefix("model=") {
+            if std::mem::replace(&mut saw_model, true) {
+                return Err("synthetic `model=` given twice".into());
+            }
+            let shape = ModelShape::from_keyword(kw)
+                .ok_or_else(|| format!("unknown model shape `{kw}` (free|chain|groups)"))?;
+            spec = spec.with_model_shape(shape);
+        } else if let Some(d) = clause.strip_prefix("depth=") {
+            if std::mem::replace(&mut saw_depth, true) {
+                return Err("synthetic `depth=` given twice".into());
+            }
+            let d = parse("depth", d)?;
+            if d == 0 {
+                return Err("synthetic depth must be >= 1".into());
+            }
+            spec = spec.with_call_depth(d);
+        } else {
+            return Err(format!(
+                "unknown synthetic clause `{clause}` (expected model=… or depth=…)"
+            ));
+        }
+    }
+    Ok(spec)
 }
 
 /// A fully generated benchmark product line.
@@ -162,7 +319,7 @@ impl GeneratedSpl {
             .map(|i| table.intern(&format!("U{i}")))
             .collect();
         let root = table.intern("Root");
-        let model = models::model_for(spec.name, root, &reachable, &unreachable);
+        let model = models::model_for(spec.name, spec.model_shape, root, &reachable, &unreachable);
         let source = codegen::generate_source(&spec, &table, &reachable, &unreachable, params);
         let loc = spllift_frontend::count_loc(&source);
         let mut parse_table = table.clone();

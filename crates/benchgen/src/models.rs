@@ -1,13 +1,18 @@
-//! Feature models with the exact valid-configuration counts of Table 1.
+//! Feature models with the exact valid-configuration counts of Table 1,
+//! plus the shaped models for synthetic scaling subjects.
 
+use crate::ModelShape;
 use spllift_features::{FeatureExpr, FeatureId, FeatureModel, GroupKind};
 
-/// Builds the feature model for a subject.
+/// Builds the feature model for a subject. `shape` only affects
+/// `Synthetic` subjects; the four named subjects always get their
+/// Table 1 models.
 ///
 /// The constructions are documented per subject; the arithmetic is
 /// verified by the crate's tests against `count_valid_configs`.
 pub(crate) fn model_for(
     name: &str,
+    shape: ModelShape,
     root: FeatureId,
     reachable: &[FeatureId],
     unreachable: &[FeatureId],
@@ -72,14 +77,61 @@ pub(crate) fn model_for(
                 m.add_optional(root, f).unwrap();
             }
         }
-        // Synthetic scaling subjects: all reachable features optional and
-        // unconstrained, so the valid-configuration count is exactly 2^n
-        // — the worst case for product-based baselines.
-        "Synthetic" => {
-            for &f in reachable {
-                m.add_optional(root, f).unwrap();
+        // Synthetic scaling subjects: the model is shaped by the spec
+        // (see `ModelShape`), defaulting to all-optional/unconstrained
+        // — exactly 2^n valid configurations, the worst case for
+        // product-based baselines.
+        "Synthetic" => match shape {
+            ModelShape::Free => {
+                for &f in reachable {
+                    m.add_optional(root, f).unwrap();
+                }
             }
-        }
+            // fᵢ₊₁ → fᵢ for every i: the valid configurations are
+            // exactly the n+1 prefixes, and the model BDD is a linear
+            // chain — large universes stay cheap.
+            ModelShape::Chain => {
+                for &f in reachable {
+                    m.add_optional(root, f).unwrap();
+                }
+                for pair in reachable.windows(2) {
+                    m.add_constraint(FeatureExpr::var(pair[1]).implies(FeatureExpr::var(pair[0])));
+                }
+            }
+            // BerkeleyDB-like texture at any size: a leading XOR-3,
+            // OR-3 groups over the next third, implication pairs over
+            // the following third, one mandatory anchor, free tail.
+            ModelShape::Groups => {
+                let n = reachable.len();
+                let mut i = 0;
+                if n >= 3 {
+                    m.add_group(root, GroupKind::Xor, &reachable[0..3]).unwrap();
+                    i = 3;
+                }
+                let or_end = i + (n - i) / 3 / 3 * 3;
+                while i + 3 <= or_end {
+                    m.add_group(root, GroupKind::Or, &reachable[i..i + 3])
+                        .unwrap();
+                    i += 3;
+                }
+                let imp_end = i + (n - i) / 3 / 2 * 2;
+                while i + 2 <= imp_end {
+                    m.add_optional(root, reachable[i]).unwrap();
+                    m.add_optional(root, reachable[i + 1]).unwrap();
+                    m.add_constraint(
+                        FeatureExpr::var(reachable[i]).implies(FeatureExpr::var(reachable[i + 1])),
+                    );
+                    i += 2;
+                }
+                if i < n {
+                    m.add_mandatory(root, reachable[i]).unwrap();
+                    i += 1;
+                }
+                for &f in &reachable[i..] {
+                    m.add_optional(root, f).unwrap();
+                }
+            }
+        },
         other => panic!("unknown subject {other}"),
     }
     // Unreachable features are optional and unconstrained; with the root

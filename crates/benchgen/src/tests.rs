@@ -119,3 +119,99 @@ fn subject_lookup() {
     assert!(subject_by_name("berkeleydb").is_some());
     assert!(subject_by_name("nope").is_none());
 }
+
+#[test]
+fn chain_model_has_linear_config_count() {
+    // fᵢ₊₁ → fᵢ: valid configurations are exactly the n+1 prefixes.
+    for n in [1usize, 5, 20, 99] {
+        let spec = crate::parse_subject_spec(&format!("synthetic:{n}:400:7:model=chain")).unwrap();
+        let spl = GeneratedSpl::generate(spec);
+        assert_eq!(spl.count_valid_configs(), n as u128 + 1, "n={n}");
+    }
+}
+
+#[test]
+fn groups_model_generates_and_constrains() {
+    let spec = crate::parse_subject_spec("synthetic:30:600:11:model=groups").unwrap();
+    let spl = GeneratedSpl::generate(spec);
+    let counted = spl.count_valid_configs();
+    // Strictly constrained below 2^30, but far from degenerate.
+    assert!(counted < 1u128 << 30, "counted {counted}");
+    assert!(counted > 1_000, "counted {counted}");
+    assert!(spl.program.check().is_ok());
+}
+
+#[test]
+fn call_depth_produces_deep_chain() {
+    let spec = crate::parse_subject_spec("synthetic:8:400:3:depth=12").unwrap();
+    let spl = GeneratedSpl::generate(spec);
+    let icfg = spl.icfg();
+    // Every link of the D0 → … → D11 chain is present and reachable.
+    for d in 0..12 {
+        let m = spl
+            .program
+            .find_method(&format!("D{d}.step"))
+            .unwrap_or_else(|| panic!("missing D{d}.step"));
+        assert!(icfg.call_graph().is_reachable(m), "D{d}.step unreachable");
+    }
+    assert!(spl.program.find_method("D12.step").is_none());
+}
+
+#[test]
+fn shaped_generation_is_deterministic() {
+    let spec = crate::parse_subject_spec("synthetic:40:2000:5:model=groups:depth=6").unwrap();
+    let a = GeneratedSpl::generate(spec);
+    let b = GeneratedSpl::generate(spec);
+    assert_eq!(a.source, b.source);
+    assert_eq!(a.program, b.program);
+}
+
+#[test]
+fn subject_grammar_round_trips_and_rejects() {
+    use crate::parse_subject_spec as p;
+    // Named subjects, case-insensitive.
+    assert_eq!(p("BerkeleyDB").unwrap().name, "BerkeleyDB");
+    assert_eq!(p("mm08").unwrap().name, "MM08");
+    // Plain synthetic defaults to the free model, no call chain.
+    let s = p("synthetic:6:400:42").unwrap();
+    assert_eq!(s.model_shape, crate::ModelShape::Free);
+    assert_eq!(s.call_depth, None);
+    assert_eq!(s.paper_valid_configs, Some(64));
+    // Clauses in either order.
+    let s = p("synthetic:6:400:42:depth=3:model=chain").unwrap();
+    assert_eq!(s.model_shape, crate::ModelShape::Chain);
+    assert_eq!(s.call_depth, Some(3));
+    // Rejections: unknown name, bad arity, bad clause, duplicates, limits.
+    assert!(p("nope").is_err());
+    assert!(p("synthetic:6:400").is_err());
+    assert!(p("synthetic:6:400:42:model=weird").is_err());
+    assert!(p("synthetic:6:400:42:model=free:model=chain").is_err());
+    assert!(p("synthetic:0:400:42").is_err());
+    assert!(p("synthetic:128:400:42").is_err());
+    assert!(p("synthetic:6:400:42:depth=0").is_err());
+}
+
+#[test]
+fn committed_scale_subject_is_paper_scale() {
+    // The scaled subject in the committed BENCH_solver.json baseline
+    // (see its provenance block): ~99 features at >10k statements —
+    // BerkeleyDB-magnitude feature count on a program an order of
+    // magnitude larger than the Table 1 subjects. The chain model keeps
+    // the valid-config count enumerable (exactly n+1 = 100) and the
+    // model BDD linear, so the subject stays solvable in CI time.
+    let spec = crate::parse_subject_spec("synthetic:99:12000:71:model=chain:depth=8").unwrap();
+    let spl = GeneratedSpl::generate(spec);
+    let stmts: usize = spl
+        .program
+        .methods()
+        .iter()
+        .filter_map(|m| m.body.as_ref())
+        .map(|b| b.stmts.len())
+        .sum();
+    assert!(
+        stmts >= 10_000,
+        "want a 10k+-statement subject, got {stmts}"
+    );
+    assert_eq!(spl.reachable.len(), 99);
+    assert_eq!(spl.count_valid_configs(), 100);
+}

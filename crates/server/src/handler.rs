@@ -14,7 +14,7 @@
 
 use crate::engine::{Engine, LoadedSpl};
 use crate::store::{mode_str, parse_mode, ChaosSpec, RenderedSolution, Store, ANALYSES};
-use spllift_benchgen::{subject_by_name, synthetic_spec, GeneratedSpl, SubjectSpec};
+use spllift_benchgen::{parse_subject_spec, GeneratedSpl, SubjectSpec};
 use spllift_core::{GovernorOptions, ModelMode, SolveOutcome};
 use spllift_features::{parse_feature_model, Configuration, FeatureTable};
 use spllift_frontend::parse_source;
@@ -107,28 +107,10 @@ fn governance_u64(req: &Json, key: &str, default: Option<u64>) -> Result<Option<
 }
 
 fn parse_gen_spec(s: &str) -> Result<SubjectSpec, String> {
-    if let Some(rest) = s.strip_prefix("synthetic:") {
-        let parts: Vec<&str> = rest.split(':').collect();
-        let [features, loc, seed] = parts.as_slice() else {
-            return Err("gen `synthetic` takes synthetic:<features>:<loc>:<seed>".into());
-        };
-        let parse = |what: &str, v: &str| -> Result<usize, String> {
-            v.parse()
-                .map_err(|_| format!("synthetic {what} must be an integer, got `{v}`"))
-        };
-        Ok(synthetic_spec(
-            parse("feature count", features)?,
-            parse("loc", loc)?,
-            parse("seed", seed)? as u64,
-        ))
-    } else {
-        subject_by_name(s).ok_or_else(|| {
-            format!(
-                "unknown generated subject `{s}` \
-                 (MM08|GPL|Lampiro|BerkeleyDB, or synthetic:<features>:<loc>:<seed>)"
-            )
-        })
-    }
+    // One grammar for every front end (see spllift_benchgen docs):
+    //   MM08|GPL|Lampiro|BerkeleyDB
+    //   synthetic:<features>:<loc>:<seed>[:model=free|chain|groups][:depth=N]
+    parse_subject_spec(s)
 }
 
 /// Resolves a `<method>:<index>` key to the canonical `m<N>:<I>` form

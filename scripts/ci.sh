@@ -28,19 +28,44 @@ echo "== fuzz smoke (deterministic seed range, sharded) =="
 # deterministic; --jobs 2 also exercises the sharded driver.
 ./target/release/spllift-cli fuzz --seeds 0..32 --jobs 2
 
-echo "== solver bench smoke (BENCH_solver.json, threads 1,2) =="
-# Regenerates the machine-readable benchmark document (schema
-# `spllift-bench-solver/v3`) on the small subjects and schema-validates
-# it, so the emitter, the parser, and the measured hot path all stay
-# wired. `--threads 1,2` exercises the threads dimension: the validator
-# rejects the document unless every entry's results digest is identical
-# across thread counts, so this smoke also re-proves solver determinism
-# under the parallel phase-1 worklist. Full-subject numbers for
-# EXPERIMENTS.md are produced with the default arguments instead (see
-# EXPERIMENTS.md §BENCH).
+echo "== solver bench smoke (emit + validate, threads 1,2) =="
+# Emits a fresh benchmark document (schema `spllift-bench-solver/v4`)
+# on the small subjects — to a scratch path, never over the committed
+# baseline — and schema-validates it, so the emitter, the parser, and
+# the measured hot path all stay wired. `--threads 1,2` exercises the
+# threads dimension: the validator rejects the document unless every
+# entry's results digest is identical across thread counts, so this
+# smoke also re-proves solver determinism under the parallel phase-1
+# worklist. The committed baseline is refreshed manually with the
+# default arguments instead (see EXPERIMENTS.md §BENCH).
+SMOKE_BENCH="$(mktemp -t solver-bench-smoke.XXXXXX.json)"
+trap 'rm -f "$SMOKE_BENCH"' EXIT
 ./target/release/solver_bench --samples 1 --subjects fig1,chat,MM08 \
-    --threads 1,2 --out BENCH_solver.json
+    --threads 1,2 --out "$SMOKE_BENCH"
+./target/release/solver_bench --validate "$SMOKE_BENCH"
+
+echo "== committed solver baseline (validate + regression gate) =="
+# The committed baseline must always be a valid v4 document...
 ./target/release/solver_bench --validate BENCH_solver.json
+# ...and the regression gate must actually run against it. Smoke mode:
+# re-measure a small sub-matrix (restricting --subjects/--threads turns
+# baseline cells we skip into non-failures), one sample, and a loose
+# tolerance — CI machines are noisy and 1-sample minima are not; the
+# full-matrix gate (`solver_bench --check BENCH_solver.json`) is the
+# pre-baseline-refresh workflow, not a CI step.
+./target/release/solver_bench --check BENCH_solver.json \
+    --subjects fig1,chat,MM08 --threads 1 --samples 3 --tolerance 3.0
+
+echo "== regression gate negative test (injected slowdown must fail) =="
+# A gate that cannot fail is decoration. Stall one cell far past any
+# plausible tolerance and require the exit code to flip.
+if ./target/release/solver_bench --check BENCH_solver.json \
+    --subjects fig1 --threads 1 --samples 1 --tolerance 3.0 \
+    --inject-slow fig1:Taint:2000 2>/dev/null; then
+    echo "ci: regression gate FAILED to catch an injected 2s slowdown" >&2
+    exit 1
+fi
+echo "ci: injected slowdown caught as expected"
 
 echo "== serve smoke (golden transcript, jobs-invariant) =="
 # Replays the committed request transcript through the resident analysis
@@ -78,10 +103,13 @@ echo "== socket smoke (3 concurrent clients, golden transcripts) =="
 
 echo "== server bench document (BENCH_server.json schema) =="
 # Schema-validates the committed concurrent-load benchmark document
-# (schema `spllift-bench-server/v1`): at least three concurrency
-# levels, zero protocol errors, monotone latency percentiles.
-# Regenerating the numbers is a manual step (see EXPERIMENTS.md §BENCH
-# server) — CI only proves the committed document and the validator
-# stay wired.
+# (schema `spllift-bench-server/v2`): machine block, at least three
+# concurrency levels, zero protocol errors, monotone latency
+# percentiles. Regenerating the numbers is a manual step (see
+# EXPERIMENTS.md §BENCH server) — CI only proves the committed document
+# and the validator stay wired. The server regression gate
+# (`server_bench --check BENCH_server.json`) replays all committed
+# levels (~256 concurrent connections at the top) and is part of the
+# manual baseline-refresh workflow, not a CI step.
 ./target/release/server_bench --validate BENCH_server.json
 echo "ci: all green"

@@ -64,7 +64,7 @@
 //! ```
 
 use spllift::analyses::{PossibleTypes, ReachingDefs, TaintAnalysis, UninitVars};
-use spllift::benchgen::{subject_by_name, synthetic_spec, GeneratedSpl, SubjectSpec};
+use spllift::benchgen::{parse_subject_spec, GeneratedSpl, SubjectSpec};
 use spllift::features::{
     parse_feature_model, BddConstraintContext, Configuration, FeatureExpr, FeatureTable,
 };
@@ -327,27 +327,10 @@ struct Loaded {
 }
 
 fn parse_gen_spec(s: &str) -> Result<SubjectSpec, String> {
-    if let Some(rest) = s.strip_prefix("synthetic:") {
-        let parts: Vec<&str> = rest.split(':').collect();
-        let [features, loc, seed] = parts.as_slice() else {
-            return Err("gen:synthetic takes gen:synthetic:<features>:<loc>:<seed>".into());
-        };
-        let parse = |what: &str, v: &str| -> Result<usize, String> {
-            v.parse()
-                .map_err(|_| format!("gen:synthetic {what} must be an integer, got `{v}`"))
-        };
-        Ok(synthetic_spec(
-            parse("feature count", features)?,
-            parse("loc", loc)?,
-            parse("seed", seed)? as u64,
-        ))
-    } else {
-        subject_by_name(s).ok_or_else(|| {
-            format!(
-                "unknown generated subject `{s}` (MM08|GPL|Lampiro|BerkeleyDB, or synthetic:<features>:<loc>:<seed>)"
-            )
-        })
-    }
+    // One grammar for every front end (see spllift::benchgen docs):
+    //   MM08|GPL|Lampiro|BerkeleyDB
+    //   synthetic:<features>:<loc>:<seed>[:model=free|chain|groups][:depth=N]
+    parse_subject_spec(s)
 }
 
 fn load(opts: &Options) -> Result<Loaded, String> {
