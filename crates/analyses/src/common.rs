@@ -4,11 +4,7 @@ use spllift_ir::{Callee, LocalId, MethodId, Operand, Program, StmtKind, StmtRef}
 
 /// Pairs of (actual local in caller, formal local in callee) for the call
 /// at `call` targeting `callee` — including the receiver for virtual calls.
-pub(crate) fn arg_bindings(
-    program: &Program,
-    call: StmtRef,
-    callee: MethodId,
-) -> Vec<(LocalId, LocalId)> {
+pub fn arg_bindings(program: &Program, call: StmtRef, callee: MethodId) -> Vec<(LocalId, LocalId)> {
     let StmtKind::Invoke {
         callee: target,
         args,
@@ -35,7 +31,7 @@ pub(crate) fn arg_bindings(
 }
 
 /// The local receiving the call's return value, if any.
-pub(crate) fn result_local(program: &Program, call: StmtRef) -> Option<LocalId> {
+pub fn result_local(program: &Program, call: StmtRef) -> Option<LocalId> {
     match &program.stmt(call).kind {
         StmtKind::Invoke { result, .. } => *result,
         _ => None,
@@ -43,7 +39,7 @@ pub(crate) fn result_local(program: &Program, call: StmtRef) -> Option<LocalId> 
 }
 
 /// The local returned at exit statement `exit`, if it returns a local.
-pub(crate) fn returned_local(program: &Program, exit: StmtRef) -> Option<LocalId> {
+pub fn returned_local(program: &Program, exit: StmtRef) -> Option<LocalId> {
     match &program.stmt(exit).kind {
         StmtKind::Return {
             value: Some(Operand::Local(l)),

@@ -33,6 +33,7 @@ mod taint;
 mod typestate;
 mod uninit;
 
+pub use common::{arg_bindings, result_local, returned_local};
 pub use linear_const::{CpFact, CpValue, LinearConstants, LinearEdge};
 pub use possible_types::{PossibleTypes, TypeFact};
 pub use reaching_defs::{DefFact, ReachingDefs};

@@ -1,0 +1,302 @@
+//! Textual rule/tuple dump format with a round-trip parser.
+//!
+//! The format is line-oriented in the style of `spllift_ir::text`'s
+//! `.repro` programs: a versioned header, one `features` line naming
+//! every feature (in [`spllift_features::FeatureId`] order), then one
+//! `relation name/arity` section per relation with its tuples:
+//!
+//! ```text
+//! # spllift datalog dump v1
+//! features F G
+//! relation act/2
+//! act(0:0, 0:1)
+//! act(0:1, 0:2) @ F
+//! relation defs/2
+//! defs(0:1, 3)
+//! ```
+//!
+//! A tuple's feature constraint follows `@` (omitted when it is the
+//! tautology). Cells are self-describing: statement columns render as
+//! `method:index` and parse back by the embedded `:`; every other
+//! column is a bare integer. [`parse_dump`] is the exact inverse of
+//! [`DumpDoc::render`] — reserialization is byte-identical, which the
+//! crate tests assert.
+
+use std::fmt;
+
+use crate::analyses::DatalogSolution;
+use spllift_features::{BddConstraintContext, FeatureExpr, FeatureTable};
+
+/// First line of every dump.
+pub const DUMP_HEADER: &str = "# spllift datalog dump v1";
+
+/// How a relation column renders in the dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColKind {
+    /// A bare integer (method ids, local ids, fact tags).
+    Raw,
+    /// An encoded statement, rendered `method:index`.
+    Stmt,
+}
+
+/// One parsed/rendered tuple cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpValue {
+    /// A bare integer column.
+    Raw(u64),
+    /// A statement column.
+    Stmt {
+        /// Method id of the statement.
+        method: u32,
+        /// Index of the statement within the method.
+        index: u32,
+    },
+}
+
+impl fmt::Display for DumpValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpValue::Raw(x) => write!(f, "{x}"),
+            DumpValue::Stmt { method, index } => write!(f, "{method}:{index}"),
+        }
+    }
+}
+
+/// One relation section of a dump: declared name/arity and its tuples
+/// with their feature constraints, in database insertion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpRelation {
+    /// Relation name.
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// Tuples with their constraints (tautology = unconstrained).
+    pub tuples: Vec<(Vec<DumpValue>, FeatureExpr)>,
+}
+
+/// A complete dump document: the feature universe plus every relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpDoc {
+    /// Feature names, in [`spllift_features::FeatureId`] order.
+    pub features: Vec<String>,
+    /// Relation sections, in declaration order.
+    pub relations: Vec<DumpRelation>,
+}
+
+/// Error from [`parse_dump`], with a 1-based line number.
+#[derive(Debug)]
+pub struct DumpParseError {
+    /// 1-based line the error was detected on (0 = end of input).
+    pub line: usize,
+    msg: String,
+}
+
+impl fmt::Display for DumpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dump line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DumpParseError {}
+
+fn err(line: usize, msg: impl Into<String>) -> DumpParseError {
+    DumpParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+impl DumpDoc {
+    /// Extracts a dump from a completed solve. Relations appear in
+    /// declaration order and tuples in database insertion order, so the
+    /// rendered bytes are identical for any `--jobs` setting.
+    pub fn from_solution(
+        sol: &DatalogSolution,
+        ctx: &BddConstraintContext,
+        table: &FeatureTable,
+    ) -> DumpDoc {
+        let program = sol.program();
+        let kinds = sol.relations().column_kinds(program);
+        let relations = (0..program.relation_count())
+            .map(|r| {
+                let rel = crate::engine::RelId(r);
+                let tuples = sol
+                    .database()
+                    .tuples(rel)
+                    .map(|(cols, c)| {
+                        let values = cols
+                            .iter()
+                            .zip(&kinds[r])
+                            .map(|(&x, kind)| match kind {
+                                ColKind::Raw => DumpValue::Raw(x),
+                                ColKind::Stmt => DumpValue::Stmt {
+                                    method: (x >> 32) as u32,
+                                    index: x as u32,
+                                },
+                            })
+                            .collect();
+                        (values, ctx.to_expr(c))
+                    })
+                    .collect();
+                DumpRelation {
+                    name: program.relation_name(rel).to_string(),
+                    arity: program.arity(rel),
+                    tuples,
+                }
+            })
+            .collect();
+        DumpDoc {
+            features: table.iter().map(|(_, name)| name.to_string()).collect(),
+            relations,
+        }
+    }
+
+    /// Serializes the document; [`parse_dump`] is the exact inverse.
+    pub fn render(&self) -> String {
+        let mut table = FeatureTable::new();
+        for name in &self.features {
+            table.intern(name);
+        }
+        let mut out = String::new();
+        out.push_str(DUMP_HEADER);
+        out.push('\n');
+        out.push_str("features");
+        for name in &self.features {
+            out.push(' ');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for rel in &self.relations {
+            out.push_str(&format!("relation {}/{}\n", rel.name, rel.arity));
+            for (values, expr) in &rel.tuples {
+                out.push_str(&rel.name);
+                out.push('(');
+                for (j, value) in values.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&value.to_string());
+                }
+                out.push(')');
+                if *expr != FeatureExpr::True {
+                    out.push_str(&format!(" @ {}", expr.display(&table)));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn parse_value(token: &str, line: usize) -> Result<DumpValue, DumpParseError> {
+    if let Some((m, i)) = token.split_once(':') {
+        let method = m
+            .parse::<u32>()
+            .map_err(|_| err(line, format!("bad statement cell `{token}`")))?;
+        let index = i
+            .parse::<u32>()
+            .map_err(|_| err(line, format!("bad statement cell `{token}`")))?;
+        Ok(DumpValue::Stmt { method, index })
+    } else {
+        let x = token
+            .parse::<u64>()
+            .map_err(|_| err(line, format!("bad integer cell `{token}`")))?;
+        Ok(DumpValue::Raw(x))
+    }
+}
+
+/// Parses a dump rendered by [`DumpDoc::render`].
+pub fn parse_dump(input: &str) -> Result<DumpDoc, DumpParseError> {
+    let mut lines = input.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (line, first) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty input, expected header"))?;
+    if first.trim_end() != DUMP_HEADER {
+        return Err(err(line, format!("expected header `{DUMP_HEADER}`")));
+    }
+    let (line, feats) = lines
+        .next()
+        .ok_or_else(|| err(0, "missing `features` line"))?;
+    let mut words = feats.split_whitespace();
+    if words.next() != Some("features") {
+        return Err(err(line, "expected `features` line"));
+    }
+    let features: Vec<String> = words.map(str::to_string).collect();
+    let mut table = FeatureTable::new();
+    for name in &features {
+        table.intern(name);
+    }
+
+    let mut relations: Vec<DumpRelation> = Vec::new();
+    for (line, raw) in lines {
+        let text = raw.trim_end();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(decl) = text.strip_prefix("relation ") {
+            let (name, arity) = decl
+                .split_once('/')
+                .ok_or_else(|| err(line, "expected `relation name/arity`"))?;
+            let arity = arity
+                .parse::<usize>()
+                .map_err(|_| err(line, format!("bad arity `{arity}`")))?;
+            relations.push(DumpRelation {
+                name: name.to_string(),
+                arity,
+                tuples: Vec::new(),
+            });
+            continue;
+        }
+        let rel = relations
+            .last_mut()
+            .ok_or_else(|| err(line, "tuple before any `relation` declaration"))?;
+        let rest = text
+            .strip_prefix(rel.name.as_str())
+            .and_then(|r| r.strip_prefix('('))
+            .ok_or_else(|| err(line, format!("expected a `{}(...)` tuple", rel.name)))?;
+        let (inside, after) = rest
+            .split_once(')')
+            .ok_or_else(|| err(line, "unterminated tuple, missing `)`"))?;
+        let mut values = Vec::new();
+        if !inside.trim().is_empty() {
+            for token in inside.split(',') {
+                values.push(parse_value(token.trim(), line)?);
+            }
+        }
+        if values.len() != rel.arity {
+            return Err(err(
+                line,
+                format!(
+                    "arity mismatch: {} has {} columns, tuple has {}",
+                    rel.name,
+                    rel.arity,
+                    values.len()
+                ),
+            ));
+        }
+        let expr = if after.is_empty() {
+            FeatureExpr::True
+        } else if let Some(expr_text) = after.strip_prefix(" @ ") {
+            let before = table.len();
+            let expr = FeatureExpr::parse(expr_text, &mut table)
+                .map_err(|e| err(line, format!("bad constraint: {e}")))?;
+            if table.len() != before {
+                return Err(err(
+                    line,
+                    "constraint mentions a feature missing from the `features` line",
+                ));
+            }
+            expr
+        } else {
+            return Err(err(
+                line,
+                "expected ` @ constraint` or end of line after `)`",
+            ));
+        };
+        rel.tuples.push((values, expr));
+    }
+    Ok(DumpDoc {
+        features,
+        relations,
+    })
+}

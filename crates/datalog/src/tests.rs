@@ -1,0 +1,420 @@
+//! Engine edge cases, the dump round trip, and equivalence against the
+//! IDE-lifted solver.
+
+use crate::*;
+use spllift_analyses::{DefFact, ReachingDefs};
+use spllift_core::{LiftedSolution, ModelMode};
+use spllift_features::{
+    BddConstraintContext, ConstraintContext, FeatureExpr, FeatureId, FeatureTable,
+};
+use spllift_hash::FastMap;
+use spllift_ifds::Icfg;
+use spllift_ir::samples::{fig1, shapes};
+use spllift_ir::ProgramIcfg;
+
+fn two_feature_ctx() -> (FeatureTable, BddConstraintContext) {
+    let mut table = FeatureTable::new();
+    table.intern("A");
+    table.intern("B");
+    let ctx = BddConstraintContext::new(&table);
+    (table, ctx)
+}
+
+/// edge/2 EDB with per-edge constraints; path/2 as its transitive
+/// closure. The lifted join must AND constraints along a path and OR
+/// them across alternative paths.
+#[test]
+fn transitive_closure_joins_and_merges_constraints() {
+    let (_table, ctx) = two_feature_ctx();
+    let a = ctx.lit(FeatureId(0), true);
+    let b = ctx.lit(FeatureId(1), true);
+    let mut p = DatalogProgram::new();
+    let edge = p.relation("edge", 2);
+    let path = p.relation("path", 2);
+    let v = Term::Var;
+    p.rule(
+        "path-base",
+        Atom::new(path, vec![v(0), v(1)]),
+        vec![pos(edge, vec![v(0), v(1)])],
+    );
+    p.rule(
+        "path-step",
+        Atom::new(path, vec![v(0), v(2)]),
+        vec![pos(path, vec![v(0), v(1)]), pos(edge, vec![v(1), v(2)])],
+    );
+    let mut db = Database::new(&p);
+    db.insert(edge, vec![1, 2], a.clone());
+    db.insert(edge, vec![2, 3], b.clone());
+    db.insert(edge, vec![1, 3], ctx.tt());
+    let stats = evaluate(&p, &mut db, &ctx, &EvalOptions::default()).unwrap();
+    // 1→3 directly (true) or via 2 (A ∧ B): merged constraint is true.
+    assert_eq!(db.constraint_of(path, &[1, 3]), Some(&ctx.tt()));
+    // 1→2 only under A, 2→3 only under B.
+    assert_eq!(db.constraint_of(path, &[1, 2]), Some(&a));
+    assert_eq!(db.constraint_of(path, &[2, 3]), Some(&b));
+    assert!(stats.rounds >= 2);
+}
+
+/// A body whose joined constraint is unsatisfiable must not materialize
+/// the head tuple at all (not even with a `false` constraint).
+#[test]
+fn contradictory_join_does_not_materialize() {
+    let (_table, ctx) = two_feature_ctx();
+    let a = ctx.lit(FeatureId(0), true);
+    let mut p = DatalogProgram::new();
+    let l = p.relation("l", 1);
+    let r = p.relation("r", 1);
+    let out = p.relation("out", 1);
+    let v = Term::Var;
+    p.rule(
+        "join",
+        Atom::new(out, vec![v(0)]),
+        vec![pos(l, vec![v(0)]), pos(r, vec![v(0)])],
+    );
+    let mut db = Database::new(&p);
+    db.insert(l, vec![7], a.clone());
+    db.insert(r, vec![7], a.not());
+    evaluate(&p, &mut db, &ctx, &EvalOptions::default()).unwrap();
+    assert_eq!(db.len(out), 0, "A ∧ ¬A join must derive nothing");
+    // Inserting an explicitly false tuple is also a no-op.
+    assert!(!db.insert(out, vec![9], ctx.ff()));
+    assert_eq!(db.len(out), 0);
+}
+
+/// Re-deriving a tuple under an already-covered constraint is subsumed:
+/// the stored BDD is unchanged and the fixpoint terminates.
+#[test]
+fn repeated_derivation_is_subsumed() {
+    let (_table, ctx) = two_feature_ctx();
+    let a = ctx.lit(FeatureId(0), true);
+    let mut p = DatalogProgram::new();
+    let e = p.relation("e", 2);
+    let t = p.relation("t", 2);
+    let v = Term::Var;
+    p.rule(
+        "base",
+        Atom::new(t, vec![v(0), v(1)]),
+        vec![pos(e, vec![v(0), v(1)])],
+    );
+    p.rule(
+        "step",
+        Atom::new(t, vec![v(0), v(2)]),
+        vec![pos(t, vec![v(0), v(1)]), pos(e, vec![v(1), v(2)])],
+    );
+    let mut db = Database::new(&p);
+    // A cycle: 1→2→1, both under A. t(1,1) keeps re-deriving as A∧A∧…
+    db.insert(e, vec![1, 2], a.clone());
+    db.insert(e, vec![2, 1], a.clone());
+    let stats = evaluate(&p, &mut db, &ctx, &EvalOptions::default()).unwrap();
+    assert_eq!(db.constraint_of(t, &[1, 1]), Some(&a));
+    assert_eq!(db.len(t), 4); // (1,1) (1,2) (2,1) (2,2)
+    assert!(
+        stats.derivations > db.len(t) as u64,
+        "the cycle re-derives tuples; subsumption must retire them"
+    );
+}
+
+/// Lifted stratified negation: `!R(t)` contributes ¬c for a stored
+/// constraint c, and `true` when the tuple is absent.
+#[test]
+fn negation_is_lifted() {
+    let (_table, ctx) = two_feature_ctx();
+    let a = ctx.lit(FeatureId(0), true);
+    let mut p = DatalogProgram::new();
+    let node = p.relation("node", 1);
+    let bad = p.relation("bad", 1);
+    let good = p.relation("good", 1);
+    let v = Term::Var;
+    p.rule(
+        "good",
+        Atom::new(good, vec![v(0)]),
+        vec![pos(node, vec![v(0)]), neg(bad, vec![v(0)])],
+    );
+    let mut db = Database::new(&p);
+    db.insert(node, vec![1], ctx.tt());
+    db.insert(node, vec![2], ctx.tt());
+    db.insert(bad, vec![1], a.clone());
+    evaluate(&p, &mut db, &ctx, &EvalOptions::default()).unwrap();
+    assert_eq!(db.constraint_of(good, &[1]), Some(&a.not()));
+    assert_eq!(db.constraint_of(good, &[2]), Some(&ctx.tt()));
+}
+
+/// Negation through a cycle is rejected as unstratifiable.
+#[test]
+fn negative_cycle_is_unstratifiable() {
+    let (_table, ctx) = two_feature_ctx();
+    let mut p = DatalogProgram::new();
+    let n = p.relation("n", 1);
+    let odd = p.relation("odd", 1);
+    let even = p.relation("even", 1);
+    let v = Term::Var;
+    p.rule(
+        "odd",
+        Atom::new(odd, vec![v(0)]),
+        vec![pos(n, vec![v(0)]), neg(even, vec![v(0)])],
+    );
+    p.rule(
+        "even",
+        Atom::new(even, vec![v(0)]),
+        vec![pos(n, vec![v(0)]), neg(odd, vec![v(0)])],
+    );
+    let mut db = Database::new(&p);
+    let err = evaluate(&p, &mut db, &ctx, &EvalOptions::default()).unwrap_err();
+    assert!(matches!(err, DatalogError::Unstratifiable { .. }), "{err}");
+}
+
+/// Structural validation surfaces as errors, not panics.
+#[test]
+fn validation_errors() {
+    let (_table, ctx) = two_feature_ctx();
+    let v = Term::Var;
+
+    // Arity mismatch.
+    let mut p = DatalogProgram::new();
+    let e = p.relation("e", 2);
+    p.rule(
+        "bad",
+        Atom::new(e, vec![v(0)]),
+        vec![pos(e, vec![v(0), v(1)])],
+    );
+    let mut db = Database::new(&p);
+    assert!(matches!(
+        evaluate(&p, &mut db, &ctx, &EvalOptions::default()),
+        Err(DatalogError::ArityMismatch { .. })
+    ));
+
+    // Unbound head variable.
+    let mut p = DatalogProgram::new();
+    let e = p.relation("e", 2);
+    let o = p.relation("o", 2);
+    p.rule(
+        "bad",
+        Atom::new(o, vec![v(0), v(9)]),
+        vec![pos(e, vec![v(0), v(1)])],
+    );
+    let mut db = Database::new(&p);
+    assert!(matches!(
+        evaluate(&p, &mut db, &ctx, &EvalOptions::default()),
+        Err(DatalogError::UnboundVariable { .. })
+    ));
+
+    // A rule with no positive literal.
+    let mut p = DatalogProgram::new();
+    let e = p.relation("e", 1);
+    let o = p.relation("o", 1);
+    p.rule(
+        "bad",
+        Atom::new(o, vec![Term::Const(1)]),
+        vec![neg(e, vec![Term::Const(1)])],
+    );
+    let mut db = Database::new(&p);
+    assert!(matches!(
+        evaluate(&p, &mut db, &ctx, &EvalOptions::default()),
+        Err(DatalogError::NoPositiveLiteral { .. })
+    ));
+}
+
+/// A program with declared relations but no rules (every stratum empty)
+/// evaluates to a no-op instead of erroring.
+#[test]
+fn empty_strata_are_a_noop() {
+    let (_table, ctx) = two_feature_ctx();
+    let mut p = DatalogProgram::new();
+    let e = p.relation("e", 2);
+    let mut db = Database::new(&p);
+    db.insert(e, vec![1, 2], ctx.tt());
+    let stats = evaluate(&p, &mut db, &ctx, &EvalOptions::default()).unwrap();
+    assert_eq!(stats.rounds, 0);
+    assert_eq!(db.len(e), 1);
+}
+
+/// Exhausting the BDD manager's budget mid-evaluation surfaces as a
+/// structured error, not a panic.
+#[test]
+fn budget_exhaustion_is_a_structured_error() {
+    let ex = fig1();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let ctx = BddConstraintContext::new(&ex.table);
+    ctx.arm_budget(None, Some(1));
+    let err = solve_reaching_defs(&icfg, &ctx, None, &EvalOptions::default());
+    ctx.disarm_budget();
+    match err {
+        Err(DatalogError::BudgetExceeded { .. }) => {}
+        Ok(_) => panic!("expected BudgetExceeded, got a completed solve"),
+        Err(e) => panic!("expected BudgetExceeded, got {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Equivalence against the IDE-lifted solver.
+// ---------------------------------------------------------------------
+
+/// Asserts that the Datalog solve of reaching definitions produces the
+/// exact per-fact constraints of the IDE lifting, both directions, plus
+/// matching reachability constraints.
+fn assert_matches_ide(
+    icfg: &ProgramIcfg<'_>,
+    ctx: &BddConstraintContext,
+    model: Option<&FeatureExpr>,
+) {
+    let analysis = ReachingDefs::new();
+    let mode = if model.is_some() {
+        ModelMode::OnEdges
+    } else {
+        ModelMode::Ignore
+    };
+    let ide = LiftedSolution::solve(&analysis, icfg, ctx, model, mode);
+    let dl = solve_reaching_defs(icfg, ctx, model, &EvalOptions::default()).unwrap();
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            let want: FastMap<DefFact, _> = ide.results_at(s);
+            let got = dl.reaching_at(s);
+            for (fact, c) in &want {
+                let dc = dl.reaching_constraint(s, fact);
+                assert_eq!(
+                    dc,
+                    Some(c),
+                    "at {s} fact {fact:?}: ide={} datalog={:?}",
+                    c.to_cube_string(),
+                    dc.map(|x| x.to_cube_string()),
+                );
+            }
+            for (fact, c) in &got {
+                assert_eq!(
+                    want.get(fact),
+                    Some(c),
+                    "at {s} fact {fact:?} derived only by datalog ({})",
+                    c.to_cube_string()
+                );
+            }
+            // Reachability: the Zero-fact projection.
+            let ide_reach = ide.reachability_of(s);
+            match dl.reachability_of(s) {
+                Some(c) => assert_eq!(c, &ide_reach, "reachability at {s}"),
+                None => assert!(ide_reach.is_false(), "reachability at {s} missing"),
+            }
+        }
+    }
+}
+
+#[test]
+fn fig1_matches_ide() {
+    let ex = fig1();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let ctx = BddConstraintContext::new(&ex.table);
+    assert_matches_ide(&icfg, &ctx, None);
+}
+
+#[test]
+fn fig1_with_model_matches_ide() {
+    let ex = fig1();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let ctx = BddConstraintContext::new(&ex.table);
+    let mut table = ex.table.clone();
+    let model = FeatureExpr::parse("(F && G) || (!F && !G)", &mut table).unwrap();
+    assert_matches_ide(&icfg, &ctx, Some(&model));
+}
+
+#[test]
+fn shapes_matches_ide() {
+    let ex = shapes();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let ctx = BddConstraintContext::new(&ex.table);
+    assert_matches_ide(&icfg, &ctx, None);
+}
+
+#[test]
+fn random_programs_match_ide() {
+    for seed in [1u64, 7, 13, 21, 34, 55] {
+        let spl = spllift_benchgen::random_spl(seed, 4, 5);
+        let icfg = ProgramIcfg::new(&spl.program);
+        let ctx = BddConstraintContext::new(&spl.table);
+        assert_matches_ide(&icfg, &ctx, None);
+        if spl.features.len() >= 2 {
+            let model =
+                FeatureExpr::var(spl.features[0]).implies(FeatureExpr::var(spl.features[1]));
+            assert_matches_ide(&icfg, &ctx, Some(&model));
+        }
+    }
+}
+
+/// Method reachability agrees with the IDE solution's start-point
+/// reachability constraints.
+#[test]
+fn reachable_methods_match_ide_start_points() {
+    let ex = fig1();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let ctx = BddConstraintContext::new(&ex.table);
+    let analysis = ReachingDefs::new();
+    let ide = LiftedSolution::solve(&analysis, &icfg, &ctx, None, ModelMode::Ignore);
+    let dl = solve_reaching_defs(&icfg, &ctx, None, &EvalOptions::default()).unwrap();
+    let reached: FastMap<_, _> = dl.reachable_methods().into_iter().collect();
+    for m in icfg.methods() {
+        let ide_c = ide.reachability_of(icfg.start_point_of(m));
+        match reached.get(&m) {
+            Some(c) => assert_eq!(*c, &ide_c, "method {m:?}"),
+            None => assert!(ide_c.is_false(), "method {m:?} missing from MReach"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism and the dump format.
+// ---------------------------------------------------------------------
+
+fn dump_of(jobs: usize) -> String {
+    let ex = fig1();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let ctx = BddConstraintContext::new(&ex.table);
+    let sol = solve_reaching_defs(&icfg, &ctx, None, &EvalOptions { jobs }).unwrap();
+    DumpDoc::from_solution(&sol, &ctx, &ex.table).render()
+}
+
+#[test]
+fn dump_bytes_are_jobs_invariant() {
+    let one = dump_of(1);
+    assert_eq!(one, dump_of(2), "--jobs 2 changed the output bytes");
+    assert_eq!(one, dump_of(5), "--jobs 5 changed the output bytes");
+    assert!(one.starts_with(DUMP_HEADER));
+}
+
+#[test]
+fn dump_round_trips() {
+    let ex = fig1();
+    let icfg = ProgramIcfg::new(&ex.program);
+    let ctx = BddConstraintContext::new(&ex.table);
+    let sol = solve_reaching_defs(&icfg, &ctx, None, &EvalOptions::default()).unwrap();
+    let doc = DumpDoc::from_solution(&sol, &ctx, &ex.table);
+    let text = doc.render();
+    let parsed = parse_dump(&text).expect("rendered dump parses");
+    assert_eq!(parsed, doc);
+    assert_eq!(
+        parsed.render(),
+        text,
+        "reserialization must be byte-identical"
+    );
+}
+
+#[test]
+fn dump_parse_errors_carry_line_numbers() {
+    assert!(parse_dump("").is_err());
+    let err = parse_dump("bogus\n").unwrap_err();
+    assert_eq!(err.line, 1);
+    let err = parse_dump(&format!("{DUMP_HEADER}\nnope\n")).unwrap_err();
+    assert_eq!(err.line, 2);
+    // Tuple before any relation declaration.
+    let err = parse_dump(&format!("{DUMP_HEADER}\nfeatures A\ne(1, 2)\n")).unwrap_err();
+    assert_eq!(err.line, 3);
+    // Arity mismatch.
+    let err = parse_dump(&format!("{DUMP_HEADER}\nfeatures A\nrelation e/2\ne(1)\n")).unwrap_err();
+    assert_eq!(err.line, 4);
+    // Constraint over an undeclared feature.
+    let err = parse_dump(&format!(
+        "{DUMP_HEADER}\nfeatures A\nrelation e/1\ne(1) @ Z\n"
+    ))
+    .unwrap_err();
+    assert_eq!(err.line, 4);
+    // Bad cell.
+    let err = parse_dump(&format!("{DUMP_HEADER}\nfeatures A\nrelation e/1\ne(x)\n")).unwrap_err();
+    assert_eq!(err.line, 4);
+}

@@ -41,6 +41,7 @@ mod dnf;
 mod expr;
 mod model;
 mod model_text;
+mod parallel;
 
 pub use config::{all_configurations, partition_configurations, partition_slice, Configuration};
 pub use constraint::{BddConstraint, BddConstraintContext, Constraint, ConstraintContext};
@@ -48,6 +49,7 @@ pub use dnf::{Dnf, DnfConstraintContext};
 pub use expr::{FeatureExpr, FeatureId, FeatureTable, ParseExprError};
 pub use model::{FeatureModel, GroupKind, ModelError};
 pub use model_text::{parse_feature_model, ModelTextError};
+pub use parallel::{default_jobs, map_shards, ShardStats};
 
 #[cfg(test)]
 mod tests;

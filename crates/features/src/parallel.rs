@@ -1,0 +1,93 @@
+//! The generic shard-map engine behind every parallel driver in this
+//! workspace.
+//!
+//! [`map_shards`] partitions a work-item slice into contiguous, ordered
+//! shards ([`partition_slice`](crate::partition_slice)), runs a caller
+//! supplied closure on each shard in its own scoped thread, and merges
+//! the per-shard results **in shard index order** — so concatenating
+//! them reproduces the sequential item order for every worker count.
+//! That invariant is what the workspace-wide `--jobs` determinism tests
+//! lean on: the A2 cross-check, the fuzz campaign, and the Datalog
+//! engine's rule evaluation all fan out through this one function.
+//!
+//! This lives in `spllift-features` (the lowest shared crate that knows
+//! about slices of work) so both `spllift-spl` and `spllift-datalog`
+//! can use it without a dependency cycle; `spllift_spl::parallel`
+//! re-exports everything here for backwards compatibility.
+
+use crate::config::partition_slice;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+/// The number of worker threads to use by default: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Wall-clock accounting for one shard of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (== merge position).
+    pub shard: usize,
+    /// Number of work items (configurations, fuzz seeds, or rule-eval
+    /// tasks) the shard was assigned.
+    pub items: usize,
+    /// Wall-clock time the shard's worker spent, including its private
+    /// context/solution setup.
+    pub wall: Duration,
+}
+
+/// The generic shard-map engine behind every parallel driver in this
+/// workspace: partitions `items` into contiguous ordered shards
+/// ([`partition_slice`](crate::partition_slice)), runs `work` on each
+/// shard in its own scoped thread, and returns the per-shard results
+/// **in shard index order** together with per-shard wall-clock stats
+/// and the worker count actually used.
+///
+/// Because shards are contiguous and merged in order, concatenating the
+/// per-shard results reproduces the sequential item order for every
+/// `jobs` value — the invariant all determinism tests in this workspace
+/// lean on. `work` receives the shard index and its slice; per-worker
+/// scratch (constraint contexts, lifted solutions) should be built
+/// *inside* `work`.
+pub fn map_shards<T, R, F>(items: &[T], jobs: usize, work: F) -> (Vec<R>, Vec<ShardStats>, usize)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let shards = partition_slice(items, jobs.max(1));
+    let jobs = shards.len().max(1);
+    let per_shard: Vec<(R, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, &chunk)| {
+                let work = &work;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let result = work(i, chunk);
+                    (result, t0.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    let mut results = Vec::with_capacity(per_shard.len());
+    let mut stats = Vec::with_capacity(per_shard.len());
+    for (i, ((result, wall), chunk)) in per_shard.into_iter().zip(&shards).enumerate() {
+        stats.push(ShardStats {
+            shard: i,
+            items: chunk.len(),
+            wall,
+        });
+        results.push(result);
+    }
+    (results, stats, jobs)
+}

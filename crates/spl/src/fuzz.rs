@@ -1,5 +1,5 @@
 //! The differential fuzzing campaign: seeded random (and mutated)
-//! product lines, checked three ways per seed, with automatic ddmin
+//! product lines, checked four ways per seed, with automatic ddmin
 //! reduction of every failure.
 //!
 //! For each seed the driver generates a random annotated program
@@ -10,10 +10,15 @@
 //!    client analyses — every A2 fact's constraint must allow the
 //!    configuration, and every constraint-allowed fact must be computed
 //!    by A2;
-//! 2. **interpreter soundness** — every dynamic leak / uninitialized
+//! 2. **SPLLIFT ↔ Datalog, both directions** — reaching definitions
+//!    re-solved by the independent lifted Datalog engine
+//!    ([`spllift_datalog::solve_reaching_defs`]) must carry the same
+//!    constraint as the IDE lifting for every fact, and neither backend
+//!    may derive a fact the other lacks;
+//! 3. **interpreter soundness** — every dynamic leak / uninitialized
 //!    read the concrete interpreter observes in a derived product must
 //!    be predicted by the corresponding lifted analysis;
-//! 3. with [`FuzzOptions::threads`] `> 1`, **threaded ≡ sequential** —
+//! 4. with [`FuzzOptions::threads`] `> 1`, **threaded ≡ sequential** —
 //!    the lifted solve under test runs on the parallel phase-1
 //!    worklist and must render byte-identical to a sequential solve of
 //!    the same instance.
@@ -34,8 +39,9 @@
 //!
 //! # The injected-bug hook
 //!
-//! [`InjectedBug`] deliberately corrupts the **lifted side only** (A2
-//! and the interpreter stay honest), which is how the reducer demo test
+//! [`InjectedBug`] deliberately corrupts the **lifted side only** (A2,
+//! the Datalog engine and the interpreter stay honest), which is how
+//! the reducer demo test
 //! proves the campaign actually detects and minimizes real
 //! disagreements. It is a test/demo hook; production campaigns run with
 //! [`InjectedBug::None`].
@@ -47,6 +53,7 @@ use spllift_analyses::{
 };
 use spllift_benchgen::{mutate, random_spl, reduce, RandomSpl, ReduceOptions, ReduceOutcome};
 use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};
+use spllift_datalog::{solve_reaching_defs, DumpDoc, EvalOptions};
 use spllift_features::{
     all_configurations, BddConstraintContext, Configuration, FeatureId, FeatureTable,
 };
@@ -208,8 +215,18 @@ impl Default for FuzzOptions {
     }
 }
 
-/// The five liftable client analyses, by their campaign names.
-pub const ANALYSES: [&str; 5] = ["taint", "types", "reaching", "uninit", "typestate"];
+/// The campaign checks, by name: the five liftable client analyses
+/// (each cross-checked against A2) followed by the Datalog-backend
+/// differential (`"datalog-reaching"`, reaching definitions re-solved
+/// by the independent lifted Datalog engine).
+pub const ANALYSES: [&str; 6] = [
+    "taint",
+    "types",
+    "reaching",
+    "uninit",
+    "typestate",
+    "datalog-reaching",
+];
 
 /// One analysis' crosscheck result on one seed.
 #[derive(Debug, Clone)]
@@ -453,7 +470,116 @@ where
     out
 }
 
-/// Runs all five analyses' crosschecks over `configs`.
+/// Cross-checks the Datalog backend on one program: reaching
+/// definitions solved by SPLLIFT (with the bug wrapper applied) against
+/// the independent lifted Datalog engine, constraint-for-constraint in
+/// both directions plus the reachability (Zero-fact) projection. The
+/// Datalog side is never wrapped, so an injected bug surfaces as a
+/// backend disagreement. The comparison is configuration-free — both
+/// backends share one BDD manager, so semantically equal constraints
+/// are pointer-equal nodes — and [`Mismatch::config`] is the empty
+/// configuration.
+///
+/// With `threads > 1` the Datalog evaluation additionally runs sharded
+/// (`jobs = threads`) and its relation dump must be byte-identical to
+/// the sequential evaluation's — the engine's own jobs-invariance
+/// differential, mirroring the threaded ≡ sequential pin on the IDE
+/// side.
+fn crosscheck_datalog(
+    icfg: &ProgramIcfg<'_>,
+    table: &FeatureTable,
+    bug: InjectedBug,
+    cap: usize,
+    threads: usize,
+) -> Vec<Mismatch> {
+    let ctx = BddConstraintContext::new(table);
+    let problem = ReachingDefs::new();
+    let wrapped = BugWrapper::new(&problem, bug);
+    let lifted = LiftedSolution::solve(&wrapped, icfg, &ctx, None, ModelMode::OnEdges);
+    let solve = |jobs| {
+        solve_reaching_defs(icfg, &ctx, None, &EvalOptions { jobs })
+            .expect("datalog evaluation failed (the fuzz campaign arms no budget)")
+    };
+    let dl = solve(1);
+    if threads > 1 {
+        let sharded = solve(threads);
+        assert_eq!(
+            DumpDoc::from_solution(&dl, &ctx, table).render(),
+            DumpDoc::from_solution(&sharded, &ctx, table).render(),
+            "sharded datalog evaluation (jobs = {threads}) diverged from the sequential one"
+        );
+    }
+    // Statements in ICFG order, facts in `Ord` order with shared facts
+    // before Datalog-only ones — the same deterministic-output contract
+    // as `check_shard`.
+    let mut out = Vec::new();
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            if out.len() >= cap {
+                return out;
+            }
+            let want = lifted.results_at(s);
+            let mut shared: Vec<_> = want.iter().collect();
+            shared.sort_by(|a, b| a.0.cmp(b.0));
+            for (fact, c) in shared {
+                if out.len() >= cap {
+                    return out;
+                }
+                let dc = dl.reaching_constraint(s, fact);
+                if dc != Some(c) {
+                    out.push(Mismatch {
+                        config: Configuration::empty(),
+                        stmt: s,
+                        fact: format!(
+                            "{fact:?}: SPLLIFT has {}, Datalog has {}",
+                            c.to_cube_string(),
+                            dc.map_or_else(|| "no fact".to_string(), |x| x.to_cube_string()),
+                        ),
+                        missing_in_lifted: false,
+                    });
+                }
+            }
+            for (fact, c) in dl.reaching_at(s) {
+                if out.len() >= cap {
+                    return out;
+                }
+                if !want.contains_key(&fact) {
+                    out.push(Mismatch {
+                        config: Configuration::empty(),
+                        stmt: s,
+                        fact: format!(
+                            "{fact:?}: Datalog has {}, SPLLIFT has no fact",
+                            c.to_cube_string()
+                        ),
+                        missing_in_lifted: true,
+                    });
+                }
+            }
+            let ide_reach = lifted.reachability_of(s);
+            let dl_reach = dl.reachability_of(s);
+            let agrees = match dl_reach {
+                Some(c) => *c == ide_reach,
+                None => ide_reach.is_false(),
+            };
+            if !agrees {
+                out.push(Mismatch {
+                    config: Configuration::empty(),
+                    stmt: s,
+                    fact: format!(
+                        "reachability: SPLLIFT has {}, Datalog has {}",
+                        ide_reach.to_cube_string(),
+                        dl_reach.map_or_else(|| "no fact".to_string(), |x| x.to_cube_string()),
+                    ),
+                    missing_in_lifted: ide_reach.is_false(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs the five A2 crosschecks over `configs`, plus the
+/// configuration-free Datalog-backend differential.
 fn crosscheck_all<'p>(
     icfg: &ProgramIcfg<'p>,
     table: &FeatureTable,
@@ -519,6 +645,10 @@ fn crosscheck_all<'p>(
         AnalysisVerdict {
             analysis: ANALYSES[4],
             mismatches: crosscheck_analysis(icfg, &typestate, table, configs, bug, cap, threads),
+        },
+        AnalysisVerdict {
+            analysis: ANALYSES[5],
+            mismatches: crosscheck_datalog(icfg, table, bug, cap, threads),
         },
     ]
 }

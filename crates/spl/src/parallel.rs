@@ -25,20 +25,17 @@
 
 use crate::crosscheck::{check_shard, Mismatch, DEFAULT_MAX_MISMATCHES};
 use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};
-use spllift_features::{partition_slice, Configuration, ConstraintContext, FeatureExpr};
+use spllift_features::{Configuration, ConstraintContext, FeatureExpr};
 use spllift_ifds::{Icfg, IfdsProblem};
 use spllift_ir::ProgramIcfg;
 use std::hash::Hash;
-use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
-/// The number of worker threads to use by default: the machine's
-/// available parallelism, or 1 if it cannot be determined.
-pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-}
+// The generic shard-map engine moved down to `spllift-features` so the
+// Datalog backend can shard rule evaluation without depending on this
+// crate; re-exported here so existing `spllift_spl::parallel` users
+// keep compiling unchanged.
+pub use spllift_features::{default_jobs, map_shards, ShardStats};
 
 /// Tuning knobs of the parallel driver.
 #[derive(Debug, Clone)]
@@ -69,71 +66,6 @@ impl ParallelOptions {
             ..Default::default()
         }
     }
-}
-
-/// Wall-clock accounting for one shard of a parallel run.
-#[derive(Debug, Clone)]
-pub struct ShardStats {
-    /// Shard index (== merge position).
-    pub shard: usize,
-    /// Number of work items (configurations, or fuzz seeds) the shard
-    /// was assigned.
-    pub items: usize,
-    /// Wall-clock time the shard's worker spent, including its private
-    /// context/solution setup.
-    pub wall: Duration,
-}
-
-/// The generic shard-map engine behind every parallel driver in this
-/// crate: partitions `items` into contiguous ordered shards
-/// ([`partition_slice`]), runs `work` on each shard in its own scoped
-/// thread, and returns the per-shard results **in shard index order**
-/// together with per-shard wall-clock stats and the worker count
-/// actually used.
-///
-/// Because shards are contiguous and merged in order, concatenating the
-/// per-shard results reproduces the sequential item order for every
-/// `jobs` value — the invariant all determinism tests in this workspace
-/// lean on. `work` receives the shard index and its slice; per-worker
-/// scratch (constraint contexts, lifted solutions) should be built
-/// *inside* `work`.
-pub fn map_shards<T, R, F>(items: &[T], jobs: usize, work: F) -> (Vec<R>, Vec<ShardStats>, usize)
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &[T]) -> R + Sync,
-{
-    let shards = partition_slice(items, jobs.max(1));
-    let jobs = shards.len().max(1);
-    let per_shard: Vec<(R, Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(i, &chunk)| {
-                let work = &work;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let result = work(i, chunk);
-                    (result, t0.elapsed())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    });
-    let mut results = Vec::with_capacity(per_shard.len());
-    let mut stats = Vec::with_capacity(per_shard.len());
-    for (i, ((result, wall), chunk)) in per_shard.into_iter().zip(&shards).enumerate() {
-        stats.push(ShardStats {
-            shard: i,
-            items: chunk.len(),
-            wall,
-        });
-        results.push(result);
-    }
-    (results, stats, jobs)
 }
 
 /// Result of a parallel cross-check.

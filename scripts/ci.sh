@@ -28,6 +28,21 @@ echo "== fuzz smoke (deterministic seed range, sharded) =="
 # deterministic; --jobs 2 also exercises the sharded driver.
 ./target/release/spllift-cli fuzz --seeds 0..32 --jobs 2
 
+echo "== datalog backend crosscheck smoke (MM08/GPL, jobs 1,2) =="
+# The second backend (DESIGN.md §13) must agree with the IDE lifting on
+# every fact's constraint, and its stdout must be byte-identical across
+# --jobs values. `--crosscheck` exits non-zero on any digest mismatch;
+# the diff pins the jobs-invariance of the sharded semi-naive fixpoint.
+SMOKE_DL1="$(mktemp -t datalog-smoke-j1.XXXXXX.txt)"
+SMOKE_DL2="$(mktemp -t datalog-smoke-j2.XXXXXX.txt)"
+trap 'rm -f "$SMOKE_DL1" "$SMOKE_DL2"' EXIT
+for subject in gen:MM08 gen:GPL; do
+    ./target/release/spllift-cli datalog "$subject" --crosscheck --jobs 1 > "$SMOKE_DL1"
+    ./target/release/spllift-cli datalog "$subject" --crosscheck --jobs 2 > "$SMOKE_DL2"
+    diff -u "$SMOKE_DL1" "$SMOKE_DL2"
+    grep -q "SPLLIFT and Datalog agree" "$SMOKE_DL1"
+done
+
 echo "== solver bench smoke (emit + validate, threads 1,2) =="
 # Emits a fresh benchmark document (schema `spllift-bench-solver/v4`)
 # on the small subjects — to a scratch path, never over the committed
@@ -39,7 +54,7 @@ echo "== solver bench smoke (emit + validate, threads 1,2) =="
 # worklist. The committed baseline is refreshed manually with the
 # default arguments instead (see EXPERIMENTS.md §BENCH).
 SMOKE_BENCH="$(mktemp -t solver-bench-smoke.XXXXXX.json)"
-trap 'rm -f "$SMOKE_BENCH"' EXIT
+trap 'rm -f "$SMOKE_BENCH" "$SMOKE_DL1" "$SMOKE_DL2"' EXIT
 ./target/release/solver_bench --samples 1 --subjects fig1,chat,MM08 \
     --threads 1,2 --out "$SMOKE_BENCH"
 ./target/release/solver_bench --validate "$SMOKE_BENCH"

@@ -15,6 +15,9 @@
 //! spllift-cli reduce <FILE.repro> [--check <analysis>|interp-taint|interp-uninit]
 //!                    [--inject-bug kill-call-to-return]
 //!
+//! spllift-cli datalog <INPUT> [--jobs N] [--model FILE]
+//!                     [--dump-relations] [--crosscheck]
+//!
 //! <INPUT> is a product-line source file (mini-Java with `#ifdef`
 //! annotations), or one of the built-in generated benchmark subjects:
 //!
@@ -49,6 +52,14 @@
 //! subject (`reduce gen:<seed>:<nfeatures>:<nmethods>`, for seeding
 //! `tests/corpus/`), or minimizes a failing `.repro` file against a
 //! named check.
+//!
+//! The `datalog` subcommand runs the lifted Datalog backend's reaching
+//! definitions (plus statement/method reachability) on the subject.
+//! `--dump-relations` prints every relation tuple with its feature
+//! constraint in the round-trippable dump format; `--crosscheck` also
+//! solves with the IDE lifting and compares every fact's constraint
+//! digest in both directions, exiting non-zero on any disagreement.
+//! Stdout is byte-identical for every `--jobs` value.
 //! ```
 //!
 //! Reads the product line, optionally a feature model in the
@@ -91,6 +102,7 @@ USAGE
   spllift-cli serve [options]           resident analysis server (JSON on stdin/stdout)
   spllift-cli fuzz [options]            differential fuzzing campaign
   spllift-cli reduce <INPUT> [options]  print or minimize a .repro subject
+  spllift-cli datalog <INPUT> [options] lifted Datalog backend (second opinion)
   spllift-cli help                      this text (also --help, -h)
 
 INPUT
@@ -142,6 +154,15 @@ FUZZ OPTIONS
 REDUCE
   reduce gen:<seed>:<nfeatures>:<nmethods>        print the repro text
   reduce FILE.repro [--check CHECK] [--mutations N] [--inject-bug ...]
+
+DATALOG OPTIONS
+  --jobs N                rule-evaluation worker threads; stdout is
+                          byte-identical at every N
+  --model FILE            feature model (file inputs only)
+  --dump-relations        print every relation tuple with its feature
+                          constraint (round-trippable dump format)
+  --crosscheck            also solve with the IDE lifting and compare
+                          every fact's constraint digest, both directions
 ";
 
 /// `true` for a first argument that reads as a subcommand word rather
@@ -160,6 +181,7 @@ fn main() -> ExitCode {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("reduce") => run_reduce(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("datalog") => run_datalog(&args[1..]),
         Some(cmd) if looks_like_subcommand(cmd) => {
             eprintln!("spllift-cli: unknown subcommand `{cmd}`\n");
             eprint!("{HELP}");
@@ -747,6 +769,154 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
     } else {
         let failed = report.verdicts.iter().filter(|v| !v.ok()).count();
         Err(format!("fuzz campaign found {failed} failing seed(s)"))
+    }
+}
+
+/// `spllift-cli datalog`: the lifted Datalog backend. Runs the
+/// declarative reaching-definitions + reachability program, prints a
+/// deterministic summary (and optionally the full relation dump), and
+/// with `--crosscheck` compares every fact's constraint against the
+/// IDE lifting in both directions. Stdout is byte-identical for every
+/// `--jobs` value.
+fn run_datalog(args: &[String]) -> Result<(), String> {
+    use spllift::datalog::{solve_reaching_defs, DumpDoc, EvalOptions, RelId};
+    use spllift::ifds::Icfg as _;
+
+    let mut file: Option<String> = None;
+    let mut model_file: Option<String> = None;
+    let mut jobs = default_jobs();
+    let mut dump_relations = false;
+    let mut crosscheck = false;
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a thread count")?;
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&j| j >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--model" => model_file = Some(args.next().ok_or("--model needs a file")?),
+            "--dump-relations" => dump_relations = true,
+            "--crosscheck" => crosscheck = true,
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_owned()),
+            other => {
+                return Err(format!(
+                    "unexpected datalog argument `{other}` (try --help)"
+                ))
+            }
+        }
+    }
+    let opts = Options {
+        file: file.ok_or("datalog needs an input (try `spllift-cli help`)")?,
+        analysis: "reaching-defs".to_owned(),
+        model_file,
+        format: "table".to_owned(),
+        jobs,
+        threads: 1,
+        max_mismatches: DEFAULT_MAX_MISMATCHES,
+    };
+    let loaded = load(&opts)?;
+    if loaded.program.entry_points().is_empty() {
+        return Err("no entry point: declare a method named `main`".into());
+    }
+    let icfg = ProgramIcfg::new(&loaded.program);
+    let ctx = BddConstraintContext::new(&loaded.table);
+    let model = loaded.model.as_ref();
+    let sol = solve_reaching_defs(&icfg, &ctx, model, &EvalOptions { jobs })
+        .map_err(|e| format!("datalog: {e}"))?;
+
+    if dump_relations {
+        print!(
+            "{}",
+            DumpDoc::from_solution(&sol, &ctx, &loaded.table).render()
+        );
+    }
+    let stats = sol.stats();
+    println!(
+        "datalog: {} strata, {} rounds, {} derivations, {} tuples",
+        stats.strata, stats.rounds, stats.derivations, stats.tuples
+    );
+    let program = sol.program();
+    for r in 0..program.relation_count() {
+        let rel = RelId(r);
+        println!(
+            "  {}/{}: {} tuples",
+            program.relation_name(rel),
+            program.arity(rel),
+            sol.database().len(rel)
+        );
+    }
+    let reachable = sol.reachable_methods();
+    println!(
+        "datalog: {} of {} methods reachable",
+        reachable.len(),
+        icfg.methods().len()
+    );
+
+    if !crosscheck {
+        return Ok(());
+    }
+    let mode = if model.is_some() {
+        ModelMode::OnEdges
+    } else {
+        ModelMode::Ignore
+    };
+    let ide = LiftedSolution::solve(&ReachingDefs::new(), &icfg, &ctx, model, mode);
+    let mut facts = 0usize;
+    let mut mismatches = 0usize;
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            let want = ide.results_at(s);
+            let got = sol.reaching_at(s);
+            let mut keys: Vec<_> = want
+                .keys()
+                .copied()
+                .chain(got.iter().map(|(f, _)| *f))
+                .collect();
+            keys.sort();
+            keys.dedup();
+            for fact in keys {
+                facts += 1;
+                let ide_digest = want.get(&fact).map(|c| c.semantic_digest());
+                let dl_digest = sol
+                    .reaching_constraint(s, &fact)
+                    .map(|c| c.semantic_digest());
+                if ide_digest != dl_digest {
+                    mismatches += 1;
+                    println!(
+                        "MISMATCH at [{}] fact {:?}: ide={:?} datalog={:?}",
+                        icfg.stmt_label(s),
+                        fact,
+                        ide_digest,
+                        dl_digest
+                    );
+                }
+            }
+            let ide_reach = ide.reachability_of(s);
+            let dl_reach_digest = sol.reachability_of(s).map(|c| c.semantic_digest());
+            let ide_reach_digest = (!ide_reach.is_false()).then(|| ide_reach.semantic_digest());
+            if dl_reach_digest != ide_reach_digest {
+                mismatches += 1;
+                println!(
+                    "MISMATCH at [{}] reachability: ide={:?} datalog={:?}",
+                    icfg.stmt_label(s),
+                    ide_reach_digest,
+                    dl_reach_digest
+                );
+            }
+        }
+    }
+    if mismatches == 0 {
+        println!("crosscheck: SPLLIFT and Datalog agree on all {facts} fact constraints");
+        Ok(())
+    } else {
+        println!("crosscheck: {mismatches} mismatch(es) over {facts} fact constraints");
+        Err(format!(
+            "datalog crosscheck found {mismatches} mismatch(es)"
+        ))
     }
 }
 

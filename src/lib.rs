@@ -14,6 +14,8 @@
 //! * [`lift`] — the paper's contribution: automatic IFDS→IDE lifting,
 //! * [`analyses`] — four off-the-shelf IFDS client analyses,
 //! * [`spl`] — product derivation and the A1/A2 baselines,
+//! * [`datalog`] — a lifted Datalog engine, the second analysis backend
+//!   (cross-checked against the IDE lifting fact-for-fact),
 //! * [`benchgen`] — deterministic benchmark product-line generators,
 //! * [`json`] — the dependency-free JSON value/parser/emitter,
 //! * [`server`] — the resident analysis server (`spllift-cli serve`).
@@ -31,6 +33,7 @@ pub use spllift_analyses as analyses;
 pub use spllift_bdd as bdd;
 pub use spllift_benchgen as benchgen;
 pub use spllift_core as lift;
+pub use spllift_datalog as datalog;
 pub use spllift_features as features;
 pub use spllift_frontend as frontend;
 pub use spllift_ide as ide;

@@ -163,6 +163,105 @@ fn serve_help_readme_and_parser_agree_on_the_flag_set() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected serve argument"));
 }
 
+/// Every datalog flag, exactly as the `datalog` arg parser spells it,
+/// split by whether the flag takes a value. Mirrors [`SERVE_FLAGS`]:
+/// the test below keeps `help`, the README "Datalog backend" section,
+/// and the parser reconciled — a flag added to one place must be added
+/// to all three.
+const DATALOG_VALUE_FLAGS: [&str; 2] = ["--jobs", "--model"];
+const DATALOG_SWITCH_FLAGS: [&str; 2] = ["--dump-relations", "--crosscheck"];
+
+#[test]
+fn datalog_help_readme_and_parser_agree_on_the_flag_set() {
+    let help = cli().args(["help"]).output().unwrap();
+    assert!(help.status.success());
+    let help = String::from_utf8_lossy(&help.stdout).into_owned();
+    assert!(
+        help.contains("spllift-cli datalog"),
+        "help must list the datalog subcommand"
+    );
+    let readme = std::fs::read_to_string("README.md").unwrap();
+    for flag in DATALOG_VALUE_FLAGS.iter().chain(&DATALOG_SWITCH_FLAGS) {
+        assert!(help.contains(flag), "help output missing `{flag}`");
+        assert!(
+            readme.contains(&format!("`{flag}")),
+            "README Datalog section missing `{flag}`"
+        );
+    }
+    // Value flags without a value must die with a `needs` diagnostic
+    // naming the flag, before any analysis runs.
+    for flag in DATALOG_VALUE_FLAGS {
+        let out = cli().args(["datalog", flag]).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "datalog {flag} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag) && stderr.contains("needs"),
+            "datalog {flag} without a value: expected a `needs ...` \
+             diagnostic naming the flag, got: {stderr}"
+        );
+    }
+    // No datalog flag exists in the parser without being listed here.
+    let out = cli()
+        .args(["datalog", "examples_data/fig1.minijava", "--no-such-flag"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected datalog argument"));
+}
+
+#[test]
+fn datalog_crosschecks_fig1_and_is_jobs_invariant() {
+    let run = |jobs: &str, extra: &[&str]| {
+        let mut args = vec![
+            "datalog",
+            "examples_data/fig1.minijava",
+            "--crosscheck",
+            "--jobs",
+            jobs,
+        ];
+        args.extend_from_slice(extra);
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "jobs {jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let reference = run("1", &[]);
+    let text = String::from_utf8_lossy(&reference).into_owned();
+    assert!(text.contains("SPLLIFT and Datalog agree on all"), "{text}");
+    for jobs in ["2", "5"] {
+        assert_eq!(
+            run(jobs, &[]),
+            reference,
+            "stdout differs for --jobs {jobs}"
+        );
+    }
+    // With the feature model the backends must still agree.
+    let modeled = run("2", &["--model", "examples_data/fig1.model"]);
+    let text = String::from_utf8_lossy(&modeled);
+    assert!(text.contains("SPLLIFT and Datalog agree on all"), "{text}");
+}
+
+#[test]
+fn datalog_dump_has_header_and_relations() {
+    let out = cli()
+        .args(["datalog", "examples_data/fig1.minijava", "--dump-relations"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("# spllift datalog dump v1"), "{stdout}");
+    for needle in ["features ", "relation PE/7", "relation Val/4"] {
+        assert!(stdout.contains(needle), "dump missing `{needle}`");
+    }
+}
+
 #[test]
 fn unknown_subcommand_prints_help_to_stderr() {
     let out = cli().args(["analyse"]).output().unwrap();

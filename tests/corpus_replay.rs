@@ -2,9 +2,17 @@
 //! (reduced repros from past fuzz campaigns, plus representative
 //! generated subjects) is parsed and pushed through the full differential
 //! battery — all five lifted analyses cross-checked against A2 in both
-//! directions, plus the interpreter-soundness oracle — with **no**
+//! directions, reaching definitions re-solved by the independent lifted
+//! Datalog engine, plus the interpreter-soundness oracle — with **no**
 //! injected bug. A healthy implementation reports zero mismatches on
 //! every corpus entry.
+//!
+//! `gen-stratified-negation.repro` is hand-written to exercise the
+//! Datalog backend's stratified negation: a feature-annotated
+//! redefinition kills a reaching def on the `act` (statement executes)
+//! path while the def survives on the `idn` (statement compiled out)
+//! path, so the kill-check `neg(defs, …)` must interact correctly with
+//! the lifted constraints.
 //!
 //! The corpus grows over time: `spllift-cli fuzz --corpus-dir
 //! tests/corpus` appends a reduced repro for every failure a campaign
