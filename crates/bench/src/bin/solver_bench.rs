@@ -528,7 +528,7 @@ where
         } else {
             "complete".to_owned()
         },
-        rung: outcome.rung().as_str().to_owned(),
+        rung: outcome.rung_name(),
         ide: ide_stats.into_inner(),
         bdd: ctx.manager().stats(),
         threads: cells,

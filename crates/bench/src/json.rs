@@ -438,18 +438,29 @@ pub fn validate_solver_bench(text: &str) -> Result<usize, String> {
                 _ => return Err(format!("{} must be a non-empty string", ctx(key))),
             }
         }
-        for (key, allowed) in [
-            ("outcome", &["complete", "degraded"][..]),
-            ("rung", &["full", "no-model", "constraint-true"][..]),
-        ] {
-            match e.get(key) {
+        {
+            let allowed = &["complete", "degraded"][..];
+            match e.get("outcome") {
                 Some(Json::Str(s)) if allowed.contains(&s.as_str()) => {}
                 other => {
                     return Err(format!(
                         "{} must be one of {allowed:?}, got {other:?}",
-                        ctx(key)
+                        ctx("outcome")
                     ))
                 }
+            }
+        }
+        // `rung` is a variability-abstraction lattice-point name: the
+        // canonical points (`full`, `no-model`, `constraint-true`) or a
+        // `+`-joined composite of abstraction steps like
+        // `no-model+project(F,G)` — any non-empty name is accepted.
+        match e.get("rung") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            other => {
+                return Err(format!(
+                    "{} must be a non-empty lattice-point name, got {other:?}",
+                    ctx("rung")
+                ))
             }
         }
         let groups: [(&str, &[&str]); 2] = [
@@ -707,8 +718,12 @@ mod tests {
         assert!(validate_solver_bench(&text)
             .unwrap_err()
             .contains("killed_early"));
-        // A governance value outside the vocabulary.
-        let text = render(3, &[entry()]).replace("\"full\"", "\"warp\"");
+        // Any non-empty lattice-point name is a valid rung (composite
+        // points like `no-model+project(F,G)` must pass), but an empty
+        // name is rejected.
+        let text = render(3, &[entry()]).replace("\"full\"", "\"no-model+project(F,G)\"");
+        assert!(validate_solver_bench(&text).is_ok());
+        let text = render(3, &[entry()]).replace("\"full\"", "\"\"");
         assert!(validate_solver_bench(&text).unwrap_err().contains("rung"));
     }
 

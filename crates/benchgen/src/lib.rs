@@ -116,7 +116,7 @@ impl SubjectSpec {
         // their Table 1 models and counts.
         if self.name == "Synthetic" {
             self.paper_valid_configs = match shape {
-                ModelShape::Free => Some(1u128 << self.total_features.min(127)),
+                ModelShape::Free => 1u128.checked_shl(self.total_features as u32),
                 ModelShape::Chain => Some(self.total_features as u128 + 1),
                 ModelShape::Groups => None,
             };
@@ -196,7 +196,9 @@ pub fn synthetic_spec(features: usize, loc: usize, seed: u64) -> SubjectSpec {
         loc_target: loc,
         total_features: features,
         reachable_features: features,
-        paper_valid_configs: Some(1u128 << features),
+        // `None` past 127 features: the count no longer fits a `u128`,
+        // which is itself the point of the scaling subjects.
+        paper_valid_configs: 1u128.checked_shl(features as u32),
         seed,
         model_shape: ModelShape::Free,
         call_depth: None,
@@ -237,9 +239,9 @@ pub fn parse_subject_spec(name: &str) -> Result<SubjectSpec, String> {
             .map_err(|_| format!("synthetic {what} must be an integer, got `{v}`"))
     };
     let features = parse("feature count", parts[0])?;
-    if features == 0 || features > 127 {
+    if features == 0 || features > 256 {
         return Err(format!(
-            "synthetic feature count must be in 1..=127, got `{features}`"
+            "synthetic feature count must be in 1..=256, got `{features}`"
         ));
     }
     let mut spec = synthetic_spec(

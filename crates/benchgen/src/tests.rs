@@ -187,7 +187,12 @@ fn subject_grammar_round_trips_and_rejects() {
     assert!(p("synthetic:6:400:42:model=weird").is_err());
     assert!(p("synthetic:6:400:42:model=free:model=chain").is_err());
     assert!(p("synthetic:0:400:42").is_err());
-    assert!(p("synthetic:128:400:42").is_err());
+    assert!(p("synthetic:257:400:42").is_err());
+    // 128+ features are allowed (the config count saturates to "beyond
+    // u128" = None); the lattice-degradation experiment relies on it.
+    let big = p("synthetic:128:900:7:model=groups").unwrap();
+    assert_eq!(big.total_features, 128);
+    assert_eq!(big.paper_valid_configs, None);
     assert!(p("synthetic:6:400:42:depth=0").is_err());
 }
 

@@ -1,11 +1,13 @@
 //! The automatic IFDS → IDE lifting (paper §3–§4).
 
 use crate::{AnnotatedIcfg, ConstraintEdge, LiftedIcfg};
-use spllift_features::{Configuration, Constraint, ConstraintContext, FeatureExpr};
-use spllift_hash::FastMap;
+use spllift_features::{
+    AbstractionStep, Configuration, Constraint, ConstraintContext, FeatureExpr, FeatureId,
+    LatticePoint,
+};
+use spllift_hash::{FastMap, FastSet};
 use spllift_ide::{IdeProblem, IdeSolver, IdeSolverOptions, IdeStats, SolveAbort, SolverMemo};
 use spllift_ifds::{IfdsProblem, SolveLimits};
-use std::fmt;
 use std::time::{Duration, Instant};
 
 /// How the product line's feature model is taken into account.
@@ -91,11 +93,102 @@ where
         }
     }
 
-    /// The maximally collapsed lifting (the ladder's A1-style bottom
-    /// rung, [`Rung::ConstraintTrue`]): every feature annotation is
-    /// abstracted to *unknown* — the annotated flow and the identity
-    /// fall-back both fire under the constraint `true` — and the feature
-    /// model is ignored.
+    /// Lifts `problem` at an arbitrary point of the variability-
+    /// abstraction lattice: every per-statement annotation constraint
+    /// and (unless the point drops it) the feature-model constraint are
+    /// passed through the point's composed weakening transformer before
+    /// the solve. Since every transformer is weakening (`c ⊨ τ(c)`) and
+    /// the lifting only combines these inputs with `∧`/`∨` — both
+    /// monotone w.r.t. entailment — every constraint the abstracted
+    /// solve reports is entailed by the full-precision one.
+    ///
+    /// Note the disabled-case constraint is `τ(¬a) ∧ τ(m)`, i.e. the
+    /// transformer is applied to the *negated annotation*, never
+    /// negated afterwards: `¬τ(a)` would strengthen, breaking
+    /// soundness.
+    ///
+    /// Also returns the [`AbstractionImpact`]: which methods' stored
+    /// constraints actually changed relative to [`LiftedProblem::new`]
+    /// — the governor uses it to keep still-valid memoized jump
+    /// functions (closed under transitive callers) when re-solving.
+    pub fn abstracted(
+        problem: &'a P,
+        icfg: &G,
+        ctx: &'a Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+        point: &LatticePoint,
+    ) -> (Self, AbstractionImpact<G::Method>) {
+        if point.is_collapsed() {
+            let impact = AbstractionImpact {
+                model_changed: true,
+                changed_methods: FastSet::default(),
+            };
+            return (Self::collapsed(problem, icfg, ctx), impact);
+        }
+        let steps = point.steps();
+        let model_in_play = matches!(
+            (model, mode),
+            (Some(_), ModelMode::OnEdges | ModelMode::AtStartValue)
+        );
+        let (model_c, model_changed) = if !model_in_play {
+            (ctx.tt(), false)
+        } else if point.drops_model() {
+            (ctx.tt(), true)
+        } else {
+            let m0 = ctx.of_expr(model.expect("model_in_play"));
+            let m1 = ctx.apply_abstraction(steps, &m0);
+            let changed = m1 != m0;
+            (m1, changed)
+        };
+        let on_edges = mode == ModelMode::OnEdges && !point.drops_model();
+        let mut ann = FastMap::default();
+        let mut changed_methods = FastSet::default();
+        for m in icfg.methods() {
+            let mut method_changed = false;
+            for s in icfg.stmts_of(m) {
+                let a = icfg.annotation(s);
+                let (en, dis) = if a == FeatureExpr::True {
+                    (ctx.tt(), ctx.ff())
+                } else {
+                    let en0 = ctx.of_expr(&a);
+                    let dis0 = ctx.of_expr(&a.clone().not());
+                    let en1 = ctx.apply_abstraction(steps, &en0);
+                    let dis1 = ctx.apply_abstraction(steps, &dis0);
+                    if en1 != en0 || dis1 != dis0 {
+                        method_changed = true;
+                    }
+                    (en1, dis1)
+                };
+                let (en, dis) = if on_edges {
+                    (en.and(&model_c), dis.and(&model_c))
+                } else {
+                    (en, dis)
+                };
+                ann.insert(s, (en, dis));
+            }
+            if method_changed {
+                changed_methods.insert(m);
+            }
+        }
+        let lifted = LiftedProblem {
+            problem,
+            ctx,
+            model: model_c,
+            ann,
+        };
+        let impact = AbstractionImpact {
+            model_changed,
+            changed_methods,
+        };
+        (lifted, impact)
+    }
+
+    /// The maximally collapsed lifting (the lattice's A1-style bottom
+    /// point, [`LatticePoint::constraint_true`]): every feature
+    /// annotation is abstracted to *unknown* — the annotated flow and
+    /// the identity fall-back both fire under the constraint `true` —
+    /// and the feature model is ignored.
     ///
     /// This is the variability join abstraction of Dimovski et al.: the
     /// constraint lattice collapses to `{true, false}`, so the solve
@@ -332,41 +425,24 @@ where
     }
 }
 
-/// A rung of the variability-abstraction ladder, most precise first.
+/// Which methods an abstraction actually touched, reported by
+/// [`LiftedProblem::abstracted`].
 ///
-/// When a governed solve runs out of resources at one rung, the governor
-/// re-solves at the next: each rung's constraints are weaker-or-equal
-/// (entailed by) the previous rung's, so descending the ladder trades
-/// precision for resources without losing soundness (Dimovski et al.,
-/// *Variability Abstractions*).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Rung {
-    /// Full SPLLIFT: feature annotations and the feature model.
-    Full,
-    /// Feature model ignored; per-statement annotations still precise.
-    /// `c ∧ m ⊨ c`, so every constraint only weakens.
-    NoModel,
-    /// All annotations treated as unknown ([`LiftedProblem::collapsed`]):
-    /// every fact's constraint is `true`. No constraint work at all.
-    ConstraintTrue,
-}
-
-impl Rung {
-    /// Stable machine-readable name (used in server responses and bench
-    /// JSON).
-    pub fn as_str(self) -> &'static str {
-        match self {
-            Rung::Full => "full",
-            Rung::NoModel => "no-model",
-            Rung::ConstraintTrue => "constraint-true",
-        }
-    }
-}
-
-impl fmt::Display for Rung {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
+/// A method whose per-statement constraints are unchanged by the
+/// point's transformer (and whose model conjunct is unchanged) has
+/// bit-identical edge functions at that point, so its full-precision
+/// memoized jump functions and end summaries remain valid — provided
+/// the dirty set is closed under transitive *callers* (summaries embed
+/// callee summaries; see [`SolverMemo`]).
+#[derive(Debug, Clone)]
+pub struct AbstractionImpact<M> {
+    /// Whether the feature-model conjunct differs from full precision
+    /// (dropped or weakened). When it does, every edge changed and no
+    /// memo reuse is possible.
+    pub model_changed: bool,
+    /// Methods with at least one statement whose (enabled, disabled)
+    /// constraints changed. *Not* closed under callers.
+    pub changed_methods: FastSet<M>,
 }
 
 /// How a governed solve ([`LiftedSolution::solve_governed`]) finished.
@@ -374,49 +450,157 @@ impl fmt::Display for Rung {
 pub enum SolveOutcome {
     /// The precise solve fit the resource envelope.
     Complete,
-    /// One or more rungs aborted; the answer comes from `rung` and every
-    /// reported constraint is weaker-or-equal to the precise one.
+    /// One or more lattice points aborted; the answer comes from
+    /// `point` and every reported constraint is weaker-or-equal to
+    /// (entailed by) the precise one.
     Degraded {
-        /// The rung that produced the returned solution.
-        rung: Rung,
-        /// Each abandoned attempt, in ladder order, with the abort reason.
-        attempts: Vec<(Rung, String)>,
+        /// The exact lattice point that produced the returned solution
+        /// — clients can read off precisely which features were
+        /// projected, joined, or confounded.
+        point: LatticePoint,
+        /// Each abandoned attempt, in descent order, with the abort
+        /// reason.
+        attempts: Vec<(LatticePoint, String)>,
     },
 }
 
 impl SolveOutcome {
-    /// The rung the returned solution was computed at.
-    pub fn rung(&self) -> Rung {
+    /// The lattice point the returned solution was computed at
+    /// ([`LatticePoint::full`] for a complete solve).
+    pub fn point(&self) -> LatticePoint {
         match self {
-            SolveOutcome::Complete => Rung::Full,
-            SolveOutcome::Degraded { rung, .. } => *rung,
+            SolveOutcome::Complete => LatticePoint::full(),
+            SolveOutcome::Degraded { point, .. } => point.clone(),
         }
     }
 
-    /// `true` iff the solution is degraded (not from the top rung).
+    /// Stable machine-readable name of [`point`](Self::point) — the
+    /// `rung` field of server responses and bench JSON. The PR 5 rungs
+    /// keep their exact names (`full`, `no-model`, `constraint-true`).
+    pub fn rung_name(&self) -> String {
+        self.point().name()
+    }
+
+    /// `true` iff the solution is degraded (not from the top point).
     pub fn is_degraded(&self) -> bool {
         matches!(self, SolveOutcome::Degraded { .. })
+    }
+}
+
+/// Feature-universe hints the governor needs to pick lattice points
+/// adaptively. With no `keep` set, the governor's descent is exactly
+/// PR 5's hard ladder (full → no-model → constraint-true), so existing
+/// clients see byte-identical behavior.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatticeHints {
+    /// The full feature universe, `(id, name)` — names feed the stable
+    /// lattice-point labels. Required for adaptive descent (an empty
+    /// universe disables the adaptive points).
+    pub universe: Vec<(FeatureId, String)>,
+    /// Features the pending query cares about: abstractions that touch
+    /// any of these are skipped, so precision is spent only where the
+    /// client asked for it (`keep_features` on the wire,
+    /// `--keep-features` on the CLI). `None` = hard ladder.
+    pub keep: Option<Vec<FeatureId>>,
+    /// The feature model's OR groups (`FeatureModel::or_groups`) —
+    /// candidates for the *confound* abstraction.
+    pub or_groups: Vec<(FeatureId, Vec<FeatureId>)>,
+}
+
+impl LatticeHints {
+    fn named(&self, id: FeatureId) -> (FeatureId, String) {
+        let name = self
+            .universe
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("f{}", id.0));
+        (id, name)
+    }
+
+    /// The descent schedule, most precise first. Always starts at
+    /// [`LatticePoint::full`] and ends at
+    /// [`LatticePoint::constraint_true`]; what lies between depends on
+    /// `keep`:
+    ///
+    /// * `keep = None` — the PR 5 ladder: `no-model` (when a model is
+    ///   in play), nothing else.
+    /// * `keep = Some(K)` — cheapest-first adaptive points sparing `K`:
+    ///   confound every OR group disjoint from `K` (model kept, only
+    ///   group-member distinctions lost), then project away the entire
+    ///   non-kept universe, then the same projection with the model
+    ///   dropped too.
+    fn schedule(&self, model_in_play: bool) -> Vec<LatticePoint> {
+        let mut points = vec![LatticePoint::full()];
+        match &self.keep {
+            Some(keep) if !self.universe.is_empty() => {
+                let keep: FastSet<FeatureId> = keep.iter().copied().collect();
+                if model_in_play {
+                    let confounds: Vec<AbstractionStep> = self
+                        .or_groups
+                        .iter()
+                        .filter(|(p, ms)| !keep.contains(p) && ms.iter().all(|m| !keep.contains(m)))
+                        .map(|(p, ms)| {
+                            AbstractionStep::confound(
+                                self.named(*p),
+                                ms.iter().map(|&m| self.named(m)),
+                            )
+                        })
+                        .collect();
+                    if !confounds.is_empty() {
+                        points.push(LatticePoint::abstracted(confounds));
+                    }
+                }
+                let away: Vec<(FeatureId, String)> = self
+                    .universe
+                    .iter()
+                    .filter(|(id, _)| !keep.contains(id))
+                    .cloned()
+                    .collect();
+                if !away.is_empty() {
+                    let project = LatticePoint::abstracted(vec![AbstractionStep::project(away)]);
+                    points.push(project.clone());
+                    if model_in_play {
+                        points.push(project.without_model());
+                    }
+                } else if model_in_play {
+                    points.push(LatticePoint::no_model());
+                }
+            }
+            _ => {
+                if model_in_play {
+                    points.push(LatticePoint::no_model());
+                }
+            }
+        }
+        points.push(LatticePoint::constraint_true());
+        points.dedup();
+        points
     }
 }
 
 /// Resource envelope for a governed solve. Every limit defaults to
 /// unlimited; with all limits off, [`LiftedSolution::solve_governed`] is
 /// exactly [`LiftedSolution::solve_with`] plus an `Ok(Complete)`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GovernorOptions {
-    /// BDD node budget per rung attempt (nodes allocated since arming).
+    /// BDD node budget per lattice-point attempt (nodes allocated since
+    /// arming).
     pub max_bdd_nodes: Option<u64>,
-    /// BDD operation budget per rung attempt.
+    /// BDD operation budget per lattice-point attempt.
     pub max_bdd_ops: Option<u64>,
-    /// Phase-1 propagation cap per rung attempt.
+    /// Phase-1 propagation cap per lattice-point attempt.
     pub max_propagations: Option<u64>,
-    /// Wall-clock allowance per rung attempt (each rung gets a fresh
-    /// deadline — a rung that burns its allowance must not starve the
-    /// cheaper fallback below it).
+    /// Wall-clock allowance per attempt (each lattice point gets a
+    /// fresh deadline — a point that burns its allowance must not
+    /// starve the cheaper fallback below it).
     pub timeout: Option<Duration>,
     /// Base solver tuning (worklist dedup etc.); the governor overrides
     /// the `limits`/`poll_budget` fields per attempt.
     pub solver: IdeSolverOptions,
+    /// Feature-universe hints for adaptive descent; default = PR 5's
+    /// hard ladder.
+    pub lattice: LatticeHints,
 }
 
 impl GovernorOptions {
@@ -434,6 +618,37 @@ impl GovernorOptions {
             ..self.solver
         }
     }
+}
+
+/// The transitive-caller closure of `changed`: every method from which
+/// some changed method is reachable in the call graph (including the
+/// changed methods themselves). This is the dirty set memo reuse needs
+/// — a caller's summaries embed callee summaries, so a clean caller of
+/// a changed callee would leak stale constraints.
+fn transitive_callers<G: AnnotatedIcfg>(
+    icfg: &G,
+    changed: &FastSet<G::Method>,
+) -> FastSet<G::Method> {
+    let mut callers_of: FastMap<G::Method, Vec<G::Method>> = FastMap::default();
+    for m in icfg.methods() {
+        for s in icfg.calls_in(m) {
+            for callee in icfg.callees_of(s) {
+                callers_of.entry(callee).or_default().push(m);
+            }
+        }
+    }
+    let mut dirty: FastSet<G::Method> = changed.clone();
+    let mut work: Vec<G::Method> = changed.iter().copied().collect();
+    while let Some(m) = work.pop() {
+        if let Some(callers) = callers_of.get(&m) {
+            for &c in callers {
+                if dirty.insert(c) {
+                    work.push(c);
+                }
+            }
+        }
+    }
+    dirty
 }
 
 /// The result of running SPLLIFT: for every (statement, fact) pair, the
@@ -558,16 +773,47 @@ where
         (LiftedSolution { solver }, next)
     }
 
+    /// SPLLIFT at an explicit lattice point, ungoverned — the
+    /// entailment-differential harness and the fuzz campaign's
+    /// weakening verdict compare this against [`solve`](Self::solve).
+    pub fn solve_abstracted<P, Ctx>(
+        problem: &P,
+        icfg: &'g G,
+        ctx: &Ctx,
+        model: Option<&FeatureExpr>,
+        mode: ModelMode,
+        point: &LatticePoint,
+    ) -> Self
+    where
+        P: IfdsProblem<G, Fact = D> + Sync,
+        Ctx: ConstraintContext<C = C> + Sync,
+        G: Sync,
+        G::Stmt: Send + Sync,
+        G::Method: Send + Sync,
+        D: Send + Sync,
+        C: Send + Sync,
+    {
+        let lifted_icfg = LiftedIcfg::new(icfg);
+        let (lifted, _) = LiftedProblem::abstracted(problem, icfg, ctx, model, mode, point);
+        let solver = IdeSolver::solve_with(&lifted, &lifted_icfg, IdeSolverOptions::default());
+        LiftedSolution { solver }
+    }
+
     /// Resource-governed SPLLIFT: solves under the `gov` envelope,
-    /// descending the abstraction ladder on exhaustion.
+    /// descending the variability-abstraction lattice on exhaustion.
     ///
-    /// The attempt order is [`Rung::Full`], then [`Rung::NoModel`] (only
-    /// when a feature model is actually in play), then
-    /// [`Rung::ConstraintTrue`]. Each attempt re-arms the constraint
-    /// budget and gets a fresh deadline; a successful attempt disarms the
-    /// budget (so result rendering runs unmetered) and reports which rung
-    /// answered via [`SolveOutcome`]. `Err` is returned only when even
-    /// the bottom rung aborted (e.g. a deadline too short for any solve).
+    /// The attempt order is [`LatticeHints::schedule`]'s descent: the
+    /// full-precision top first, then — when `gov.lattice.keep` names
+    /// the features the pending query cares about — progressively
+    /// coarser points that spare exactly those features (confound
+    /// unrelated OR groups, project away the non-kept universe, drop
+    /// the model), ending at the constraint-true bottom. Without
+    /// `keep`, the descent is PR 5's hard ladder. Each attempt re-arms
+    /// the constraint budget and gets a fresh deadline; a successful
+    /// attempt disarms the budget (so result rendering runs unmetered)
+    /// and reports which lattice point answered via [`SolveOutcome`].
+    /// `Err` is returned only when even the bottom point aborted (e.g.
+    /// a deadline too short for any solve).
     pub fn solve_governed<P, Ctx>(
         problem: &P,
         icfg: &'g G,
@@ -600,11 +846,17 @@ where
 
     /// [`solve_governed`](Self::solve_governed) warm-started from a memo.
     ///
-    /// The memo is only consulted by the [`Rung::Full`] attempt (retained
-    /// jump functions encode full-precision constraints, which would leak
-    /// stale precision into a degraded rung), and the returned memo is
-    /// non-empty only when that attempt completed — after a degraded
-    /// solve the next round starts cold.
+    /// The full-precision attempt consults `memo` as usual. A degraded
+    /// attempt still reuses the memo *selectively*: methods whose
+    /// constraints the lattice point leaves bit-identical (per
+    /// [`AbstractionImpact`], closed under transitive callers) keep
+    /// their retained jump functions — they encode exactly the same
+    /// edge functions at that point. When the point changes the
+    /// feature-model conjunct (drops or weakens it) every edge changed,
+    /// so the attempt runs cold. The *returned* memo is non-empty only
+    /// when the full attempt completed — a degraded solve's jump
+    /// functions encode weakened constraints that must not seed a later
+    /// full-precision round.
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     pub fn solve_governed_memoized<P, Ctx>(
         problem: &P,
@@ -634,55 +886,80 @@ where
     {
         let lifted_icfg = LiftedIcfg::new(icfg);
         let model_in_play = model.is_some() && mode != ModelMode::Ignore;
-        let mut rungs = vec![Rung::Full];
-        if model_in_play {
-            rungs.push(Rung::NoModel);
-        }
-        rungs.push(Rung::ConstraintTrue);
+        let points = gov.lattice.schedule(model_in_play);
 
-        let mut attempts: Vec<(Rung, String)> = Vec::new();
+        let mut attempts: Vec<(LatticePoint, String)> = Vec::new();
         let empty_memo = SolverMemo::default();
         let mut last_abort = None;
-        for rung in rungs {
+        for point in points {
             // Arm before *constructing* the problem: translating the
-            // annotations and the model runs constraint operations that
-            // can themselves blow up.
+            // annotations and the model (and applying the abstraction
+            // transformers) runs constraint operations that can
+            // themselves blow up.
             if gov.arms_budget() {
                 ctx.arm_budget(gov.max_bdd_nodes, gov.max_bdd_ops);
             }
             let options = gov.solver_options();
-            let lifted = match rung {
-                Rung::Full => LiftedProblem::new(problem, icfg, ctx, model, mode),
-                Rung::NoModel => LiftedProblem::new(problem, icfg, ctx, None, ModelMode::Ignore),
-                Rung::ConstraintTrue => LiftedProblem::collapsed(problem, icfg, ctx),
-            };
-            let rung_memo = if rung == Rung::Full {
-                memo
+            let is_full = point.is_full();
+            let (lifted, impact) = if is_full {
+                (LiftedProblem::new(problem, icfg, ctx, model, mode), None)
             } else {
-                &empty_memo
+                let (lifted, impact) =
+                    LiftedProblem::abstracted(problem, icfg, ctx, model, mode, &point);
+                (lifted, Some(impact))
             };
-            match IdeSolver::try_solve_seeded(&lifted, &lifted_icfg, options, rung_memo, clean) {
+            // The constraint work above can already exhaust the budget;
+            // bail out before solving on garbage constraints.
+            if let Err(reason) = ctx.budget_status() {
+                let abort = SolveAbort::Budget(reason);
+                attempts.push((point, abort.to_string()));
+                last_abort = Some(abort);
+                continue;
+            }
+            // Memo reuse: the full attempt uses the caller's clean
+            // predicate as-is. A degraded attempt additionally dirties
+            // every method the abstraction touched, closed under
+            // transitive callers; a changed model conjunct invalidates
+            // everything (run cold).
+            let reuse_memo = match &impact {
+                None => true,
+                Some(impact) => !impact.model_changed,
+            };
+            let dirty = impact
+                .as_ref()
+                .filter(|impact| !impact.model_changed && !impact.changed_methods.is_empty())
+                .map(|impact| transitive_callers(icfg, &impact.changed_methods));
+            let composed_clean =
+                |m: G::Method| clean(m) && dirty.as_ref().is_none_or(|d| !d.contains(&m));
+            let point_memo = if reuse_memo { memo } else { &empty_memo };
+            match IdeSolver::try_solve_seeded(
+                &lifted,
+                &lifted_icfg,
+                options,
+                point_memo,
+                &composed_clean,
+            ) {
                 Ok((solver, next_memo)) => {
                     ctx.disarm_budget();
                     let solution = LiftedSolution { solver };
-                    return Ok(if rung == Rung::Full {
+                    return Ok(if is_full {
                         (solution, SolveOutcome::Complete, next_memo)
                     } else {
                         (
                             solution,
-                            SolveOutcome::Degraded { rung, attempts },
+                            SolveOutcome::Degraded { point, attempts },
                             SolverMemo::default(),
                         )
                     });
                 }
                 Err(abort) => {
-                    attempts.push((rung, abort.to_string()));
+                    attempts.push((point, abort.to_string()));
                     last_abort = Some(abort);
                 }
             }
         }
         ctx.disarm_budget();
-        Err(last_abort.expect("ladder has at least one rung"))
+        Err(last_abort.expect("lattice descent has at least one point"))
     }
 
     /// The constraint under which `fact` may hold at `stmt`

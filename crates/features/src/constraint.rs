@@ -1,7 +1,7 @@
 //! The constraint abstraction used as SPLLIFT's IDE value domain, and its
 //! primary (BDD-backed) implementation.
 
-use crate::{Configuration, FeatureExpr, FeatureId};
+use crate::{AbstractionStep, Configuration, FeatureExpr, FeatureId};
 use spllift_bdd::{Bdd, BddManager, VarId};
 use std::collections::HashMap;
 use std::fmt::Debug;
@@ -66,6 +66,18 @@ pub trait ConstraintContext {
     /// poll this to abort instead of computing with garbage constraints.
     fn budget_status(&self) -> Result<(), String> {
         Ok(())
+    }
+
+    /// Applies a composition of variability-abstraction steps to `c`,
+    /// left to right (see [`crate::abstraction`]).
+    ///
+    /// Implementations must be *weakening*: the result is entailed by
+    /// `c` on every assignment. The default (for representations
+    /// without quantification, like the DNF ablation context) is the
+    /// identity — trivially weakening (`c ⊨ c`), it just gains no
+    /// resource headroom from descending the lattice.
+    fn apply_abstraction(&self, _steps: &[AbstractionStep], c: &Self::C) -> Self::C {
+        c.clone()
     }
 
     /// Translates a feature expression to a constraint.
@@ -201,6 +213,48 @@ impl BddConstraintContext {
         c.sat_count()
     }
 
+    /// The BDD variables for `features`, skipping features unknown to
+    /// this context (they cannot occur in any constraint it produced,
+    /// so abstracting them is a no-op).
+    fn vars_for(&self, features: &[(FeatureId, String)]) -> Vec<VarId> {
+        features
+            .iter()
+            .filter_map(|(f, _)| self.var_of(*f))
+            .collect()
+    }
+
+    /// The join transformer over the variables `vars` with proxy
+    /// `d = ⋁ vars`: `τ(c) = (d ∧ ∃vars.(c ∧ d)) ∨ (¬d ∧ c[vars ↦ 0])`.
+    ///
+    /// Weakening on *every* assignment: if all of `vars` are off the
+    /// value is exactly `c`; if any is on, `c`'s value implies the
+    /// existential. (No feature-model validity assumption — this is
+    /// what makes confound sound even on invalid configurations.)
+    fn join_vars(&self, vars: &[VarId], c: &Bdd) -> Bdd {
+        if vars.is_empty() {
+            return c.clone();
+        }
+        let d = vars
+            .iter()
+            .fold(self.mgr.bottom(), |acc, &v| acc.or(&self.mgr.var_bdd(v)));
+        let all_off = vars
+            .iter()
+            .fold(c.clone(), |acc, &v| acc.restrict(v, false));
+        let any_on = c.and(&d).exists_many(vars);
+        d.and(&any_on).or(&d.not().and(&all_off))
+    }
+
+    /// Applies one variability-abstraction step to `c` (see
+    /// [`crate::abstraction`] for the transformer definitions and the
+    /// weakening argument).
+    pub fn apply_step(&self, step: &AbstractionStep, c: &Bdd) -> Bdd {
+        match step {
+            AbstractionStep::Project { features } => c.exists_many(&self.vars_for(features)),
+            AbstractionStep::Join { features } => self.join_vars(&self.vars_for(features), c),
+            AbstractionStep::Confound { members, .. } => self.join_vars(&self.vars_for(members), c),
+        }
+    }
+
     /// Translates a BDD back into a [`FeatureExpr`] by Shannon expansion
     /// on its topmost variable — the inverse direction of
     /// [`ConstraintContext::of_expr`].
@@ -268,6 +322,12 @@ impl ConstraintContext for BddConstraintContext {
                 .get(v.0 as usize)
                 .is_some_and(|f| config.is_enabled(*f))
         })
+    }
+
+    fn apply_abstraction(&self, steps: &[AbstractionStep], c: &Bdd) -> Bdd {
+        steps
+            .iter()
+            .fold(c.clone(), |acc, s| self.apply_step(s, &acc))
     }
 
     fn arm_budget(&self, max_nodes: Option<u64>, max_ops: Option<u64>) {

@@ -35,6 +35,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod abstraction;
 mod config;
 mod constraint;
 mod dnf;
@@ -43,6 +44,7 @@ mod model;
 mod model_text;
 mod parallel;
 
+pub use abstraction::{AbstractionStep, LatticePoint, NamedFeature};
 pub use config::{all_configurations, partition_configurations, partition_slice, Configuration};
 pub use constraint::{BddConstraint, BddConstraintContext, Constraint, ConstraintContext};
 pub use dnf::{Dnf, DnfConstraintContext};

@@ -236,6 +236,18 @@ impl FeatureModel {
         acc
     }
 
+    /// The model's OR groups as `(parent, members)` pairs, in
+    /// declaration order — the candidates for the governor's *confound*
+    /// abstraction (XOR groups are excluded: confounding loses their
+    /// mutual-exclusion structure for no extra resource headroom).
+    pub fn or_groups(&self) -> Vec<(FeatureId, Vec<FeatureId>)> {
+        self.groups
+            .iter()
+            .filter(|g| g.kind == GroupKind::Or)
+            .map(|g| (g.parent, g.members.clone()))
+            .collect()
+    }
+
     /// All features mentioned by the model (root, tree, groups,
     /// cross-tree constraints).
     pub fn features(&self) -> BTreeSet<FeatureId> {

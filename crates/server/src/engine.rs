@@ -33,10 +33,11 @@
 use crate::cache::{CacheKey, SolutionCache};
 use crate::store::RenderedSolution;
 use crate::ServerOptions;
-use spllift_features::{BddConstraintContext, FeatureExpr, FeatureTable};
+use spllift_features::{BddConstraintContext, FeatureExpr, FeatureId, FeatureTable};
 use spllift_hash::FastMap;
 use spllift_ide::IdeStats;
 use spllift_ir::{fingerprint, Program};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -76,6 +77,11 @@ pub struct LoadedSpl {
     pub table: FeatureTable,
     /// The feature-model constraint, if any.
     pub model: Option<FeatureExpr>,
+    /// The model's OR groups (`parent`, members) — candidates for the
+    /// governor's *confound* abstraction when a request names
+    /// `keep_features`. Empty when the model has none (or none was
+    /// loaded).
+    pub or_groups: Vec<(FeatureId, Vec<FeatureId>)>,
     /// Fingerprint of `(program, table, model)`.
     pub fingerprint: u64,
     /// The shared BDD space (same handle across COW clones).
@@ -88,6 +94,7 @@ impl LoadedSpl {
         program: Program,
         table: FeatureTable,
         model: Option<FeatureExpr>,
+        or_groups: Vec<(FeatureId, Vec<FeatureId>)>,
     ) -> Result<LoadedSpl, String> {
         if program.entry_points().is_empty() {
             return Err("no entry point: declare a method named `main`".into());
@@ -104,6 +111,7 @@ impl LoadedSpl {
             program,
             table,
             model,
+            or_groups,
             fingerprint: fp,
             space,
         })
@@ -124,12 +132,16 @@ pub struct GovCounters {
     pub analyze_requests: AtomicU64,
     /// Panics caught by the per-request isolation barrier.
     pub panics_isolated: AtomicU64,
-    /// Solves answered from a ladder rung below full precision.
+    /// Solves answered from a lattice point below full precision.
     pub degraded_solves: AtomicU64,
-    /// Solves where every ladder rung aborted.
+    /// Solves where every lattice point aborted.
     pub solve_failures: AtomicU64,
     /// Faults actually injected by `--inject-fault`.
     pub faults_injected: AtomicU64,
+    /// Per-lattice-point degradation counters: stable point name →
+    /// how many solves completed at that abstraction. Sorted map so the
+    /// `stats` rendering is deterministic.
+    pub degraded_points: Mutex<BTreeMap<String, u64>>,
 }
 
 impl GovCounters {
@@ -137,6 +149,20 @@ impl GovCounters {
     /// ordinal — the global fault trigger sequence.
     pub fn bump_analyze(&self) -> u64 {
         self.analyze_requests.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Records one degraded solve completing at the lattice point named
+    /// `point` (also bumps the `degraded_solves` total).
+    pub fn note_degraded(&self, point: &str) {
+        self.degraded_solves.fetch_add(1, Ordering::SeqCst);
+        let mut map = self.degraded_points.lock().expect("degraded_points lock");
+        *map.entry(point.to_owned()).or_insert(0) += 1;
+    }
+
+    /// A sorted snapshot of the per-point counters.
+    pub fn degraded_points_snapshot(&self) -> Vec<(String, u64)> {
+        let map = self.degraded_points.lock().expect("degraded_points lock");
+        map.iter().map(|(k, &v)| (k.clone(), v)).collect()
     }
 }
 

@@ -304,6 +304,15 @@ impl Executor {
                     ("analyze_requests", load(&gov.analyze_requests)),
                     ("panics_isolated", load(&gov.panics_isolated)),
                     ("degraded_solves", load(&gov.degraded_solves)),
+                    (
+                        "degraded_points",
+                        Json::Obj(
+                            gov.degraded_points_snapshot()
+                                .into_iter()
+                                .map(|(point, n)| (point, Json::num(n)))
+                                .collect(),
+                        ),
+                    ),
                     ("solve_failures", load(&gov.solve_failures)),
                     ("faults_injected", load(&gov.faults_injected)),
                     (

@@ -14,9 +14,10 @@
 
 use crate::engine::{Engine, LoadedSpl};
 use crate::store::{mode_str, parse_mode, ChaosSpec, RenderedSolution, Store, ANALYSES};
+use crate::ServerOptions;
 use spllift_benchgen::{parse_subject_spec, GeneratedSpl, SubjectSpec};
-use spllift_core::{GovernorOptions, ModelMode, SolveOutcome};
-use spllift_features::{parse_feature_model, Configuration, FeatureTable};
+use spllift_core::{GovernorOptions, LatticeHints, ModelMode, SolveOutcome};
+use spllift_features::{parse_feature_model, Configuration, FeatureId, FeatureTable};
 use spllift_frontend::parse_source;
 use spllift_ide::IdeStats;
 use spllift_ir::{MethodId, Program};
@@ -378,7 +379,7 @@ impl ShardState {
         {
             return Err("load takes exactly one of `source`, `path`, `gen`".into());
         }
-        let (program, table, model) = if let Some(spec) = gen {
+        let (program, table, model, or_groups) = if let Some(spec) = gen {
             if model_text.is_some() {
                 return Err(
                     "`model` cannot be combined with `gen` (the generated feature model is used)"
@@ -387,8 +388,9 @@ impl ShardState {
             }
             let spl = GeneratedSpl::generate(parse_gen_spec(spec)?);
             let model = Some(spl.model_expr());
+            let or_groups = spl.model.or_groups();
             let GeneratedSpl { program, table, .. } = spl;
-            (program, table, model)
+            (program, table, model, or_groups)
         } else {
             let text = match (source, path) {
                 (Some(s), _) => s.to_owned(),
@@ -399,20 +401,23 @@ impl ShardState {
             };
             let mut table = FeatureTable::new();
             let program = parse_source(&text, &mut table)?;
-            let model = match model_text {
-                None => None,
-                Some(mt) => Some(
-                    parse_feature_model(mt, &mut table)
-                        .map_err(|e| format!("model: {e}"))?
-                        .to_expr(),
-                ),
+            let (model, or_groups) = match model_text {
+                None => (None, Vec::new()),
+                Some(mt) => {
+                    let fm =
+                        parse_feature_model(mt, &mut table).map_err(|e| format!("model: {e}"))?;
+                    let or_groups = fm.or_groups();
+                    (Some(fm.to_expr()), or_groups)
+                }
             };
-            (program, table, model)
+            (program, table, model, or_groups)
         };
         // Intern through the engine: a session loading an already-resident
         // product line shares the parsed artifact instead of retaining a
         // second copy.
-        let spl = self.engine.intern(LoadedSpl::new(program, table, model)?);
+        let spl = self
+            .engine
+            .intern(LoadedSpl::new(program, table, model, or_groups)?);
         let store = Store::new(spl);
         let resp = obj(vec![
             ("type", Json::str("ok")),
@@ -469,6 +474,65 @@ impl ShardState {
         Ok(gov)
     }
 
+    /// Resolves this request's lattice hints: the feature universe, the
+    /// features the client needs kept precise (the request's
+    /// `keep_features` array, else the server-wide `--keep-features`
+    /// default), and the model's OR groups — everything the governor
+    /// needs to schedule feature-sparing abstractions before it falls
+    /// back to the canonical ladder. The per-request list is strict
+    /// (naming an unknown feature is an error, since the client is
+    /// talking about *this* product line); the server-wide default is
+    /// filtered to the session's universe, because one flag may serve
+    /// sessions over different product lines.
+    fn lattice_hints(
+        req: &Json,
+        opts: &ServerOptions,
+        spl: &LoadedSpl,
+    ) -> Result<LatticeHints, String> {
+        const KEEP_ERR: &str = "`keep_features` must be an array of feature-name strings";
+        let requested: Option<Vec<String>> = match req.get("keep_features") {
+            None => None,
+            Some(j) => Some(
+                j.as_arr()
+                    .ok_or(KEEP_ERR)?
+                    .iter()
+                    .map(|item| item.as_str().map(str::to_owned).ok_or(KEEP_ERR))
+                    .collect::<Result<_, _>>()?,
+            ),
+        };
+        let keep = match requested {
+            Some(names) => {
+                let mut ids = Vec::with_capacity(names.len());
+                for n in &names {
+                    ids.push(
+                        spl.table
+                            .get(n)
+                            .ok_or_else(|| format!("unknown feature `{n}` in `keep_features`"))?,
+                    );
+                }
+                Some(ids)
+            }
+            None => match &opts.keep_features {
+                None => return Ok(LatticeHints::default()),
+                Some(names) => {
+                    let ids: Vec<FeatureId> =
+                        names.iter().filter_map(|n| spl.table.get(n)).collect();
+                    if ids.is_empty() {
+                        // None of the default names exist here — behave
+                        // exactly as if no default were configured.
+                        return Ok(LatticeHints::default());
+                    }
+                    Some(ids)
+                }
+            },
+        };
+        Ok(LatticeHints {
+            universe: spl.table.iter().map(|(id, n)| (id, n.to_owned())).collect(),
+            keep,
+            or_groups: spl.or_groups.clone(),
+        })
+    }
+
     /// Arms the injected fault for this request if the plan's trigger
     /// matches, patching implicit budgets so the fault class has a
     /// meter to trip (a blowup needs an op budget, a stall a deadline).
@@ -487,6 +551,19 @@ impl ShardState {
                     .or(Some(Duration::from_millis(FAULT_TIMEOUT_MS)));
             }
             FaultKind::PanicInFlow => {}
+            FaultKind::BudgetExhaust => {
+                // The armed meter *is* the fault: a per-attempt op budget
+                // of exactly `ops` trips mid-solve at a reproducible
+                // operation, with no wrapper in the flow path. Override
+                // (rather than `.or()`) so the plan wins even when a
+                // server-wide budget is configured.
+                gov.max_bdd_ops = Some(plan.ops);
+                self.engine
+                    .gov
+                    .faults_injected
+                    .fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
         }
         self.engine
             .gov
@@ -521,6 +598,7 @@ impl ShardState {
             .stores
             .get_mut(name)
             .ok_or_else(|| format!("unknown session `{name}` (send a `load` first)"))?;
+        gov.lattice = Self::lattice_hints(req, &engine.opts, &store.spl)?;
         store.analyze_seq += 1;
         let key = (
             store.fingerprint(),
@@ -549,7 +627,7 @@ impl ShardState {
                 // degraded answer must not shadow a later, better-funded
                 // solve of the same fingerprint.
                 if out.outcome.is_degraded() {
-                    engine.gov.degraded_solves.fetch_add(1, Ordering::SeqCst);
+                    engine.gov.note_degraded(&out.solution.rung);
                 } else {
                     engine.cache_insert(key, Arc::clone(&out.solution));
                 }
@@ -572,7 +650,7 @@ impl ShardState {
                     "complete"
                 }),
             ),
-            ("rung", Json::str(solution.rung)),
+            ("rung", Json::str(solution.rung.clone())),
             ("propagations", Json::num(stats.propagations)),
             ("flow_evals", Json::num(stats.flow_evals)),
             ("jump_fns", Json::num(stats.jump_fn_constructions)),
@@ -586,9 +664,9 @@ impl ShardState {
                 Json::Arr(
                     attempts
                         .iter()
-                        .map(|(rung, reason)| {
+                        .map(|(point, reason)| {
                             obj(vec![
-                                ("rung", Json::str(rung.as_str())),
+                                ("rung", Json::str(point.name())),
                                 ("reason", Json::str(reason.clone())),
                             ])
                         })

@@ -115,6 +115,14 @@ pub struct ServerOptions {
     /// request's `threads` field overrides it. Results are
     /// byte-identical at every value.
     pub threads: usize,
+    /// Features every degraded solve must keep precise
+    /// (`--keep-features A,B`): when budgets trip, the governor
+    /// schedules feature-sparing abstractions (confound OR groups,
+    /// project away everything else) before the canonical ladder. A
+    /// request's `keep_features` field overrides it; names not in a
+    /// session's feature universe are ignored (the per-request field,
+    /// by contrast, rejects unknown names).
+    pub keep_features: Option<Vec<String>>,
 }
 
 impl Default for ServerOptions {
@@ -132,6 +140,7 @@ impl Default for ServerOptions {
             inject_fault: None,
             fault_session: None,
             threads: 1,
+            keep_features: None,
         }
     }
 }

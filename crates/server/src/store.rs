@@ -31,7 +31,8 @@ use spllift_analyses::{
 };
 use spllift_bdd::Bdd;
 use spllift_core::{
-    ConstraintEdge, GovernorOptions, LiftedSolution, ModelMode, Rung, SolveOutcome, SolverMemo,
+    ConstraintEdge, GovernorOptions, LatticePoint, LiftedSolution, ModelMode, SolveOutcome,
+    SolverMemo,
 };
 use spllift_features::{BddConstraintContext, FeatureExpr};
 use spllift_hash::{FastMap, FxHasher64};
@@ -94,10 +95,12 @@ pub struct RenderedSolution {
     pub reach: Vec<ReachRow>,
     /// Counters of the solve that produced this solution.
     pub stats: IdeStats,
-    /// The abstraction-ladder rung that produced this solution
-    /// (`"full"` unless the solve degraded under resource pressure).
-    pub rung: &'static str,
-    /// `true` iff `rung` is not the top of the ladder.
+    /// Stable name of the variability-abstraction lattice point that
+    /// produced this solution (`"full"` unless the solve degraded under
+    /// resource pressure; e.g. `"no-model"` or
+    /// `"confound(Base)+project(F,G)"`).
+    pub rung: String,
+    /// `true` iff `rung` is not the top of the lattice.
     pub degraded: bool,
     /// Order-sensitive hash over every rendered row (and the rung).
     pub digest: u64,
@@ -126,12 +129,13 @@ fn render_solution<D>(
     solution: &LiftedSolution<'_, ProgramIcfg<'_>, D, Bdd>,
     icfg: &ProgramIcfg<'_>,
     ctx: &BddConstraintContext,
-    rung: Rung,
+    point: &LatticePoint,
 ) -> RenderedSolution
 where
     D: Clone + Eq + Ord + Hash + std::fmt::Debug,
 {
-    let degraded = rung != Rung::Full;
+    let rung = point.name();
+    let degraded = !point.is_full();
     let mut facts = Vec::new();
     let mut reach = Vec::new();
     for m in icfg.methods() {
@@ -184,7 +188,7 @@ where
         facts,
         reach,
         stats: solution.stats(),
-        rung: rung.as_str(),
+        rung,
         degraded,
         digest: h.finish(),
         bytes,
@@ -305,7 +309,7 @@ where
     let (solution, outcome, next_memo) =
         result.map_err(|abort| format!("solve aborted at every ladder rung: {abort}"))?;
     let stats = solution.stats();
-    let rendered = Arc::new(render_solution(&solution, &icfg, ctx, outcome.rung()));
+    let rendered = Arc::new(render_solution(&solution, &icfg, ctx, &outcome.point()));
     if outcome.is_degraded() {
         // A degraded solve's jump functions are weaker than full
         // precision; keeping them would leak the degradation into the

@@ -35,6 +35,15 @@ pub enum FaultKind {
     /// Sleep through the wall-clock allowance — models a pathologically
     /// slow edge-function evaluation tripping the deadline.
     SlowEdge,
+    /// Deterministically exhaust the BDD *operation* budget at a chosen
+    /// point: the server arms an op budget of exactly `N`
+    /// (`--inject-fault budget-exhaust@N`), so the meter trips on the
+    /// operation after the `N`-th — mid-solve, at a reproducible spot —
+    /// and the governor descends the variability-abstraction lattice.
+    /// In-process tests use the wrapper form instead
+    /// ([`ChaosWrapper::with_delay`]): the fault fires at the chosen
+    /// flow evaluation and burns the remaining budget via `on_blowup`.
+    BudgetExhaust,
 }
 
 impl FaultKind {
@@ -44,6 +53,7 @@ impl FaultKind {
             FaultKind::PanicInFlow => "panic-in-flow",
             FaultKind::BddBlowup => "bdd-blowup",
             FaultKind::SlowEdge => "slow-edge",
+            FaultKind::BudgetExhaust => "budget-exhaust",
         }
     }
 
@@ -53,15 +63,17 @@ impl FaultKind {
             "panic-in-flow" => Some(FaultKind::PanicInFlow),
             "bdd-blowup" => Some(FaultKind::BddBlowup),
             "slow-edge" => Some(FaultKind::SlowEdge),
+            "budget-exhaust" => Some(FaultKind::BudgetExhaust),
             _ => None,
         }
     }
 
     /// All fault classes, for exhaustive chaos sweeps.
-    pub const ALL: [FaultKind; 3] = [
+    pub const ALL: [FaultKind; 4] = [
         FaultKind::PanicInFlow,
         FaultKind::BddBlowup,
         FaultKind::SlowEdge,
+        FaultKind::BudgetExhaust,
     ];
 }
 
@@ -71,20 +83,35 @@ impl fmt::Display for FaultKind {
     }
 }
 
-/// A parsed `--inject-fault {kind}@{trigger}` plan: inject `kind` on the
-/// `trigger`-th qualifying event (1-based; the server counts `analyze`
-/// requests).
+/// A parsed `--inject-fault {kind}@{n}` plan.
+///
+/// For the operational faults (`panic-in-flow`, `bdd-blowup`,
+/// `slow-edge`), `n` is the 1-based ordinal of the `analyze` request to
+/// sabotage. For `budget-exhaust`, `n` is the *operation count*: the
+/// victim request (always the first qualifying `analyze`) is armed with
+/// a BDD op budget of exactly `n`, so the meter trips deterministically
+/// on the operation after the `n`-th.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// What to inject.
     pub kind: FaultKind,
     /// 1-based ordinal of the event to sabotage.
     pub trigger: u64,
+    /// [`FaultKind::BudgetExhaust`] only: the op budget to arm (the
+    /// meter admits exactly this many operations).
+    pub ops: u64,
 }
 
+/// Default op budget for a bare `budget-exhaust` plan — small enough to
+/// trip on any non-trivial subject, large enough to survive lifting a
+/// handful of annotation constraints.
+pub const DEFAULT_EXHAUST_OPS: u64 = 1000;
+
 impl FaultPlan {
-    /// Parses `"kind@n"` (e.g. `"panic-in-flow@2"`). A bare `"kind"`
-    /// means trigger 1.
+    /// Parses `"kind@n"` (e.g. `"panic-in-flow@2"`, where `n` is the
+    /// trigger ordinal, or `"budget-exhaust@500"`, where `n` is the op
+    /// count). A bare `"kind"` means trigger 1 (resp.
+    /// [`DEFAULT_EXHAUST_OPS`] operations).
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
         let (kind_s, trig_s) = match s.split_once('@') {
             Some((k, t)) => (k, Some(t)),
@@ -92,23 +119,37 @@ impl FaultPlan {
         };
         let kind = FaultKind::parse(kind_s).ok_or_else(|| {
             format!(
-                "unknown fault kind `{kind_s}` (expected one of: panic-in-flow, bdd-blowup, slow-edge)"
+                "unknown fault kind `{kind_s}` (expected one of: panic-in-flow, bdd-blowup, slow-edge, budget-exhaust)"
             )
         })?;
-        let trigger =
+        let n =
             match trig_s {
-                None => 1,
-                Some(t) => t.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                None => None,
+                Some(t) => Some(t.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                     format!("invalid fault trigger `{t}` (expected integer >= 1)")
-                })?,
+                })?),
             };
-        Ok(FaultPlan { kind, trigger })
+        Ok(match kind {
+            FaultKind::BudgetExhaust => FaultPlan {
+                kind,
+                trigger: 1,
+                ops: n.unwrap_or(DEFAULT_EXHAUST_OPS),
+            },
+            _ => FaultPlan {
+                kind,
+                trigger: n.unwrap_or(1),
+                ops: DEFAULT_EXHAUST_OPS,
+            },
+        })
     }
 }
 
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}", self.kind, self.trigger)
+        match self.kind {
+            FaultKind::BudgetExhaust => write!(f, "{}@{}", self.kind, self.ops),
+            _ => write!(f, "{}@{}", self.kind, self.trigger),
+        }
     }
 }
 
@@ -132,22 +173,41 @@ pub struct ChaosWrapper<'a, P> {
     /// How long a [`FaultKind::SlowEdge`] evaluation stalls. Must exceed
     /// the governor's per-rung allowance for the fault to be observed.
     slow_for: Duration,
-    /// [`FaultKind::BddBlowup`] handler: burns the constraint budget.
-    /// Injected by the harness because the wrapper itself is
-    /// representation-agnostic (the server passes a closure charging the
-    /// session's BDD manager).
+    /// [`FaultKind::BddBlowup`] / [`FaultKind::BudgetExhaust`] handler:
+    /// burns the constraint budget. Injected by the harness because the
+    /// wrapper itself is representation-agnostic (the server passes a
+    /// closure charging the session's BDD manager).
     on_blowup: Box<dyn Fn() + Sync + 'a>,
+    /// Flow evaluations to let through untouched before the charges
+    /// start being claimed — lets a test exhaust the budget at a chosen
+    /// point *mid-solve* instead of on the very first evaluation.
+    delay: AtomicU64,
 }
 
 impl<'a, P> ChaosWrapper<'a, P> {
     /// Wraps `inner` with `charges` charges of `kind`.
     ///
     /// `slow_for` is the [`FaultKind::SlowEdge`] stall; `on_blowup` is
-    /// invoked (once per charge) for [`FaultKind::BddBlowup`].
+    /// invoked (once per charge) for [`FaultKind::BddBlowup`] and
+    /// [`FaultKind::BudgetExhaust`].
     pub fn new(
         inner: &'a P,
         kind: FaultKind,
         charges: u64,
+        slow_for: Duration,
+        on_blowup: Box<dyn Fn() + Sync + 'a>,
+    ) -> Self {
+        Self::with_delay(inner, kind, charges, 0, slow_for, on_blowup)
+    }
+
+    /// Like [`new`](Self::new), but the first `delay` flow evaluations
+    /// pass through untouched — the fault fires on evaluation
+    /// `delay + 1` (deterministic with a single-threaded Phase 1).
+    pub fn with_delay(
+        inner: &'a P,
+        kind: FaultKind,
+        charges: u64,
+        delay: u64,
         slow_for: Duration,
         on_blowup: Box<dyn Fn() + Sync + 'a>,
     ) -> Self {
@@ -157,6 +217,7 @@ impl<'a, P> ChaosWrapper<'a, P> {
             charges: AtomicU64::new(charges),
             slow_for,
             on_blowup,
+            delay: AtomicU64::new(delay),
         }
     }
 
@@ -166,6 +227,14 @@ impl<'a, P> ChaosWrapper<'a, P> {
     }
 
     fn trip(&self) {
+        // Spend the delay before any charge can be claimed.
+        if self
+            .delay
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| d.checked_sub(1))
+            .is_ok()
+        {
+            return;
+        }
         // Claim a charge atomically: with a multi-threaded Phase 1,
         // racing evaluations must fire the fault exactly `charges`
         // times, not once per racer.
@@ -178,7 +247,7 @@ impl<'a, P> ChaosWrapper<'a, P> {
         }
         match self.kind {
             FaultKind::PanicInFlow => panic!("{}", PANIC_IN_FLOW_MESSAGE),
-            FaultKind::BddBlowup => (self.on_blowup)(),
+            FaultKind::BddBlowup | FaultKind::BudgetExhaust => (self.on_blowup)(),
             FaultKind::SlowEdge => std::thread::sleep(self.slow_for),
         }
     }

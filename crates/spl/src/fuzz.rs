@@ -1,5 +1,5 @@
 //! The differential fuzzing campaign: seeded random (and mutated)
-//! product lines, checked four ways per seed, with automatic ddmin
+//! product lines, checked five ways per seed, with automatic ddmin
 //! reduction of every failure.
 //!
 //! For each seed the driver generates a random annotated program
@@ -15,10 +15,15 @@
 //!    ([`spllift_datalog::solve_reaching_defs`]) must carry the same
 //!    constraint as the IDE lifting for every fact, and neither backend
 //!    may derive a fact the other lacks;
-//! 3. **interpreter soundness** — every dynamic leak / uninitialized
+//! 3. **lattice soundness** — the subject re-solved at a seed-derived
+//!    random [`spllift_features::LatticePoint`] (random feature subsets
+//!    projected away / joined, optionally also dropping the model): every
+//!    constraint the full-precision solve reports must *entail* the
+//!    abstracted one — abstractions may widen, never narrow;
+//! 4. **interpreter soundness** — every dynamic leak / uninitialized
 //!    read the concrete interpreter observes in a derived product must
 //!    be predicted by the corresponding lifted analysis;
-//! 4. with [`FuzzOptions::threads`] `> 1`, **threaded ≡ sequential** —
+//! 5. with [`FuzzOptions::threads`] `> 1`, **threaded ≡ sequential** —
 //!    the lifted solve under test runs on the parallel phase-1
 //!    worklist and must render byte-identical to a sequential solve of
 //!    the same instance.
@@ -55,7 +60,8 @@ use spllift_benchgen::{mutate, random_spl, reduce, RandomSpl, ReduceOptions, Red
 use spllift_core::{LiftedIcfg, LiftedSolution, ModelMode};
 use spllift_datalog::{solve_reaching_defs, DumpDoc, EvalOptions};
 use spllift_features::{
-    all_configurations, BddConstraintContext, Configuration, FeatureId, FeatureTable,
+    all_configurations, AbstractionStep, BddConstraintContext, Configuration, FeatureId,
+    FeatureTable, LatticePoint, NamedFeature,
 };
 use spllift_ifds::{Icfg, IfdsProblem};
 use spllift_ir::interp::{run as interp_run, Event, InterpConfig};
@@ -68,6 +74,10 @@ use std::time::{Duration, Instant};
 /// Salt mixed into the seed for the mutation RNG stream, so generation
 /// and mutation draw from independent streams of the same master seed.
 const MUTATION_SALT: u64 = 0x6d75_7461_7465_5f21;
+
+/// Salt for the lattice-point RNG stream of the abstraction
+/// differential, independent of generation and mutation.
+const ABSTRACTION_SALT: u64 = 0x6162_7374_7261_6374;
 
 /// A deliberately wrong flow function, applied to the lifted solve only.
 ///
@@ -216,16 +226,19 @@ impl Default for FuzzOptions {
 }
 
 /// The campaign checks, by name: the five liftable client analyses
-/// (each cross-checked against A2) followed by the Datalog-backend
-/// differential (`"datalog-reaching"`, reaching definitions re-solved
-/// by the independent lifted Datalog engine).
-pub const ANALYSES: [&str; 6] = [
+/// (each cross-checked against A2), the Datalog-backend differential
+/// (`"datalog-reaching"`, reaching definitions re-solved by the
+/// independent lifted Datalog engine), and the variability-abstraction
+/// differential (`"abstraction"`, the full-precision solve's
+/// constraints must entail a random lattice point's).
+pub const ANALYSES: [&str; 7] = [
     "taint",
     "types",
     "reaching",
     "uninit",
     "typestate",
     "datalog-reaching",
+    "abstraction",
 ];
 
 /// One analysis' crosscheck result on one seed.
@@ -578,12 +591,134 @@ fn crosscheck_datalog(
     out
 }
 
+/// Draws a random non-trivial lattice point over `features` from the
+/// seed's dedicated RNG stream: a random non-empty subset is projected
+/// away, joined into one proxy, or split between a join and a project
+/// step, and the point optionally drops the feature model on top. The
+/// same seed (and feature list) always yields the same point, so a
+/// failure report reproduces and the reducer's oracle re-derives the
+/// point per shrunken candidate.
+fn random_lattice_point(seed: u64, table: &FeatureTable, features: &[FeatureId]) -> LatticePoint {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ ABSTRACTION_SALT);
+    let named: Vec<NamedFeature> = features
+        .iter()
+        .map(|&f| (f, table.name(f).to_string()))
+        .collect();
+    if named.is_empty() {
+        // The reducer can strip every feature from a candidate; dropping
+        // the model is the only weakening left to exercise then.
+        return LatticePoint::no_model();
+    }
+    let mut subset: Vec<NamedFeature> = named
+        .iter()
+        .filter(|_| rng.gen_bool(0.5))
+        .cloned()
+        .collect();
+    if subset.is_empty() {
+        subset.push(named[rng.gen_range(0..named.len())].clone());
+    }
+    let steps = match rng.gen_range(0..3u32) {
+        0 => vec![AbstractionStep::project(subset)],
+        1 => vec![AbstractionStep::join(subset)],
+        _ if subset.len() >= 2 => {
+            let (joined, projected) = subset.split_at(subset.len() / 2);
+            vec![
+                AbstractionStep::join(joined.to_vec()),
+                AbstractionStep::project(projected.to_vec()),
+            ]
+        }
+        _ => vec![AbstractionStep::join(subset)],
+    };
+    let point = LatticePoint::abstracted(steps);
+    if rng.gen_bool(0.5) {
+        point.without_model()
+    } else {
+        point
+    }
+}
+
+/// The variability-abstraction differential: the subject solved at full
+/// precision and at a seed-derived random [`LatticePoint`]; every
+/// constraint the full solve reports must *entail* the abstracted
+/// solve's (per fact and for per-statement reachability) — abstraction
+/// may widen a constraint, never narrow it. Like the Datalog
+/// differential this is configuration-free, so mismatch rows carry the
+/// empty configuration. The injected bug is applied to both sides: the
+/// check is relative and stays green under `--inject-bug` campaigns.
+fn crosscheck_abstraction(
+    icfg: &ProgramIcfg<'_>,
+    table: &FeatureTable,
+    features: &[FeatureId],
+    seed: u64,
+    bug: InjectedBug,
+    cap: usize,
+) -> Vec<Mismatch> {
+    let point = random_lattice_point(seed, table, features);
+    let ctx = BddConstraintContext::new(table);
+    let problem = ReachingDefs::new();
+    let wrapped = BugWrapper::new(&problem, bug);
+    let full = LiftedSolution::solve(&wrapped, icfg, &ctx, None, ModelMode::OnEdges);
+    let weak =
+        LiftedSolution::solve_abstracted(&wrapped, icfg, &ctx, None, ModelMode::OnEdges, &point);
+    // Statements in ICFG order, facts in `Ord` order — the same
+    // deterministic-output contract as the other differentials.
+    let mut out = Vec::new();
+    for m in icfg.methods() {
+        for s in icfg.stmts_of(m) {
+            if out.len() >= cap {
+                return out;
+            }
+            let want = full.results_at(s);
+            let mut rows: Vec<_> = want.iter().collect();
+            rows.sort_by(|a, b| a.0.cmp(b.0));
+            for (fact, c) in rows {
+                if out.len() >= cap {
+                    return out;
+                }
+                let wc = weak.constraint_of(s, fact);
+                if !c.entails(&wc) {
+                    out.push(Mismatch {
+                        config: Configuration::empty(),
+                        stmt: s,
+                        fact: format!(
+                            "{fact:?}: full has {}, `{}` has {} (abstraction narrowed)",
+                            c.to_cube_string(),
+                            point.name(),
+                            wc.to_cube_string(),
+                        ),
+                        missing_in_lifted: false,
+                    });
+                }
+            }
+            let full_reach = full.reachability_of(s);
+            let weak_reach = weak.reachability_of(s);
+            if !full_reach.entails(&weak_reach) {
+                out.push(Mismatch {
+                    config: Configuration::empty(),
+                    stmt: s,
+                    fact: format!(
+                        "reachability: full has {}, `{}` has {} (abstraction narrowed)",
+                        full_reach.to_cube_string(),
+                        point.name(),
+                        weak_reach.to_cube_string(),
+                    ),
+                    missing_in_lifted: false,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Runs the five A2 crosschecks over `configs`, plus the
-/// configuration-free Datalog-backend differential.
+/// configuration-free Datalog-backend and variability-abstraction
+/// differentials.
 fn crosscheck_all<'p>(
     icfg: &ProgramIcfg<'p>,
     table: &FeatureTable,
+    features: &[FeatureId],
     configs: &[Configuration],
+    seed: u64,
     bug: InjectedBug,
     cap: usize,
     threads: usize,
@@ -649,6 +784,10 @@ fn crosscheck_all<'p>(
         AnalysisVerdict {
             analysis: ANALYSES[5],
             mismatches: crosscheck_datalog(icfg, table, bug, cap, threads),
+        },
+        AnalysisVerdict {
+            analysis: ANALYSES[6],
+            mismatches: crosscheck_abstraction(icfg, table, features, seed, bug, cap),
         },
     ]
 }
@@ -717,22 +856,37 @@ fn interp_soundness(
     out
 }
 
-/// Runs every check the campaign knows — the five crosschecks and the
+/// Runs every check the campaign knows — the seven crosschecks and the
 /// interpreter-soundness sweep — on an arbitrary annotated program over
 /// the configuration space `2^features`. This is the per-seed worker,
 /// public so the CLI's `reduce` subcommand and the corpus replay test
 /// apply the exact same battery to stand-alone repro files.
+///
+/// `seed` only feeds the abstraction differential's lattice-point RNG
+/// stream (the program itself is passed in, already generated); callers
+/// without a campaign seed — stand-alone repro files — pass `0` and
+/// still get a deterministic, subject-dependent point.
 pub fn check_program(
     program: &Program,
     table: &FeatureTable,
     features: &[FeatureId],
+    seed: u64,
     bug: InjectedBug,
     max_mismatches: usize,
     threads: usize,
 ) -> (Vec<AnalysisVerdict>, Vec<UnpredictedEvent>) {
     let configs: Vec<Configuration> = all_configurations(features).collect();
     let icfg = ProgramIcfg::new(program);
-    let analyses = crosscheck_all(&icfg, table, &configs, bug, max_mismatches, threads);
+    let analyses = crosscheck_all(
+        &icfg,
+        table,
+        features,
+        &configs,
+        seed,
+        bug,
+        max_mismatches,
+        threads,
+    );
     let unpredicted = interp_soundness(program, table, &configs, bug);
     (analyses, unpredicted)
 }
@@ -744,6 +898,7 @@ fn check_seed(seed: u64, opts: &FuzzOptions) -> SeedVerdict {
         &spl.program,
         &spl.table,
         &spl.features,
+        seed,
         opts.bug,
         opts.max_mismatches,
         opts.threads,
@@ -764,6 +919,7 @@ pub fn failure_persists(
     program: &Program,
     table: &FeatureTable,
     features: &[FeatureId],
+    seed: u64,
     bug: InjectedBug,
     analysis: &str,
     dynamic: bool,
@@ -780,7 +936,7 @@ pub fn failure_persists(
     let icfg = ProgramIcfg::new(program);
     // One mismatch suffices for the verdict — the oracle must be cheap,
     // so the reducer always re-checks on the sequential solver.
-    let verdicts = crosscheck_all(&icfg, table, &configs, bug, 1, 1);
+    let verdicts = crosscheck_all(&icfg, table, features, &configs, seed, bug, 1, 1);
     verdicts
         .iter()
         .any(|v| v.analysis == analysis && !v.mismatches.is_empty())
@@ -798,7 +954,15 @@ fn reduce_failure(verdict: &SeedVerdict, opts: &FuzzOptions) -> Option<FailureRe
     let spl = subject_for_seed(verdict.seed, opts);
     let payload_before = spllift_benchgen::payload_stmt_count(&spl.program);
     let mut oracle = |p: &Program, feats: &[FeatureId]| {
-        failure_persists(p, &spl.table, feats, opts.bug, analysis, dynamic)
+        failure_persists(
+            p,
+            &spl.table,
+            feats,
+            verdict.seed,
+            opts.bug,
+            analysis,
+            dynamic,
+        )
     };
     let reduced = reduce(
         &spl.program,
@@ -927,6 +1091,7 @@ mod tests {
             &parsed,
             &table,
             &failure.reduced.features,
+            failure.seed,
             InjectedBug::KillAtCallToReturn,
             failure.analysis,
             failure.dynamic,

@@ -106,6 +106,45 @@ for fault in panic-in-flow bdd-blowup slow-edge; do
         < tests/serve/chaos.requests \
         | diff -u "tests/serve/chaos-$fault.expected" -
 done
+# budget-exhaust arms an exact BDD op budget on the victim's first
+# analyze: the golden pins the full lattice descent (full and
+# confound(Root) blow the meter, the keep_features-sparing projection
+# answers), the degraded-point stats counter, and the full-precision
+# unbudgeted retry.
+./target/release/spllift-cli serve --jobs 1 \
+    --inject-fault budget-exhaust@2000 --inject-fault-session victim \
+    < tests/serve/chaos-budget.requests \
+    | diff -u tests/serve/chaos-budget-exhaust.expected -
+
+echo "== governed-solve smoke (lattice descent on the 99-feature chain subject) =="
+# A paper-scale subject under an op budget no full-precision solve can
+# meet: with --keep-features the governor must land on a non-bottom
+# lattice point that spares the named features (the response records
+# the exact point), and without it the descent must bottom out at the
+# PR 5 ladder's constraint-true — pinning that the default ladder is
+# unchanged.
+GOV_SUBJECT="synthetic:99:12000:71:model=chain:depth=8"
+kept=$(printf '%s\n' \
+    "{\"type\":\"load\",\"session\":\"g\",\"gen\":\"$GOV_SUBJECT\"}" \
+    "{\"type\":\"analyze\",\"session\":\"g\",\"bdd_op_budget\":60000,\"keep_features\":[\"F0\",\"F1\"]}" \
+    "{\"type\":\"shutdown\"}" \
+    | ./target/release/spllift-cli serve --jobs 1)
+echo "$kept" | grep -q '"outcome":"degraded"' \
+    || { echo "ci: governed smoke did not degrade: $kept" >&2; exit 1; }
+echo "$kept" | grep -q '"rung":"project(' \
+    || { echo "ci: governed smoke did not land on a projection point: $kept" >&2; exit 1; }
+echo "$kept" | grep -q '"rung":"constraint-true"' \
+    && { echo "ci: governed smoke fell to the lattice bottom: $kept" >&2; exit 1; }
+bottom=$(printf '%s\n' \
+    "{\"type\":\"load\",\"session\":\"g\",\"gen\":\"$GOV_SUBJECT\"}" \
+    "{\"type\":\"analyze\",\"session\":\"g\",\"bdd_node_budget\":2}" \
+    "{\"type\":\"shutdown\"}" \
+    | ./target/release/spllift-cli serve --jobs 1)
+echo "$bottom" | grep -q '"rung":"constraint-true"' \
+    || { echo "ci: default ladder no longer bottoms out at constraint-true: $bottom" >&2; exit 1; }
+echo "$bottom" | grep -Eq '"attempts":\[\{"rung":"full"[^]]*\{"rung":"no-model"' \
+    || { echo "ci: default descent is not the full -> no-model ladder: $bottom" >&2; exit 1; }
+echo "ci: governed smoke landed on a keep-sparing lattice point"
 
 echo "== socket smoke (3 concurrent clients, golden transcripts) =="
 # Serves the protocol over TCP (`--listen`-style in-process server) and

@@ -42,7 +42,8 @@
 //!
 //! The `fuzz` subcommand runs the differential fuzzing campaign: seeded
 //! random mutated product lines, all five analyses cross-checked against
-//! A2 in both directions plus the interpreter-soundness sweep, failures
+//! A2 in both directions, the Datalog-backend and variability-abstraction
+//! differentials, plus the interpreter-soundness sweep, failures
 //! auto-reduced by ddmin. Stdout is the deterministic campaign report
 //! (byte-identical for every `--jobs` value when no `--budget-secs` is
 //! set); timings go to stderr; the exit code is non-zero iff a seed
@@ -135,15 +136,24 @@ SERVE OPTIONS
   --bdd-node-budget N     per-rung BDD node budget per solve
   --bdd-op-budget N       per-rung BDD operation budget per solve
   --max-propagations N    per-rung phase-1 propagation cap per solve
+  --keep-features A,B     features every degraded solve must keep precise:
+                          on budget exhaustion the governor abstracts only
+                          the *other* features (confound OR groups, project
+                          the rest away) before falling to no-model /
+                          constraint-true; requests override with
+                          \"keep_features\"
   --inject-fault K[@N]    chaos harness: sabotage the N-th analyze (default 1)
-                          with K = panic-in-flow | bdd-blowup | slow-edge
+                          with K = panic-in-flow | bdd-blowup | slow-edge;
+                          budget-exhaust@N instead arms a BDD op budget of
+                          exactly N on the first qualifying analyze
   --inject-fault-session NAME  scope the fault trigger to NAME's own
                           analyze ordinal (deterministic under concurrency)
   Line-delimited JSON requests on stdin, one response per line on stdout
   (or per connection under --listen): load, analyze, query, edit, stats,
-  evict, shutdown. When a solve exhausts its budget the server degrades
-  down the abstraction ladder (full -> no-model -> constraint-true) and
-  flags the weaker answers. The wire contract lives in docs/PROTOCOL.md.
+  evict, shutdown. When a solve exhausts its budget the server descends a
+  variability-abstraction lattice (project / join / confound features,
+  then no-model, then constraint-true) and flags the weaker answers with
+  the exact lattice point. The wire contract lives in docs/PROTOCOL.md.
 
 FUZZ OPTIONS
   --seeds A..B  --jobs N  --threads N  --nfeatures N  --nmethods N
@@ -245,6 +255,21 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--inject-fault-session" => {
                 opts.fault_session =
                     Some(args.next().ok_or("--inject-fault-session needs a name")?);
+            }
+            "--keep-features" => {
+                let v = args
+                    .next()
+                    .ok_or("--keep-features needs a comma-separated feature list")?;
+                let names: Vec<String> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|n| !n.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if names.is_empty() {
+                    return Err("--keep-features needs at least one feature name".into());
+                }
+                opts.keep_features = Some(names);
             }
             other => {
                 return Err(format!(
@@ -986,8 +1011,10 @@ fn run_reduce(args: &[String]) -> Result<(), String> {
         Some("interp-uninit") => ("uninit".to_owned(), true),
         Some(name) => (name.to_owned(), false),
         None => {
-            // No check named: pick the first failing one.
-            let (verdicts, unpredicted) = check_program(&program, &table, &features, bug, 1, 1);
+            // No check named: pick the first failing one. Stand-alone
+            // repro files carry no campaign seed, so the abstraction
+            // differential's lattice-point stream is seeded with 0.
+            let (verdicts, unpredicted) = check_program(&program, &table, &features, 0, bug, 1, 1);
             if let Some(v) = verdicts.iter().find(|v| !v.mismatches.is_empty()) {
                 (v.analysis.to_owned(), false)
             } else if let Some(u) = unpredicted.first() {
@@ -999,13 +1026,13 @@ fn run_reduce(args: &[String]) -> Result<(), String> {
             }
         }
     };
-    if !failure_persists(&program, &table, &features, bug, &analysis, dynamic) {
+    if !failure_persists(&program, &table, &features, 0, bug, &analysis, dynamic) {
         return Err(format!(
             "{input} does not fail the `{analysis}` check; nothing to reduce"
         ));
     }
     let mut oracle = |p: &spllift::ir::Program, feats: &[spllift::features::FeatureId]| {
-        failure_persists(p, &table, feats, bug, &analysis, dynamic)
+        failure_persists(p, &table, feats, 0, bug, &analysis, dynamic)
     };
     let out = reduce(
         &program,

@@ -111,7 +111,7 @@ fn help_lists_subcommands_formats_and_gen_syntax() {
 /// Every serve flag, exactly as the `serve` arg parser spells it. The
 /// test below keeps `help`, the README flags table, and the parser
 /// reconciled: a flag added to one place must be added to all three.
-const SERVE_FLAGS: [&str; 13] = [
+const SERVE_FLAGS: [&str; 14] = [
     "--listen",
     "--jobs",
     "--threads",
@@ -123,6 +123,7 @@ const SERVE_FLAGS: [&str; 13] = [
     "--bdd-node-budget",
     "--bdd-op-budget",
     "--max-propagations",
+    "--keep-features",
     "--inject-fault",
     "--inject-fault-session",
 ];

@@ -3,9 +3,10 @@
 //! generated subjects) is parsed and pushed through the full differential
 //! battery — all five lifted analyses cross-checked against A2 in both
 //! directions, reaching definitions re-solved by the independent lifted
-//! Datalog engine, plus the interpreter-soundness oracle — with **no**
-//! injected bug. A healthy implementation reports zero mismatches on
-//! every corpus entry.
+//! Datalog engine, the abstraction differential (full-precision
+//! constraints must entail a random lattice point's), plus the
+//! interpreter-soundness oracle — with **no** injected bug. A healthy
+//! implementation reports zero mismatches on every corpus entry.
 //!
 //! `gen-stratified-negation.repro` is hand-written to exercise the
 //! Datalog backend's stratified negation: a feature-annotated
@@ -46,9 +47,10 @@ fn corpus_is_present_and_replays_clean() {
             .unwrap_or_else(|e| panic!("{}: ill-formed IR: {e:?}", path.display()));
         let features: Vec<FeatureId> = table.iter().map(|(f, _)| f).collect();
         // `threads: 2` makes every corpus replay also pin the threaded
-        // solve byte-identical to the sequential one.
+        // solve byte-identical to the sequential one. Repro files carry
+        // no campaign seed; 0 seeds the lattice-point stream.
         let (verdicts, unpredicted) =
-            check_program(&program, &table, &features, InjectedBug::None, 100, 2);
+            check_program(&program, &table, &features, 0, InjectedBug::None, 100, 2);
         for v in &verdicts {
             assert!(
                 v.mismatches.is_empty(),

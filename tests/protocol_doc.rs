@@ -62,6 +62,7 @@ fn documented_error_kinds_and_budget_fields_match_the_implementation() {
         "bdd_op_budget",
         "max_propagations",
         "threads",
+        "keep_features",
     ] {
         assert!(
             doc.contains(&format!("`{field}`")),
@@ -83,4 +84,55 @@ fn documented_error_kinds_and_budget_fields_match_the_implementation() {
             "`{needle}` missing from docs/PROTOCOL.md"
         );
     }
+}
+
+#[test]
+fn documented_lattice_and_governor_vocabulary_matches_the_implementation() {
+    use spllift::features::{AbstractionStep, FeatureId, LatticePoint};
+
+    let doc = protocol_doc();
+    // The canonical point names the implementation renders must appear
+    // verbatim (they are the stable rung vocabulary)...
+    for point in [
+        LatticePoint::full(),
+        LatticePoint::no_model(),
+        LatticePoint::constraint_true(),
+    ] {
+        assert!(
+            doc.contains(&format!("\"{}\"", point.name())),
+            "canonical lattice point `{}` missing from docs/PROTOCOL.md",
+            point.name()
+        );
+    }
+    // ...and the composite rendering scheme is documented with names
+    // built exactly as `LatticePoint::name` builds them.
+    let composite = LatticePoint::abstracted(vec![AbstractionStep::project(vec![
+        (FeatureId(2), "F2".to_string()),
+        (FeatureId(3), "F3".to_string()),
+    ])]);
+    assert!(
+        doc.contains(&format!("`\"{}\"`", composite.name())),
+        "composite point example `{}` missing from docs/PROTOCOL.md",
+        composite.name()
+    );
+    assert!(
+        doc.contains(&format!("`\"no-model+{}\"`", composite.name())),
+        "model-dropping composite example missing from docs/PROTOCOL.md"
+    );
+    // The per-point degradation counters and the governor's fault kind.
+    for needle in ["`degraded_points`", "degraded_solves", "budget-exhaust"] {
+        assert!(
+            doc.contains(needle),
+            "`{needle}` missing from docs/PROTOCOL.md"
+        );
+    }
+    // The strict per-request keep_features error is quoted verbatim.
+    assert!(
+        doc.contains("unknown feature `X` in `keep_features`"),
+        "strict keep_features error missing from docs/PROTOCOL.md"
+    );
+    assert!(
+        doc.contains("--keep-features"),
+        "server-wide --keep-features default missing from docs/PROTOCOL.md"
+    );
 }

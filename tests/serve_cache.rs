@@ -89,3 +89,55 @@ fn eviction_under_byte_budget_keeps_solves_bit_identical() {
     assert!(field(cache, "evictions").as_u64().unwrap() >= evictions);
     assert!(field(cache, "misses").as_u64().unwrap() >= 4);
 }
+
+#[test]
+fn degraded_solves_at_any_lattice_point_never_enter_the_cache() {
+    // A budget that forces the governor off full precision but not to
+    // the bottom: on the 12-feature groups subject 2000 BDD ops rule out
+    // `full` and `confound(Root)` while the keep-sparing projection
+    // fits, so the solve lands on a composite, non-bottom lattice point.
+    let mut server = Server::new(ServerOptions::default());
+    let resp = drive(
+        &mut server,
+        "{\"type\":\"load\",\"session\":\"s\",\"gen\":\"synthetic:12:400:23:model=groups\"}",
+    );
+    assert_eq!(field(&resp, "type").as_str(), Some("ok"), "{resp:?}");
+
+    let degraded = drive(
+        &mut server,
+        "{\"type\":\"analyze\",\"session\":\"s\",\"bdd_op_budget\":2000,\
+         \"keep_features\":[\"F0\",\"F1\"]}",
+    );
+    assert_eq!(field(&degraded, "outcome").as_str(), Some("degraded"));
+    let rung = field(&degraded, "rung").as_str().unwrap().to_owned();
+    assert!(
+        rung.starts_with("project(") && rung != "constraint-true",
+        "want a non-bottom lattice point, got `{rung}`"
+    );
+    // The degraded answer must not occupy a cache slot: a later,
+    // better-funded solve of the same program would be shadowed by it
+    // (the key carries no budget).
+    let stats = drive(&mut server, "{\"type\":\"stats\"}");
+    assert_eq!(
+        field(field(&stats, "cache"), "entries").as_u64(),
+        Some(0),
+        "degraded solution entered the cache: {stats:?}"
+    );
+
+    // Retry with the budget raised (lifted entirely): a genuine cold
+    // re-solve at full precision.
+    let (solve, digest) = analyze(&mut server, "s");
+    assert_eq!(solve, "cold");
+    let full = drive(&mut server, "{\"type\":\"analyze\",\"session\":\"s\"}");
+    assert_eq!(field(&full, "solve").as_str(), Some("cached"));
+    assert_eq!(field(&full, "outcome").as_str(), Some("complete"));
+    assert_eq!(field(&full, "rung").as_str(), Some("full"));
+    assert_eq!(field(&full, "digest").as_str(), Some(digest.as_str()));
+    let stats = drive(&mut server, "{\"type\":\"stats\"}");
+    assert_eq!(field(field(&stats, "cache"), "entries").as_u64(), Some(1));
+    // The governance counters attribute the one degradation to the
+    // exact lattice point it landed on.
+    let gov = field(&stats, "governance");
+    let by_point = field(field(gov, "degraded_points"), &rung);
+    assert_eq!(by_point.as_u64(), Some(1), "{stats:?}");
+}

@@ -147,6 +147,123 @@ fn budget_and_deadline_faults_degrade_soundly_and_recover() {
     }
 }
 
+const BUDGET_REQUESTS: &str = "tests/serve/chaos-budget.requests";
+const BUDGET_FAULT: &[&str] = &[
+    "--inject-fault",
+    "budget-exhaust@2000",
+    "--inject-fault-session",
+    "victim",
+];
+
+/// `budget-exhaust@N` arms a BDD op budget of exactly N on the victim's
+/// first analyze: the full-precision attempt and the confound point
+/// both blow it, the `keep_features`-sparing projection completes, and
+/// the response records the exact lattice descent. The healthy session
+/// never notices, the degraded answer stays out of the cache, and the
+/// unbudgeted retry re-solves at full precision.
+#[test]
+fn budget_exhaust_descends_the_lattice_and_spares_kept_features() {
+    let requests = std::fs::read_to_string(BUDGET_REQUESTS).unwrap();
+    let mut args = vec!["--jobs", "1"];
+    args.extend_from_slice(BUDGET_FAULT);
+    let out = serve(&args, &requests);
+    let victim = victim_lines(&out);
+    // The sabotaged solve lands on the keep-sparing projection — a
+    // non-bottom lattice point that names every abstracted feature and
+    // spares F0/F1 — after full and confound(Root) both blew the meter.
+    let degraded = victim
+        .iter()
+        .find(|l| l.contains("\"outcome\":\"degraded\""))
+        .unwrap_or_else(|| panic!("no degraded analyze: {out}"));
+    assert!(
+        degraded.contains("\"rung\":\"project(F10,F11,F2,F3,F4,F5,F6,F7,F8,F9,Root)\""),
+        "{degraded}"
+    );
+    assert!(
+        degraded.contains("{\"rung\":\"full\",\"reason\":\"budget exhausted: bdd ops budget exceeded: 2001 > 2000\"}"),
+        "{degraded}"
+    );
+    assert!(
+        degraded.contains("\"rung\":\"confound(Root)\""),
+        "{degraded}"
+    );
+    // Degraded query answers are flagged.
+    assert!(
+        victim
+            .iter()
+            .any(|l| l.contains("\"request\":\"query\"") && l.contains("\"degraded\":true")),
+        "{out}"
+    );
+    // Stats: the per-point counter names the exact lattice point; no
+    // quarantine, one injected fault.
+    let stats = out
+        .lines()
+        .find(|l| l.contains("\"request\":\"stats\""))
+        .expect("stats response");
+    assert!(
+        stats.contains("\"degraded_points\":{\"project(F10,F11,F2,F3,F4,F5,F6,F7,F8,F9,Root)\":1}"),
+        "{stats}"
+    );
+    assert!(stats.contains("\"faults_injected\":1"), "{stats}");
+    assert!(stats.contains("\"quarantined\":[]"), "{stats}");
+    // Uncached: the unbudgeted retry re-solves cold at full precision.
+    assert!(
+        victim.iter().any(|l| l.contains("\"solve\":\"cold\"")
+            && l.contains("\"outcome\":\"complete\"")
+            && l.contains("\"rung\":\"full\"")),
+        "{out}"
+    );
+}
+
+/// The healthy session is byte-identical under an injected budget
+/// exhaustion, at multiple `--jobs` values.
+#[test]
+fn healthy_session_is_byte_identical_under_budget_exhaust() {
+    let requests = std::fs::read_to_string(BUDGET_REQUESTS).unwrap();
+    for jobs in ["1", "2"] {
+        let baseline = serve(&["--jobs", jobs], &requests);
+        let mut args = vec!["--jobs", jobs];
+        args.extend_from_slice(BUDGET_FAULT);
+        let faulted = serve(&args, &requests);
+        assert_eq!(
+            healthy_lines(&faulted),
+            healthy_lines(&baseline),
+            "healthy session diverged under budget-exhaust --jobs {jobs}"
+        );
+    }
+}
+
+/// A request naming an unknown feature in `keep_features` is rejected
+/// with a structured error; the session keeps serving.
+#[test]
+fn unknown_keep_feature_is_a_structured_error() {
+    let input = concat!(
+        "{\"type\":\"load\",\"session\":\"s\",\"gen\":\"synthetic:4:120:7\"}\n",
+        "{\"type\":\"analyze\",\"session\":\"s\",\"keep_features\":[\"NotAFeature\"]}\n",
+        "{\"type\":\"analyze\",\"session\":\"s\",\"keep_features\":42}\n",
+        "{\"type\":\"analyze\",\"session\":\"s\"}\n",
+        "{\"type\":\"shutdown\"}\n",
+    );
+    let out = serve(&["--jobs", "1"], input);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 5, "{out}");
+    assert!(
+        lines[1].contains("unknown feature `NotAFeature` in `keep_features`"),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("`keep_features` must be an array of feature-name strings"),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[3].contains("\"outcome\":\"complete\"") && lines[3].contains("\"rung\":\"full\""),
+        "{}",
+        lines[3]
+    );
+}
+
 /// Out-of-range numeric governance fields in requests are rejected with
 /// structured errors instead of truncation or panic, and a valid
 /// per-request budget degrades the solve (retrying with a bigger budget
